@@ -1,0 +1,744 @@
+(* Benchmark harness: one experiment per claim of the paper's
+   evaluation (see DESIGN.md experiment index).  Run with no argument
+   for everything, or with a list of experiment ids:
+
+     dune exec bench/main.exe            # all
+     dune exec bench/main.exe -- e1 e6   # selected *)
+
+open Hdl
+module CD = Osss.Class_def
+module OI = Osss.Object_inst
+
+let section id title =
+  Printf.printf "\n=== %s: %s ===\n" (String.uppercase_ascii id) title
+
+let row fmt = Printf.printf fmt
+
+(* ------------------------------------------------------------------ *)
+(* Shared synthesis helpers                                            *)
+
+let synthesize kind design = Synth.Flow.run kind design
+
+let flow_columns (r : Synth.Flow.result) =
+  ( Backend.Netlist.cell_count r.netlist,
+    r.area.Backend.Area.total,
+    r.area.Backend.Area.n_ffs,
+    r.timing.Backend.Timing.critical_ns,
+    r.timing.Backend.Timing.fmax_mhz )
+
+(* ------------------------------------------------------------------ *)
+(* E1/E2: full ExpoCU, OSSS flow vs conventional VHDL flow             *)
+
+let expocu_results =
+  lazy
+    ( synthesize Synth.Flow.Osss (Expocu.Expocu_top.osss_top ()),
+      synthesize Synth.Flow.Vhdl (Expocu.Expocu_top.rtl_top ()) )
+
+let e1 () =
+  section "e1"
+    "ExpoCU netlist area: OSSS flow vs VHDL flow (paper: almost equivalent)";
+  let osss, vhdl = Lazy.force expocu_results in
+  let print name r =
+    let cells, area, ffs, _, _ = flow_columns r in
+    row "  %-12s %8d cells %10.1f GE %6d flip-flops\n" name cells area ffs
+  in
+  print "OSSS" osss;
+  print "VHDL" vhdl;
+  let _, a_o, _, _, _ = flow_columns osss in
+  let _, a_v, _, _, _ = flow_columns vhdl in
+  row "  area ratio OSSS/VHDL = %.3f (paper: ~1.0)\n" (a_o /. a_v)
+
+let e2 () =
+  section "e2"
+    "ExpoCU achieved frequency (paper: OSSS below VHDL flow; target 66 MHz)";
+  let osss, vhdl = Lazy.force expocu_results in
+  let print name (r : Synth.Flow.result) =
+    let _, _, _, ns, mhz = flow_columns r in
+    row "  %-12s critical path %6.2f ns   fmax %7.1f MHz   66 MHz: %s\n" name
+      ns mhz
+      (if Backend.Timing.meets r.Synth.Flow.timing ~freq_mhz:66.0 then "met"
+       else "missed")
+  in
+  print "OSSS" osss;
+  print "VHDL" vhdl;
+  let _, _, _, _, f_o = flow_columns osss in
+  let _, _, _, _, f_v = flow_columns vhdl in
+  row "  fmax ratio OSSS/VHDL = %.3f (paper: < 1.0)\n" (f_o /. f_v);
+  (* The paper attributes the OSSS frequency deficit to the SystemC
+     behavioral-synthesis stage ("restrictions and unnecessary
+     overhead"); our shared back end removes that stage's bias from the
+     full-chip numbers, so the mechanism is measured in isolation: the
+     same multiply datapath hand-registered vs behaviorally synthesized
+     with functional-unit sharing. *)
+  let hand_mul =
+    let open Builder.Dsl in
+    let b = Builder.create "hand_mac" in
+    let a = Builder.input b "a" 8 in
+    let x = Builder.input b "x" 8 in
+    let y = Builder.output b "y" 8 in
+    Builder.sync b "mac" [ y <-- (v a *: v x) ];
+    Builder.finish b
+  in
+  let behav_mul =
+    let open Synth.Behavioral in
+    let g =
+      create ~name:"behav_mac"
+        ~inputs:[ ("a", 8); ("x", 8); ("a2", 8); ("x2", 8) ]
+    in
+    let m0 = node g Mul [ Input "a"; Input "x" ] in
+    let m1 = node g Mul [ Input "a2"; Input "x2" ] in
+    let s = node g Add [ Node m0; Node m1 ] in
+    output g "y" (Node s);
+    to_module g
+      (list_schedule g ~resources:(fun k ->
+           match k with Mul -> 1 | Add | Sub | And | Or | Xor | Mux -> 4))
+  in
+  let fmax m =
+    (Backend.Timing.analyze (Backend.Opt.optimize (Backend.Lower.lower m)))
+      .Backend.Timing.fmax_mhz
+  in
+  let f_hand = fmax hand_mul and f_behav = fmax behav_mul in
+  row
+    "  behavioral-synthesis overhead in isolation (one multiplier per \
+     cycle):\n";
+  row "    hand-registered datapath   fmax %7.1f MHz\n" f_hand;
+  row "    behaviorally synthesized   fmax %7.1f MHz (%.2fx, the paper's \
+       frequency-gap mechanism)\n"
+    f_behav (f_behav /. f_hand)
+
+(* ------------------------------------------------------------------ *)
+(* E3: class/template resolution has zero logic overhead               *)
+
+let e3 () =
+  section "e3" "SyncRegister: class resolution overhead (paper/Fig.7-8: none)";
+  let gates m = Backend.Opt.optimize (Backend.Lower.lower m) in
+  let print name nl =
+    let a = Backend.Area.analyze nl in
+    row "  %-28s %6d cells %8.1f GE %4d flip-flops\n" name
+      (Backend.Netlist.cell_count nl)
+      a.Backend.Area.total a.Backend.Area.n_ffs
+  in
+  let osss = gates (Expocu.Sync.osss_module ()) in
+  let rtl = gates (Expocu.Sync.rtl_module ()) in
+  print "OSSS classes + templates" osss;
+  print "hand-written RTL" rtl;
+  row "  overhead: %+d cells (paper: 0)\n"
+    (Backend.Netlist.cell_count osss - Backend.Netlist.cell_count rtl)
+
+(* ------------------------------------------------------------------ *)
+(* E4: polymorphism costs exactly the dispatch multiplexers            *)
+
+let alu_base =
+  CD.declare ~name:"AluBase" []
+    [
+      CD.fn_method ~name:"Execute" ~params:[ ("A", 8); ("B", 8) ] ~return:8
+        (fun ctx -> ([], Ir.Binop (Ir.Add, ctx.CD.arg "A", ctx.CD.arg "B")));
+    ]
+
+let alu_variant name op =
+  CD.declare ~parent:alu_base ~name []
+    [
+      CD.fn_method ~name:"Execute" ~params:[ ("A", 8); ("B", 8) ] ~return:8
+        (fun ctx -> ([], Ir.Binop (op, ctx.CD.arg "A", ctx.CD.arg "B")));
+    ]
+
+let poly_alu_module () =
+  let b = Builder.create "poly_alu" in
+  let sel = Builder.input b "sel" 2 in
+  let a = Builder.input b "a" 8 in
+  let x = Builder.input b "x" 8 in
+  let y = Builder.output b "y" 8 in
+  let variants =
+    [ alu_variant "AluAdd" Ir.Add; alu_variant "AluSub" Ir.Sub;
+      alu_variant "AluXor" Ir.Xor; alu_variant "AluAnd" Ir.And ]
+  in
+  let poly = Osss.Polymorph.instantiate b ~name:"alu" ~base:alu_base variants in
+  let _, result = Osss.Polymorph.vcall_fn poly "Execute" [ Ir.Var a; Ir.Var x ] in
+  Builder.sync b "drive"
+    [
+      Ir.Case
+        ( Ir.Var sel,
+          List.mapi
+            (fun i variant ->
+              (Bitvec.of_int ~width:2 i, Osss.Polymorph.assign_class poly variant))
+            variants,
+          [] );
+      Ir.Assign (y, result);
+    ];
+  Builder.finish b
+
+let manual_alu_module () =
+  let open Builder.Dsl in
+  let b = Builder.create "manual_alu" in
+  let sel = Builder.input b "sel" 2 in
+  let a = Builder.input b "a" 8 in
+  let x = Builder.input b "x" 8 in
+  let y = Builder.output b "y" 8 in
+  let mode = Builder.wire b "mode" 2 in
+  Builder.sync b "drive"
+    [
+      mode <-- v sel;
+      case (v mode)
+        [
+          (0, [ y <-- (v a +: v x) ]);
+          (1, [ y <-- (v a -: v x) ]);
+          (2, [ y <-- (v a ^: v x) ]);
+        ]
+        [ y <-- (v a &: v x) ];
+    ];
+  Builder.finish b
+
+let e4 () =
+  section "e4"
+    "Polymorphic ALU vs hand-multiplexed ALU (paper: polymorphism inserts \
+     only the selection muxes)";
+  let gates m = Backend.Opt.optimize (Backend.Lower.lower m) in
+  let print name nl =
+    let a = Backend.Area.analyze nl in
+    let muxes =
+      List.fold_left
+        (fun acc (k, n) -> if k = Backend.Cell.Mux2 then acc + n else acc)
+        0 (Backend.Netlist.stats nl)
+    in
+    row "  %-24s %6d cells %8.1f GE %4d flip-flops %4d mux2\n" name
+      (Backend.Netlist.cell_count nl)
+      a.Backend.Area.total a.Backend.Area.n_ffs muxes
+  in
+  let poly = gates (poly_alu_module ()) in
+  let manual = gates (manual_alu_module ()) in
+  print "OSSS polymorphism" poly;
+  print "manual mux select" manual;
+  let c_p = Backend.Netlist.cell_count poly
+  and c_m = Backend.Netlist.cell_count manual in
+  row "  cell ratio poly/manual = %.2f (paper: ~1, muxes exist either way)\n"
+    (float_of_int c_p /. float_of_int c_m)
+
+(* ------------------------------------------------------------------ *)
+(* E5: global objects add only the arbiter a shared resource needs     *)
+
+let counter_class =
+  CD.declare ~name:"BenchCounter"
+    [ CD.field "count" 8 ]
+    [
+      CD.proc_method ~name:"Tick" ~params:[] (fun ctx ->
+          [
+            ctx.CD.set "count"
+              (Ir.Binop
+                 (Ir.Add, ctx.CD.get "count", Ir.Const (Bitvec.of_int ~width:8 1)));
+          ]);
+    ]
+
+let shared_object_module policy =
+  let b = Builder.create "shared_obj" in
+  let reset = Builder.input b "reset" 1 in
+  let reqs = Builder.input b "reqs" 3 in
+  let value = Builder.output b "value" 8 in
+  let shared =
+    Osss.Shared.create b ~name:"cnt" ~class_:counter_class ~policy ~clients:3
+      ~methods:[ "Tick" ] ~reset
+  in
+  List.iteri
+    (fun i () ->
+      let cl = Osss.Shared.client shared i in
+      Builder.comb b
+        (Printf.sprintf "drv%d" i)
+        [
+          Ir.Assign (Osss.Shared.req cl, Ir.Slice (Ir.Var reqs, i, i));
+          Ir.Assign (Osss.Shared.op cl, Ir.Const (Bitvec.zero 1));
+        ])
+    [ (); (); () ];
+  Builder.comb b "obs"
+    [ Ir.Assign (value, OI.field_expr (Osss.Shared.state shared) "count") ];
+  Builder.finish b
+
+let manual_arbiter_module () =
+  let open Builder.Dsl in
+  let b = Builder.create "manual_arbiter" in
+  let reset = Builder.input b "reset" 1 in
+  let reqs = Builder.input b "reqs" 3 in
+  let value = Builder.output b "value" 8 in
+  let count = Builder.wire b "count" 8 in
+  let last = Builder.wire b "last" 2 in
+  let grant = Builder.wire b "grant" 3 in
+  (* hand-written rotating-priority arbiter + shared counter *)
+  let r i = bit (v reqs) i in
+  let fixed order =
+    List.concat
+      (List.mapi
+         (fun pos j ->
+           let earlier = List.filteri (fun p _ -> p < pos) order in
+           let none_before =
+             List.fold_left (fun acc k -> acc &: notb (r k)) (cb true) earlier
+           in
+           [ assign_slice grant ~lo:j (r j &: none_before) ])
+         order)
+  in
+  Builder.comb b "arbiter"
+    [
+      grant <-- c ~width:3 0;
+      case (v last)
+        [ (0, fixed [ 1; 2; 0 ]); (1, fixed [ 2; 0; 1 ]); (2, fixed [ 0; 1; 2 ]) ]
+        (fixed [ 1; 2; 0 ]);
+    ];
+  Builder.sync b "server"
+    [
+      if_ (v reset)
+        [ count <-- c ~width:8 0; last <-- c ~width:2 0 ]
+        [
+          when_ (bit (v grant) 0)
+            [ count <-- (v count +: c ~width:8 1); last <-- c ~width:2 0 ];
+          when_ (bit (v grant) 1)
+            [ count <-- (v count +: c ~width:8 1); last <-- c ~width:2 1 ];
+          when_ (bit (v grant) 2)
+            [ count <-- (v count +: c ~width:8 1); last <-- c ~width:2 2 ];
+        ];
+    ];
+  Builder.comb b "obs" [ value <-- v count ];
+  Builder.finish b
+
+let e5 () =
+  section "e5"
+    "Shared (global) object vs hand-written arbiter (paper: scheduler \
+     logic would be needed anyway)";
+  let gates m = Backend.Opt.optimize (Backend.Lower.lower m) in
+  let print name nl =
+    let a = Backend.Area.analyze nl in
+    row "  %-34s %6d cells %8.1f GE %4d flip-flops\n" name
+      (Backend.Netlist.cell_count nl)
+      a.Backend.Area.total a.Backend.Area.n_ffs
+  in
+  print "OSSS global object (round-robin)"
+    (gates (shared_object_module Osss.Shared.Round_robin));
+  print "hand arbiter + shared counter" (gates (manual_arbiter_module ()));
+  print "OSSS global object (priority)"
+    (gates (shared_object_module Osss.Shared.Fixed_priority));
+  print "OSSS global object (FCFS)"
+    (gates (shared_object_module Osss.Shared.Fcfs))
+
+(* ------------------------------------------------------------------ *)
+(* E6: simulation speed across abstraction levels                      *)
+
+let rtl_frame_sim () =
+  let sim = Rtl_sim.create (Expocu.Expocu_top.rtl_top ()) in
+  let frame = Array.init 256 (fun i -> i * 53 mod 256) in
+  Rtl_sim.set_input_int sim "ext_reset" 0;
+  Rtl_sim.set_input_int sim "target_bin" 7;
+  Rtl_sim.run sim 15;
+  Rtl_sim.set_input_int sim "frame_sync" 1;
+  Rtl_sim.run sim 4;
+  Rtl_sim.set_input_int sim "line_valid" 1;
+  Array.iter
+    (fun px ->
+      Rtl_sim.set_input_int sim "pixel" px;
+      Rtl_sim.step sim)
+    frame;
+  Rtl_sim.set_input_int sim "line_valid" 0;
+  Rtl_sim.set_input_int sim "frame_sync" 0;
+  let guard = ref 0 in
+  while Rtl_sim.get_int sim "frame_done" = 0 && !guard < 4000 do
+    Rtl_sim.step sim;
+    incr guard
+  done;
+  Rtl_sim.cycles sim
+
+let gate_netlist = lazy (Backend.Lower.lower (Expocu.Expocu_top.rtl_top ()))
+
+let gate_frame_sim () =
+  let sim = Backend.Nl_sim.create (Lazy.force gate_netlist) in
+  let frame = Array.init 256 (fun i -> i * 53 mod 256) in
+  Backend.Nl_sim.set_input_int sim "ext_reset" 0;
+  Backend.Nl_sim.set_input_int sim "target_bin" 7;
+  Backend.Nl_sim.set_input_int sim "sda_in" 0;
+  Backend.Nl_sim.set_input_int sim "frame_sync" 0;
+  Backend.Nl_sim.set_input_int sim "line_valid" 0;
+  Backend.Nl_sim.set_input_int sim "pixel" 0;
+  Backend.Nl_sim.run sim 15;
+  Backend.Nl_sim.set_input_int sim "frame_sync" 1;
+  Backend.Nl_sim.run sim 4;
+  Backend.Nl_sim.set_input_int sim "line_valid" 1;
+  Array.iter
+    (fun px ->
+      Backend.Nl_sim.set_input_int sim "pixel" px;
+      Backend.Nl_sim.step sim)
+    frame;
+  Backend.Nl_sim.set_input_int sim "line_valid" 0;
+  Backend.Nl_sim.set_input_int sim "frame_sync" 0;
+  let guard = ref 0 in
+  while Backend.Nl_sim.get_output_int sim "frame_done" = 0 && !guard < 4000 do
+    Backend.Nl_sim.step sim;
+    incr guard
+  done;
+  Backend.Nl_sim.cycles sim
+
+let behavioural_frame_sim () =
+  let r = Expocu.Behave_model.run ~frames:1 ~pixels_per_frame:256 () in
+  r.Expocu.Behave_model.sim_cycles
+
+let measure_ns tests =
+  let open Bechamel in
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.6) ~kde:None () in
+  let raw =
+    Benchmark.all cfg
+      Toolkit.Instance.[ monotonic_clock ]
+      (Test.make_grouped ~name:"sim" ~fmt:"%s/%s" tests)
+  in
+  let results =
+    Analyze.all
+      (Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |])
+      Toolkit.Instance.monotonic_clock raw
+  in
+  Hashtbl.fold
+    (fun name ols acc ->
+      match Analyze.OLS.estimates ols with
+      | Some (est :: _) -> (name, est) :: acc
+      | Some [] | None -> acc)
+    results []
+
+let e6 () =
+  section "e6"
+    "Simulation speed per abstraction level (paper: behavioural SystemC \
+     much faster than conventional RTL simulators)";
+  let open Bechamel in
+  let tests =
+    [
+      Test.make ~name:"behavioural"
+        (Staged.stage (fun () -> behavioural_frame_sim ()));
+      Test.make ~name:"rtl" (Staged.stage (fun () -> rtl_frame_sim ()));
+      Test.make ~name:"gate-level" (Staged.stage (fun () -> gate_frame_sim ()));
+    ]
+  in
+  let results = measure_ns tests in
+  let find key =
+    List.fold_left
+      (fun acc (name, est) ->
+        let nl = String.length name and kl = String.length key in
+        if nl >= kl && String.sub name (nl - kl) kl = key then Some est
+        else acc)
+      None results
+  in
+  let cycles = float_of_int (rtl_frame_sim ()) in
+  let print name key =
+    match find key with
+    | Some ns ->
+        row "  %-14s %12.2f ms/frame %12.0f cycles/s\n" name (ns /. 1e6)
+          (cycles /. (ns /. 1e9))
+    | None -> row "  %-14s (no estimate)\n" name
+  in
+  print "behavioural" "behavioural";
+  print "RTL" "rtl";
+  print "gate-level" "gate-level";
+  match (find "behavioural", find "rtl", find "gate-level") with
+  | Some b, Some r, Some g ->
+      row
+        "  speedups: behavioural/RTL = %.1fx, RTL/gate = %.1fx, \
+         behavioural/gate = %.1fx\n"
+        (r /. b) (g /. r) (g /. b)
+  | _, _, _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* E7: development effort, I2C master in three methodologies           *)
+
+let e7 () =
+  section "e7"
+    "I2C master development effort (paper: OSSS 1 day, SystemC ~2 days, \
+     VHDL RTL slightly longer)";
+  let variants =
+    [
+      ("OSSS", Expocu.I2c.osss_module (), 1.0);
+      ("SystemC", Expocu.I2c.systemc_module (), 2.0);
+      ("VHDL RTL", Expocu.I2c.vhdl_module (), 2.5);
+    ]
+  in
+  row "  %-10s %8s %8s %10s %18s %12s\n" "style" "stmts" "tokens" "decisions"
+    "effort-model" "paper(days)";
+  let base = ref 0.0 in
+  List.iter
+    (fun (name, m, paper_days) ->
+      let metrics = Metrics.of_module m in
+      let effort = Metrics.effort_days metrics in
+      if !base = 0.0 then base := effort;
+      row "  %-10s %8d %8d %10d %10.2f (%4.1fx) %12.1f\n" name
+        metrics.Metrics.lines metrics.Metrics.tokens metrics.Metrics.decisions
+        effort (effort /. !base) paper_days)
+    variants;
+  row "  emitted artifact sizes (non-blank lines):\n";
+  List.iter
+    (fun (name, m, _) ->
+      let text =
+        match name with
+        | "VHDL RTL" -> Vhdl.emit m
+        | _ -> Osss.Resolve.emit_module (Elaborate.flatten m)
+      in
+      let tm = Metrics.of_text text in
+      row "    %-10s %6d lines\n" name tm.Metrics.lines)
+    variants
+
+(* ------------------------------------------------------------------ *)
+(* E8: bit and cycle accuracy through the whole flow                   *)
+
+let e8 () =
+  section "e8"
+    "Bit/cycle accuracy across flow stages (paper: every stage bit and \
+     cycle accurate)";
+  let osss_top = Expocu.Expocu_top.osss_top () in
+  let rtl_top = Expocu.Expocu_top.rtl_top () in
+  let report name result =
+    match result with
+    | Ok n -> row "  %-46s %5d cycles, 0 mismatches\n" name n
+    | Error m ->
+        row "  %-46s MISMATCH: %s\n" name
+          (Format.asprintf "%a" Backend.Equiv.pp_mismatch m)
+  in
+  report "OSSS design vs conventional design"
+    (Backend.Equiv.ir_vs_ir ~cycles:2000 osss_top rtl_top);
+  report "OSSS design vs its synthesized netlist"
+    (Backend.Equiv.ir_vs_netlist ~cycles:800 osss_top
+       (Backend.Lower.lower osss_top));
+  report "OSSS design vs optimized netlist"
+    (Backend.Equiv.ir_vs_netlist ~cycles:800 osss_top
+       (Backend.Opt.optimize (Backend.Lower.lower osss_top)));
+  report "conventional design vs its netlist"
+    (Backend.Equiv.ir_vs_netlist ~cycles:800 rtl_top
+       (Backend.Lower.lower rtl_top))
+
+(* ------------------------------------------------------------------ *)
+(* E9: behavioral synthesis exploration                                *)
+
+let e9 () =
+  section "e9"
+    "Behavioral synthesis: resource constraints vs latency/area (the \
+     'behavioral synthesis overhead' of the paper's flow)";
+  let g =
+    Synth.Behavioral.create ~name:"filter_tap"
+      ~inputs:
+        [ ("x0", 8); ("x1", 8); ("x2", 8); ("x3", 8); ("k0", 8); ("k1", 8) ]
+  in
+  let open Synth.Behavioral in
+  let m0 = node g Mul [ Input "x0"; Input "k0" ] in
+  let m1 = node g Mul [ Input "x1"; Input "k1" ] in
+  let m2 = node g Mul [ Input "x2"; Input "k0" ] in
+  let m3 = node g Mul [ Input "x3"; Input "k1" ] in
+  let s0 = node g Add [ Node m0; Node m1 ] in
+  let s1 = node g Add [ Node m2; Node m3 ] in
+  let s = node g Add [ Node s0; Node s1 ] in
+  output g "y" (Node s);
+  row "  %-22s %8s %8s %10s %10s\n" "schedule" "states" "cells" "area GE"
+    "fmax MHz";
+  List.iter
+    (fun (name, sched) ->
+      let m = to_module g sched in
+      let nl = Backend.Opt.optimize (Backend.Lower.lower m) in
+      let a = Backend.Area.analyze nl in
+      let t = Backend.Timing.analyze nl in
+      row "  %-22s %8d %8d %10.1f %10.1f\n" name (latency sched)
+        (Backend.Netlist.cell_count nl)
+        a.Backend.Area.total t.Backend.Timing.fmax_mhz)
+    [
+      ("unconstrained (ASAP)", asap g);
+      ( "2 multipliers",
+        list_schedule g ~resources:(fun k ->
+            match k with Mul -> 2 | Add | Sub | And | Or | Xor | Mux -> 4) );
+      ( "1 multiplier",
+        list_schedule g ~resources:(fun k ->
+            match k with Mul -> 1 | Add | Sub | And | Or | Xor | Mux -> 4) );
+      ("1 of everything", list_schedule g ~resources:(fun _ -> 1));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* F12: synthesized design structure                                   *)
+
+let f12 () =
+  section "f12" "ExpoCU top-level structure (paper Figure 12)";
+  print_string (Synth.Analyzer.report (Expocu.Expocu_top.osss_top ()))
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                           *)
+
+let ablation () =
+  section "ablation" "design-choice ablations (DESIGN.md)";
+  let design = Expocu.Expocu_top.osss_top () in
+  let with_fold = Backend.Lower.lower ~fold:true design in
+  let without = Backend.Lower.lower ~fold:false design in
+  row "  netlist folding: on=%d cells, off=%d cells (%.1fx), off+opt=%d\n"
+    (Backend.Netlist.cell_count with_fold)
+    (Backend.Netlist.cell_count without)
+    (float_of_int (Backend.Netlist.cell_count without)
+    /. float_of_int (Backend.Netlist.cell_count with_fold))
+    (Backend.Netlist.cell_count (Backend.Opt.optimize without));
+  let throughput_of policy =
+    let sim = Rtl_sim.create (shared_object_module policy) in
+    Rtl_sim.set_input_int sim "reset" 1;
+    Rtl_sim.step sim;
+    Rtl_sim.set_input_int sim "reset" 0;
+    Rtl_sim.set_input_int sim "reqs" 7;
+    Rtl_sim.run sim 30;
+    Rtl_sim.get_int sim "value"
+  in
+  row
+    "  scheduler throughput over 30 contended cycles: RR=%d, priority=%d, \
+     FCFS=%d ticks\n"
+    (throughput_of Osss.Shared.Round_robin)
+    (throughput_of Osss.Shared.Fixed_priority)
+    (throughput_of Osss.Shared.Fcfs)
+
+(* ------------------------------------------------------------------ *)
+(* Formal verification table                                           *)
+
+let formal () =
+  section "formal"
+    "Formal equivalence proofs (BDD-based; strengthens the sampled E3/E8 \
+     results)";
+  let prove name a b =
+    let t0 = Unix.gettimeofday () in
+    let verdict = Backend.Cec.check_ir a b in
+    row "  %-44s %-22s (%.2f s)\n" name
+      (Format.asprintf "%a" Backend.Cec.pp_verdict verdict)
+      (Unix.gettimeofday () -. t0)
+  in
+  prove "sync: OSSS vs hand RTL" (Expocu.Sync.osss_module ())
+    (Expocu.Sync.rtl_module ());
+  prove "i2c: OSSS vs plain SystemC" (Expocu.I2c.osss_module ())
+    (Expocu.I2c.systemc_module ());
+  prove "i2c: OSSS vs VHDL two-process" (Expocu.I2c.osss_module ())
+    (Expocu.I2c.vhdl_module ());
+  prove "reset: OSSS vs hand RTL" (Expocu.Reset_ctrl.osss_module ())
+    (Expocu.Reset_ctrl.rtl_module ());
+  (* optimizer soundness, from raw unfolded gates to optimized *)
+  let design = Expocu.I2c.vhdl_module () in
+  let raw = Backend.Lower.lower ~fold:false design in
+  let optimized = Backend.Opt.optimize raw in
+  row "  %-44s %-22s\n" "i2c: unfolded netlist vs optimized"
+    (Format.asprintf "%a" Backend.Cec.pp_verdict
+       (Backend.Cec.check raw optimized))
+
+(* ------------------------------------------------------------------ *)
+(* Power comparison                                                    *)
+
+let power () =
+  section "power"
+    "Activity-based power per frame (model units; extension beyond the \
+     paper's area/frequency metrics)";
+  let frame = Array.init 256 (fun i -> i * 53 mod 256) in
+  let run design =
+    let nl = Backend.Opt.optimize (Backend.Lower.lower design) in
+    let sim = Backend.Nl_sim.create nl in
+    Backend.Nl_sim.set_input_int sim "ext_reset" 0;
+    Backend.Nl_sim.set_input_int sim "target_bin" 7;
+    Backend.Nl_sim.set_input_int sim "sda_in" 0;
+    Backend.Nl_sim.set_input_int sim "frame_sync" 0;
+    Backend.Nl_sim.set_input_int sim "line_valid" 0;
+    Backend.Nl_sim.set_input_int sim "pixel" 0;
+    Backend.Nl_sim.run sim 15;
+    Backend.Nl_sim.set_input_int sim "frame_sync" 1;
+    Backend.Nl_sim.run sim 4;
+    Backend.Nl_sim.set_input_int sim "line_valid" 1;
+    Array.iter
+      (fun px ->
+        Backend.Nl_sim.set_input_int sim "pixel" px;
+        Backend.Nl_sim.step sim)
+      frame;
+    Backend.Nl_sim.set_input_int sim "line_valid" 0;
+    Backend.Nl_sim.set_input_int sim "frame_sync" 0;
+    let guard = ref 0 in
+    while
+      Backend.Nl_sim.get_output_int sim "frame_done" = 0 && !guard < 4000
+    do
+      Backend.Nl_sim.step sim;
+      incr guard
+    done;
+    Backend.Power.estimate nl sim
+  in
+  let p_osss = run (Expocu.Expocu_top.osss_top ()) in
+  let p_vhdl = run (Expocu.Expocu_top.rtl_top ()) in
+  row "  %-6s %s\n" "OSSS" (Format.asprintf "%a" Backend.Power.pp_report p_osss);
+  row "  %-6s %s\n" "VHDL" (Format.asprintf "%a" Backend.Power.pp_report p_vhdl);
+  row "  power ratio OSSS/VHDL = %.3f\n"
+    (p_osss.Backend.Power.total_mw /. p_vhdl.Backend.Power.total_mw)
+
+(* ------------------------------------------------------------------ *)
+(* Layout: technology mapping and place & route                        *)
+
+let layout () =
+  section "layout"
+    "Technology map + place & route (completes Figure 6: map tool, \
+     place&route, post-layout frequency)";
+  row "  %-6s %6s %6s %7s %9s %11s %9s %7s\n" "flow" "LUT4" "FFs" "depth"
+    "grid" "wirelength" "fmax MHz" "66 MHz";
+  List.iter
+    (fun (name, design) ->
+      let nl = Backend.Opt.optimize (Backend.Lower.lower design) in
+      let mapped = Backend.Techmap.map nl in
+      let placement = Backend.Pnr.place ~seed:42 ~moves:800_000 mapped in
+      let r = Backend.Pnr.analyze placement in
+      let w, h = r.Backend.Pnr.grid in
+      row "  %-6s %6d %6d %7d %5dx%-3d %11.0f %9.1f %7s\n" name
+        (Backend.Techmap.lut_count mapped)
+        (Backend.Techmap.ff_count mapped)
+        (Backend.Techmap.depth mapped)
+        w h r.Backend.Pnr.wirelength r.Backend.Pnr.fmax_mhz
+        (if r.Backend.Pnr.fmax_mhz >= 66.0 then "met" else "missed"))
+    [
+      ("OSSS", Expocu.Expocu_top.osss_top ());
+      ("VHDL", Expocu.Expocu_top.rtl_top ());
+    ];
+  row "  (LUT4 %.2f ns; wire %.2f ns + %.2f ns per grid unit)\n"
+    Backend.Pnr.lut_delay_ns Backend.Pnr.wire_base_ns
+    Backend.Pnr.wire_delay_ns_per_unit
+
+(* ------------------------------------------------------------------ *)
+(* Reset coverage                                                      *)
+
+let xcheck () =
+  section "xcheck"
+    "Four-state reset coverage of the full ExpoCU (extension: conservative \
+     X-propagation instead of the power-up-to-zero assumption)";
+  let nl = Backend.Lower.lower (Expocu.Expocu_top.rtl_top ()) in
+  let sim = Backend.Xprop.create nl in
+  Backend.Xprop.set_input sim "ext_reset" (Bitvec.of_int ~width:1 1);
+  Backend.Xprop.set_input sim "pixel" (Bitvec.of_int ~width:8 0);
+  Backend.Xprop.set_input sim "line_valid" (Bitvec.of_int ~width:1 0);
+  Backend.Xprop.set_input sim "frame_sync" (Bitvec.of_int ~width:1 0);
+  Backend.Xprop.set_input sim "sda_in" (Bitvec.of_int ~width:1 0);
+  Backend.Xprop.set_input sim "target_bin" (Bitvec.of_int ~width:8 7);
+  let report label =
+    row "  %-34s unknown flip-flops: %4d; unknown output bits: %d\n" label
+      (Backend.Xprop.unknown_ffs sim)
+      (List.fold_left (fun a (_, n) -> a + n) 0
+         (Backend.Xprop.unknown_outputs sim))
+  in
+  Backend.Xprop.settle sim;
+  report "power-up";
+  Backend.Xprop.run sim 4;
+  report "after 4 cycles of ext_reset";
+  Backend.Xprop.set_input sim "ext_reset" (Bitvec.of_int ~width:1 0);
+  Backend.Xprop.run sim 15;
+  report "after POR stretch elapses"
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
+    ("e7", e7); ("e8", e8); ("e9", e9); ("f12", f12); ("formal", formal);
+    ("power", power); ("layout", layout); ("xcheck", xcheck);
+    ("ablation", ablation);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let selected =
+    match args with
+    | [] -> experiments
+    | ids ->
+        List.filter_map
+          (fun id ->
+            match List.assoc_opt (String.lowercase_ascii id) experiments with
+            | Some f -> Some (id, f)
+            | None ->
+                Printf.eprintf "unknown experiment %s\n" id;
+                None)
+          ids
+  in
+  Printf.printf
+    "OSSS evaluation reproduction — experiments from Bannow & Haug, DATE 2004\n";
+  List.iter (fun (_, f) -> f ()) selected

@@ -1,0 +1,45 @@
+(* design_report: the ODETTE analyzer as a command-line tool — design
+   structure (Figure 12), per-module statistics and effort metrics. *)
+
+open Cmdliner
+
+let report name show_metrics show_systemc =
+  match Designs.find name with
+  | None ->
+      Printf.eprintf "unknown design %s; available:\n%s\n" name
+        (String.concat "\n" (Designs.list_lines ()));
+      1
+  | Some (desc, make) ->
+      let design = make () in
+      Printf.printf "%s — %s\n\n" name desc;
+      print_string (Synth.Analyzer.report design);
+      if show_metrics then begin
+        let m = Metrics.of_module design in
+        Printf.printf "\nmetrics: %s\n" (Format.asprintf "%a" Metrics.pp m);
+        Printf.printf "effort model: %.2f units\n" (Metrics.effort_days m)
+      end;
+      if show_systemc then begin
+        print_endline "\n-- resolved standard SystemC --";
+        print_string (Osss.Resolve.emit_module (Hdl.Elaborate.flatten design))
+      end;
+      0
+
+let design_arg =
+  let doc = "Design to report on (see osss_synth --list)." in
+  Arg.(value & pos 0 string "expocu_osss" & info [] ~docv:"DESIGN" ~doc)
+
+let metrics_arg =
+  let doc = "Include code metrics and the effort model." in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+let systemc_arg =
+  let doc = "Print the resolved SystemC rendering of the flattened design." in
+  Arg.(value & flag & info [ "systemc" ] ~doc)
+
+let cmd =
+  let doc = "design structure and metrics report (the ODETTE analyzer)" in
+  Cmd.v
+    (Cmd.info "design_report" ~doc)
+    Term.(const report $ design_arg $ metrics_arg $ systemc_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,6 @@
+(* Design registry shared by the command-line tools (the catalogue
+   itself lives in the library, see Expocu.Registry). *)
+
+let registry = Expocu.Registry.registry
+let find = Expocu.Registry.find
+let list_lines = Expocu.Registry.list_lines

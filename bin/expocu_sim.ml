@@ -1,0 +1,124 @@
+(* expocu_sim: closed-loop simulation of the ExpoCU against the
+   synthetic camera, at a chosen abstraction level. *)
+
+open Cmdliner
+open Hdl
+
+let run_rtl style frames illumination target vcd_path =
+  let design =
+    match style with
+    | "osss" -> Expocu.Expocu_top.osss_top ()
+    | "rtl" -> Expocu.Expocu_top.rtl_top ()
+    | other ->
+        Printf.eprintf "unknown style %s (osss|rtl)\n" other;
+        exit 1
+  in
+  let camera = Expocu.Camera.create ~width:64 ~height:4 ~illumination () in
+  let sim = Rtl_sim.create design in
+  let tracer =
+    match vcd_path with
+    | None -> None
+    | Some _ ->
+        let tr = Rtl_trace.create sim ~top:"expocu" () in
+        List.iter (Rtl_trace.port tr)
+          [ "pixel"; "line_valid"; "frame_sync"; "scl"; "sda_out"; "sda_oe";
+            "exposure"; "median_bin"; "frame_done" ];
+        Some tr
+    in
+  Rtl_sim.set_input_int sim "ext_reset" 0;
+  Rtl_sim.set_input_int sim "target_bin" target;
+  Rtl_sim.set_input_int sim "sda_in" 0;
+  Rtl_sim.run sim 15;
+  Printf.printf "%5s %8s %10s %10s\n" "frame" "median" "gain" "mean/255";
+  for _frame = 1 to frames do
+    let gain =
+      float_of_int (Rtl_sim.get_int sim "exposure")
+      /. float_of_int Expocu.Param_calc.gain_unity
+    in
+    let data = Expocu.Camera.frame camera ~exposure:gain in
+    Rtl_sim.set_input_int sim "frame_sync" 1;
+    Rtl_sim.run sim 4;
+    Rtl_sim.set_input_int sim "line_valid" 1;
+    Array.iter
+      (fun px ->
+        Rtl_sim.set_input_int sim "pixel" px;
+        Rtl_sim.step sim;
+        Option.iter Rtl_trace.sample tracer)
+      data;
+    Rtl_sim.set_input_int sim "line_valid" 0;
+    Rtl_sim.set_input_int sim "frame_sync" 0;
+    let guard = ref 0 in
+    while Rtl_sim.get_int sim "frame_done" = 0 && !guard < 4000 do
+      Rtl_sim.step sim;
+      Option.iter Rtl_trace.sample tracer;
+      incr guard
+    done;
+    Printf.printf "%5d %8d %10.3f %10.3f\n" _frame
+      (Rtl_sim.get_int sim "median_bin")
+      (float_of_int (Rtl_sim.get_int sim "exposure")
+      /. float_of_int Expocu.Param_calc.gain_unity)
+      (Expocu.Camera.mean_level data /. 255.0)
+  done;
+  Printf.printf "\n%d clock cycles simulated (%.2f ms at 66 MHz)\n"
+    (Rtl_sim.cycles sim)
+    (float_of_int (Rtl_sim.cycles sim) /. 66.0e6 *. 1000.0);
+  (match (tracer, vcd_path) with
+  | Some tr, Some path ->
+      Rtl_trace.save tr path;
+      Printf.printf "waveform written to %s\n" path
+  | _, _ -> ());
+  0
+
+let run_behavioural frames illumination target =
+  let r =
+    Expocu.Behave_model.run ~frames ~illumination ~target_bin:target ()
+  in
+  Printf.printf
+    "behavioural model: %d frames, final gain %.3f, final median %d\n"
+    r.Expocu.Behave_model.frames r.Expocu.Behave_model.final_gain
+    r.Expocu.Behave_model.final_median;
+  Printf.printf "%d clock cycles, %d kernel process activations\n"
+    r.Expocu.Behave_model.sim_cycles r.Expocu.Behave_model.kernel_runs;
+  0
+
+let main level style frames illumination target vcd =
+  match level with
+  | "rtl" -> run_rtl style frames illumination target vcd
+  | "behavioural" | "behavioral" -> run_behavioural frames illumination target
+  | other ->
+      Printf.eprintf "unknown level %s (rtl|behavioural)\n" other;
+      1
+
+let level_arg =
+  let doc = "Abstraction level: rtl or behavioural." in
+  Arg.(value & opt string "rtl" & info [ "level" ] ~docv:"LEVEL" ~doc)
+
+let style_arg =
+  let doc = "Implementation style for the RTL level: osss or rtl." in
+  Arg.(value & opt string "osss" & info [ "style" ] ~docv:"STYLE" ~doc)
+
+let frames_arg =
+  let doc = "Number of frames to run." in
+  Arg.(value & opt int 10 & info [ "frames" ] ~docv:"N" ~doc)
+
+let illum_arg =
+  let doc = "Initial scene illumination (0..1)." in
+  Arg.(value & opt float 0.2 & info [ "illumination" ] ~docv:"I" ~doc)
+
+let target_arg =
+  let doc = "Target brightness bin (0..15)." in
+  Arg.(value & opt int 7 & info [ "target" ] ~docv:"BIN" ~doc)
+
+let vcd_arg =
+  let doc = "Dump a VCD waveform of the bus-level signals (RTL level only)." in
+  Arg.(value & opt (some string) None & info [ "vcd" ] ~docv:"FILE" ~doc)
+
+let cmd =
+  let doc = "simulate the ExpoCU exposure-control loop" in
+  Cmd.v
+    (Cmd.info "expocu_sim" ~doc)
+    Term.(
+      const main $ level_arg $ style_arg $ frames_arg $ illum_arg $ target_arg
+      $ vcd_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,95 @@
+(* osss_synth: run a design through the synthesis flow of Figure 6 and
+   report/emit the artifacts. *)
+
+open Cmdliner
+
+let synthesize name flow_name out_dir emit_artifacts no_fold layout =
+  match Designs.find name with
+  | None ->
+      Printf.eprintf "unknown design %s; available:\n%s\n" name
+        (String.concat "\n" (Designs.list_lines ()));
+      1
+  | Some (_, make) ->
+      let kind =
+        match flow_name with
+        | "osss" -> Synth.Flow.Osss
+        | "vhdl" -> Synth.Flow.Vhdl
+        | other ->
+            Printf.eprintf "unknown flow %s (osss|vhdl)\n" other;
+            exit 1
+      in
+      let result = Synth.Flow.run ~fold:(not no_fold) kind (make ()) in
+      print_string (Synth.Flow.summary result);
+      print_newline ();
+      print_string result.Synth.Flow.structure;
+      if layout then begin
+        let mapped = Backend.Techmap.map result.Synth.Flow.netlist in
+        let placement = Backend.Pnr.place mapped in
+        let r = Backend.Pnr.analyze placement in
+        let w, h = r.Backend.Pnr.grid in
+        Printf.printf
+          "\nlayout: %d LUT4 + %d FFs on %dx%d (util %.0f%%), wirelength \
+           %.0f, post-layout fmax %.1f MHz\n"
+          (Backend.Techmap.lut_count mapped)
+          (Backend.Techmap.ff_count mapped)
+          w h
+          (100.0 *. r.Backend.Pnr.utilization)
+          r.Backend.Pnr.wirelength r.Backend.Pnr.fmax_mhz
+      end;
+      if emit_artifacts then begin
+        (try Unix.mkdir out_dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+        List.iter
+          (fun (file, text) ->
+            let path = Filename.concat out_dir file in
+            let oc = open_out path in
+            output_string oc text;
+            close_out oc;
+            Printf.printf "wrote %s (%d bytes)\n" path (String.length text))
+          result.Synth.Flow.intermediate
+      end;
+      0
+
+let design_arg =
+  let doc = "Design to synthesize (run with --list to enumerate)." in
+  Arg.(value & pos 0 string "expocu_osss" & info [] ~docv:"DESIGN" ~doc)
+
+let flow_arg =
+  let doc = "Flow to run: osss or vhdl." in
+  Arg.(value & opt string "osss" & info [ "flow" ] ~docv:"FLOW" ~doc)
+
+let out_arg =
+  let doc = "Directory for emitted artifacts." in
+  Arg.(value & opt string "_artifacts" & info [ "out" ] ~docv:"DIR" ~doc)
+
+let emit_arg =
+  let doc = "Write the intermediate files (resolved SystemC / VHDL / netlist Verilog)." in
+  Arg.(value & flag & info [ "emit" ] ~doc)
+
+let nofold_arg =
+  let doc = "Disable construction-time netlist folding (ablation)." in
+  Arg.(value & flag & info [ "no-fold" ] ~doc)
+
+let layout_arg =
+  let doc = "Continue through technology mapping and place & route." in
+  Arg.(value & flag & info [ "layout" ] ~doc)
+
+let list_arg =
+  let doc = "List the available designs." in
+  Arg.(value & flag & info [ "list" ] ~doc)
+
+let main design flow out emit no_fold layout list =
+  if list then begin
+    List.iter print_endline (Designs.list_lines ());
+    0
+  end
+  else synthesize design flow out emit no_fold layout
+
+let cmd =
+  let doc = "synthesize OSSS/RTL designs down to a gate netlist" in
+  Cmd.v
+    (Cmd.info "osss_synth" ~doc)
+    Term.(
+      const main $ design_arg $ flow_arg $ out_arg $ emit_arg $ nofold_arg
+      $ layout_arg $ list_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,66 @@
+(* Quickstart: the paper's running example end to end.
+
+   Declares the SyncRegister<4,0> template class (Figures 2-3),
+   instantiates it inside a module (Figure 4), accesses it from a
+   clocked process (Figure 5), prints the resolved standard-SystemC
+   output (Figures 7-8), then synthesizes to gates and reports
+   area/timing — the complete OSSS flow of Figure 6 in one file.
+
+   Run: dune exec examples/quickstart.exe *)
+
+open Hdl
+
+let () =
+  print_endline "== OSSS quickstart: SyncRegister<4,0> ==\n";
+
+  (* 1. The template class, specialized with <REGSIZE=4, RESETVALUE=0>. *)
+  let cls = Expocu.Sync.sync_register ~regsize:4 ~resetvalue:0 in
+  Printf.printf "class %s: state vector of %d bits, %d methods\n\n"
+    (Osss.Class_def.class_name cls)
+    (Osss.Class_def.state_width cls)
+    (List.length (Osss.Class_def.methods cls));
+
+  (* 2. The resolution the OSSS synthesizer performs (Figure 7). *)
+  print_endline "-- resolved non-member function for Write --";
+  print_endline (Osss.Resolve.emit_method cls "Write");
+
+  (* 3. A module using the object (Figures 4-5). *)
+  let design = Expocu.Sync.osss_module () in
+  print_endline "\n-- generated standard SystemC for the module (Figure 8) --";
+  print_endline (Osss.Resolve.emit_module (Elaborate.flatten design));
+
+  (* 4. Simulate: shift a pattern in and watch the edge detector. *)
+  print_endline "-- RTL simulation: stream 0,1,1,1,0 --";
+  let sim = Rtl_sim.create design in
+  Rtl_sim.set_input_int sim "reset" 1;
+  Rtl_sim.step sim;
+  Rtl_sim.set_input_int sim "reset" 0;
+  List.iter
+    (fun bit ->
+      Rtl_sim.set_input_int sim "data" bit;
+      Rtl_sim.step sim;
+      Printf.printf "  data=%d  value=%s rising=%d falling=%d stable=%d\n" bit
+        (Bitvec.to_binary_string (Rtl_sim.get sim "value"))
+        (Rtl_sim.get_int sim "rising")
+        (Rtl_sim.get_int sim "falling")
+        (Rtl_sim.get_int sim "stable"))
+    [ 0; 1; 1; 1; 0 ];
+
+  (* 5. Synthesize down to gates and compare with hand-written RTL. *)
+  print_endline "\n-- synthesis (OSSS flow) --";
+  let result = Synth.Flow.run Synth.Flow.Osss design in
+  print_string (Synth.Flow.summary result);
+  let rtl = Synth.Flow.run Synth.Flow.Vhdl (Expocu.Sync.rtl_module ()) in
+  Printf.printf
+    "\nhand-written RTL reference: %d cells (OSSS produced %d — the class \
+     resolution is free)\n"
+    (Backend.Netlist.cell_count rtl.Synth.Flow.netlist)
+    (Backend.Netlist.cell_count result.Synth.Flow.netlist);
+
+  (* 6. Bit/cycle accuracy through the flow (§12). *)
+  match
+    Backend.Equiv.ir_vs_netlist ~cycles:300 design result.Synth.Flow.netlist
+  with
+  | Ok n -> Printf.printf "equivalence vs netlist: %d cycles, bit exact\n" n
+  | Error m ->
+      Format.printf "MISMATCH: %a@." Backend.Equiv.pp_mismatch m

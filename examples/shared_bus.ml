@@ -1,0 +1,112 @@
+(* Global-object example (§6): a shared register file accessed by three
+   producer processes through an automatically synthesized scheduler.
+   Exercises all three scheduler policies and shows the arbitration
+   traces.
+
+   Run: dune exec examples/shared_bus.exe *)
+
+open Hdl
+module CD = Osss.Class_def
+module SH = Osss.Shared
+
+(* A 4-entry register file as a shared class: Put stores a value at an
+   address, Get reads one back. *)
+let regfile_class =
+  let fields = List.init 4 (fun i -> CD.field (Printf.sprintf "r%d" i) 8) in
+  let reg ctx i = ctx.CD.get (Printf.sprintf "r%d" i) in
+  CD.declare ~name:"RegFile4" fields
+    [
+      CD.proc_method ~name:"Put" ~params:[ ("Addr", 2); ("Value", 8) ]
+        (fun ctx ->
+          [
+            Ir.Case
+              ( ctx.CD.arg "Addr",
+                List.init 4 (fun i ->
+                    ( Bitvec.of_int ~width:2 i,
+                      [ ctx.CD.set (Printf.sprintf "r%d" i) (ctx.CD.arg "Value") ] )),
+                [] );
+          ]);
+      CD.fn_method ~name:"Get" ~params:[ ("Addr", 2) ] ~return:8 (fun ctx ->
+          let result =
+            List.fold_left
+              (fun acc i ->
+                Ir.Mux
+                  ( Ir.Binop
+                      (Ir.Eq, ctx.CD.arg "Addr", Ir.Const (Bitvec.of_int ~width:2 i)),
+                    reg ctx i,
+                    acc ))
+              (Ir.Const (Bitvec.zero 8))
+              [ 0; 1; 2; 3 ]
+          in
+          ([], result));
+    ]
+
+(* Three writer processes contend for the shared file; each writes its
+   id-dependent pattern to its own slot whenever its request fires. *)
+let design policy =
+  let b = Builder.create "shared_regfile_demo" in
+  let reset = Builder.input b "reset" 1 in
+  let tick = Builder.input b "tick" 3 in
+  (* external per-client request pattern *)
+  let granted = Builder.output b "granted" 3 in
+  let slot0 = Builder.output b "slot0" 8 in
+  let shared =
+    SH.create b ~name:"rf" ~class_:regfile_class ~policy ~clients:3
+      ~methods:[ "Put"; "Get" ] ~reset
+  in
+  List.iter
+    (fun i ->
+      let cl = SH.client shared i in
+      let args = SH.args cl in
+      Builder.comb b
+        (Printf.sprintf "writer%d" i)
+        [
+          Ir.Assign (SH.req cl, Ir.Slice (Ir.Var tick, i, i));
+          Ir.Assign
+            (SH.op cl, Ir.Const (Bitvec.of_int ~width:1 (SH.op_index shared "Put")));
+          Ir.Assign (args.(0), Ir.Const (Bitvec.of_int ~width:2 i));
+          Ir.Assign
+            ( args.(1),
+              Ir.Const (Bitvec.of_int ~width:8 (0x10 * (i + 1))) );
+        ])
+    [ 0; 1; 2 ];
+  let g i = SH.granted (SH.client shared i) in
+  Builder.comb b "observe"
+    [
+      Ir.Assign (granted, Ir.Concat (g 2, Ir.Concat (g 1, g 0)));
+      Ir.Assign
+        (slot0, Osss.Object_inst.field_expr (SH.state shared) "r0");
+    ];
+  Builder.finish b
+
+let run_policy policy =
+  Printf.printf "\n-- scheduler: %s --\n" (SH.policy_name policy);
+  let sim = Rtl_sim.create (design policy) in
+  Rtl_sim.set_input_int sim "reset" 1;
+  Rtl_sim.step sim;
+  Rtl_sim.set_input_int sim "reset" 0;
+  (* all three clients request continuously: watch the grant pattern *)
+  Rtl_sim.set_input_int sim "tick" 7;
+  print_string "  grant sequence: ";
+  for _ = 1 to 9 do
+    Rtl_sim.settle sim;
+    Printf.printf "%d " (Rtl_sim.get_int sim "granted");
+    Rtl_sim.step sim
+  done;
+  print_newline ();
+  Printf.printf "  slot0 after contention: 0x%02x\n"
+    (Rtl_sim.get_int sim "slot0")
+
+let () =
+  print_endline "== OSSS global objects: shared register file, 3 clients ==";
+  List.iter run_policy [ SH.Round_robin; SH.Fixed_priority; SH.Fcfs ];
+  (* synthesis cost of the generated scheduler *)
+  print_newline ();
+  List.iter
+    (fun policy ->
+      let nl = Backend.Opt.optimize (Backend.Lower.lower (design policy)) in
+      Printf.printf "%-28s %5d cells %8.1f GE\n"
+        (SH.policy_name policy)
+        (Backend.Netlist.cell_count nl)
+        (Backend.Area.analyze nl).Backend.Area.total)
+    [ SH.Round_robin; SH.Fixed_priority; SH.Fcfs ]

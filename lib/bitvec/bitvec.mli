@@ -1,0 +1,226 @@
+(** Arbitrary-width bit vectors.
+
+    This is the value substrate of the whole system: the equivalent of
+    SystemC's [sc_bv] / [sc_biguint] / [sc_bigint].  Values are immutable;
+    every operation returns a fresh vector.  A vector has a fixed [width]
+    (number of bits, >= 1); bit 0 is the least significant bit.
+
+    Unless stated otherwise, binary operations require both operands to
+    have the same width and raise [Width_mismatch] otherwise.  Arithmetic
+    wraps modulo [2^width] exactly like hardware. *)
+
+type t
+
+exception Width_mismatch of string
+(** Raised when operand widths are inconsistent. *)
+
+exception Invalid_bitvec of string
+(** Raised on malformed constructors (zero width, bad literal, ...). *)
+
+(** {1 Construction} *)
+
+val zero : int -> t
+(** [zero w] is the all-zeros vector of width [w]. *)
+
+val ones : int -> t
+(** [ones w] is the all-ones vector of width [w]. *)
+
+val of_int : width:int -> int -> t
+(** [of_int ~width n] truncates the two's-complement representation of
+    [n] to [width] bits.  Negative [n] yields the wrapped representation. *)
+
+val of_int64 : width:int -> int64 -> t
+
+val of_bool : bool -> t
+(** Width-1 vector. *)
+
+val of_string : string -> t
+(** Parses ["0b0100_1"] (binary, MSB first, width = digit count) or
+    ["0x3fa:12"] (hex with explicit width).  Underscores are ignored.
+    Raises [Invalid_bitvec] on malformed input. *)
+
+val of_bits : bool list -> t
+(** [of_bits bits] builds a vector from [bits] listed MSB first. *)
+
+val init : int -> (int -> bool) -> t
+(** [init w f] has bit [i] equal to [f i]. *)
+
+(** {1 Observation} *)
+
+val width : t -> int
+
+val get : t -> int -> bool
+(** [get v i] is bit [i].  Raises [Invalid_argument] out of range. *)
+
+val to_int : t -> int
+(** Unsigned value.  Raises [Invalid_bitvec] if it does not fit in an
+    OCaml [int] (i.e. width > 62 and high bits set). *)
+
+val to_signed_int : t -> int
+(** Two's-complement signed value; same overflow behaviour as {!to_int}. *)
+
+val to_int64 : t -> int64
+
+val to_bits : t -> bool list
+(** MSB first. *)
+
+val to_binary_string : t -> string
+(** MSB-first string of ['0']/['1'] characters, no prefix. *)
+
+val to_hex_string : t -> string
+(** Lowercase hex, MSB first, [ceil (width/4)] digits, no prefix. *)
+
+val is_zero : t -> bool
+val is_ones : t -> bool
+
+val popcount : t -> int
+
+val msb : t -> bool
+val lsb : t -> bool
+
+(** {1 Structure} *)
+
+val slice : t -> hi:int -> lo:int -> t
+(** [slice v ~hi ~lo] is bits [hi..lo] inclusive (width [hi - lo + 1]).
+    Raises [Invalid_argument] if the range is out of bounds or empty. *)
+
+val concat : t -> t -> t
+(** [concat hi lo] places [hi] above [lo]; width is the sum. *)
+
+val concat_list : t list -> t
+(** [concat_list [a; b; c]] = [concat a (concat b c)]; the head of the
+    list provides the most significant bits.  Raises [Invalid_bitvec] on
+    the empty list. *)
+
+val repeat : t -> int -> t
+(** [repeat v n] concatenates [n] copies of [v]; [n >= 1]. *)
+
+val set_bit : t -> int -> bool -> t
+(** Functional single-bit update. *)
+
+val set_slice : t -> lo:int -> t -> t
+(** [set_slice v ~lo field] overwrites bits [lo .. lo+width field - 1]. *)
+
+val zero_extend : t -> int -> t
+(** [zero_extend v w] pads with zeros up to width [w] (>= width v). *)
+
+val sign_extend : t -> int -> t
+
+val truncate : t -> int -> t
+(** Keep the low [w] bits. *)
+
+val resize : signed:bool -> t -> int -> t
+(** Extend or truncate to the requested width. *)
+
+(** {1 Bitwise logic} *)
+
+val logand : t -> t -> t
+val logor : t -> t -> t
+val logxor : t -> t -> t
+val lognot : t -> t
+
+val reduce_and : t -> bool
+val reduce_or : t -> bool
+val reduce_xor : t -> bool
+
+(** {1 Shifts} *)
+
+val shift_left : t -> int -> t
+val shift_right_logical : t -> int -> t
+val shift_right_arith : t -> int -> t
+
+(** {1 Arithmetic (wrapping, width-preserving)} *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val mul : t -> t -> t
+(** Low [width] bits of the product. *)
+
+val mul_full : t -> t -> t
+(** Full product; result width is the sum of the operand widths. *)
+
+val udiv : t -> t -> t
+(** Unsigned division.  Raises [Division_by_zero]. *)
+
+val umod : t -> t -> t
+
+val succ : t -> t
+val pred : t -> t
+
+(** {1 Comparison} *)
+
+val equal : t -> t -> bool
+(** Same width and same bits. *)
+
+val compare_unsigned : t -> t -> int
+val compare_signed : t -> t -> int
+
+val ult : t -> t -> bool
+val ule : t -> t -> bool
+val ugt : t -> t -> bool
+val uge : t -> t -> bool
+val slt : t -> t -> bool
+val sle : t -> t -> bool
+
+(** {1 Printing and hashing} *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [width'bvalue] in hex, e.g. [8'h3f]. *)
+
+val to_string : t -> string
+val hash : t -> int
+
+(** Four-state scalar logic (IEEE-1164 style) for simulation-side
+    refinement: X-propagation and open-drain bus resolution. *)
+module Logic : sig
+  (** Four-state scalar logic values, IEEE-1164 style.
+
+      Used where X-propagation or bus resolution matters: uninitialized
+      registers, tri-state buses (the I2C SDA/SCL lines are wired-AND open
+      drain).  The synthesizable data path itself is two-valued
+      ({!Bitvec.t}); [Logic] is the simulation-side refinement. *)
+
+  type t =
+    | L0  (** strong 0 *)
+    | L1  (** strong 1 *)
+    | X   (** unknown *)
+    | Z   (** high impedance *)
+
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+
+  val of_bool : bool -> t
+
+  val to_bool : t -> bool option
+  (** [None] for [X] and [Z]. *)
+
+  val to_char : t -> char
+  (** ['0'], ['1'], ['x'], ['z']. *)
+
+  val of_char : char -> t
+  (** Accepts upper or lower case.  Raises [Invalid_argument] otherwise. *)
+
+  val pp : Format.formatter -> t -> unit
+
+  (** {1 Gates with X-propagation}
+
+      The controlling value dominates: [and_ L0 X = L0], [or_ L1 X = L1];
+      otherwise any [X]/[Z] input yields [X]. *)
+
+  val and_ : t -> t -> t
+  val or_ : t -> t -> t
+  val xor : t -> t -> t
+  val not_ : t -> t
+  val mux : sel:t -> t -> t -> t
+  (** [mux ~sel a b] is [a] when [sel] is 1, [b] when 0; if [sel] is
+      unknown the result is [X] unless both inputs agree. *)
+
+  val resolve : t -> t -> t
+  (** Wired resolution of two drivers on one net: [Z] loses to anything,
+      conflicting strong drivers give [X]. *)
+
+  val resolve_wired_and : t -> t -> t
+  (** Open-drain resolution (I2C style): any strong 0 wins, [Z] reads as 1
+      (pull-up). *)
+end

@@ -1,0 +1,109 @@
+type result = {
+  frames : int;
+  final_gain : float;
+  final_median : int;
+  sim_cycles : int;
+  kernel_runs : int;
+}
+
+let run ?(frames = 5) ?(pixels_per_frame = 512) ?(illumination = 0.2)
+    ?(target_bin = 7) () =
+  let k = Sim.Kernel.create () in
+  let clock = Sim.Clock.of_freq_mhz k 66.0 in
+  let pixel = Sim.Signal.create k ~name:"pixel" 0 in
+  let pixel_valid = Sim.Signal.create k ~name:"pixel_valid" false in
+  let frame_sync = Sim.Signal.create k ~name:"frame_sync" false in
+  let exposure = Sim.Signal.create k ~name:"exposure" Param_calc.gain_unity in
+  let camera =
+    Camera.create ~width:pixels_per_frame ~height:1 ~illumination ()
+  in
+  let frames_done = ref 0 in
+  let final_median = ref 0 in
+  (* Camera thread: one pixel per clock while the frame is active. *)
+  let _cam =
+    Sim.Process.cthread k ~name:"camera" ~clock (fun ctx ->
+        let rec next_frame () =
+          if !frames_done >= frames then Sim.Kernel.stop k
+          else begin
+            let gain =
+              float_of_int (Sim.Signal.read exposure)
+              /. float_of_int Param_calc.gain_unity
+            in
+            let data = Camera.frame camera ~exposure:gain in
+            Sim.Signal.write frame_sync true;
+            Sim.Process.wait ctx;
+            Array.iter
+              (fun px ->
+                Sim.Signal.write pixel px;
+                Sim.Signal.write pixel_valid true;
+                Sim.Process.wait ctx)
+              data;
+            Sim.Signal.write pixel_valid false;
+            Sim.Signal.write frame_sync false;
+            (* wait until the control thread finished the I2C update *)
+            Sim.Process.wait_n ctx
+              (16 + I2c.transaction_cycles ~divider:4 + 8);
+            next_frame ()
+          end
+        in
+        next_frame ())
+  in
+  (* ExpoCU behavioural thread: per-pixel histogram accumulation, then
+     scan + parameter update + I2C latency. *)
+  let _dut =
+    Sim.Process.cthread k ~name:"expocu" ~clock (fun ctx ->
+        let bins = 16 in
+        let hist = Array.make bins 0 in
+        let rec loop () =
+          (* wait for frame start *)
+          Sim.Process.wait_until ctx (fun () -> Sim.Signal.read frame_sync);
+          Array.fill hist 0 bins 0;
+          let rec acquire () =
+            if Sim.Signal.read frame_sync then begin
+              if Sim.Signal.read pixel_valid then begin
+                let px = Sim.Signal.read pixel in
+                let bin = px lsr 4 in
+                hist.(bin) <- hist.(bin) + 1
+              end;
+              Sim.Process.wait ctx;
+              acquire ()
+            end
+          in
+          Sim.Process.wait ctx;
+          acquire ();
+          (* threshold scan: one bin per clock, as in hardware *)
+          let median = ref 0 and cum = ref 0 and found = ref false in
+          let total = Array.fold_left ( + ) 0 hist in
+          for i = 0 to bins - 1 do
+            cum := !cum + hist.(i);
+            if (not !found) && 2 * !cum >= total && total > 0 then begin
+              median := i;
+              found := true
+            end;
+            Sim.Process.wait ctx
+          done;
+          final_median := !median;
+          Sim.Signal.write exposure
+            (Param_calc.golden_update
+               ~exposure:(Sim.Signal.read exposure)
+               ~median:!median ~target:target_bin);
+          (* I2C write, abstracted to its latency *)
+          Sim.Process.wait_n ctx (I2c.transaction_cycles ~divider:4);
+          incr frames_done;
+          loop ()
+        in
+        loop ())
+  in
+  let horizon =
+    frames * (pixels_per_frame + 2048) * Sim.Clock.period_ps clock
+  in
+  Sim.Kernel.run_until k horizon;
+  {
+    frames = !frames_done;
+    final_gain =
+      float_of_int (Sim.Signal.read exposure)
+      /. float_of_int Param_calc.gain_unity;
+    final_median = !final_median;
+    sim_cycles = Sim.Kernel.now k / Sim.Clock.period_ps clock;
+    kernel_runs = Sim.Kernel.process_runs k;
+  }

@@ -1,0 +1,29 @@
+(** Behavioural (pre-synthesis) ExpoCU model on the simulation kernel.
+
+    This is the abstraction level a designer simulates at before
+    refinement: clocked threads exchanging whole frames and calling the
+    golden algorithm, with the I²C transaction reduced to its latency.
+    Used by experiment E6 to compare simulation speed across
+    abstraction levels (behavioural vs RTL vs gate level), the paper's
+    "much higher simulation speed than conventional RTL simulators"
+    claim (§10). *)
+
+type result = {
+  frames : int;
+  final_gain : float;
+  final_median : int;
+  sim_cycles : int;  (** clock cycles covered by the simulated time *)
+  kernel_runs : int;  (** process activations the kernel executed *)
+}
+
+val run :
+  ?frames:int ->
+  ?pixels_per_frame:int ->
+  ?illumination:float ->
+  ?target_bin:int ->
+  unit ->
+  result
+(** Runs the closed loop: a camera thread streams pixel values one per
+    clock, the ExpoCU thread accumulates the histogram pixel by pixel
+    (as the hardware does), scans it, updates the gain and waits out
+    the I²C write latency. *)

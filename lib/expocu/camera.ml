@@ -1,0 +1,55 @@
+type t = {
+  cam_width : int;
+  cam_height : int;
+  mutable illumination : float;
+  contrast : float;
+  noise : float;
+  rng : Random.State.t;
+  mutable time : int;
+}
+
+let create ?(width = 64) ?(height = 32) ?(illumination = 0.3)
+    ?(contrast = 0.5) ?(noise = 0.02) ?(seed = 1) () =
+  if width < 1 || height < 1 then invalid_arg "Camera.create: empty frame";
+  {
+    cam_width = width;
+    cam_height = height;
+    illumination;
+    contrast;
+    noise;
+    rng = Random.State.make [| seed |];
+    time = 0;
+  }
+
+let width t = t.cam_width
+let height t = t.cam_height
+let set_illumination t level = t.illumination <- level
+
+let frame t ~exposure =
+  let w = t.cam_width and h = t.cam_height in
+  let pixels = Array.make (w * h) 0 in
+  let highlight_x = (t.time * 3) mod w in
+  for y = 0 to h - 1 do
+    for x = 0 to w - 1 do
+      (* base + horizontal gradient + a moving specular highlight *)
+      let gradient =
+        t.contrast *. (float_of_int x /. float_of_int (max 1 (w - 1)) -. 0.5)
+      in
+      let highlight =
+        if abs (x - highlight_x) < 3 && y < h / 4 then 0.5 else 0.0
+      in
+      let scene = t.illumination *. (1.0 +. gradient) +. highlight in
+      let sensed =
+        scene *. exposure
+        +. (t.noise *. (Random.State.float t.rng 2.0 -. 1.0))
+      in
+      let value = int_of_float (Float.round (sensed *. 255.0)) in
+      pixels.((y * w) + x) <- max 0 (min 255 value)
+    done
+  done;
+  t.time <- t.time + 1;
+  pixels
+
+let mean_level pixels =
+  let sum = Array.fold_left ( + ) 0 pixels in
+  float_of_int sum /. float_of_int (Array.length pixels)

@@ -1,0 +1,38 @@
+(** Synthetic camera model.
+
+    Substitution for the proprietary imager and its raw video stream
+    (see DESIGN.md): a deterministic scene generator that produces
+    8-bit pixels whose brightness responds to the exposure setting —
+    the property the ExpoCU control loop actually exercises.
+
+    The scene has a base illumination plus spatial structure (gradient
+    and moving highlights) plus optional pseudo-random noise.  Pixel
+    response saturates at 255, like a real sensor. *)
+
+type t
+
+val create :
+  ?width:int ->
+  ?height:int ->
+  ?illumination:float ->
+  ?contrast:float ->
+  ?noise:float ->
+  ?seed:int ->
+  unit ->
+  t
+(** Defaults: 64x32 pixels, illumination 0.3 (fraction of full scale),
+    contrast 0.5, noise 0.02. *)
+
+val width : t -> int
+val height : t -> int
+
+val set_illumination : t -> float -> unit
+(** Scene change (e.g. tunnel entry/exit in the automotive scenarios). *)
+
+val frame : t -> exposure:float -> int array
+(** One frame, row-major, values 0..255.  [exposure] is the gain the
+    ExpoCU computed (1.0 = unity).  Advances the scene's internal time
+    (highlights move, noise changes). *)
+
+val mean_level : int array -> float
+(** Average pixel value of a frame, 0..255. *)

@@ -1,0 +1,29 @@
+(** The complete Exposure Control Unit (Figure 1).
+
+    Per-frame control loop: acquire a pixel histogram while the frame
+    streams in, scan it for the median brightness band at frame end,
+    update the exposure gain, and write the new setting to the imager
+    over I²C — exactly the module inventory of §2 (camera data
+    synchronization, histogram acquisition, threshold calculation,
+    parameter calculation, I²C bus control, reset control).
+
+    Interface:
+    in  [ext_reset](1), [pixel](8), [line_valid](1), [frame_sync](1)
+        (high during a frame), [sda_in](1), [target_bin](8);
+    out [scl](1), [sda_out](1), [sda_oe](1), [exposure](16),
+        [frame_done](1), [ack_error](1), [median_bin](8).
+
+    [osss_top] assembles the OSSS-style component implementations,
+    [rtl_top] the conventional VHDL-style ones; the two are
+    cycle-equivalent by construction, which experiment E8 checks. *)
+
+type config = { bins : int; count_w : int; divider : int }
+
+val default_config : config
+(** 16 bins, 16-bit counters, I²C divider 4. *)
+
+val osss_top : ?config:config -> unit -> Ir.module_def
+val rtl_top : ?config:config -> unit -> Ir.module_def
+
+val i2c_dev_addr : int
+val i2c_reg_addr : int

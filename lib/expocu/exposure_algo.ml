@@ -1,0 +1,37 @@
+let log2_exact n =
+  let rec go k p = if p = n then k else go (k + 1) (p * 2) in
+  go 0 1
+
+let histogram ~bins frame =
+  let shift = 8 - log2_exact bins in
+  let h = Array.make bins 0 in
+  Array.iter (fun px -> h.(px lsr shift) <- h.(px lsr shift) + 1) frame;
+  h
+
+let median_bin h =
+  let total = Array.fold_left ( + ) 0 h in
+  let rec scan i cum =
+    if i >= Array.length h then 0
+    else
+      let cum = cum + h.(i) in
+      if 2 * cum >= total && total > 0 then i else scan (i + 1) cum
+  in
+  scan 0 0
+
+let control_step ~bins ~target_bin ~exposure frame =
+  let median = median_bin (histogram ~bins frame) in
+  let exposure' =
+    Param_calc.golden_update ~exposure ~median ~target:target_bin
+  in
+  (median, exposure')
+
+let converge ?(frames = 30) ?(bins = 16) ?(target_bin = 7) ~camera () =
+  let exposure = ref Param_calc.gain_unity in
+  List.init frames (fun _ ->
+      let gain =
+        float_of_int !exposure /. float_of_int Param_calc.gain_unity
+      in
+      let frame = Camera.frame camera ~exposure:gain in
+      let median, e' = control_step ~bins ~target_bin ~exposure:!exposure frame in
+      exposure := e';
+      (median, float_of_int e' /. float_of_int Param_calc.gain_unity))

@@ -1,0 +1,28 @@
+(** Golden reference model of the exposure-control loop — the pure
+    OCaml specification the hardware is checked against, and the
+    behavioural model used for the abstraction-level simulation-speed
+    experiment (E6). *)
+
+val histogram : bins:int -> int array -> int array
+(** Bin a frame of 0..255 pixels by their top [log2 bins] bits. *)
+
+val median_bin : int array -> int
+(** First bin where twice the cumulative count reaches the total —
+    exactly the hardware threshold rule.  Returns 0 for an empty
+    histogram. *)
+
+val control_step :
+  bins:int -> target_bin:int -> exposure:int -> int array -> int * int
+(** [control_step ~bins ~target_bin ~exposure frame] returns
+    [(median, exposure')] applying {!Param_calc.golden_update} to the
+    frame's median — one full ExpoCU iteration. *)
+
+val converge :
+  ?frames:int ->
+  ?bins:int ->
+  ?target_bin:int ->
+  camera:Camera.t ->
+  unit ->
+  (int * float) list
+(** Run the closed loop against the synthetic camera; returns per-frame
+    [(median, exposure_gain)] with gain as a float (1.0 = unity). *)

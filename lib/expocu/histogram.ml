@@ -1,0 +1,177 @@
+module CD = Osss.Class_def
+module OI = Osss.Object_inst
+
+let log2_exact n =
+  let rec go k p = if p = n then Some k else if p > n then None else go (k + 1) (p * 2) in
+  go 0 1
+
+let bin_field i = Printf.sprintf "bin%d" i
+
+let make_histogram params =
+  match params with
+  | [ bins; count_w ] ->
+      let shift =
+        match log2_exact bins with
+        | Some k when bins >= 2 && bins <= 256 -> 8 - k
+        | Some _ | None ->
+            invalid_arg "histogram_class: bins must be a power of two in 2..256"
+      in
+      let fields =
+        List.init bins (fun i -> CD.field (bin_field i) count_w)
+        @ [ CD.field "total" count_w ]
+      in
+      let saturating_inc ctx name =
+        let current = ctx.CD.get name in
+        let maxed =
+          Ir.Binop (Ir.Eq, current, Ir.Const (Bitvec.ones count_w))
+        in
+        ctx.CD.set name
+          (Ir.Mux
+             ( maxed,
+               current,
+               Ir.Binop
+                 (Ir.Add, current, Ir.Const (Bitvec.of_int ~width:count_w 1)) ))
+      in
+      CD.declare
+        ~name:(Osss.Template.specialized_name "Histogram" params)
+        fields
+        [
+          CD.proc_method ~name:"Clear" ~params:[] (fun ctx ->
+              List.init bins (fun i ->
+                  ctx.CD.set (bin_field i) (Ir.Const (Bitvec.zero count_w)))
+              @ [ ctx.CD.set "total" (Ir.Const (Bitvec.zero count_w)) ]);
+          CD.proc_method ~name:"AddSample" ~params:[ ("Pixel", 8) ] (fun ctx ->
+              (* Read-modify-write through one shared incrementer, as a
+                 hardware-aware designer codes it: select the bin, add
+                 once, steer the result back. *)
+              let index =
+                Ir.Binop
+                  ( Ir.Lshr,
+                    ctx.CD.arg "Pixel",
+                    Ir.Const (Bitvec.of_int ~width:4 shift) )
+              in
+              let selected =
+                List.fold_left
+                  (fun acc i ->
+                    let sel =
+                      Ir.Binop
+                        (Ir.Eq, index, Ir.Const (Bitvec.of_int ~width:8 i))
+                    in
+                    Ir.Mux (sel, ctx.CD.get (bin_field i), acc))
+                  (Ir.Const (Bitvec.zero count_w))
+                  (List.init bins (fun i -> i))
+              in
+              let maxed =
+                Ir.Binop (Ir.Eq, selected, Ir.Const (Bitvec.ones count_w))
+              in
+              let incremented =
+                Ir.Mux
+                  ( maxed,
+                    selected,
+                    Ir.Binop
+                      ( Ir.Add,
+                        selected,
+                        Ir.Const (Bitvec.of_int ~width:count_w 1) ) )
+              in
+              let arms =
+                List.init bins (fun i ->
+                    ( Bitvec.of_int ~width:8 i,
+                      [ ctx.CD.set (bin_field i) incremented ] ))
+              in
+              [ Ir.Case (index, arms, []); saturating_inc ctx "total" ]);
+          CD.fn_method ~name:"GetBin" ~params:[ ("Index", 8) ] ~return:count_w
+            (fun ctx ->
+              let result =
+                List.fold_left
+                  (fun acc i ->
+                    let sel =
+                      Ir.Binop
+                        ( Ir.Eq,
+                          ctx.CD.arg "Index",
+                          Ir.Const (Bitvec.of_int ~width:8 i) )
+                    in
+                    Ir.Mux (sel, ctx.CD.get (bin_field i), acc))
+                  (Ir.Const (Bitvec.zero count_w))
+                  (List.init bins (fun i -> i))
+              in
+              ([], result));
+          CD.fn_method ~name:"Total" ~params:[] ~return:count_w (fun ctx ->
+              ([], ctx.CD.get "total"));
+        ]
+  | _ -> invalid_arg "histogram_class: two template parameters expected"
+
+let histogram_memo = Osss.Template.memoize make_histogram
+let histogram_class ~bins ~count_w = histogram_memo [ bins; count_w ]
+
+let ports b =
+  let reset = Builder.input b "reset" 1 in
+  let clear = Builder.input b "clear" 1 in
+  let pixel_valid = Builder.input b "pixel_valid" 1 in
+  let pixel = Builder.input b "pixel" 8 in
+  let rd_idx = Builder.input b "rd_idx" 8 in
+  (reset, clear, pixel_valid, pixel, rd_idx)
+
+let osss_module ?(bins = 16) ?(count_w = 16) () =
+  let cls = histogram_class ~bins ~count_w in
+  let b = Builder.create "histogram_osss" in
+  let reset, clear, pixel_valid, pixel, rd_idx = ports b in
+  let rd_count = Builder.output b "rd_count" count_w in
+  let total = Builder.output b "total" count_w in
+  let hist = OI.instantiate b ~name:"hist" cls in
+  Builder.sync b "acquire"
+    [
+      Ir.If
+        ( Ir.Binop (Ir.Or, Ir.Var reset, Ir.Var clear),
+          OI.call hist "Clear" [],
+          [
+            Ir.If
+              (Ir.Var pixel_valid, OI.call hist "AddSample" [ Ir.Var pixel ], []);
+          ] );
+    ];
+  let _, bin_e = OI.call_fn hist "GetBin" [ Ir.Var rd_idx ] in
+  let _, total_e = OI.call_fn hist "Total" [] in
+  Builder.comb b "read_port"
+    [ Ir.Assign (rd_count, bin_e); Ir.Assign (total, total_e) ];
+  Builder.finish b
+
+let awrite_all mem bins count_w =
+  let open Builder.Dsl in
+  List.init bins (fun i -> awrite mem (c ~width:8 i) (c ~width:count_w 0))
+
+let rtl_module ?(bins = 16) ?(count_w = 16) () =
+  let open Builder.Dsl in
+  let shift =
+    match log2_exact bins with
+    | Some k when bins >= 2 && bins <= 256 -> 8 - k
+    | Some _ | None ->
+        invalid_arg "rtl_module: bins must be a power of two in 2..256"
+  in
+  let b = Builder.create "histogram_rtl" in
+  let reset, clear, pixel_valid, pixel, rd_idx = ports b in
+  let rd_count = Builder.output b "rd_count" count_w in
+  let total = Builder.output b "total" count_w in
+  let mem = Builder.memory b "bins" ~width:count_w ~depth:bins in
+  let total_r = Builder.wire b "total_r" count_w in
+  let idx = v pixel >>: c ~width:4 shift in
+  let sat_inc current =
+    mux2
+      (current ==: cbv (Bitvec.ones count_w))
+      current
+      (current +: c ~width:count_w 1)
+  in
+  Builder.sync b "acquire"
+    [
+      if_
+        (v reset |: v clear)
+        (awrite_all mem bins count_w @ [ total_r <-- c ~width:count_w 0 ])
+        [
+          when_ (v pixel_valid)
+            [
+              awrite mem idx (sat_inc (aread mem idx));
+              total_r <-- sat_inc (v total_r);
+            ];
+        ];
+    ];
+  Builder.comb b "read_port"
+    [ rd_count <-- aread mem (v rd_idx); total <-- v total_r ];
+  Builder.finish b

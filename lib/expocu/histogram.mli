@@ -1,0 +1,23 @@
+(** Histogram acquisition — the data-flow-oriented ExpoCU stage.
+
+    Accepts one pixel per clock (single-cycle budget, §2) and
+    accumulates per-brightness-band counts; the threshold stage reads
+    the bins between frames.
+
+    Interface (both styles): in [reset](1), [clear](1),
+    [pixel_valid](1), [pixel](8), [rd_idx](8); out [rd_count](count_w),
+    [total](count_w).  Bin index = top [log2 bins] bits of the pixel;
+    counters saturate.
+
+    The OSSS style declares a [Histogram<BINS,COUNT_W>] class whose
+    state vector concatenates the bin counters; the RTL style keeps the
+    bins in a memory. *)
+
+val histogram_class : bins:int -> count_w:int -> Osss.Class_def.t
+(** Methods: [Clear], [AddSample(Pixel:8)], [GetBin(Index:8):count_w],
+    [Total():count_w].  [bins] must be a power of two between 2 and
+    256. *)
+
+val osss_module : ?bins:int -> ?count_w:int -> unit -> Ir.module_def
+val rtl_module : ?bins:int -> ?count_w:int -> unit -> Ir.module_def
+(** Defaults: 16 bins, 16-bit counters. *)

@@ -1,0 +1,517 @@
+module CD = Osss.Class_def
+module OI = Osss.Object_inst
+
+(* Slot maps.
+
+   Write (rw = 0), 29 slots:
+     0 START; 1-8 address+W; 9 ack; 10-17 register; 18 ack;
+     19-26 data out; 27 ack; 28 STOP.
+
+   Read (rw = 1), 39 slots:
+     0 START; 1-8 address+W; 9 ack; 10-17 register; 18 ack;
+     19 repeated START; 20-27 address+R; 28 ack; 29-36 data in
+     (slave drives, master released); 37 master NACK; 38 STOP. *)
+let n_slots = 29
+let n_slots_read = 39
+let slot_start = 0
+let slot_stop_write = 28
+let slot_restart = 19
+let slot_stop_read = 38
+
+let ack_slots_write = [ 9; 18; 27 ]
+let ack_slots_read = [ 9; 18; 28 ]
+let rx_slots = [ 29; 30; 31; 32; 33; 34; 35; 36 ]
+let slot_mnack = 37
+
+let transaction_cycles ~divider = n_slots * 4 * divider
+let read_transaction_cycles ~divider = n_slots_read * 4 * divider
+
+let tx_slots_write =
+  List.init n_slots (fun s -> s)
+  |> List.filter (fun s ->
+         s <> slot_start && s <> slot_stop_write
+         && not (List.mem s ack_slots_write))
+
+let tx_slots_read =
+  [ 1; 2; 3; 4; 5; 6; 7; 8 ] @ [ 10; 11; 12; 13; 14; 15; 16; 17 ]
+  @ [ 20; 21; 22; 23; 24; 25; 26; 27 ]
+
+(* ------------------------------------------------------------------ *)
+(* OSSS classes                                                        *)
+
+let tx_shift_class =
+  CD.declare ~name:"TxShift"
+    [ CD.field "shift" 8 ]
+    [
+      CD.proc_method ~name:"Load" ~params:[ ("Byte", 8) ] (fun ctx ->
+          [ ctx.CD.set "shift" (ctx.CD.arg "Byte") ]);
+      CD.proc_method ~name:"Shift" ~params:[] (fun ctx ->
+          [
+            ctx.CD.set "shift"
+              (Ir.Concat
+                 ( Ir.Slice (ctx.CD.get "shift", 6, 0),
+                   Ir.Const (Bitvec.zero 1) ));
+          ]);
+      CD.proc_method ~name:"ShiftIn" ~params:[ ("Bit", 1) ] (fun ctx ->
+          [
+            ctx.CD.set "shift"
+              (Ir.Concat (Ir.Slice (ctx.CD.get "shift", 6, 0), ctx.CD.arg "Bit"));
+          ]);
+      CD.fn_method ~name:"Msb" ~params:[] ~return:1 (fun ctx ->
+          ([], Ir.Slice (ctx.CD.get "shift", 7, 7)));
+      CD.fn_method ~name:"Value" ~params:[] ~return:8 (fun ctx ->
+          ([], ctx.CD.get "shift"));
+    ]
+
+let make_bit_clock params =
+  match params with
+  | [ divider ] ->
+      if divider < 1 || divider > 255 then invalid_arg "bit_clock: divider";
+      let last = Ir.Const (Bitvec.of_int ~width:8 (divider - 1)) in
+      CD.declare
+        ~name:(Osss.Template.specialized_name "BitClock" params)
+        [ CD.field "div" 8; CD.field "phase" 2 ]
+        [
+          CD.proc_method ~name:"Reset" ~params:[] (fun ctx ->
+              [
+                ctx.CD.set "div" (Ir.Const (Bitvec.zero 8));
+                ctx.CD.set "phase" (Ir.Const (Bitvec.zero 2));
+              ]);
+          CD.fn_method ~name:"QuarterEnd" ~params:[] ~return:1 (fun ctx ->
+              ([], Ir.Binop (Ir.Eq, ctx.CD.get "div", last)));
+          CD.fn_method ~name:"PhaseEnd" ~params:[] ~return:1 (fun ctx ->
+              ( [],
+                Ir.Binop
+                  ( Ir.And,
+                    Ir.Binop (Ir.Eq, ctx.CD.get "div", last),
+                    Ir.Binop
+                      (Ir.Eq, ctx.CD.get "phase", Ir.Const (Bitvec.of_int ~width:2 3))
+                  ) ));
+          CD.fn_method ~name:"Phase" ~params:[] ~return:2 (fun ctx ->
+              ([], ctx.CD.get "phase"));
+          CD.proc_method ~name:"Advance" ~params:[] (fun ctx ->
+              [
+                Ir.If
+                  ( Ir.Binop (Ir.Eq, ctx.CD.get "div", last),
+                    [
+                      ctx.CD.set "div" (Ir.Const (Bitvec.zero 8));
+                      ctx.CD.set "phase"
+                        (Ir.Binop
+                           ( Ir.Add,
+                             ctx.CD.get "phase",
+                             Ir.Const (Bitvec.of_int ~width:2 1) ));
+                    ],
+                    [
+                      ctx.CD.set "div"
+                        (Ir.Binop
+                           ( Ir.Add,
+                             ctx.CD.get "div",
+                             Ir.Const (Bitvec.of_int ~width:8 1) ));
+                    ] );
+              ]);
+        ]
+  | _ -> invalid_arg "bit_clock: one template parameter expected"
+
+let bit_clock_memo = Osss.Template.memoize make_bit_clock
+let bit_clock_class ~divider = bit_clock_memo [ divider ]
+
+(* ------------------------------------------------------------------ *)
+(* Shared port list and output decoding                                *)
+
+let ports b =
+  let reset = Builder.input b "reset" 1 in
+  let go = Builder.input b "go" 1 in
+  let rw = Builder.input b "rw" 1 in
+  let dev_addr = Builder.input b "dev_addr" 7 in
+  let reg_addr = Builder.input b "reg_addr" 8 in
+  let data = Builder.input b "data" 8 in
+  let sda_in = Builder.input b "sda_in" 1 in
+  let scl = Builder.output b "scl" 1 in
+  let sda_out = Builder.output b "sda_out" 1 in
+  let sda_oe = Builder.output b "sda_oe" 1 in
+  let busy = Builder.output b "busy" 1 in
+  let done_ = Builder.output b "done" 1 in
+  let ack_error = Builder.output b "ack_error" 1 in
+  let rd_data = Builder.output b "rd_data" 8 in
+  (reset, go, rw, dev_addr, reg_addr, data, sda_in,
+   scl, sda_out, sda_oe, busy, done_, ack_error, rd_data)
+
+let is_in slots slot_e =
+  List.fold_left
+    (fun acc s ->
+      Ir.Binop
+        (Ir.Or, acc, Ir.Binop (Ir.Eq, slot_e, Ir.Const (Bitvec.of_int ~width:6 s))))
+    (Ir.Const (Bitvec.of_bool false))
+    slots
+
+(* Role decoders over (rw_r, slot). *)
+let roles ~rw_r ~slot =
+  let open Builder.Dsl in
+  let sc n = slot ==: c ~width:6 n in
+  let in_read l = rw_r &: is_in l slot in
+  let in_write l = notb rw_r &: is_in l slot in
+  let is_start = sc slot_start in
+  let is_restart = rw_r &: sc slot_restart in
+  let is_stop =
+    (notb rw_r &: sc slot_stop_write) |: (rw_r &: sc slot_stop_read)
+  in
+  let is_ack = in_write ack_slots_write |: in_read ack_slots_read in
+  let is_rx = in_read rx_slots in
+  let is_mnack = rw_r &: sc slot_mnack in
+  let is_tx = in_write tx_slots_write |: in_read tx_slots_read in
+  (is_start, is_restart, is_stop, is_ack, is_rx, is_mnack, is_tx)
+
+(* Moore outputs from (running, rw_r, slot, phase, msb). *)
+let output_stmts ~running ~rw_r ~slot ~phase ~msb ~scl ~sda_out ~sda_oe =
+  let open Builder.Dsl in
+  let ph n = phase ==: c ~width:2 n in
+  let is_start, is_restart, is_stop, is_ack, is_rx, is_mnack, _ =
+    roles ~rw_r ~slot
+  in
+  let mid = ph 1 |: ph 2 in
+  let start_scl = ph 0 |: ph 1 in
+  let restart_scl = mid in
+  let stop_scl = notb (ph 0) in
+  let scl_e =
+    mux2 is_start start_scl
+      (mux2 is_restart restart_scl (mux2 is_stop stop_scl mid))
+  in
+  let start_sda = ph 0 in
+  let restart_sda = ph 0 |: ph 1 in
+  let stop_sda = ph 2 |: ph 3 in
+  let sda_e =
+    mux2 is_start start_sda
+      (mux2 is_restart restart_sda
+         (mux2 is_stop stop_sda
+            (mux2 (is_ack |: is_rx |: is_mnack) (c ~width:1 1) msb)))
+  in
+  let oe_e = notb (is_ack |: is_rx) in
+  [
+    scl <-- mux2 running scl_e (c ~width:1 1);
+    sda_out <-- mux2 running sda_e (c ~width:1 1);
+    sda_oe <-- mux2 running oe_e (c ~width:1 0);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* 1. OSSS style                                                       *)
+
+let osss_module ?(divider = 4) () =
+  let open Builder.Dsl in
+  let b = Builder.create "i2c_osss" in
+  let reset, go, rw, dev_addr, reg_addr, data, sda_in,
+      scl, sda_out, sda_oe, busy, done_, ack_error, rd_data = ports b in
+  let tx = OI.instantiate b ~name:"tx" tx_shift_class in
+  let rx = OI.instantiate b ~name:"rx" tx_shift_class in
+  let bc = OI.instantiate b ~name:"bc" (bit_clock_class ~divider) in
+  let slot = Builder.wire b "slot" 6 in
+  let running = Builder.wire b "running" 1 in
+  let rw_r = Builder.wire b "rw_r" 1 in
+  let done_r = Builder.wire b "done_r" 1 in
+  let ack_r = Builder.wire b "ack_r" 1 in
+  let byte1 = Builder.wire b "byte1" 8 in
+  let byte2 = Builder.wire b "byte2" 8 in
+  let _, quarter_end = OI.call_fn bc "QuarterEnd" [] in
+  let _, phase_end = OI.call_fn bc "PhaseEnd" [] in
+  let _, phase_e = OI.call_fn bc "Phase" [] in
+  let _, msb_e = OI.call_fn tx "Msb" [] in
+  let _, rx_value = OI.call_fn rx "Value" [] in
+  let _, _, _, at_ack, at_rx, _, at_tx = roles ~rw_r:(v rw_r) ~slot:(v slot) in
+  let mid_sample = quarter_end &: (phase_e ==: c ~width:2 1) in
+  let stop_slot = mux2 (v rw_r) (c ~width:6 slot_stop_read) (c ~width:6 slot_stop_write) in
+  Builder.sync b "engine"
+    [
+      if_ (v reset)
+        ([ OI.construct tx; OI.construct rx; OI.construct bc ]
+        @ [
+            slot <-- c ~width:6 0;
+            running <-- c ~width:1 0;
+            rw_r <-- c ~width:1 0;
+            done_r <-- c ~width:1 0;
+            ack_r <-- c ~width:1 0;
+            byte1 <-- c ~width:8 0;
+            byte2 <-- c ~width:8 0;
+          ])
+        [
+          if_ (notb (v running))
+            [
+              when_ (v go)
+                ([
+                   running <-- c ~width:1 1;
+                   rw_r <-- v rw;
+                   done_r <-- c ~width:1 0;
+                   ack_r <-- c ~width:1 0;
+                   slot <-- c ~width:6 0;
+                   byte1 <-- v reg_addr;
+                   byte2 <-- v data;
+                 ]
+                @ OI.call bc "Reset" []
+                @ OI.call tx "Load" [ concat [ v dev_addr; c ~width:1 0 ] ]);
+            ]
+            ([
+               when_ (mid_sample &: at_ack)
+                 [ ack_r <-- (v ack_r |: v sda_in) ];
+               when_ (mid_sample &: at_rx) (OI.call rx "ShiftIn" [ v sda_in ]);
+               if_ phase_end
+                 [
+                   when_ at_tx (OI.call tx "Shift" []);
+                   when_ (v slot ==: c ~width:6 9)
+                     (OI.call tx "Load" [ v byte1 ]);
+                   when_
+                     (notb (v rw_r) &: (v slot ==: c ~width:6 18))
+                     (OI.call tx "Load" [ v byte2 ]);
+                   when_
+                     (v rw_r &: (v slot ==: c ~width:6 18))
+                     (OI.call tx "Load" [ concat [ v dev_addr; c ~width:1 1 ] ]);
+                   if_
+                     (v slot ==: stop_slot)
+                     [ running <-- c ~width:1 0; done_r <-- c ~width:1 1 ]
+                     [ slot <-- (v slot +: c ~width:6 1) ];
+                 ]
+                 [];
+             ]
+            @ OI.call bc "Advance" []);
+        ];
+    ];
+  Builder.comb b "status"
+    ([
+       busy <-- v running;
+       done_ <-- v done_r;
+       ack_error <-- v ack_r;
+       rd_data <-- rx_value;
+     ]
+    @ output_stmts ~running:(v running) ~rw_r:(v rw_r) ~slot:(v slot)
+        ~phase:phase_e ~msb:msb_e ~scl ~sda_out ~sda_oe);
+  Builder.finish b
+
+(* ------------------------------------------------------------------ *)
+(* 2. Plain SystemC style                                              *)
+
+let systemc_module ?(divider = 4) () =
+  let open Builder.Dsl in
+  let b = Builder.create "i2c_systemc" in
+  let reset, go, rw, dev_addr, reg_addr, data, sda_in,
+      scl, sda_out, sda_oe, busy, done_, ack_error, rd_data = ports b in
+  let shift = Builder.wire b "shift" 8 in
+  let rx = Builder.wire b "rx" 8 in
+  let div = Builder.wire b "div" 8 in
+  let phase = Builder.wire b "phase" 2 in
+  let slot = Builder.wire b "slot" 6 in
+  let running = Builder.wire b "running" 1 in
+  let rw_r = Builder.wire b "rw_r" 1 in
+  let done_r = Builder.wire b "done_r" 1 in
+  let ack_r = Builder.wire b "ack_r" 1 in
+  let byte1 = Builder.wire b "byte1" 8 in
+  let byte2 = Builder.wire b "byte2" 8 in
+  let quarter_end = v div ==: c ~width:8 (divider - 1) in
+  let phase_end = quarter_end &: (v phase ==: c ~width:2 3) in
+  let _, _, _, at_ack, at_rx, _, at_tx = roles ~rw_r:(v rw_r) ~slot:(v slot) in
+  let mid_sample = quarter_end &: (v phase ==: c ~width:2 1) in
+  let stop_slot =
+    mux2 (v rw_r) (c ~width:6 slot_stop_read) (c ~width:6 slot_stop_write)
+  in
+  Builder.sync b "engine"
+    [
+      if_ (v reset)
+        [
+          shift <-- c ~width:8 0;
+          rx <-- c ~width:8 0;
+          div <-- c ~width:8 0;
+          phase <-- c ~width:2 0;
+          slot <-- c ~width:6 0;
+          running <-- c ~width:1 0;
+          rw_r <-- c ~width:1 0;
+          done_r <-- c ~width:1 0;
+          ack_r <-- c ~width:1 0;
+          byte1 <-- c ~width:8 0;
+          byte2 <-- c ~width:8 0;
+        ]
+        [
+          if_ (notb (v running))
+            [
+              when_ (v go)
+                [
+                  running <-- c ~width:1 1;
+                  rw_r <-- v rw;
+                  done_r <-- c ~width:1 0;
+                  ack_r <-- c ~width:1 0;
+                  slot <-- c ~width:6 0;
+                  div <-- c ~width:8 0;
+                  phase <-- c ~width:2 0;
+                  byte1 <-- v reg_addr;
+                  byte2 <-- v data;
+                  shift <-- concat [ v dev_addr; c ~width:1 0 ];
+                ];
+            ]
+            [
+              when_ (mid_sample &: at_ack) [ ack_r <-- (v ack_r |: v sda_in) ];
+              when_ (mid_sample &: at_rx)
+                [ rx <-- concat [ slice (v rx) ~hi:6 ~lo:0; v sda_in ] ];
+              when_ phase_end
+                [
+                  when_ at_tx
+                    [ shift <-- concat [ slice (v shift) ~hi:6 ~lo:0; c ~width:1 0 ] ];
+                  when_ (v slot ==: c ~width:6 9) [ shift <-- v byte1 ];
+                  when_
+                    (notb (v rw_r) &: (v slot ==: c ~width:6 18))
+                    [ shift <-- v byte2 ];
+                  when_
+                    (v rw_r &: (v slot ==: c ~width:6 18))
+                    [ shift <-- concat [ v dev_addr; c ~width:1 1 ] ];
+                  if_
+                    (v slot ==: stop_slot)
+                    [ running <-- c ~width:1 0; done_r <-- c ~width:1 1 ]
+                    [ slot <-- (v slot +: c ~width:6 1) ];
+                ];
+              if_ quarter_end
+                [ div <-- c ~width:8 0; phase <-- (v phase +: c ~width:2 1) ]
+                [ div <-- (v div +: c ~width:8 1) ];
+            ];
+        ];
+    ];
+  Builder.comb b "status"
+    ([
+       busy <-- v running;
+       done_ <-- v done_r;
+       ack_error <-- v ack_r;
+       rd_data <-- v rx;
+     ]
+    @ output_stmts ~running:(v running) ~rw_r:(v rw_r) ~slot:(v slot)
+        ~phase:(v phase) ~msb:(bit (v shift) 7) ~scl ~sda_out ~sda_oe);
+  Builder.finish b
+
+(* ------------------------------------------------------------------ *)
+(* 3. VHDL RTL style: two-process description                          *)
+
+let vhdl_module ?(divider = 4) () =
+  let open Builder.Dsl in
+  let b = Builder.create "i2c_vhdl" in
+  let reset, go, rw, dev_addr, reg_addr, data, sda_in,
+      scl, sda_out, sda_oe, busy, done_, ack_error, rd_data = ports b in
+  (* registered state *)
+  let shift_r = Builder.wire b "shift_r" 8 in
+  let rx_r = Builder.wire b "rx_r" 8 in
+  let div_r = Builder.wire b "div_r" 8 in
+  let phase_r = Builder.wire b "phase_r" 2 in
+  let slot_r = Builder.wire b "slot_r" 6 in
+  let running_r = Builder.wire b "running_r" 1 in
+  let rww_r = Builder.wire b "rww_r" 1 in
+  let done_rr = Builder.wire b "done_rr" 1 in
+  let ack_rr = Builder.wire b "ack_rr" 1 in
+  let byte1_r = Builder.wire b "byte1_r" 8 in
+  let byte2_r = Builder.wire b "byte2_r" 8 in
+  (* next-state wires *)
+  let shift_n = Builder.wire b "shift_n" 8 in
+  let rx_n = Builder.wire b "rx_n" 8 in
+  let div_n = Builder.wire b "div_n" 8 in
+  let phase_n = Builder.wire b "phase_n" 2 in
+  let slot_n = Builder.wire b "slot_n" 6 in
+  let running_n = Builder.wire b "running_n" 1 in
+  let rw_n = Builder.wire b "rw_n" 1 in
+  let done_n = Builder.wire b "done_n" 1 in
+  let ack_n = Builder.wire b "ack_n" 1 in
+  let byte1_n = Builder.wire b "byte1_n" 8 in
+  let byte2_n = Builder.wire b "byte2_n" 8 in
+  let quarter_end = v div_r ==: c ~width:8 (divider - 1) in
+  let phase_end = quarter_end &: (v phase_r ==: c ~width:2 3) in
+  let _, _, _, at_ack, at_rx, _, at_tx =
+    roles ~rw_r:(v rww_r) ~slot:(v slot_r)
+  in
+  let mid_sample = quarter_end &: (v phase_r ==: c ~width:2 1) in
+  let stop_slot =
+    mux2 (v rww_r) (c ~width:6 slot_stop_read) (c ~width:6 slot_stop_write)
+  in
+  Builder.comb b "next_state"
+    [
+      (* defaults: hold *)
+      shift_n <-- v shift_r;
+      rx_n <-- v rx_r;
+      div_n <-- v div_r;
+      phase_n <-- v phase_r;
+      slot_n <-- v slot_r;
+      running_n <-- v running_r;
+      rw_n <-- v rww_r;
+      done_n <-- v done_rr;
+      ack_n <-- v ack_rr;
+      byte1_n <-- v byte1_r;
+      byte2_n <-- v byte2_r;
+      if_ (notb (v running_r))
+        [
+          when_ (v go)
+            [
+              running_n <-- c ~width:1 1;
+              rw_n <-- v rw;
+              done_n <-- c ~width:1 0;
+              ack_n <-- c ~width:1 0;
+              slot_n <-- c ~width:6 0;
+              div_n <-- c ~width:8 0;
+              phase_n <-- c ~width:2 0;
+              byte1_n <-- v reg_addr;
+              byte2_n <-- v data;
+              shift_n <-- concat [ v dev_addr; c ~width:1 0 ];
+            ];
+        ]
+        [
+          when_ (mid_sample &: at_ack) [ ack_n <-- (v ack_rr |: v sda_in) ];
+          when_ (mid_sample &: at_rx)
+            [ rx_n <-- concat [ slice (v rx_r) ~hi:6 ~lo:0; v sda_in ] ];
+          when_ phase_end
+            [
+              when_ at_tx
+                [ shift_n <-- concat [ slice (v shift_r) ~hi:6 ~lo:0; c ~width:1 0 ] ];
+              when_ (v slot_r ==: c ~width:6 9) [ shift_n <-- v byte1_r ];
+              when_
+                (notb (v rww_r) &: (v slot_r ==: c ~width:6 18))
+                [ shift_n <-- v byte2_r ];
+              when_
+                (v rww_r &: (v slot_r ==: c ~width:6 18))
+                [ shift_n <-- concat [ v dev_addr; c ~width:1 1 ] ];
+              if_
+                (v slot_r ==: stop_slot)
+                [ running_n <-- c ~width:1 0; done_n <-- c ~width:1 1 ]
+                [ slot_n <-- (v slot_r +: c ~width:6 1) ];
+            ];
+          if_ quarter_end
+            [ div_n <-- c ~width:8 0; phase_n <-- (v phase_r +: c ~width:2 1) ]
+            [ div_n <-- (v div_r +: c ~width:8 1) ];
+        ];
+    ];
+  Builder.sync b "state_reg"
+    [
+      if_ (v reset)
+        [
+          shift_r <-- c ~width:8 0;
+          rx_r <-- c ~width:8 0;
+          div_r <-- c ~width:8 0;
+          phase_r <-- c ~width:2 0;
+          slot_r <-- c ~width:6 0;
+          running_r <-- c ~width:1 0;
+          rww_r <-- c ~width:1 0;
+          done_rr <-- c ~width:1 0;
+          ack_rr <-- c ~width:1 0;
+          byte1_r <-- c ~width:8 0;
+          byte2_r <-- c ~width:8 0;
+        ]
+        [
+          shift_r <-- v shift_n;
+          rx_r <-- v rx_n;
+          div_r <-- v div_n;
+          phase_r <-- v phase_n;
+          slot_r <-- v slot_n;
+          running_r <-- v running_n;
+          rww_r <-- v rw_n;
+          done_rr <-- v done_n;
+          ack_rr <-- v ack_n;
+          byte1_r <-- v byte1_n;
+          byte2_r <-- v byte2_n;
+        ];
+    ];
+  Builder.comb b "outputs"
+    ([
+       busy <-- v running_r;
+       done_ <-- v done_rr;
+       ack_error <-- v ack_rr;
+       rd_data <-- v rx_r;
+     ]
+    @ output_stmts ~running:(v running_r) ~rw_r:(v rww_r) ~slot:(v slot_r)
+        ~phase:(v phase_r) ~msb:(bit (v shift_r) 7) ~scl ~sda_out ~sda_oe);
+  Builder.finish b

@@ -1,0 +1,50 @@
+(** I²C bus master — the module the paper uses for its
+    development-effort comparison (§12: one day in OSSS, an estimated
+    two in plain SystemC, slightly longer in VHDL RTL).
+
+    Supports complete write and read transactions:
+    - write: START, address+W, register, data byte, each slave-acked,
+      STOP;
+    - read: START, address+W, register, repeated START, address+R,
+      slave data byte (master released), master NACK, STOP.
+
+    Three genuinely distinct implementations with identical ports and
+    cycle behaviour:
+    - {!osss_module}: behavioural, structured with OSSS classes
+      ([TxShift] shift register — reused for receive — and [BitClock]
+      quarter-phase generator);
+    - {!systemc_module}: the same behavioural structure against plain
+      registers, no classes;
+    - {!vhdl_module}: conventional RTL — registered state with a
+      separate combinational next-state process.
+
+    Interface: in [reset](1), [go](1), [rw](1) (0 write / 1 read),
+    [dev_addr](7), [reg_addr](8), [data](8), [sda_in](1);
+    out [scl](1), [sda_out](1), [sda_oe](1), [busy](1), [done](1),
+    [ack_error](1), [rd_data](8).
+
+    Every bit slot lasts [4 * divider] clock cycles. *)
+
+val tx_shift_class : Osss.Class_def.t
+(** Fields: [shift](8).  Methods: [Load(Byte:8)], [Shift()],
+    [ShiftIn(Bit:1)], [Msb():1], [Value():8]. *)
+
+val bit_clock_class : divider:int -> Osss.Class_def.t
+(** Fields: [div](8), [phase](2).  Methods: [Reset], [Advance],
+    [QuarterEnd():1], [PhaseEnd():1], [Phase():2]. *)
+
+val n_slots : int
+(** Bit slots per write transaction (29). *)
+
+val n_slots_read : int
+(** Bit slots per read transaction (39). *)
+
+val transaction_cycles : divider:int -> int
+(** Clock cycles from [go] to [done] for a write. *)
+
+val read_transaction_cycles : divider:int -> int
+
+val osss_module : ?divider:int -> unit -> Ir.module_def
+val systemc_module : ?divider:int -> unit -> Ir.module_def
+val vhdl_module : ?divider:int -> unit -> Ir.module_def
+(** Default divider: 4. *)

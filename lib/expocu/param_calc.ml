@@ -1,0 +1,207 @@
+let gain_unity = 4096
+let gain_min = 64
+let gain_max = 65535
+
+(* Multiplication runs serially over 16 cycles: the parameter stage has
+   a budget of thousands of clock periods (§2), and a combinational
+   16x16 multiplier cannot close 66 MHz on the LUT fabric after place &
+   route — the serial unit keeps the critical path at one 32-bit add. *)
+let mult_cycles = 16
+
+let golden_update ~exposure ~median ~target =
+  let err = target - median in
+  let mag = abs err in
+  let delta = (exposure * mag) lsr 5 in
+  let candidate = if err < 0 then exposure - delta else exposure + delta in
+  max gain_min (min gain_max candidate)
+
+let ports b =
+  let reset = Builder.input b "reset" 1 in
+  let update = Builder.input b "update" 1 in
+  let median_bin = Builder.input b "median_bin" 8 in
+  let target_bin = Builder.input b "target_bin" 8 in
+  let exposure = Builder.output b "exposure" 16 in
+  let ready = Builder.output b "ready" 1 in
+  let busy = Builder.output b "busy" 1 in
+  (reset, update, median_bin, target_bin, exposure, ready, busy)
+
+(* err (signed 9), magnitude (16) and sign shared by both styles. *)
+let error_parts ~median ~target =
+  let open Builder.Dsl in
+  let err = sext target 9 -: sext median 9 in
+  let neg = bit err 8 in
+  let mag9 = mux2 neg (negb err) err in
+  (neg, zext mag9 16)
+
+(* Final clamp on a 22-bit signed candidate. *)
+let clamp22 candidate =
+  let open Builder.Dsl in
+  let lo = c ~width:22 gain_min and hi = c ~width:22 gain_max in
+  let below = Ir.Binop (Ir.Slt, candidate, lo) in
+  let above = Ir.Binop (Ir.Slt, hi, candidate) in
+  Ir.Resize (false, mux2 below lo (mux2 above hi candidate), 16)
+
+(* ------------------------------------------------------------------ *)
+(* OSSS style: the serial multiplier is a class.                       *)
+
+module CD = Osss.Class_def
+module OI = Osss.Object_inst
+
+(* SerialMult<16>: acc += shifted multiplicand per Step while the
+   multiplier bit is set; after 16 steps Product() holds a*b. *)
+let serial_mult_class =
+  CD.declare ~name:"SerialMult<16>"
+    [ CD.field "acc" 32; CD.field "sh" 32; CD.field "mul" 16; CD.field "cnt" 5 ]
+    [
+      CD.proc_method ~name:"Load" ~params:[ ("A", 16); ("B", 16) ] (fun ctx ->
+          [
+            ctx.CD.set "acc" (Ir.Const (Bitvec.zero 32));
+            ctx.CD.set "sh" (Ir.Resize (false, ctx.CD.arg "A", 32));
+            ctx.CD.set "mul" (ctx.CD.arg "B");
+            ctx.CD.set "cnt" (Ir.Const (Bitvec.zero 5));
+          ]);
+      CD.proc_method ~name:"Step" ~params:[] (fun ctx ->
+          let bit0 = Ir.Slice (ctx.CD.get "mul", 0, 0) in
+          [
+            Ir.If
+              ( bit0,
+                [
+                  ctx.CD.set "acc"
+                    (Ir.Binop (Ir.Add, ctx.CD.get "acc", ctx.CD.get "sh"));
+                ],
+                [] );
+            ctx.CD.set "sh"
+              (Ir.Binop
+                 (Ir.Shl, ctx.CD.get "sh", Ir.Const (Bitvec.of_int ~width:2 1)));
+            ctx.CD.set "mul"
+              (Ir.Binop
+                 (Ir.Lshr, ctx.CD.get "mul", Ir.Const (Bitvec.of_int ~width:2 1)));
+            ctx.CD.set "cnt"
+              (Ir.Binop
+                 (Ir.Add, ctx.CD.get "cnt", Ir.Const (Bitvec.of_int ~width:5 1)));
+          ]);
+      CD.fn_method ~name:"Running" ~params:[] ~return:1 (fun ctx ->
+          ( [],
+            Ir.Binop
+              ( Ir.Ult,
+                ctx.CD.get "cnt",
+                Ir.Const (Bitvec.of_int ~width:5 mult_cycles) ) ));
+      CD.fn_method ~name:"Product" ~params:[] ~return:32 (fun ctx ->
+          ([], ctx.CD.get "acc"));
+    ]
+
+let finish_update ~neg ~exposure ~product =
+  let open Builder.Dsl in
+  let delta = Ir.Resize (false, product >>: c ~width:3 5, 22) in
+  let e22 = zext exposure 22 in
+  clamp22 (mux2 neg (e22 -: delta) (e22 +: delta))
+
+let osss_module () =
+  let open Builder.Dsl in
+  let b = Builder.create "param_calc_osss" in
+  let reset, update, median_bin, target_bin, exposure, ready, busy = ports b in
+  let neg, mag16 = error_parts ~median:(v median_bin) ~target:(v target_bin) in
+  let running = Builder.wire b "running" 1 in
+  let neg_r = Builder.wire b "neg_r" 1 in
+  let mult = OI.instantiate b ~name:"mult" serial_mult_class in
+  let _, mult_running = OI.call_fn mult "Running" [] in
+  let _, product = OI.call_fn mult "Product" [] in
+  Builder.sync b "update_gain"
+    [
+      if_ (v reset)
+        ([
+           exposure <-- c ~width:16 gain_unity;
+           ready <-- c ~width:1 1;
+           running <-- c ~width:1 0;
+           neg_r <-- c ~width:1 0;
+         ]
+        @ [ OI.construct mult ])
+        [
+          if_ (notb (v running))
+            [
+              when_ (v update)
+                ([
+                   running <-- c ~width:1 1;
+                   ready <-- c ~width:1 0;
+                   neg_r <-- neg;
+                 ]
+                @ OI.call mult "Load" [ v exposure; mag16 ]);
+            ]
+            [
+              if_ mult_running
+                (OI.call mult "Step" [])
+                [
+                  exposure
+                  <-- finish_update ~neg:(v neg_r) ~exposure:(v exposure)
+                        ~product;
+                  ready <-- c ~width:1 1;
+                  running <-- c ~width:1 0;
+                ];
+            ];
+        ];
+    ];
+  Builder.comb b "status" [ busy <-- v running ];
+  Builder.finish b
+
+(* ------------------------------------------------------------------ *)
+(* Conventional style: the same serial machine written as registers.   *)
+
+let rtl_module () =
+  let open Builder.Dsl in
+  let b = Builder.create "param_calc_rtl" in
+  let reset, update, median_bin, target_bin, exposure, ready, busy = ports b in
+  let neg, mag16 = error_parts ~median:(v median_bin) ~target:(v target_bin) in
+  let running = Builder.wire b "running" 1 in
+  let neg_r = Builder.wire b "neg_r" 1 in
+  let acc = Builder.wire b "acc" 32 in
+  let sh = Builder.wire b "sh" 32 in
+  let mul = Builder.wire b "mul" 16 in
+  let cnt = Builder.wire b "cnt" 5 in
+  Builder.sync b "update_gain"
+    [
+      if_ (v reset)
+        [
+          exposure <-- c ~width:16 gain_unity;
+          ready <-- c ~width:1 1;
+          running <-- c ~width:1 0;
+          neg_r <-- c ~width:1 0;
+          acc <-- c ~width:32 0;
+          sh <-- c ~width:32 0;
+          mul <-- c ~width:16 0;
+          cnt <-- c ~width:5 0;
+        ]
+        [
+          if_ (notb (v running))
+            [
+              when_ (v update)
+                [
+                  running <-- c ~width:1 1;
+                  ready <-- c ~width:1 0;
+                  neg_r <-- neg;
+                  acc <-- c ~width:32 0;
+                  sh <-- zext (v exposure) 32;
+                  mul <-- mag16;
+                  cnt <-- c ~width:5 0;
+                ];
+            ]
+            [
+              if_
+                (v cnt <: c ~width:5 mult_cycles)
+                [
+                  when_ (bit (v mul) 0) [ acc <-- (v acc +: v sh) ];
+                  sh <-- (v sh <<: c ~width:2 1);
+                  mul <-- (v mul >>: c ~width:2 1);
+                  cnt <-- (v cnt +: c ~width:5 1);
+                ]
+                [
+                  exposure
+                  <-- finish_update ~neg:(v neg_r) ~exposure:(v exposure)
+                        ~product:(v acc);
+                  ready <-- c ~width:1 1;
+                  running <-- c ~width:1 0;
+                ];
+            ];
+        ];
+    ];
+  Builder.comb b "status" [ busy <-- v running ];
+  Builder.finish b

@@ -1,0 +1,42 @@
+(** Exposure parameter calculation.
+
+    From the threshold stage's median brightness band, compute the next
+    frame's exposure gain with a proportional controller in fixed
+    point.  The multiply runs on a {e serial} shift-add unit over
+    {!mult_cycles} clocks — the stage has a budget of thousands of
+    cycles (§2) and a combinational multiplier cannot close 66 MHz on
+    the LUT fabric after place & route.
+
+    Update rule (per [update] pulse):
+      [error = target_bin - median_bin]  (signed bins)
+      [exposure' = clamp(exposure * (1 + error/32), min_gain, max_gain)]
+
+    Exposure gain format: uq4.12 (1.0 = 4096).
+
+    Interface (both styles): in [reset](1), [update](1),
+    [median_bin](8), [target_bin](8); out [exposure](16), [ready](1)
+    (high whenever [exposure] is valid; drops during the serial
+    computation), [busy](1).
+
+    The OSSS style wraps the multiplier in a [SerialMult<16>] class;
+    the conventional style codes the same machine with registers. *)
+
+val gain_unity : int
+(** Raw value of gain 1.0 (4096). *)
+
+val gain_min : int
+val gain_max : int
+
+val mult_cycles : int
+(** Serial multiplier latency (16). *)
+
+val serial_mult_class : Osss.Class_def.t
+(** Methods: [Load(A:16, B:16)], [Step], [Running():1],
+    [Product():32]. *)
+
+val osss_module : unit -> Ir.module_def
+val rtl_module : unit -> Ir.module_def
+
+val golden_update : exposure:int -> median:int -> target:int -> int
+(** Bit-exact reference model of one update (raw uq4.12 gain in, raw
+    gain out) used by tests and by the system-level golden model. *)

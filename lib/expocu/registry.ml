@@ -1,0 +1,34 @@
+(* Catalogue of every named design, used by the command-line tools and
+   the whole-catalogue integration tests. *)
+
+let registry : (string * (string * (unit -> Ir.module_def))) list =
+  [
+    ("sync_osss", ("camera data sync, OSSS style", fun () -> Sync.osss_module ()));
+    ("sync_rtl", ("camera data sync, RTL style", fun () -> Sync.rtl_module ()));
+    ( "histogram_osss",
+      ("histogram acquisition, OSSS style", fun () -> Histogram.osss_module ()) );
+    ( "histogram_rtl",
+      ("histogram acquisition, RTL style", fun () -> Histogram.rtl_module ()) );
+    ( "threshold_osss",
+      ("threshold calculation, OSSS style", fun () -> Threshold.osss_module ()) );
+    ( "threshold_rtl",
+      ("threshold calculation, RTL style", fun () -> Threshold.rtl_module ()) );
+    ( "param_calc_osss",
+      ("exposure parameter calc, OSSS style", fun () -> Param_calc.osss_module ()) );
+    ( "param_calc_rtl",
+      ("exposure parameter calc, RTL + IP mult", fun () -> Param_calc.rtl_module ()) );
+    ("i2c_osss", ("I2C master, OSSS classes", fun () -> I2c.osss_module ()));
+    ("i2c_systemc", ("I2C master, plain SystemC style", fun () -> I2c.systemc_module ()));
+    ("i2c_vhdl", ("I2C master, VHDL RTL style", fun () -> I2c.vhdl_module ()));
+    ("reset_osss", ("reset control, OSSS style", fun () -> Reset_ctrl.osss_module ()));
+    ("reset_rtl", ("reset control, RTL style", fun () -> Reset_ctrl.rtl_module ()));
+    ("ip_mult16", ("VHDL IP multiplier", fun () -> Vhdl_ip.mult16_module ()));
+    ("expocu_osss", ("full ExpoCU, OSSS methodology", fun () -> Expocu_top.osss_top ()));
+    ("expocu_rtl", ("full ExpoCU, conventional methodology", fun () -> Expocu_top.rtl_top ()));
+  ]
+
+let find name = List.assoc_opt name registry
+
+let list_lines () =
+  List.map (fun (name, (desc, _)) -> Printf.sprintf "  %-18s %s" name desc)
+    registry

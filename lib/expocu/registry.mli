@@ -1,0 +1,10 @@
+(** Catalogue of every named design in the case study — the list the
+    command-line tools expose and the integration tests sweep. *)
+
+val registry : (string * (string * (unit -> Ir.module_def))) list
+(** [(name, (description, constructor))]. *)
+
+val find : string -> (string * (unit -> Ir.module_def)) option
+
+val list_lines : unit -> string list
+(** Pre-formatted ["name  description"] rows. *)

@@ -1,0 +1,53 @@
+module OI = Osss.Object_inst
+
+let por_cycles = 8
+
+(* The synchronized external reset also restarts the power-on stretch
+   counter, so the whole chip reaches a defined state from the external
+   reset alone — verified by the four-state reset-coverage tests (a
+   free-running counter relying on power-up values would stay unknown
+   in a conservative simulator). *)
+
+let osss_module () =
+  let open Builder.Dsl in
+  let cls = Sync.sync_register ~regsize:2 ~resetvalue:3 in
+  let b = Builder.create "reset_ctrl_osss" in
+  let ext_reset = Builder.input b "ext_reset" 1 in
+  let sys_reset = Builder.output b "sys_reset" 1 in
+  let syncer = OI.instantiate b ~name:"syncer" cls in
+  let por_cnt = Builder.wire b "por_cnt" 4 in
+  let _, value_e = OI.call_fn syncer "Value" [] in
+  let ext_synced = bit value_e 1 in
+  let por_active = v por_cnt <: c ~width:4 por_cycles in
+  Builder.sync b "stretch"
+    (OI.call syncer "Write" [ v ext_reset ]
+    @ [
+        if_ ext_synced
+          [ por_cnt <-- c ~width:4 0; sys_reset <-- c ~width:1 1 ]
+          [
+            when_ por_active [ por_cnt <-- (v por_cnt +: c ~width:4 1) ];
+            sys_reset <-- por_active;
+          ];
+      ]);
+  Builder.finish b
+
+let rtl_module () =
+  let open Builder.Dsl in
+  let b = Builder.create "reset_ctrl_rtl" in
+  let ext_reset = Builder.input b "ext_reset" 1 in
+  let sys_reset = Builder.output b "sys_reset" 1 in
+  let meta = Builder.wire b "meta" 2 in
+  let por_cnt = Builder.wire b "por_cnt" 4 in
+  let por_active = v por_cnt <: c ~width:4 por_cycles in
+  Builder.sync b "stretch"
+    [
+      meta <-- concat [ bit (v meta) 0; v ext_reset ];
+      if_
+        (bit (v meta) 1)
+        [ por_cnt <-- c ~width:4 0; sys_reset <-- c ~width:1 1 ]
+        [
+          when_ por_active [ por_cnt <-- (v por_cnt +: c ~width:4 1) ];
+          sys_reset <-- por_active;
+        ];
+    ];
+  Builder.finish b

@@ -1,0 +1,15 @@
+(** Reset control (§2): power-on reset stretching plus synchronization
+    of the external asynchronous reset request.
+
+    The OSSS style reuses the [SyncRegister] class (template
+    specialization <2, 3>: two synchronizer stages that power up
+    asserted); the RTL style codes the two flip-flops by hand.
+
+    Interface: in [ext_reset](1); out [sys_reset](1) — asserted for
+    [por_cycles] clocks after power-up and whenever the synchronized
+    external request is high. *)
+
+val por_cycles : int
+
+val osss_module : unit -> Ir.module_def
+val rtl_module : unit -> Ir.module_def

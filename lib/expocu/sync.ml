@@ -1,0 +1,126 @@
+module CD = Osss.Class_def
+module OI = Osss.Object_inst
+
+(* Dynamic bit selection: (value >> index) & 1, as a 1-bit expression. *)
+let bit_at value index =
+  Ir.Slice (Ir.Binop (Ir.Lshr, value, index), 0, 0)
+
+let make_sync_register params =
+  match params with
+  | [ regsize; resetvalue ] ->
+      if regsize < 2 then invalid_arg "sync_register: regsize must be >= 2";
+      let reset_bv = Bitvec.of_int ~width:regsize resetvalue in
+      let reg_value ctx = ctx.CD.get "RegValue" in
+      CD.declare
+        ~name:(Osss.Template.specialized_name "SyncRegister" params)
+        [ CD.field ~init:reset_bv "RegValue" regsize ]
+        [
+          CD.proc_method ~name:"Reset" ~params:[] (fun ctx ->
+              [ ctx.CD.set "RegValue" (Ir.Const reset_bv) ]);
+          CD.proc_method ~name:"Write" ~params:[ ("NewValue", 1) ] (fun ctx ->
+              (* temp = {RegValue[regsize-2:0], NewValue}, Figure 7 *)
+              let shifted =
+                Ir.Concat
+                  ( Ir.Slice (reg_value ctx, regsize - 2, 0),
+                    ctx.CD.arg "NewValue" )
+              in
+              [ ctx.CD.set "RegValue" shifted ]);
+          CD.fn_method ~name:"RisingEdge" ~params:[ ("RegIndex", 8) ] ~return:1
+            (fun ctx ->
+              let idx = ctx.CD.arg "RegIndex" in
+              let newer = bit_at (reg_value ctx) idx in
+              let older =
+                bit_at (reg_value ctx)
+                  (Ir.Binop (Ir.Add, idx, Ir.Const (Bitvec.of_int ~width:8 1)))
+              in
+              ([], Ir.Binop (Ir.And, newer, Ir.Unop (Ir.Not, older))));
+          CD.fn_method ~name:"FallingEdge" ~params:[ ("RegIndex", 8) ]
+            ~return:1 (fun ctx ->
+              let idx = ctx.CD.arg "RegIndex" in
+              let newer = bit_at (reg_value ctx) idx in
+              let older =
+                bit_at (reg_value ctx)
+                  (Ir.Binop (Ir.Add, idx, Ir.Const (Bitvec.of_int ~width:8 1)))
+              in
+              ([], Ir.Binop (Ir.And, older, Ir.Unop (Ir.Not, newer))));
+          CD.fn_method ~name:"Value" ~params:[] ~return:regsize (fun ctx ->
+              ([], reg_value ctx));
+          CD.fn_method ~name:"Stable" ~params:[] ~return:1 (fun ctx ->
+              let all1 = Ir.Unop (Ir.Reduce_and, reg_value ctx) in
+              let all0 =
+                Ir.Unop (Ir.Not, Ir.Unop (Ir.Reduce_or, reg_value ctx))
+              in
+              ([], Ir.Binop (Ir.Or, all1, all0)));
+        ]
+  | _ -> invalid_arg "sync_register: two template parameters expected"
+
+let sync_register_memo = Osss.Template.memoize make_sync_register
+let sync_register ~regsize ~resetvalue = sync_register_memo [ regsize; resetvalue ]
+
+let osss_module ?(regsize = 4) () =
+  let cls = sync_register ~regsize ~resetvalue:0 in
+  let b = Builder.create "sync_osss" in
+  let reset = Builder.input b "reset" 1 in
+  let data = Builder.input b "data" 1 in
+  let value = Builder.output b "value" regsize in
+  let rising = Builder.output b "rising" 1 in
+  let falling = Builder.output b "falling" 1 in
+  let stable = Builder.output b "stable" 1 in
+  let data_sync_reg = OI.instantiate b ~name:"data_sync_reg" cls in
+  let idx0 = Ir.Const (Bitvec.of_int ~width:8 0) in
+  let _, rising_e = OI.call_fn data_sync_reg "RisingEdge" [ idx0 ] in
+  let _, falling_e = OI.call_fn data_sync_reg "FallingEdge" [ idx0 ] in
+  let _, value_e = OI.call_fn data_sync_reg "Value" [] in
+  let _, stable_e = OI.call_fn data_sync_reg "Stable" [] in
+  Builder.sync b "sync_input"
+    [
+      Ir.If
+        ( Ir.Var reset,
+          OI.call data_sync_reg "Reset" []
+          @ [
+              Ir.Assign (value, Ir.Const (Bitvec.zero regsize));
+              Ir.Assign (rising, Ir.Const (Bitvec.zero 1));
+              Ir.Assign (falling, Ir.Const (Bitvec.zero 1));
+              Ir.Assign (stable, Ir.Const (Bitvec.zero 1));
+            ],
+          OI.call data_sync_reg "Write" [ Ir.Var data ]
+          @ [
+              Ir.Assign (value, value_e);
+              Ir.Assign (rising, rising_e);
+              Ir.Assign (falling, falling_e);
+              Ir.Assign (stable, stable_e);
+            ] );
+    ];
+  Builder.finish b
+
+let rtl_module ?(regsize = 4) () =
+  let open Builder.Dsl in
+  let b = Builder.create "sync_rtl" in
+  let reset = Builder.input b "reset" 1 in
+  let data = Builder.input b "data" 1 in
+  let value = Builder.output b "value" regsize in
+  let rising = Builder.output b "rising" 1 in
+  let falling = Builder.output b "falling" 1 in
+  let stable = Builder.output b "stable" 1 in
+  let sr = Builder.wire b "shift_reg" regsize in
+  Builder.sync b "sync_proc"
+    [
+      if_ (v reset)
+        [
+          sr <-- c ~width:regsize 0;
+          value <-- c ~width:regsize 0;
+          rising <-- c ~width:1 0;
+          falling <-- c ~width:1 0;
+          stable <-- c ~width:1 0;
+        ]
+        [
+          sr <-- concat [ slice (v sr) ~hi:(regsize - 2) ~lo:0; v data ];
+          value <-- v sr;
+          rising <-- (bit (v sr) 0 &: notb (bit (v sr) 1));
+          falling <-- (bit (v sr) 1 &: notb (bit (v sr) 0));
+          stable
+          <-- (Ir.Unop (Ir.Reduce_and, v sr)
+              |: notb (Ir.Unop (Ir.Reduce_or, v sr)));
+        ];
+    ];
+  Builder.finish b

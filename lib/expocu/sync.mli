@@ -1,0 +1,24 @@
+(** Camera data synchronization — the paper's running example.
+
+    [SyncRegister<REGSIZE, RESETVALUE>] (Figures 2–3) shifts the
+    asynchronous camera line in on every clock and detects edges over
+    the last [REGSIZE] samples.  The [sync] module (Figures 4–5)
+    instantiates it with <4, 0> and publishes the synchronized value and
+    a rising-edge strobe.
+
+    Both implementation styles are provided:
+    - {!osss_module}: the class-based OSSS description;
+    - {!rtl_module}: hand-written "VHDL" RTL with identical ports and
+      cycle behaviour (used by the zero-overhead experiment E3). *)
+
+val sync_register : regsize:int -> resetvalue:int -> Osss.Class_def.t
+(** The template class.  Methods: [Reset], [Write(NewValue:1)],
+    [RisingEdge(RegIndex:8) : 1], [FallingEdge(RegIndex:8) : 1],
+    [Value : regsize], [Stable : 1] (all recent samples equal). *)
+
+val osss_module : ?regsize:int -> unit -> Ir.module_def
+(** Ports: in [reset](1), [data](1); out [value](regsize),
+    [rising](1), [falling](1), [stable](1).  Default regsize 4. *)
+
+val rtl_module : ?regsize:int -> unit -> Ir.module_def
+(** Same interface, conventional RTL coding. *)

@@ -1,0 +1,216 @@
+module CD = Osss.Class_def
+module OI = Osss.Object_inst
+
+(* Shared arithmetic: the running sum is held two bits wider than the
+   counters so that doubling it for the median test cannot overflow. *)
+
+let make_threshold params =
+  match params with
+  | [ bins; count_w ] ->
+      if bins < 2 || bins > 256 then invalid_arg "threshold_class: bins";
+      let cw = count_w + 2 in
+      let one w = Ir.Const (Bitvec.of_int ~width:w 1) in
+      CD.declare
+        ~name:(Osss.Template.specialized_name "ThresholdCalc" params)
+        [
+          CD.field "idx" 8;
+          CD.field "cum" cw;
+          CD.field "median" 8;
+          CD.field "found" 1;
+          CD.field "running" 1;
+          CD.field "donef" 1;
+        ]
+        [
+          CD.proc_method ~name:"Start" ~params:[] (fun ctx ->
+              [
+                ctx.CD.set "running" (one 1);
+                ctx.CD.set "donef" (Ir.Const (Bitvec.zero 1));
+                ctx.CD.set "idx" (Ir.Const (Bitvec.zero 8));
+                ctx.CD.set "cum" (Ir.Const (Bitvec.zero cw));
+                ctx.CD.set "median" (Ir.Const (Bitvec.zero 8));
+                ctx.CD.set "found" (Ir.Const (Bitvec.zero 1));
+              ]);
+          CD.proc_method ~name:"Step"
+            ~params:[ ("Count", count_w); ("Total", count_w) ]
+            (fun ctx ->
+              let new_cum =
+                Ir.Binop
+                  (Ir.Add, ctx.CD.get "cum",
+                   Ir.Resize (false, ctx.CD.arg "Count", cw))
+              in
+              let reached =
+                Ir.Binop
+                  ( Ir.Ule,
+                    Ir.Resize (false, ctx.CD.arg "Total", cw),
+                    Ir.Binop (Ir.Shl, new_cum, one 2) )
+              in
+              let at_last =
+                Ir.Binop
+                  (Ir.Eq, ctx.CD.get "idx",
+                   Ir.Const (Bitvec.of_int ~width:8 (bins - 1)))
+              in
+              (* the running sum is committed last so that [reached]
+                 evaluates against the pre-step cumulative value *)
+              [
+                Ir.If
+                  ( Ir.Binop
+                      (Ir.And, Ir.Unop (Ir.Not, ctx.CD.get "found"), reached),
+                    [
+                      ctx.CD.set "median" (ctx.CD.get "idx");
+                      ctx.CD.set "found" (one 1);
+                    ],
+                    [] );
+                Ir.If
+                  ( at_last,
+                    [
+                      ctx.CD.set "running" (Ir.Const (Bitvec.zero 1));
+                      ctx.CD.set "donef" (one 1);
+                    ],
+                    [ ctx.CD.set "idx" (Ir.Binop (Ir.Add, ctx.CD.get "idx", one 8)) ]
+                  );
+                ctx.CD.set "cum" new_cum;
+              ]);
+          CD.fn_method ~name:"Scanning" ~params:[] ~return:1 (fun ctx ->
+              ([], ctx.CD.get "running"));
+          CD.fn_method ~name:"Done" ~params:[] ~return:1 (fun ctx ->
+              ([], ctx.CD.get "donef"));
+          CD.fn_method ~name:"Median" ~params:[] ~return:8 (fun ctx ->
+              ([], ctx.CD.get "median"));
+          CD.fn_method ~name:"Found" ~params:[] ~return:1 (fun ctx ->
+              ([], ctx.CD.get "found"));
+          CD.fn_method ~name:"Index" ~params:[] ~return:8 (fun ctx ->
+              ([], ctx.CD.get "idx"));
+        ]
+  | _ -> invalid_arg "threshold_class: two template parameters expected"
+
+let threshold_memo = Osss.Template.memoize make_threshold
+let threshold_class ~bins ~count_w = threshold_memo [ bins; count_w ]
+
+let band_low bins = bins / 4
+let band_high bins = 3 * bins / 4
+
+let ports b count_w =
+  let reset = Builder.input b "reset" 1 in
+  let start = Builder.input b "start" 1 in
+  let total = Builder.input b "total" count_w in
+  let rd_count = Builder.input b "rd_count" count_w in
+  (reset, start, total, rd_count)
+
+let outputs b count_w =
+  ignore count_w;
+  let rd_idx = Builder.output b "rd_idx" 8 in
+  let busy = Builder.output b "busy" 1 in
+  let done_ = Builder.output b "done" 1 in
+  let median_bin = Builder.output b "median_bin" 8 in
+  let under = Builder.output b "underexposed" 1 in
+  let over = Builder.output b "overexposed" 1 in
+  (rd_idx, busy, done_, median_bin, under, over)
+
+let flag_exprs ~bins ~found ~median =
+  let low = Ir.Const (Bitvec.of_int ~width:8 (band_low bins)) in
+  let high = Ir.Const (Bitvec.of_int ~width:8 (band_high bins)) in
+  let under = Ir.Binop (Ir.And, found, Ir.Binop (Ir.Ult, median, low)) in
+  let over = Ir.Binop (Ir.And, found, Ir.Binop (Ir.Ule, high, median)) in
+  (under, over)
+
+let osss_module ?(bins = 16) ?(count_w = 16) () =
+  let cls = threshold_class ~bins ~count_w in
+  let b = Builder.create "threshold_osss" in
+  let reset, start, total, rd_count = ports b count_w in
+  let rd_idx, busy, done_, median_bin, under, over = outputs b count_w in
+  let calc = OI.instantiate b ~name:"calc" cls in
+  Builder.sync b "scan"
+    [
+      Ir.If
+        ( Ir.Var reset,
+          [ OI.construct calc ],
+          [
+            Ir.If
+              ( Ir.Var start,
+                OI.call calc "Start" [],
+                [
+                  Ir.If
+                    ( snd (OI.call_fn calc "Scanning" []),
+                      OI.call calc "Step" [ Ir.Var rd_count; Ir.Var total ],
+                      [] );
+                ] );
+          ] );
+    ];
+  let _, idx_e = OI.call_fn calc "Index" [] in
+  let _, running_e = OI.call_fn calc "Scanning" [] in
+  let _, done_e = OI.call_fn calc "Done" [] in
+  let _, median_e = OI.call_fn calc "Median" [] in
+  let _, found_e = OI.call_fn calc "Found" [] in
+  let under_e, over_e = flag_exprs ~bins ~found:found_e ~median:median_e in
+  Builder.comb b "status"
+    [
+      Ir.Assign (rd_idx, idx_e);
+      Ir.Assign (busy, running_e);
+      Ir.Assign (done_, done_e);
+      Ir.Assign (median_bin, median_e);
+      Ir.Assign (under, under_e);
+      Ir.Assign (over, over_e);
+    ];
+  Builder.finish b
+
+let rtl_module ?(bins = 16) ?(count_w = 16) () =
+  let open Builder.Dsl in
+  let cw = count_w + 2 in
+  let b = Builder.create "threshold_rtl" in
+  let reset, start, total, rd_count = ports b count_w in
+  let rd_idx, busy, done_, median_bin, under, over = outputs b count_w in
+  let idx = Builder.wire b "idx" 8 in
+  let cum = Builder.wire b "cum" cw in
+  let median = Builder.wire b "median" 8 in
+  let found = Builder.wire b "found" 1 in
+  let running = Builder.wire b "running" 1 in
+  let done_r = Builder.wire b "done_r" 1 in
+  let new_cum = v cum +: zext (v rd_count) cw in
+  let reached = zext (v total) cw <=: (new_cum <<: c ~width:2 1) in
+  Builder.sync b "scan"
+    [
+      if_ (v reset)
+        [
+          idx <-- c ~width:8 0;
+          cum <-- c ~width:cw 0;
+          median <-- c ~width:8 0;
+          found <-- c ~width:1 0;
+          running <-- c ~width:1 0;
+          done_r <-- c ~width:1 0;
+        ]
+        [
+          if_ (v start)
+            [
+              running <-- c ~width:1 1;
+              done_r <-- c ~width:1 0;
+              idx <-- c ~width:8 0;
+              cum <-- c ~width:cw 0;
+              median <-- c ~width:8 0;
+              found <-- c ~width:1 0;
+            ]
+            [
+              when_ (v running)
+                [
+                  when_
+                    (notb (v found) &: reached)
+                    [ median <-- v idx; found <-- c ~width:1 1 ];
+                  if_
+                    (v idx ==: c ~width:8 (bins - 1))
+                    [ running <-- c ~width:1 0; done_r <-- c ~width:1 1 ]
+                    [ idx <-- (v idx +: c ~width:8 1) ];
+                  cum <-- new_cum;
+                ];
+            ];
+        ];
+    ];
+  let under_e, over_e = flag_exprs ~bins ~found:(v found) ~median:(v median) in
+  Builder.comb b "status"
+    [
+      rd_idx <-- v idx;
+      busy <-- v running;
+      done_ <-- v done_r;
+      median_bin <-- v median;
+      under <-- under_e;
+      over <-- over_e;
+    ];
+  Builder.finish b

@@ -1,0 +1,22 @@
+(** Threshold calculation — a control-flow ExpoCU stage with a
+    multi-thousand-cycle budget (§2): between frames it scans the
+    histogram one bin per clock and locates the median brightness band
+    plus under-/over-exposure conditions.
+
+    Interface (both styles):
+    in [reset](1), [start](1), [total](count_w), [rd_count](count_w);
+    out [rd_idx](8) (drives the histogram read port), [busy](1),
+    [done](1), [median_bin](8), [underexposed](1), [overexposed](1).
+
+    Protocol: pulse [start]; the module sweeps bins [0..bins-1]; [done]
+    rises one cycle after the sweep and stays until the next [start].
+    The median is the first bin where twice the cumulative count
+    reaches [total]; exposure flags compare it against fixed bands
+    (lower/upper quartile of the bin range). *)
+
+val threshold_class : bins:int -> count_w:int -> Osss.Class_def.t
+(** State machine as an OSSS class: methods [Start], [Step(Count, Total)],
+    [Scanning():1], [Done():1], [Median():8], [Index():8]. *)
+
+val osss_module : ?bins:int -> ?count_w:int -> unit -> Ir.module_def
+val rtl_module : ?bins:int -> ?count_w:int -> unit -> Ir.module_def

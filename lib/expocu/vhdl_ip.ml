@@ -1,0 +1,48 @@
+let width = 16
+
+(* Structural shift-and-add: one explicit partial-product row per bit,
+   written the way elaborated vendor VHDL looks (no behavioural "*"). *)
+let mult16_module () =
+  let open Builder.Dsl in
+  let b = Builder.create "ip_mult16" in
+  let a = Builder.input b "a" width in
+  let bb = Builder.input b "b" width in
+  let p = Builder.output b "p" (2 * width) in
+  let row i acc =
+    (* acc + (a << i when b[i]) over the full 32 bits *)
+    let partial =
+      mux2 (bit (v bb) i)
+        (zext (v a) (2 * width) <<: c ~width:5 i)
+        (c ~width:(2 * width) 0)
+    in
+    acc +: partial
+  in
+  let rec accumulate i acc = if i = width then acc else accumulate (i + 1) (row i acc) in
+  Builder.comb b "pp_rows" [ p <-- accumulate 0 (c ~width:(2 * width) 0) ];
+  Builder.finish b
+
+let mult16_netlist nl ~a ~b =
+  if Array.length a <> width || Array.length b <> width then
+    invalid_arg "mult16_netlist: operands must be 16 nets";
+  let module N = Backend.Netlist in
+  let zero = N.const0 nl in
+  let total = 2 * width in
+  (* Ripple add rows of masked, shifted partial products. *)
+  let acc = ref (Array.make total zero) in
+  for i = 0 to width - 1 do
+    let partial =
+      Array.init total (fun j ->
+          if j < i || j >= i + width then zero
+          else N.and2 nl a.(j - i) b.(i))
+    in
+    let carry = ref zero in
+    let sum = Array.make total zero in
+    for j = 0 to total - 1 do
+      let x = !acc.(j) and y = partial.(j) in
+      let axy = N.xor2 nl x y in
+      sum.(j) <- N.xor2 nl axy !carry;
+      carry := N.or2 nl (N.and2 nl x y) (N.and2 nl axy !carry)
+    done;
+    acc := sum
+  done;
+  !acc

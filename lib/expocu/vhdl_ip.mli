@@ -1,0 +1,25 @@
+(** "Existing VHDL IP" integrated into the design (§2, §7).
+
+    The paper integrates pre-existing VHDL components — multipliers and
+    specific constructs — by synthesizing them separately and letting
+    the tools connect everything at netlist level (Figure 6).  Here the
+    multiplier is provided in two forms:
+
+    - {!mult16_module}: an IR module in pre-synthesized structural
+      style (explicit unrolled shift-and-add rows, as an IP vendor's
+      netlist would look after elaboration), instantiable from any
+      design;
+    - {!mult16_netlist}: a gate-level injector that splices the IP
+      directly into an existing netlist — the literal netlist-level
+      integration path. *)
+
+val mult16_module : unit -> Ir.module_def
+(** Ports: in [a](16), [b](16); out [p](32).  Purely combinational. *)
+
+val mult16_netlist :
+  Backend.Netlist.t ->
+  a:Backend.Netlist.net array ->
+  b:Backend.Netlist.net array ->
+  Backend.Netlist.net array
+(** Instantiate the IP's gates inside [nl]; returns the 32 product
+    nets.  Operands must be 16 nets each. *)

@@ -1,0 +1,181 @@
+type fmt = { int_bits : int; frac_bits : int; signed : bool }
+
+exception Fixed_error of string
+
+let fixed_error f = Printf.ksprintf (fun s -> raise (Fixed_error s)) f
+
+let fmt ?(signed = false) ~int_bits ~frac_bits () =
+  if int_bits < 0 || frac_bits < 0 then
+    fixed_error "negative field sizes (%d, %d)" int_bits frac_bits;
+  let f = { int_bits; frac_bits; signed } in
+  if int_bits + frac_bits + (if signed then 1 else 0) < 1 then
+    fixed_error "zero-width format";
+  f
+
+let fmt_width f = f.int_bits + f.frac_bits + if f.signed then 1 else 0
+
+let fmt_to_string f =
+  Printf.sprintf "%cq%d.%d" (if f.signed then 's' else 'u') f.int_bits
+    f.frac_bits
+
+let resolve_add a b =
+  {
+    int_bits = max a.int_bits b.int_bits + 1;
+    frac_bits = max a.frac_bits b.frac_bits;
+    signed = a.signed || b.signed;
+  }
+
+let resolve_mul a b =
+  {
+    int_bits = a.int_bits + b.int_bits;
+    frac_bits = a.frac_bits + b.frac_bits;
+    signed = a.signed || b.signed;
+  }
+
+(* Concrete values are manipulated as scaled OCaml ints, which bounds
+   usable widths to 62 bits — ample for the automotive data paths. *)
+let check_width f =
+  if fmt_width f > 60 then
+    fixed_error "format %s too wide for concrete arithmetic" (fmt_to_string f)
+
+let range f =
+  let w = fmt_width f in
+  if f.signed then (-(1 lsl (w - 1)), (1 lsl (w - 1)) - 1)
+  else (0, (1 lsl w) - 1)
+
+module Value = struct
+  type t = { v_fmt : fmt; scaled : int }  (* value = scaled / 2^frac_bits *)
+
+  let create f raw =
+    check_width f;
+    if Bitvec.width raw <> fmt_width f then
+      fixed_error "raw width %d vs format %s" (Bitvec.width raw)
+        (fmt_to_string f);
+    let scaled =
+      if f.signed then Bitvec.to_signed_int raw else Bitvec.to_int raw
+    in
+    { v_fmt = f; scaled }
+
+  let clamp f n =
+    let lo, hi = range f in
+    if n < lo then lo else if n > hi then hi else n
+
+  let of_float f x =
+    check_width f;
+    let scaled = Float.round (x *. Float.of_int (1 lsl f.frac_bits)) in
+    { v_fmt = f; scaled = clamp f (int_of_float scaled) }
+
+  let to_float t =
+    Float.of_int t.scaled /. Float.of_int (1 lsl t.v_fmt.frac_bits)
+
+  let format t = t.v_fmt
+  let raw t = Bitvec.of_int ~width:(fmt_width t.v_fmt) t.scaled
+
+  let align frac t = t.scaled lsl (frac - t.v_fmt.frac_bits)
+
+  let add a b =
+    let f = resolve_add a.v_fmt b.v_fmt in
+    check_width f;
+    { v_fmt = f; scaled = align f.frac_bits a + align f.frac_bits b }
+
+  let sub a b =
+    let f = resolve_add a.v_fmt b.v_fmt in
+    let f = { f with signed = true } in
+    check_width f;
+    { v_fmt = f; scaled = align f.frac_bits a - align f.frac_bits b }
+
+  let mul a b =
+    let f = resolve_mul a.v_fmt b.v_fmt in
+    check_width f;
+    { v_fmt = f; scaled = a.scaled * b.scaled }
+
+  let resize ?(round = `Truncate) ?(saturate = false) f t =
+    check_width f;
+    let shift = t.v_fmt.frac_bits - f.frac_bits in
+    let scaled =
+      if shift <= 0 then t.scaled lsl -shift
+      else
+        let n = t.scaled in
+        match round with
+        | `Truncate -> n asr shift
+        | `Nearest -> (n + (1 lsl (shift - 1))) asr shift
+    in
+    let scaled =
+      if saturate then clamp f scaled
+      else begin
+        (* wrap into the representable range *)
+        let w = fmt_width f in
+        let m = scaled land ((1 lsl w) - 1) in
+        if f.signed && m land (1 lsl (w - 1)) <> 0 then m - (1 lsl w) else m
+      end
+    in
+    { v_fmt = f; scaled }
+
+  let equal a b = a.v_fmt = b.v_fmt && a.scaled = b.scaled
+
+  let compare a b =
+    (* compare as rationals: scale to the common fraction *)
+    let frac = max a.v_fmt.frac_bits b.v_fmt.frac_bits in
+    compare (align frac a) (align frac b)
+
+  let to_string t = Printf.sprintf "%g:%s" (to_float t) (fmt_to_string t.v_fmt)
+  let pp ppf t = Format.pp_print_string ppf (to_string t)
+end
+
+module Expr = struct
+  type t = { f : fmt; e : Ir.expr }
+
+  let lift f e =
+    let w = Ir.width_of e in
+    if w <> fmt_width f then
+      fixed_error "expression width %d vs format %s" w (fmt_to_string f);
+    { f; e }
+
+  let const f x = { f; e = Ir.Const (Value.raw (Value.of_float f x)) }
+  let to_expr t = t.e
+
+  (* Widen to [target] and align the binary point. *)
+  let align target t =
+    let w = fmt_width target in
+    let widened = Ir.Resize (t.f.signed, t.e, w) in
+    let shift = target.frac_bits - t.f.frac_bits in
+    if shift = 0 then widened
+    else if shift > 0 then
+      Ir.Binop (Ir.Shl, widened, Ir.Const (Bitvec.of_int ~width:8 shift))
+    else
+      fixed_error "align: cannot lose fraction bits implicitly"
+
+  let add a b =
+    let f = resolve_add a.f b.f in
+    { f; e = Ir.Binop (Ir.Add, align f a, align f b) }
+
+  let sub a b =
+    let f = { (resolve_add a.f b.f) with signed = true } in
+    { f; e = Ir.Binop (Ir.Sub, align f a, align f b) }
+
+  let mul a b =
+    let f = resolve_mul a.f b.f in
+    let w = fmt_width f in
+    let wa = Ir.Resize (a.f.signed, a.e, w) and wb = Ir.Resize (b.f.signed, b.e, w) in
+    { f; e = Ir.Binop (Ir.Mul, wa, wb) }
+
+  let resize f t =
+    let shift = t.f.frac_bits - f.frac_bits in
+    let e =
+      if shift <= 0 then
+        let widened = Ir.Resize (t.f.signed, t.e, fmt_width f) in
+        if shift = 0 then widened
+        else Ir.Binop (Ir.Shl, widened, Ir.Const (Bitvec.of_int ~width:8 (-shift)))
+      else
+        (* Drop fraction bits first (arithmetic shift keeps the sign),
+           then resize to the target width. *)
+        let shifted =
+          Ir.Binop
+            ( (if t.f.signed then Ir.Ashr else Ir.Lshr),
+              t.e,
+              Ir.Const (Bitvec.of_int ~width:8 shift) )
+        in
+        Ir.Resize (t.f.signed, shifted, fmt_width f)
+    in
+    { f; e }
+end

@@ -1,0 +1,76 @@
+(** Fixed-point arithmetic with automatic format resolution — the
+    prototypic OSSS feature of §6.
+
+    A value carries a format [(int_bits, frac_bits, signed)]; binary
+    operations resolve the result format automatically so that no
+    precision is lost (addition grows the integer part by one bit,
+    multiplication adds both parts), exactly the resolution a hardware
+    fixed-point library performs.  [Value] works on concrete numbers
+    (golden models, testbenches); [Expr] applies the same resolution to
+    IR expressions for synthesis. *)
+
+type fmt = { int_bits : int; frac_bits : int; signed : bool }
+
+exception Fixed_error of string
+
+val fmt : ?signed:bool -> int_bits:int -> frac_bits:int -> unit -> fmt
+(** Raises {!Fixed_error} on negative sizes or zero total width. *)
+
+val fmt_width : fmt -> int
+(** Total bits, sign included. *)
+
+val fmt_to_string : fmt -> string
+(** e.g. ["uq4.8"] / ["sq7.4"]. *)
+
+val resolve_add : fmt -> fmt -> fmt
+val resolve_mul : fmt -> fmt -> fmt
+
+(** {1 Concrete values} *)
+module Value : sig
+  type t
+
+  val create : fmt -> Bitvec.t -> t
+  (** Raw bits reinterpreted in the format. *)
+
+  val of_float : fmt -> float -> t
+  (** Rounds to nearest; saturates at the format's range. *)
+
+  val to_float : t -> float
+  val format : t -> fmt
+  val raw : t -> Bitvec.t
+
+  val add : t -> t -> t
+  (** Result format: {!resolve_add} — never overflows. *)
+
+  val sub : t -> t -> t
+  (** Result format is signed. *)
+
+  val mul : t -> t -> t
+  (** Result format: {!resolve_mul} — exact. *)
+
+  val resize : ?round:[ `Truncate | `Nearest ] -> ?saturate:bool -> fmt -> t -> t
+  (** Convert to a narrower/wider format.  Defaults: [`Truncate],
+      [saturate = false] (wrap). *)
+
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val to_string : t -> string
+  val pp : Format.formatter -> t -> unit
+end
+
+(** {1 Synthesizable expressions} *)
+module Expr : sig
+  type t = { f : fmt; e : Ir.expr }
+
+  val lift : fmt -> Ir.expr -> t
+  (** The expression's width must equal the format width. *)
+
+  val const : fmt -> float -> t
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val mul : t -> t -> t
+  val resize : fmt -> t -> t
+  (** Truncating/zero- or sign-extending conversion. *)
+
+  val to_expr : t -> Ir.expr
+end

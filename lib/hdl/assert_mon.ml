@@ -1,0 +1,134 @@
+type signal = Rtl_sim.t -> bool
+
+type violation = { at_cycle : int; label : string }
+
+(* A property is a stateful checker: called once per cycle with the
+   simulator, reporting violations through the callback; [finalize]
+   flushes open obligations. *)
+type prop = {
+  label : string;
+  check : Rtl_sim.t -> int -> (string -> unit) -> unit;
+  finalize : int -> (string -> unit) -> unit;
+}
+
+type t = {
+  sim : Rtl_sim.t;
+  mutable props : prop list;
+  mutable faults : violation list;  (* reverse order *)
+  mutable finished : bool;
+}
+
+let create sim = { sim; props = []; faults = []; finished = false }
+
+let port name sim = Rtl_sim.get_int sim name = 1
+let port_eq name value sim = Rtl_sim.get_int sim name = value
+let ( &&& ) a b sim = a sim && b sim
+let ( ||| ) a b sim = a sim || b sim
+let neg a sim = not (a sim)
+
+let rose s prev sim =
+  let now = s sim in
+  let before = !prev in
+  prev := now;
+  now && not before
+
+let stateless label check = { label; check; finalize = (fun _ _ -> ()) }
+
+let always ?(label = "always") s =
+  stateless label (fun sim _ fail -> if not (s sim) then fail label)
+
+let never ?(label = "never") s =
+  stateless label (fun sim _ fail -> if s sim then fail label)
+
+let implies_same ?(label = "implication") a c =
+  stateless label (fun sim _ fail -> if a sim && not (c sim) then fail label)
+
+let implies_next ?(label = "next-cycle implication") a c =
+  let pending = ref false in
+  {
+    label;
+    check =
+      (fun sim _ fail ->
+        if !pending && not (c sim) then fail label;
+        pending := a sim);
+    finalize = (fun _ _ -> ());
+  }
+
+let eventually_within ?(label = "bounded eventuality") trigger n ok =
+  let open_obligations : int Queue.t = Queue.create () in
+  {
+    label;
+    check =
+      (fun sim cycle fail ->
+        if ok sim then Queue.clear open_obligations
+        else
+          while
+            (not (Queue.is_empty open_obligations))
+            && cycle - Queue.peek open_obligations > n
+          do
+            ignore (Queue.pop open_obligations);
+            fail label
+          done;
+        if trigger sim && not (ok sim) then Queue.push cycle open_obligations);
+    finalize =
+      (fun _ fail ->
+        if not (Queue.is_empty open_obligations) then begin
+          Queue.clear open_obligations;
+          fail (label ^ " (still open at finish)")
+        end);
+  }
+
+let stable_unless ?label port_name allow =
+  let label =
+    Option.value ~default:(port_name ^ " stable unless allowed") label
+  in
+  let previous = ref None in
+  {
+    label;
+    check =
+      (fun sim _ fail ->
+        let current = Rtl_sim.get sim port_name in
+        (match !previous with
+        | Some before
+          when (not (Bitvec.equal before current)) && not (allow sim) ->
+            fail label
+        | Some _ | None -> ());
+        previous := Some current);
+    finalize = (fun _ _ -> ());
+  }
+
+let add t prop = t.props <- prop :: t.props
+
+let check_all t =
+  let cycle = Rtl_sim.cycles t.sim in
+  List.iter
+    (fun p ->
+      p.check t.sim cycle (fun label ->
+          t.faults <- { at_cycle = cycle; label } :: t.faults))
+    (List.rev t.props)
+
+let step t =
+  Rtl_sim.step t.sim;
+  check_all t
+
+let run t n =
+  for _ = 1 to n do
+    step t
+  done
+
+let finish t =
+  if not t.finished then begin
+    t.finished <- true;
+    let cycle = Rtl_sim.cycles t.sim in
+    List.iter
+      (fun p ->
+        p.finalize cycle (fun label ->
+            t.faults <- { at_cycle = cycle; label } :: t.faults))
+      (List.rev t.props)
+  end
+
+let violations t = List.rev t.faults
+let ok t = t.faults = []
+
+let pp_violation fmt v =
+  Format.fprintf fmt "cycle %d: %s" v.at_cycle v.label

@@ -1,0 +1,80 @@
+(** Temporal assertion monitoring over RTL simulations.
+
+    A lightweight linear-temporal checker in the spirit of PSL/SVA
+    simulation assertions: properties are built from boolean samplers
+    over the simulator state and checked cycle by cycle while the
+    design runs.  Violations are collected with the cycle they occurred
+    in; bounded obligations ([eventually_within]) that are still open
+    when {!finish} is called are reported as violations too.
+
+    Typical use: wrap a simulator, add properties, drive the design
+    through {!step}/{!run}, then {!finish} and inspect {!violations}. *)
+
+type t
+type prop
+
+val create : Rtl_sim.t -> t
+
+(** {1 Boolean layer} *)
+
+type signal = Rtl_sim.t -> bool
+(** A sampled condition, e.g.
+    [fun sim -> Rtl_sim.get_int sim "busy" = 1]. *)
+
+val port : string -> signal
+(** [port "busy"] samples a 1-bit port. *)
+
+val port_eq : string -> int -> signal
+val ( &&& ) : signal -> signal -> signal
+val ( ||| ) : signal -> signal -> signal
+val neg : signal -> signal
+
+(** {1 Temporal layer} *)
+
+val always : ?label:string -> signal -> prop
+(** Must hold every cycle. *)
+
+val never : ?label:string -> signal -> prop
+
+val implies_next : ?label:string -> signal -> signal -> prop
+(** Whenever the antecedent holds, the consequent must hold in the
+    next cycle. *)
+
+val implies_same : ?label:string -> signal -> signal -> prop
+(** Whenever the antecedent holds, the consequent holds in the same
+    cycle. *)
+
+val eventually_within : ?label:string -> signal -> int -> signal -> prop
+(** [eventually_within trigger n ok]: each cycle where [trigger] holds
+    opens an obligation that [ok] must hold within the next [n]
+    cycles. *)
+
+val stable_unless : ?label:string -> string -> signal -> prop
+(** [stable_unless port allow]: the named port may only change value in
+    cycles where [allow] holds. *)
+
+val rose : signal -> bool ref -> signal
+(** Edge helper for custom properties: [rose s prev] is true when [s]
+    holds now but did not at the previous sample (last sample kept in
+    [prev], which the caller initializes to [false]). *)
+
+(** {1 Running} *)
+
+val add : t -> prop -> unit
+
+val step : t -> unit
+(** Advance the simulator one cycle and check all properties. *)
+
+val run : t -> int -> unit
+
+val finish : t -> unit
+(** Close the books: open [eventually_within] obligations become
+    violations. *)
+
+type violation = { at_cycle : int; label : string }
+
+val violations : t -> violation list
+(** Chronological. *)
+
+val ok : t -> bool
+val pp_violation : Format.formatter -> violation -> unit

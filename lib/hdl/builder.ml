@@ -1,0 +1,97 @@
+type t = {
+  name : string;
+  mutable ports : Ir.port list;
+  mutable locals : Ir.var list;
+  mutable processes : Ir.process list;
+  mutable instances : Ir.instance list;
+}
+
+let create name =
+  { name; ports = []; locals = []; processes = []; instances = [] }
+
+let add_port b dir name width =
+  let var = Ir.fresh_var ~name ~width () in
+  b.ports <- { Ir.port_name = name; dir; port_var = var } :: b.ports;
+  var
+
+let input b name width = add_port b Ir.Input name width
+let output b name width = add_port b Ir.Output name width
+
+let wire b name width =
+  let var = Ir.fresh_var ~name ~width () in
+  b.locals <- var :: b.locals;
+  var
+
+let memory b name ~width ~depth =
+  let var = Ir.fresh_var ~depth ~name ~width () in
+  b.locals <- var :: b.locals;
+  var
+
+let comb b proc_name body =
+  b.processes <- Ir.Comb { proc_name; body } :: b.processes
+
+let sync b proc_name body =
+  b.processes <- Ir.Sync { proc_name; body } :: b.processes
+
+let instantiate b ~name inst_of port_map =
+  b.instances <-
+    { Ir.inst_name = name; inst_of; port_map } :: b.instances
+
+let finish b =
+  let m =
+    {
+      Ir.mod_name = b.name;
+      ports = List.rev b.ports;
+      locals = List.rev b.locals;
+      processes = List.rev b.processes;
+      instances = List.rev b.instances;
+    }
+  in
+  Ir.check_module m;
+  m
+
+module Dsl = struct
+  let v var = Ir.Var var
+  let c ~width n = Ir.Const (Bitvec.of_int ~width n)
+  let cb b = Ir.Const (Bitvec.of_bool b)
+  let cbv bv = Ir.Const bv
+  let ( +: ) a b = Ir.Binop (Ir.Add, a, b)
+  let ( -: ) a b = Ir.Binop (Ir.Sub, a, b)
+  let ( *: ) a b = Ir.Binop (Ir.Mul, a, b)
+  let ( &: ) a b = Ir.Binop (Ir.And, a, b)
+  let ( |: ) a b = Ir.Binop (Ir.Or, a, b)
+  let ( ^: ) a b = Ir.Binop (Ir.Xor, a, b)
+  let ( ==: ) a b = Ir.Binop (Ir.Eq, a, b)
+  let ( <>: ) a b = Ir.Binop (Ir.Ne, a, b)
+  let ( <: ) a b = Ir.Binop (Ir.Ult, a, b)
+  let ( <=: ) a b = Ir.Binop (Ir.Ule, a, b)
+  let ( >: ) a b = Ir.Binop (Ir.Ult, b, a)
+  let ( >=: ) a b = Ir.Binop (Ir.Ule, b, a)
+  let ( <<: ) a b = Ir.Binop (Ir.Shl, a, b)
+  let ( >>: ) a b = Ir.Binop (Ir.Lshr, a, b)
+  let notb e = Ir.Unop (Ir.Not, e)
+  let negb e = Ir.Unop (Ir.Neg, e)
+  let mux2 s a b = Ir.Mux (s, a, b)
+  let slice e ~hi ~lo = Ir.Slice (e, hi, lo)
+  let bit e i = Ir.Slice (e, i, i)
+
+  let concat = function
+    | [] -> invalid_arg "Dsl.concat: empty list"
+    | e :: rest -> List.fold_left (fun acc x -> Ir.Concat (acc, x)) e rest
+
+  let zext e w = Ir.Resize (false, e, w)
+  let sext e w = Ir.Resize (true, e, w)
+  let aread var idx = Ir.Array_read (var, idx)
+  let ( <-- ) var e = Ir.Assign (var, e)
+  let assign_slice var ~lo e = Ir.Assign_slice (var, lo, e)
+  let awrite var idx value = Ir.Array_write (var, idx, value)
+  let if_ cond t e = Ir.If (cond, t, e)
+  let when_ cond t = Ir.If (cond, t, [])
+
+  let case scrutinee arms dflt =
+    let w = Ir.width_of scrutinee in
+    let arms =
+      List.map (fun (n, body) -> (Bitvec.of_int ~width:w n, body)) arms
+    in
+    Ir.Case (scrutinee, arms, dflt)
+end

@@ -1,0 +1,72 @@
+(** Ergonomic construction of IR modules.
+
+    A builder accumulates ports, locals, processes and instances, then
+    {!finish} runs the full structural check and returns the module.
+    The [Dsl] sub-module provides expression operators so design code
+    reads close to HDL. *)
+
+type t
+
+val create : string -> t
+
+val input : t -> string -> int -> Ir.var
+val output : t -> string -> int -> Ir.var
+val wire : t -> string -> int -> Ir.var
+(** Local scalar; whether it elaborates to a register or a wire depends
+    on the kind of process that drives it. *)
+
+val memory : t -> string -> width:int -> depth:int -> Ir.var
+
+val comb : t -> string -> Ir.stmt list -> unit
+val sync : t -> string -> Ir.stmt list -> unit
+
+val instantiate :
+  t -> name:string -> Ir.module_def -> (string * Ir.var) list -> unit
+
+val finish : t -> Ir.module_def
+(** Runs {!Ir.check_module}; raises {!Ir.Type_error} on invalid
+    designs. *)
+
+(** Expression and statement sugar.  Open locally inside design
+    functions. *)
+module Dsl : sig
+  val v : Ir.var -> Ir.expr
+  val c : width:int -> int -> Ir.expr
+  val cb : bool -> Ir.expr
+  val cbv : Bitvec.t -> Ir.expr
+
+  val ( +: ) : Ir.expr -> Ir.expr -> Ir.expr
+  val ( -: ) : Ir.expr -> Ir.expr -> Ir.expr
+  val ( *: ) : Ir.expr -> Ir.expr -> Ir.expr
+  val ( &: ) : Ir.expr -> Ir.expr -> Ir.expr
+  val ( |: ) : Ir.expr -> Ir.expr -> Ir.expr
+  val ( ^: ) : Ir.expr -> Ir.expr -> Ir.expr
+  val ( ==: ) : Ir.expr -> Ir.expr -> Ir.expr
+  val ( <>: ) : Ir.expr -> Ir.expr -> Ir.expr
+  val ( <: ) : Ir.expr -> Ir.expr -> Ir.expr
+  val ( <=: ) : Ir.expr -> Ir.expr -> Ir.expr
+  val ( >: ) : Ir.expr -> Ir.expr -> Ir.expr
+  val ( >=: ) : Ir.expr -> Ir.expr -> Ir.expr
+  val ( <<: ) : Ir.expr -> Ir.expr -> Ir.expr
+  val ( >>: ) : Ir.expr -> Ir.expr -> Ir.expr
+
+  val notb : Ir.expr -> Ir.expr
+  val negb : Ir.expr -> Ir.expr
+  val mux2 : Ir.expr -> Ir.expr -> Ir.expr -> Ir.expr
+  val slice : Ir.expr -> hi:int -> lo:int -> Ir.expr
+  val bit : Ir.expr -> int -> Ir.expr
+  val concat : Ir.expr list -> Ir.expr
+  (** Head supplies the most significant bits. *)
+
+  val zext : Ir.expr -> int -> Ir.expr
+  val sext : Ir.expr -> int -> Ir.expr
+  val aread : Ir.var -> Ir.expr -> Ir.expr
+
+  val ( <-- ) : Ir.var -> Ir.expr -> Ir.stmt
+  val assign_slice : Ir.var -> lo:int -> Ir.expr -> Ir.stmt
+  val awrite : Ir.var -> Ir.expr -> Ir.expr -> Ir.stmt
+  val if_ : Ir.expr -> Ir.stmt list -> Ir.stmt list -> Ir.stmt
+  val when_ : Ir.expr -> Ir.stmt list -> Ir.stmt
+  val case : Ir.expr -> (int * Ir.stmt list) list -> Ir.stmt list -> Ir.stmt
+  (** Integer labels are converted at the scrutinee's width. *)
+end

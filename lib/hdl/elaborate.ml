@@ -1,0 +1,103 @@
+let subst_var map (v : Ir.var) =
+  match Hashtbl.find_opt map v.Ir.id with Some v' -> v' | None -> v
+
+let rec subst_expr map (e : Ir.expr) =
+  match e with
+  | Const _ -> e
+  | Var v -> Ir.Var (subst_var map v)
+  | Array_read (v, idx) -> Ir.Array_read (subst_var map v, subst_expr map idx)
+  | Unop (op, e) -> Ir.Unop (op, subst_expr map e)
+  | Binop (op, a, b) -> Ir.Binop (op, subst_expr map a, subst_expr map b)
+  | Mux (s, t, e) ->
+      Ir.Mux (subst_expr map s, subst_expr map t, subst_expr map e)
+  | Slice (e, hi, lo) -> Ir.Slice (subst_expr map e, hi, lo)
+  | Concat (a, b) -> Ir.Concat (subst_expr map a, subst_expr map b)
+  | Resize (signed, e, w) -> Ir.Resize (signed, subst_expr map e, w)
+
+let rec subst_stmt map (st : Ir.stmt) =
+  match st with
+  | Assign (v, e) -> Ir.Assign (subst_var map v, subst_expr map e)
+  | Assign_slice (v, lo, e) ->
+      Ir.Assign_slice (subst_var map v, lo, subst_expr map e)
+  | Array_write (v, idx, e) ->
+      Ir.Array_write (subst_var map v, subst_expr map idx, subst_expr map e)
+  | If (c, t, e) ->
+      Ir.If
+        (subst_expr map c, List.map (subst_stmt map) t,
+         List.map (subst_stmt map) e)
+  | Case (s, arms, dflt) ->
+      Ir.Case
+        ( subst_expr map s,
+          List.map (fun (l, b) -> (l, List.map (subst_stmt map) b)) arms,
+          List.map (subst_stmt map) dflt )
+
+let rec flatten (m : Ir.module_def) =
+  if m.instances = [] then m
+  else begin
+    let locals = ref (List.rev m.locals) in
+    let processes = ref (List.rev m.processes) in
+    List.iter
+      (fun (inst : Ir.instance) ->
+        let child = flatten inst.inst_of in
+        let map = Hashtbl.create 16 in
+        (* Ports map to the parent's actual variables. *)
+        List.iter
+          (fun (p : Ir.port) ->
+            match List.assoc_opt p.port_name inst.port_map with
+            | Some actual -> Hashtbl.replace map p.port_var.Ir.id actual
+            | None ->
+                raise
+                  (Ir.Type_error
+                     (Printf.sprintf "flatten: instance %s: port %s unmapped"
+                        inst.inst_name p.port_name)))
+          child.ports;
+        (* Locals are cloned with a hierarchical prefix. *)
+        List.iter
+          (fun v ->
+            let v' = Ir.clone_var ~prefix:(inst.inst_name ^ ".") v in
+            Hashtbl.replace map v.Ir.id v';
+            locals := v' :: !locals)
+          child.locals;
+        List.iter
+          (fun proc ->
+            let rewritten =
+              match proc with
+              | Ir.Comb { proc_name; body } ->
+                  Ir.Comb
+                    {
+                      proc_name = inst.inst_name ^ "." ^ proc_name;
+                      body = List.map (subst_stmt map) body;
+                    }
+              | Ir.Sync { proc_name; body } ->
+                  Ir.Sync
+                    {
+                      proc_name = inst.inst_name ^ "." ^ proc_name;
+                      body = List.map (subst_stmt map) body;
+                    }
+            in
+            processes := rewritten :: !processes)
+          child.processes)
+      m.instances;
+    let flat =
+      {
+        m with
+        locals = List.rev !locals;
+        processes = List.rev !processes;
+        instances = [];
+      }
+    in
+    Ir.check_module flat;
+    flat
+  end
+
+let hierarchy m =
+  let rows = ref [] in
+  let rec walk path depth (m : Ir.module_def) =
+    rows := (path, m.mod_name, depth) :: !rows;
+    List.iter
+      (fun (inst : Ir.instance) ->
+        walk (path ^ "/" ^ inst.inst_name) (depth + 1) inst.inst_of)
+      m.instances
+  in
+  walk ("/" ^ m.Ir.mod_name) 0 m;
+  List.rev !rows

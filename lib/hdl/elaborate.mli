@@ -1,0 +1,14 @@
+(** Hierarchy elaboration: inline every instance transitively, producing
+    a single flat module.  Child locals are renamed
+    ["<instance>.<name>"]; child ports are substituted by the actual
+    variables of the parent.  The result passes {!Ir.check_module}. *)
+
+val flatten : Ir.module_def -> Ir.module_def
+
+val subst_expr : (int, Ir.var) Hashtbl.t -> Ir.expr -> Ir.expr
+val subst_stmt : (int, Ir.var) Hashtbl.t -> Ir.stmt -> Ir.stmt
+(** Variable substitution, exposed for the OSSS resolution pass. *)
+
+val hierarchy : Ir.module_def -> (string * string * int) list
+(** [(path, module name, depth)] rows of the instance tree, root first —
+    the data behind the paper's Figure 12 top-level structure view. *)

@@ -1,0 +1,24 @@
+(** Concrete evaluation of IR expressions and statement bodies over a
+    mutable environment.  Shared by the RTL simulator and by unit tests
+    that compare IR semantics against the netlist back end. *)
+
+type env
+
+val create : unit -> env
+
+val set : env -> Ir.var -> Bitvec.t -> unit
+val get : env -> Ir.var -> Bitvec.t
+(** Unset variables read as zero of the variable's width. *)
+
+val set_array_elem : env -> Ir.var -> int -> Bitvec.t -> unit
+val get_array : env -> Ir.var -> Bitvec.t array
+(** The backing store (shared, not a copy). *)
+
+val copy : env -> env
+(** Deep copy, arrays included. *)
+
+val eval_expr : env -> Ir.expr -> Bitvec.t
+
+val run_body : env -> Ir.stmt list -> unit
+(** Executes statements sequentially with immediate-assignment
+    semantics, mutating [env]. *)

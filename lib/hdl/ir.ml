@@ -1,0 +1,402 @@
+type var = { id : int; var_name : string; width : int; depth : int }
+
+let var_counter = ref 0
+
+let fresh_var ?(depth = 1) ~name ~width () =
+  if width < 1 then invalid_arg "Ir.fresh_var: width must be >= 1";
+  if depth < 1 then invalid_arg "Ir.fresh_var: depth must be >= 1";
+  incr var_counter;
+  { id = !var_counter; var_name = name; width; depth }
+
+let clone_var ~prefix v =
+  fresh_var ~depth:v.depth ~name:(prefix ^ v.var_name) ~width:v.width ()
+
+let is_array v = v.depth > 1
+
+type unop = Not | Neg | Reduce_and | Reduce_or | Reduce_xor
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | And
+  | Or
+  | Xor
+  | Eq
+  | Ne
+  | Ult
+  | Ule
+  | Slt
+  | Sle
+  | Shl
+  | Lshr
+  | Ashr
+
+type expr =
+  | Const of Bitvec.t
+  | Var of var
+  | Array_read of var * expr
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Mux of expr * expr * expr
+  | Slice of expr * int * int
+  | Concat of expr * expr
+  | Resize of bool * expr * int
+
+type stmt =
+  | Assign of var * expr
+  | Assign_slice of var * int * expr
+  | Array_write of var * expr * expr
+  | If of expr * stmt list * stmt list
+  | Case of expr * (Bitvec.t * stmt list) list * stmt list
+
+type process =
+  | Comb of { proc_name : string; body : stmt list }
+  | Sync of { proc_name : string; body : stmt list }
+
+type port_dir = Input | Output
+type port = { port_name : string; dir : port_dir; port_var : var }
+
+type instance = {
+  inst_name : string;
+  inst_of : module_def;
+  port_map : (string * var) list;
+}
+
+and module_def = {
+  mod_name : string;
+  ports : port list;
+  locals : var list;
+  processes : process list;
+  instances : instance list;
+}
+
+exception Type_error of string
+
+let type_error fmt = Printf.ksprintf (fun s -> raise (Type_error s)) fmt
+
+let rec width_of = function
+  | Const c -> Bitvec.width c
+  | Var v ->
+      if is_array v then type_error "array %s used as scalar" v.var_name;
+      v.width
+  | Array_read (v, idx) ->
+      if not (is_array v) then
+        type_error "scalar %s indexed as array" v.var_name;
+      ignore (width_of idx);
+      v.width
+  | Unop ((Reduce_and | Reduce_or | Reduce_xor), e) ->
+      ignore (width_of e);
+      1
+  | Unop ((Not | Neg), e) -> width_of e
+  | Binop ((Add | Sub | Mul | And | Or | Xor), a, b) ->
+      let wa = width_of a and wb = width_of b in
+      if wa <> wb then type_error "binop operand widths %d vs %d" wa wb;
+      wa
+  | Binop ((Eq | Ne | Ult | Ule | Slt | Sle), a, b) ->
+      let wa = width_of a and wb = width_of b in
+      if wa <> wb then type_error "comparison operand widths %d vs %d" wa wb;
+      1
+  | Binop ((Shl | Lshr | Ashr), a, b) ->
+      ignore (width_of b);
+      width_of a
+  | Mux (sel, t, e) ->
+      if width_of sel <> 1 then type_error "mux select must be 1 bit";
+      let wt = width_of t and we = width_of e in
+      if wt <> we then type_error "mux arm widths %d vs %d" wt we;
+      wt
+  | Slice (e, hi, lo) ->
+      let w = width_of e in
+      if lo < 0 || hi >= w || hi < lo then
+        type_error "slice [%d:%d] of width %d" hi lo w;
+      hi - lo + 1
+  | Concat (a, b) -> width_of a + width_of b
+  | Resize (_, e, w) ->
+      ignore (width_of e);
+      if w < 1 then type_error "resize to width %d" w;
+      w
+
+let rec expr_reads = function
+  | Const _ -> []
+  | Var v -> [ v ]
+  | Array_read (v, idx) -> v :: expr_reads idx
+  | Unop (_, e) | Resize (_, e, _) | Slice (e, _, _) -> expr_reads e
+  | Binop (_, a, b) | Concat (a, b) -> expr_reads a @ expr_reads b
+  | Mux (s, a, b) -> expr_reads s @ expr_reads a @ expr_reads b
+
+let rec stmt_reads = function
+  | Assign (_, e) | Assign_slice (_, _, e) -> expr_reads e
+  | Array_write (_, idx, e) -> expr_reads idx @ expr_reads e
+  | If (c, t, e) -> expr_reads c @ body_reads t @ body_reads e
+  | Case (s, arms, dflt) ->
+      expr_reads s
+      @ List.concat_map (fun (_, b) -> body_reads b) arms
+      @ body_reads dflt
+
+and body_reads body = List.concat_map stmt_reads body
+
+let rec stmt_writes = function
+  | Assign (v, _) | Assign_slice (v, _, _) | Array_write (v, _, _) -> [ v ]
+  | If (_, t, e) -> body_writes t @ body_writes e
+  | Case (_, arms, dflt) ->
+      List.concat_map (fun (_, b) -> body_writes b) arms @ body_writes dflt
+
+and body_writes body = List.concat_map stmt_writes body
+
+let find_port m name =
+  List.find (fun p -> p.port_name = name) m.ports
+
+let proc_body = function Comb { body; _ } -> body | Sync { body; _ } -> body
+let proc_name = function
+  | Comb { proc_name; _ } -> proc_name
+  | Sync { proc_name; _ } -> proc_name
+
+type var_kind = Kreg | Kwire | Kinput
+
+let classify_vars m =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun p -> if p.dir = Input then Hashtbl.replace tbl p.port_var.id Kinput)
+    m.ports;
+  List.iter
+    (fun proc ->
+      let kind = match proc with Comb _ -> Kwire | Sync _ -> Kreg in
+      List.iter
+        (fun v ->
+          match Hashtbl.find_opt tbl v.id with
+          | None -> Hashtbl.replace tbl v.id kind
+          | Some k when k = kind -> ()
+          | Some Kinput ->
+              type_error "input %s driven by process %s" v.var_name
+                (proc_name proc)
+          | Some _ ->
+              type_error "%s driven by both comb and sync logic" v.var_name)
+        (body_writes (proc_body proc)))
+    m.processes;
+  tbl
+
+let rec check_stmt st =
+  match st with
+  | Assign (v, e) ->
+      if is_array v then type_error "array %s assigned as scalar" v.var_name;
+      let w = width_of e in
+      if w <> v.width then
+        type_error "assign %s: width %d into %d" v.var_name w v.width
+  | Assign_slice (v, lo, e) ->
+      if is_array v then type_error "array %s assigned as scalar" v.var_name;
+      let w = width_of e in
+      if lo < 0 || lo + w > v.width then
+        type_error "assign slice %s[%d+:%d] of width %d" v.var_name lo w
+          v.width
+  | Array_write (v, idx, e) ->
+      if not (is_array v) then
+        type_error "scalar %s written as array" v.var_name;
+      ignore (width_of idx);
+      let w = width_of e in
+      if w <> v.width then
+        type_error "array write %s: width %d into %d" v.var_name w v.width
+  | If (c, t, e) ->
+      if width_of c <> 1 then type_error "if condition must be 1 bit";
+      List.iter check_stmt t;
+      List.iter check_stmt e
+  | Case (s, arms, dflt) ->
+      let w = width_of s in
+      List.iter
+        (fun (label, body) ->
+          if Bitvec.width label <> w then
+            type_error "case label width %d vs scrutinee %d"
+              (Bitvec.width label) w;
+          List.iter check_stmt body)
+        arms;
+      List.iter check_stmt dflt
+
+let check_module m =
+  (* Port variables must appear exactly once and be scalars for now
+     (array ports are not needed by any design here). *)
+  List.iter
+    (fun p ->
+      if is_array p.port_var then
+        type_error "array port %s not supported" p.port_name)
+    m.ports;
+  List.iter
+    (fun proc -> List.iter check_stmt (proc_body proc))
+    m.processes;
+  ignore (classify_vars m);
+  (* Instances: every formal must be mapped, with matching width. *)
+  List.iter
+    (fun inst ->
+      List.iter
+        (fun fp ->
+          match List.assoc_opt fp.port_name inst.port_map with
+          | None ->
+              type_error "instance %s: port %s not connected" inst.inst_name
+                fp.port_name
+          | Some actual ->
+              if actual.width <> fp.port_var.width then
+                type_error "instance %s: port %s width %d vs actual %d"
+                  inst.inst_name fp.port_name fp.port_var.width actual.width)
+        inst.inst_of.ports)
+    m.instances
+
+type stats = {
+  n_processes : int;
+  n_statements : int;
+  n_expr_nodes : int;
+  n_locals : int;
+  n_state_bits : int;
+  n_instances : int;
+}
+
+let rec expr_nodes = function
+  | Const _ | Var _ -> 1
+  | Array_read (_, e) | Unop (_, e) | Resize (_, e, _) | Slice (e, _, _) ->
+      1 + expr_nodes e
+  | Binop (_, a, b) | Concat (a, b) -> 1 + expr_nodes a + expr_nodes b
+  | Mux (s, a, b) -> 1 + expr_nodes s + expr_nodes a + expr_nodes b
+
+let rec stmt_size st =
+  match st with
+  | Assign (_, e) | Assign_slice (_, _, e) -> (1, expr_nodes e)
+  | Array_write (_, i, e) -> (1, expr_nodes i + expr_nodes e)
+  | If (c, t, e) ->
+      let st_t, ex_t = body_size t and st_e, ex_e = body_size e in
+      (1 + st_t + st_e, expr_nodes c + ex_t + ex_e)
+  | Case (s, arms, dflt) ->
+      let sizes = List.map (fun (_, b) -> body_size b) arms in
+      let st_a = List.fold_left (fun acc (s, _) -> acc + s) 0 sizes in
+      let ex_a = List.fold_left (fun acc (_, e) -> acc + e) 0 sizes in
+      let st_d, ex_d = body_size dflt in
+      (1 + st_a + st_d, expr_nodes s + ex_a + ex_d)
+
+and body_size body =
+  List.fold_left
+    (fun (s, e) st ->
+      let s', e' = stmt_size st in
+      (s + s', e + e'))
+    (0, 0) body
+
+let module_stats m =
+  let kinds = classify_vars m in
+  let n_state_bits =
+    Hashtbl.fold
+      (fun id kind acc ->
+        match kind with
+        | Kreg ->
+            let v =
+              List.find_opt (fun v -> v.id = id)
+                (m.locals @ List.map (fun p -> p.port_var) m.ports)
+            in
+            let bits =
+              match v with Some v -> v.width * v.depth | None -> 0
+            in
+            acc + bits
+        | Kwire | Kinput -> acc)
+      kinds 0
+  in
+  let n_statements, n_expr_nodes =
+    List.fold_left
+      (fun (s, e) proc ->
+        let s', e' = body_size (proc_body proc) in
+        (s + s', e + e'))
+      (0, 0) m.processes
+  in
+  {
+    n_processes = List.length m.processes;
+    n_statements;
+    n_expr_nodes;
+    n_locals = List.length m.locals;
+    n_state_bits;
+    n_instances = List.length m.instances;
+  }
+
+(* -------------------------------------------------------------------- *)
+(* Pretty printing                                                      *)
+
+let unop_str = function
+  | Not -> "~"
+  | Neg -> "-"
+  | Reduce_and -> "&"
+  | Reduce_or -> "|"
+  | Reduce_xor -> "^"
+
+let binop_str = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | And -> "&"
+  | Or -> "|"
+  | Xor -> "^"
+  | Eq -> "=="
+  | Ne -> "!="
+  | Ult -> "<"
+  | Ule -> "<="
+  | Slt -> "<s"
+  | Sle -> "<=s"
+  | Shl -> "<<"
+  | Lshr -> ">>"
+  | Ashr -> ">>>"
+
+let rec pp_expr fmt = function
+  | Const c -> Bitvec.pp fmt c
+  | Var v -> Format.pp_print_string fmt v.var_name
+  | Array_read (v, idx) ->
+      Format.fprintf fmt "%s[%a]" v.var_name pp_expr idx
+  | Unop (op, e) -> Format.fprintf fmt "(%s%a)" (unop_str op) pp_expr e
+  | Binop (op, a, b) ->
+      Format.fprintf fmt "(%a %s %a)" pp_expr a (binop_str op) pp_expr b
+  | Mux (s, t, e) ->
+      Format.fprintf fmt "(%a ? %a : %a)" pp_expr s pp_expr t pp_expr e
+  | Slice (e, hi, lo) -> Format.fprintf fmt "%a[%d:%d]" pp_expr e hi lo
+  | Concat (a, b) -> Format.fprintf fmt "{%a, %a}" pp_expr a pp_expr b
+  | Resize (signed, e, w) ->
+      Format.fprintf fmt "%s(%a, %d)"
+        (if signed then "sext" else "zext")
+        pp_expr e w
+
+let rec pp_stmt fmt = function
+  | Assign (v, e) -> Format.fprintf fmt "%s = %a;" v.var_name pp_expr e
+  | Assign_slice (v, lo, e) ->
+      Format.fprintf fmt "%s[%d+:] = %a;" v.var_name lo pp_expr e
+  | Array_write (v, idx, e) ->
+      Format.fprintf fmt "%s[%a] = %a;" v.var_name pp_expr idx pp_expr e
+  | If (c, t, e) ->
+      Format.fprintf fmt "@[<v 2>if (%a) {@,%a@]@,}" pp_expr c pp_body t;
+      if e <> [] then Format.fprintf fmt "@[<v 2> else {@,%a@]@,}" pp_body e
+  | Case (s, arms, dflt) ->
+      Format.fprintf fmt "@[<v 2>case (%a) {@," pp_expr s;
+      List.iter
+        (fun (label, body) ->
+          Format.fprintf fmt "@[<v 2>%a: {@,%a@]@,}@," Bitvec.pp label pp_body
+            body)
+        arms;
+      Format.fprintf fmt "@[<v 2>default: {@,%a@]@,}@]@,}" pp_body dflt
+
+and pp_body fmt body =
+  Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_stmt fmt body
+
+let pp_module fmt m =
+  Format.fprintf fmt "@[<v 2>module %s {@," m.mod_name;
+  List.iter
+    (fun p ->
+      Format.fprintf fmt "%s %s : %d;@,"
+        (match p.dir with Input -> "input" | Output -> "output")
+        p.port_name p.port_var.width)
+    m.ports;
+  List.iter
+    (fun v ->
+      if is_array v then
+        Format.fprintf fmt "var %s : %d[%d];@," v.var_name v.width v.depth
+      else Format.fprintf fmt "var %s : %d;@," v.var_name v.width)
+    m.locals;
+  List.iter
+    (fun inst ->
+      Format.fprintf fmt "instance %s : %s;@," inst.inst_name
+        inst.inst_of.mod_name)
+    m.instances;
+  List.iter
+    (fun proc ->
+      let kind = match proc with Comb _ -> "comb" | Sync _ -> "sync" in
+      Format.fprintf fmt "@[<v 2>%s %s {@,%a@]@,}@," kind (proc_name proc)
+        pp_body (proc_body proc))
+    m.processes;
+  Format.fprintf fmt "@]@,}"

@@ -1,0 +1,145 @@
+(** The synthesizable hardware IR.
+
+    This deep embedding plays the role of the {e synthesizable subset of
+    standard SystemC} in the paper's flow (Figure 6): the OSSS
+    synthesizer resolves object-oriented constructs down to this IR,
+    hand-written "VHDL" RTL is expressed directly in it, and the netlist
+    back end lowers it to gates.
+
+    A design is a tree of modules.  Every synchronous process of every
+    module is clocked by the single implicit system clock (the paper's
+    ExpoCU runs entirely on one 66 MHz clock); resets are ordinary
+    synchronous inputs tested inside process bodies.
+
+    Sequential semantics inside a process body: an assignment is visible
+    to subsequent statements of the same activation; registers commit at
+    the end of the clock edge; communication between processes goes
+    through the pre-edge snapshot. *)
+
+type var = private {
+  id : int;  (** globally unique *)
+  var_name : string;
+  width : int;  (** element width in bits, >= 1 *)
+  depth : int;  (** 1 for a scalar, > 1 for an array (memory) *)
+}
+
+val fresh_var : ?depth:int -> name:string -> width:int -> unit -> var
+(** Allocates a new variable with a unique [id]. *)
+
+val clone_var : prefix:string -> var -> var
+(** Fresh variable with the same shape, renamed — used when inlining
+    hierarchy. *)
+
+val is_array : var -> bool
+
+type unop = Not | Neg | Reduce_and | Reduce_or | Reduce_xor
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | And
+  | Or
+  | Xor
+  | Eq
+  | Ne
+  | Ult
+  | Ule
+  | Slt
+  | Sle
+  | Shl   (** shift amount is the right operand, any width *)
+  | Lshr
+  | Ashr
+
+type expr =
+  | Const of Bitvec.t
+  | Var of var
+  | Array_read of var * expr
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Mux of expr * expr * expr  (** [Mux (sel, then_, else_)], [sel] 1 bit *)
+  | Slice of expr * int * int  (** [Slice (e, hi, lo)] *)
+  | Concat of expr * expr  (** left = high bits *)
+  | Resize of bool * expr * int  (** signed?, expr, new width *)
+
+type stmt =
+  | Assign of var * expr
+  | Assign_slice of var * int * expr
+      (** [Assign_slice (v, lo, e)]: bits [lo .. lo + width e - 1]. *)
+  | Array_write of var * expr * expr  (** memory, index, value *)
+  | If of expr * stmt list * stmt list
+  | Case of expr * (Bitvec.t * stmt list) list * stmt list
+      (** scrutinee, labelled arms, default *)
+
+type process =
+  | Comb of { proc_name : string; body : stmt list }
+      (** combinational: re-evaluated whenever any read value changes *)
+  | Sync of { proc_name : string; body : stmt list }
+      (** clocked on the implicit clock's rising edge *)
+
+type port_dir = Input | Output
+
+type port = { port_name : string; dir : port_dir; port_var : var }
+
+type instance = {
+  inst_name : string;
+  inst_of : module_def;
+  port_map : (string * var) list;  (** formal port name -> actual var *)
+}
+
+and module_def = {
+  mod_name : string;
+  ports : port list;
+  locals : var list;
+  processes : process list;
+  instances : instance list;
+}
+
+(** {1 Typing} *)
+
+exception Type_error of string
+
+val width_of : expr -> int
+(** Infers and checks the width of an expression; raises {!Type_error}
+    on inconsistent operands. *)
+
+val check_module : module_def -> unit
+(** Full structural check: expression widths, assignment widths, port
+    map completeness and widths, single-driver discipline, and that no
+    variable is driven by both a [Comb] and a [Sync] process. *)
+
+type var_kind = Kreg | Kwire | Kinput
+(** How a variable is driven: by a [Sync] process, by a [Comb] process,
+    or as a module input. *)
+
+val classify_vars : module_def -> (int, var_kind) Hashtbl.t
+(** Driver classification for all ports and locals of one (flat or
+    hierarchical) module; instances are not entered. *)
+
+(** {1 Traversal helpers} *)
+
+val expr_reads : expr -> var list
+val stmt_reads : stmt -> var list
+val stmt_writes : stmt -> var list
+val body_reads : stmt list -> var list
+val body_writes : stmt list -> var list
+
+val find_port : module_def -> string -> port
+(** Raises [Not_found]. *)
+
+(** {1 Statistics and printing} *)
+
+type stats = {
+  n_processes : int;
+  n_statements : int;
+  n_expr_nodes : int;
+  n_locals : int;
+  n_state_bits : int;  (** total register bits (arrays included) *)
+  n_instances : int;  (** direct child instances *)
+}
+
+val module_stats : module_def -> stats
+
+val pp_expr : Format.formatter -> expr -> unit
+val pp_stmt : Format.formatter -> stmt -> unit
+val pp_module : Format.formatter -> module_def -> unit

@@ -1,0 +1,151 @@
+exception Combinational_loop of string
+
+type sync_proc = { s_name : string; s_body : Ir.stmt list; s_writes : Ir.var list }
+type comb_proc = { c_name : string; c_body : Ir.stmt list; c_writes : Ir.var list }
+
+type t = {
+  flat : Ir.module_def;
+  env : Eval.env;
+  inputs : (string, Ir.var) Hashtbl.t;
+  outputs : (string, Ir.var) Hashtbl.t;
+  combs : comb_proc list;
+  syncs : sync_proc list;
+  mutable n_cycles : int;
+}
+
+let dedup_vars vars =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun (v : Ir.var) ->
+      if Hashtbl.mem seen v.Ir.id then false
+      else begin
+        Hashtbl.replace seen v.Ir.id ();
+        true
+      end)
+    vars
+
+let create m =
+  let flat = Elaborate.flatten m in
+  let inputs = Hashtbl.create 8 and outputs = Hashtbl.create 8 in
+  List.iter
+    (fun (p : Ir.port) ->
+      match p.dir with
+      | Input -> Hashtbl.replace inputs p.port_name p.port_var
+      | Output -> Hashtbl.replace outputs p.port_name p.port_var)
+    flat.ports;
+  let combs, syncs =
+    List.fold_left
+      (fun (cs, ss) proc ->
+        match proc with
+        | Ir.Comb { proc_name; body } ->
+            let writes = dedup_vars (Ir.body_writes body) in
+            List.iter
+              (fun (v : Ir.var) ->
+                if Ir.is_array v then
+                  raise
+                    (Ir.Type_error
+                       (Printf.sprintf
+                          "comb process %s writes memory %s (inferred latch)"
+                          proc_name v.Ir.var_name)))
+              writes;
+            ({ c_name = proc_name; c_body = body; c_writes = writes } :: cs, ss)
+        | Ir.Sync { proc_name; body } ->
+            ( cs,
+              {
+                s_name = proc_name;
+                s_body = body;
+                s_writes = dedup_vars (Ir.body_writes body);
+              }
+              :: ss ))
+      ([], []) flat.processes
+  in
+  {
+    flat;
+    env = Eval.create ();
+    inputs;
+    outputs;
+    combs = List.rev combs;
+    syncs = List.rev syncs;
+    n_cycles = 0;
+  }
+
+let find_port t name =
+  match Hashtbl.find_opt t.inputs name with
+  | Some v -> v
+  | None -> (
+      match Hashtbl.find_opt t.outputs name with
+      | Some v -> v
+      | None -> raise Not_found)
+
+let set_input t name bv =
+  match Hashtbl.find_opt t.inputs name with
+  | None -> raise Not_found
+  | Some v ->
+      if Bitvec.width bv <> v.Ir.width then
+        invalid_arg
+          (Printf.sprintf "set_input %s: width %d expected %d" name
+             (Bitvec.width bv) v.Ir.width);
+      Eval.set t.env v bv
+
+let set_input_int t name n =
+  let v = Hashtbl.find t.inputs name in
+  Eval.set t.env v (Bitvec.of_int ~width:v.Ir.width n)
+
+let get t name = Eval.get t.env (find_port t name)
+let get_int t name = Bitvec.to_int (get t name)
+let peek_var t v = Eval.get t.env v
+let peek_array t v = Eval.get_array t.env v
+
+let settle t =
+  (* Fixpoint over combinational processes; the bound covers any acyclic
+     dependency chain, so hitting it means a combinational loop. *)
+  let max_rounds = List.length t.combs + 2 in
+  let rec round n =
+    if n > max_rounds then
+      raise (Combinational_loop t.flat.Ir.mod_name);
+    let changed = ref false in
+    List.iter
+      (fun cp ->
+        let before = List.map (fun v -> Eval.get t.env v) cp.c_writes in
+        Eval.run_body t.env cp.c_body;
+        let after = List.map (fun v -> Eval.get t.env v) cp.c_writes in
+        if not (List.for_all2 Bitvec.equal before after) then changed := true)
+      t.combs;
+    if !changed then round (n + 1)
+  in
+  if t.combs <> [] then round 1
+
+let step t =
+  settle t;
+  (* All synchronous processes observe the same pre-edge snapshot. *)
+  let snapshot = Eval.copy t.env in
+  let commits =
+    List.map
+      (fun sp ->
+        let local = Eval.copy snapshot in
+        Eval.run_body local sp.s_body;
+        (sp, local))
+      t.syncs
+  in
+  List.iter
+    (fun ((sp : sync_proc), local) ->
+      List.iter
+        (fun (v : Ir.var) ->
+          if Ir.is_array v then begin
+            let src = Eval.get_array local v in
+            let dst = Eval.get_array t.env v in
+            Array.blit src 0 dst 0 (Array.length dst)
+          end
+          else Eval.set t.env v (Eval.get local v))
+        sp.s_writes)
+    commits;
+  t.n_cycles <- t.n_cycles + 1;
+  settle t
+
+let run t n =
+  for _ = 1 to n do
+    step t
+  done
+
+let cycles t = t.n_cycles
+let design t = t.flat

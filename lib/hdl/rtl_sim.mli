@@ -1,0 +1,42 @@
+(** Cycle-accurate interpreter for IR modules — the "RTL simulation"
+    level of the flow.  The design is flattened on creation.
+
+    Per {!step}: combinational processes settle to a fixpoint, then all
+    synchronous processes execute against the same pre-edge snapshot
+    (sequential visibility inside each process), their register writes
+    commit, and combinational logic settles again. *)
+
+type t
+
+exception Combinational_loop of string
+
+val create : Ir.module_def -> t
+
+val set_input : t -> string -> Bitvec.t -> unit
+(** Raises [Not_found] for unknown ports, [Invalid_argument] on width
+    mismatch or non-input ports. *)
+
+val set_input_int : t -> string -> int -> unit
+val get : t -> string -> Bitvec.t
+(** Value of any port by name. *)
+
+val get_int : t -> string -> int
+val peek_var : t -> Ir.var -> Bitvec.t
+(** Value of an internal variable (post-flatten name resolution is the
+    caller's concern; variables keep their identity through builder
+    construction). *)
+
+val peek_array : t -> Ir.var -> Bitvec.t array
+
+val settle : t -> unit
+(** Combinational settle without a clock edge. *)
+
+val step : t -> unit
+(** One full clock cycle. *)
+
+val run : t -> int -> unit
+(** [run t n] steps [n] cycles. *)
+
+val cycles : t -> int
+val design : t -> Ir.module_def
+(** The flattened design being simulated. *)

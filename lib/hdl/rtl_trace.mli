@@ -1,0 +1,30 @@
+(** Waveform tracing for the RTL interpreter — the [sc_trace] facility
+    of the paper's §9 at the RTL stage.  Register variables, ports or
+    computed lenses, then call {!sample} after every simulated cycle
+    (or use {!step}); the result is a standard VCD document with one
+    timestamp per clock cycle. *)
+
+type t
+
+val create : Rtl_sim.t -> ?top:string -> unit -> t
+
+val var : t -> ?name:string -> Ir.var -> unit
+(** Trace an internal variable (its IR name by default). *)
+
+val port : t -> string -> unit
+(** Trace a port by name. *)
+
+val lens : t -> name:string -> width:int -> (Rtl_sim.t -> Bitvec.t) -> unit
+(** Trace a computed value — used for object field decomposition. *)
+
+val sample : t -> unit
+(** Record the current values at the simulator's cycle count. *)
+
+val step : t -> unit
+(** [Rtl_sim.step] followed by {!sample}. *)
+
+val run : t -> int -> unit
+
+val contents : t -> string
+val save : t -> string -> unit
+val signal_count : t -> int

@@ -1,0 +1,261 @@
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+      | _ -> '_')
+    name
+
+(* Map every variable of one module to a unique Verilog identifier. *)
+let naming (m : Ir.module_def) =
+  let tbl = Hashtbl.create 32 in
+  let used = Hashtbl.create 32 in
+  let claim (v : Ir.var) =
+    let base = sanitize v.Ir.var_name in
+    let name =
+      if Hashtbl.mem used base then Printf.sprintf "%s_%d" base v.Ir.id
+      else base
+    in
+    Hashtbl.replace used name ();
+    Hashtbl.replace tbl v.Ir.id name
+  in
+  List.iter (fun (p : Ir.port) -> claim p.port_var) m.ports;
+  List.iter claim m.locals;
+  fun (v : Ir.var) ->
+    match Hashtbl.find_opt tbl v.Ir.id with
+    | Some n -> n
+    | None -> sanitize v.Ir.var_name
+
+let range w = if w = 1 then "" else Printf.sprintf "[%d:0] " (w - 1)
+
+let rec expr name_of buf (e : Ir.expr) =
+  let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let sub e = expr name_of buf e in
+  match e with
+  | Const c ->
+      p "%d'h%s" (Bitvec.width c) (Bitvec.to_hex_string c)
+  | Var v -> p "%s" (name_of v)
+  | Array_read (v, idx) ->
+      p "%s[" (name_of v);
+      sub idx;
+      p "]"
+  | Unop (op, e) ->
+      let s =
+        match op with
+        | Ir.Not -> "~"
+        | Neg -> "-"
+        | Reduce_and -> "&"
+        | Reduce_or -> "|"
+        | Reduce_xor -> "^"
+      in
+      p "(%s" s;
+      sub e;
+      p ")"
+  | Binop (op, a, b) -> (
+      match op with
+      | Slt | Sle ->
+          p "($signed(";
+          sub a;
+          p (match op with Slt -> ") < $signed(" | _ -> ") <= $signed(");
+          sub b;
+          p "))"
+      | _ ->
+          let s =
+            match op with
+            | Ir.Add -> "+"
+            | Sub -> "-"
+            | Mul -> "*"
+            | And -> "&"
+            | Or -> "|"
+            | Xor -> "^"
+            | Eq -> "=="
+            | Ne -> "!="
+            | Ult -> "<"
+            | Ule -> "<="
+            | Shl -> "<<"
+            | Lshr -> ">>"
+            | Ashr -> ">>>"
+            | Slt | Sle -> assert false
+          in
+          p "(";
+          sub a;
+          p " %s " s;
+          sub b;
+          p ")")
+  | Mux (s, t, e) ->
+      p "(";
+      sub s;
+      p " ? ";
+      sub t;
+      p " : ";
+      sub e;
+      p ")"
+  | Slice (e, hi, lo) ->
+      (* Verilog cannot slice arbitrary expressions; materialization is
+         the caller's concern, so restrict to variables and fall back to
+         shift+mask otherwise. *)
+      (match e with
+      | Var v -> p "%s[%d:%d]" (name_of v) hi lo
+      | _ ->
+          let w = hi - lo + 1 in
+          p "(%d'h%s & (" w (Bitvec.to_hex_string (Bitvec.ones w));
+          sub e;
+          p " >> %d))" lo)
+  | Concat (a, b) ->
+      p "{";
+      sub a;
+      p ", ";
+      sub b;
+      p "}"
+  | Resize (signed, e, w) ->
+      let we = Ir.width_of e in
+      if w <= we then begin
+        p "(%d'h%s & " w (Bitvec.to_hex_string (Bitvec.ones w));
+        sub e;
+        p ")"
+      end
+      else if signed then begin
+        p "{{%d{" (w - we);
+        (match e with
+        | Var v -> p "%s[%d]" (name_of v) (we - 1)
+        | _ ->
+            p "(";
+            sub e;
+            p ") >> %d" (we - 1));
+        p "}}, ";
+        sub e;
+        p "}"
+      end
+      else begin
+        p "{%d'h0, " (w - we);
+        sub e;
+        p "}"
+      end
+
+let rec stmt name_of buf indent (st : Ir.stmt) =
+  let pad = String.make indent ' ' in
+  let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let e x = expr name_of buf x in
+  match st with
+  | Assign (v, rhs) ->
+      p "%s%s = " pad (name_of v);
+      e rhs;
+      p ";\n"
+  | Assign_slice (v, lo, rhs) ->
+      let w = Ir.width_of rhs in
+      p "%s%s[%d:%d] = " pad (name_of v) (lo + w - 1) lo;
+      e rhs;
+      p ";\n"
+  | Array_write (v, idx, rhs) ->
+      p "%s%s[" pad (name_of v);
+      e idx;
+      p "] = ";
+      e rhs;
+      p ";\n"
+  | If (c, t, els) ->
+      p "%sif (" pad;
+      e c;
+      p ") begin\n";
+      List.iter (stmt name_of buf (indent + 2)) t;
+      if els <> [] then begin
+        p "%send else begin\n" pad;
+        List.iter (stmt name_of buf (indent + 2)) els
+      end;
+      p "%send\n" pad
+  | Case (s, arms, dflt) ->
+      p "%scase (" pad;
+      e s;
+      p ")\n";
+      List.iter
+        (fun (label, body) ->
+          p "%s  %d'h%s: begin\n" pad (Bitvec.width label)
+            (Bitvec.to_hex_string label);
+          List.iter (stmt name_of buf (indent + 4)) body;
+          p "%s  end\n" pad)
+        arms;
+      p "%s  default: begin\n" pad;
+      List.iter (stmt name_of buf (indent + 4)) dflt;
+      p "%s  end\n" pad;
+      p "%sendcase\n" pad
+
+let emit_module (m : Ir.module_def) =
+  let name_of = naming m in
+  let buf = Buffer.create 1024 in
+  let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let has_sync =
+    List.exists (function Ir.Sync _ -> true | Ir.Comb _ -> false) m.processes
+    || m.instances <> []
+  in
+  let port_names =
+    (if has_sync then [ "clk" ] else [])
+    @ List.map (fun (pt : Ir.port) -> name_of pt.port_var) m.ports
+  in
+  p "module %s(%s);\n" (sanitize m.mod_name) (String.concat ", " port_names);
+  if has_sync then p "  input clk;\n";
+  List.iter
+    (fun (pt : Ir.port) ->
+      let dir = match pt.dir with Ir.Input -> "input" | Output -> "output" in
+      let reg =
+        match pt.dir with
+        | Ir.Output -> " reg"
+        | Input -> ""
+      in
+      p "  %s%s %s%s;\n" dir reg (range pt.port_var.Ir.width)
+        (name_of pt.port_var))
+    m.ports;
+  List.iter
+    (fun (v : Ir.var) ->
+      if Ir.is_array v then
+        p "  reg %s%s [0:%d];\n" (range v.Ir.width) (name_of v) (v.Ir.depth - 1)
+      else p "  reg %s%s;\n" (range v.Ir.width) (name_of v))
+    m.locals;
+  List.iter
+    (fun (inst : Ir.instance) ->
+      let child_has_sync =
+        List.exists
+          (function Ir.Sync _ -> true | Ir.Comb _ -> false)
+          inst.inst_of.processes
+        || inst.inst_of.instances <> []
+      in
+      let conns =
+        (if child_has_sync then [ ".clk(clk)" ] else [])
+        @ List.map
+            (fun (formal, actual) ->
+              Printf.sprintf ".%s(%s)" (sanitize formal) (name_of actual))
+            inst.port_map
+      in
+      p "  %s %s(%s);\n"
+        (sanitize inst.inst_of.Ir.mod_name)
+        (sanitize inst.inst_name) (String.concat ", " conns))
+    m.instances;
+  List.iter
+    (fun proc ->
+      match proc with
+      | Ir.Comb { proc_name; body } ->
+          p "  // comb process %s\n" proc_name;
+          p "  always @* begin\n";
+          List.iter (stmt name_of buf 4) body;
+          p "  end\n"
+      | Ir.Sync { proc_name; body } ->
+          p "  // sync process %s\n" proc_name;
+          p "  always @(posedge clk) begin\n";
+          List.iter (stmt name_of buf 4) body;
+          p "  end\n")
+    m.processes;
+  p "endmodule\n";
+  Buffer.contents buf
+
+let emit m =
+  (* Children first, each distinct module once. *)
+  let seen = Hashtbl.create 8 in
+  let out = Buffer.create 4096 in
+  let rec walk (m : Ir.module_def) =
+    List.iter (fun (i : Ir.instance) -> walk i.inst_of) m.instances;
+    if not (Hashtbl.mem seen m.mod_name) then begin
+      Hashtbl.replace seen m.mod_name ();
+      Buffer.add_string out (emit_module m);
+      Buffer.add_char out '\n'
+    end
+  in
+  walk m;
+  Buffer.contents out

@@ -1,0 +1,12 @@
+(** Verilog emitter for IR designs.
+
+    Produces one [module] per distinct module in the hierarchy.  All
+    synchronous processes are clocked by an added [clk] input.  The
+    output corresponds to the [*.v] files exchanged with the back end in
+    the paper's flow (Figure 6). *)
+
+val emit : Ir.module_def -> string
+(** Full translation unit: child modules first, top last. *)
+
+val emit_module : Ir.module_def -> string
+(** A single module without its children. *)

@@ -1,0 +1,344 @@
+let sanitize name =
+  let s =
+    String.map
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+        | _ -> '_')
+      name
+  in
+  (* VHDL identifiers may not start with '_' or a digit. *)
+  match s.[0] with '0' .. '9' | '_' -> "s" ^ s | _ -> s
+
+let naming (m : Ir.module_def) =
+  let tbl = Hashtbl.create 32 in
+  let used = Hashtbl.create 32 in
+  let claim (v : Ir.var) =
+    let base = sanitize v.Ir.var_name in
+    let name =
+      if Hashtbl.mem used (String.lowercase_ascii base) then
+        Printf.sprintf "%s_%d" base v.Ir.id
+      else base
+    in
+    Hashtbl.replace used (String.lowercase_ascii name) ();
+    Hashtbl.replace tbl v.Ir.id name
+  in
+  List.iter (fun (p : Ir.port) -> claim p.port_var) m.ports;
+  List.iter claim m.locals;
+  fun (v : Ir.var) ->
+    match Hashtbl.find_opt tbl v.Ir.id with
+    | Some n -> n
+    | None -> sanitize v.Ir.var_name
+
+let utype w = Printf.sprintf "unsigned(%d downto 0)" (w - 1)
+
+let const_lit c =
+  Printf.sprintf "unsigned'(\"%s\")" (Bitvec.to_binary_string c)
+
+(* Printing context: variables written by the current process are
+   referenced through their shadow variable. *)
+type ctx = { name_of : Ir.var -> string; shadowed : (int, string) Hashtbl.t }
+
+let ref_var ctx (v : Ir.var) =
+  match Hashtbl.find_opt ctx.shadowed v.Ir.id with
+  | Some shadow -> shadow
+  | None -> ctx.name_of v
+
+let rec expr ctx buf (e : Ir.expr) =
+  let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let sub e = expr ctx buf e in
+  match e with
+  | Const c -> p "%s" (const_lit c)
+  | Var v -> p "%s" (ref_var ctx v)
+  | Array_read (v, idx) ->
+      p "%s(to_integer(" (ref_var ctx v);
+      sub idx;
+      p "))"
+  | Unop (op, e0) -> (
+      match op with
+      | Ir.Not ->
+          p "(not ";
+          sub e0;
+          p ")"
+      | Neg ->
+          p "(0 - ";
+          sub e0;
+          p ")"
+      | Reduce_and ->
+          p "b2u(";
+          sub e0;
+          p " = %s)" (const_lit (Bitvec.ones (Ir.width_of e0)))
+      | Reduce_or ->
+          p "b2u(";
+          sub e0;
+          p " /= %s)" (const_lit (Bitvec.zero (Ir.width_of e0)))
+      | Reduce_xor ->
+          p "rxor(";
+          sub e0;
+          p ")")
+  | Binop (op, a, b) -> (
+      let infix s =
+        p "(";
+        sub a;
+        p " %s " s;
+        sub b;
+        p ")"
+      in
+      let cmp s signed =
+        p "b2u(";
+        if signed then p "signed(std_logic_vector(";
+        sub a;
+        if signed then p "))";
+        p " %s " s;
+        if signed then p "signed(std_logic_vector(";
+        sub b;
+        if signed then p "))";
+        p ")"
+      in
+      match op with
+      | Ir.Add -> infix "+"
+      | Sub -> infix "-"
+      | Mul ->
+          (* VHDL "*" doubles the width; resize back. *)
+          let w = Ir.width_of a in
+          p "resize((";
+          sub a;
+          p " * ";
+          sub b;
+          p "), %d)" w
+      | And -> infix "and"
+      | Or -> infix "or"
+      | Xor -> infix "xor"
+      | Eq -> cmp "=" false
+      | Ne -> cmp "/=" false
+      | Ult -> cmp "<" false
+      | Ule -> cmp "<=" false
+      | Slt -> cmp "<" true
+      | Sle -> cmp "<=" true
+      | Shl ->
+          p "shift_left(";
+          sub a;
+          p ", to_integer(";
+          sub b;
+          p "))"
+      | Lshr ->
+          p "shift_right(";
+          sub a;
+          p ", to_integer(";
+          sub b;
+          p "))"
+      | Ashr ->
+          p "unsigned(shift_right(signed(std_logic_vector(";
+          sub a;
+          p ")), to_integer(";
+          sub b;
+          p ")))")
+  | Mux (s, t, e0) ->
+      p "mux2(";
+      sub s;
+      p ", ";
+      sub t;
+      p ", ";
+      sub e0;
+      p ")"
+  | Slice (e0, hi, lo) ->
+      (* Bind complex expressions through a shift to keep legal VHDL. *)
+      (match e0 with
+      | Var _ | Array_read _ ->
+          sub e0;
+          p "(%d downto %d)" hi lo
+      | _ ->
+          p "resize(shift_right(";
+          sub e0;
+          p ", %d), %d)" lo (hi - lo + 1))
+  | Concat (a, b) ->
+      p "(";
+      sub a;
+      p " & ";
+      sub b;
+      p ")"
+  | Resize (signed, e0, w) ->
+      if signed then begin
+        p "unsigned(resize(signed(std_logic_vector(";
+        sub e0;
+        p ")), %d))" w
+      end
+      else begin
+        p "resize(";
+        sub e0;
+        p ", %d)" w
+      end
+
+let rec stmt ctx buf indent (st : Ir.stmt) =
+  let pad = String.make indent ' ' in
+  let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let e x = expr ctx buf x in
+  match st with
+  | Assign (v, rhs) ->
+      p "%s%s := " pad (ref_var ctx v);
+      e rhs;
+      p ";\n"
+  | Assign_slice (v, lo, rhs) ->
+      let w = Ir.width_of rhs in
+      p "%s%s(%d downto %d) := " pad (ref_var ctx v) (lo + w - 1) lo;
+      e rhs;
+      p ";\n"
+  | Array_write (v, idx, rhs) ->
+      p "%s%s(to_integer(" pad (ref_var ctx v);
+      e idx;
+      p ")) := ";
+      e rhs;
+      p ";\n"
+  | If (c, t, els) ->
+      p "%sif is1(" pad;
+      e c;
+      p ") then\n";
+      List.iter (stmt ctx buf (indent + 2)) t;
+      if els <> [] then begin
+        p "%selse\n" pad;
+        List.iter (stmt ctx buf (indent + 2)) els
+      end;
+      p "%send if;\n" pad
+  | Case (s, arms, dflt) ->
+      p "%scase " pad;
+      e s;
+      p " is\n";
+      List.iter
+        (fun (label, body) ->
+          p "%s  when %s =>\n" pad (const_lit label);
+          List.iter (stmt ctx buf (indent + 4)) body)
+        arms;
+      p "%s  when others =>\n" pad;
+      if dflt = [] then p "%s    null;\n" pad
+      else List.iter (stmt ctx buf (indent + 4)) dflt;
+      p "%send case;\n" pad
+
+let helpers =
+  "  function b2u(b : boolean) return unsigned is\n\
+  \  begin\n\
+  \    if b then return unsigned'(\"1\"); else return unsigned'(\"0\"); end if;\n\
+  \  end function;\n\
+  \  function is1(u : unsigned) return boolean is\n\
+  \  begin\n\
+  \    return u(u'low) = '1';\n\
+  \  end function;\n\
+  \  function mux2(s : unsigned; a : unsigned; b : unsigned) return unsigned is\n\
+  \  begin\n\
+  \    if s(s'low) = '1' then return a; else return b; end if;\n\
+  \  end function;\n\
+  \  function rxor(u : unsigned) return unsigned is\n\
+  \    variable acc : std_ulogic := '0';\n\
+  \  begin\n\
+  \    for i in u'range loop acc := acc xor u(i); end loop;\n\
+  \    return unsigned'(\"\") & acc;\n\
+  \  end function;\n"
+
+let has_sync (m : Ir.module_def) =
+  List.exists (function Ir.Sync _ -> true | Ir.Comb _ -> false) m.processes
+  || m.instances <> []
+
+let emit_process name_of buf (proc : Ir.process) =
+  let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let proc_name, body, is_sync =
+    match proc with
+    | Ir.Comb { proc_name; body } -> (proc_name, body, false)
+    | Ir.Sync { proc_name; body } -> (proc_name, body, true)
+  in
+  let writes =
+    let seen = Hashtbl.create 8 in
+    List.filter
+      (fun (v : Ir.var) ->
+        if Hashtbl.mem seen v.Ir.id then false
+        else begin
+          Hashtbl.replace seen v.Ir.id ();
+          true
+        end)
+      (Ir.body_writes body)
+  in
+  let shadowed = Hashtbl.create 8 in
+  List.iter
+    (fun (v : Ir.var) ->
+      Hashtbl.replace shadowed v.Ir.id ("v_" ^ name_of v))
+    writes;
+  let ctx = { name_of; shadowed } in
+  p "  %s : process %s\n" (sanitize proc_name)
+    (if is_sync then "(clk)" else "(all)");
+  List.iter
+    (fun (v : Ir.var) ->
+      if Ir.is_array v then
+        p "    variable v_%s : %s_t;\n" (name_of v) (name_of v)
+      else p "    variable v_%s : %s;\n" (name_of v) (utype v.Ir.width))
+    writes;
+  p "  begin\n";
+  let indent = if is_sync then 6 else 4 in
+  if is_sync then p "    if rising_edge(clk) then\n";
+  let pad = String.make indent ' ' in
+  List.iter
+    (fun (v : Ir.var) -> p "%sv_%s := %s;\n" pad (name_of v) (name_of v))
+    writes;
+  List.iter (stmt ctx buf indent) body;
+  List.iter
+    (fun (v : Ir.var) -> p "%s%s <= v_%s;\n" pad (name_of v) (name_of v))
+    writes;
+  if is_sync then p "    end if;\n";
+  p "  end process;\n\n"
+
+let emit_module (m : Ir.module_def) =
+  let name_of = naming m in
+  let buf = Buffer.create 2048 in
+  let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let ent = sanitize m.mod_name in
+  p "library ieee;\nuse ieee.std_logic_1164.all;\nuse ieee.numeric_std.all;\n\n";
+  p "entity %s is\n  port (\n" ent;
+  let port_lines =
+    (if has_sync m then [ "    clk : in std_ulogic" ] else [])
+    @ List.map
+        (fun (pt : Ir.port) ->
+          Printf.sprintf "    %s : %s %s" (name_of pt.port_var)
+            (match pt.dir with Ir.Input -> "in" | Output -> "out")
+            (utype pt.port_var.Ir.width))
+        m.ports
+  in
+  p "%s);\nend entity;\n\n" (String.concat ";\n" port_lines);
+  p "architecture rtl of %s is\n" ent;
+  Buffer.add_string buf helpers;
+  List.iter
+    (fun (v : Ir.var) ->
+      if Ir.is_array v then begin
+        p "  type %s_t is array (0 to %d) of %s;\n" (name_of v)
+          (v.Ir.depth - 1) (utype v.Ir.width);
+        p "  signal %s : %s_t;\n" (name_of v) (name_of v)
+      end
+      else p "  signal %s : %s;\n" (name_of v) (utype v.Ir.width))
+    m.locals;
+  p "begin\n";
+  List.iter
+    (fun (inst : Ir.instance) ->
+      let conns =
+        (if has_sync inst.inst_of then [ "clk => clk" ] else [])
+        @ List.map
+            (fun (formal, actual) ->
+              Printf.sprintf "%s => %s" (sanitize formal) (name_of actual))
+            inst.port_map
+      in
+      p "  %s : entity work.%s port map (%s);\n" (sanitize inst.inst_name)
+        (sanitize inst.inst_of.Ir.mod_name)
+        (String.concat ", " conns))
+    m.instances;
+  List.iter (emit_process name_of buf) m.processes;
+  p "end architecture;\n";
+  Buffer.contents buf
+
+let emit m =
+  let seen = Hashtbl.create 8 in
+  let out = Buffer.create 4096 in
+  let rec walk (m : Ir.module_def) =
+    List.iter (fun (i : Ir.instance) -> walk i.inst_of) m.instances;
+    if not (Hashtbl.mem seen m.Ir.mod_name) then begin
+      Hashtbl.replace seen m.Ir.mod_name ();
+      Buffer.add_string out (emit_module m);
+      Buffer.add_char out '\n'
+    end
+  in
+  walk m;
+  Buffer.contents out

@@ -1,0 +1,12 @@
+(** VHDL emitter for IR designs — the baseline flow's exchange format
+    ([*.vhd] in the paper's Figure 6).
+
+    Each module becomes an entity/architecture pair; IR sequential
+    semantics (assignments visible to later statements of the same
+    activation) is preserved by shadowing written signals with process
+    variables. *)
+
+val emit : Ir.module_def -> string
+(** Children first, top entity last. *)
+
+val emit_module : Ir.module_def -> string

@@ -1,0 +1,123 @@
+type code_metrics = { lines : int; tokens : int; decisions : int }
+
+(* Strip // and -- line comments and /* */ blocks, then count. *)
+let of_text text =
+  let n = String.length text in
+  let buf = Buffer.create n in
+  let rec scan i in_block =
+    if i >= n then ()
+    else if in_block then
+      if i + 1 < n && text.[i] = '*' && text.[i + 1] = '/' then
+        scan (i + 2) false
+      else scan (i + 1) true
+    else if i + 1 < n && text.[i] = '/' && text.[i + 1] = '*' then
+      scan (i + 2) true
+    else if
+      i + 1 < n
+      && ((text.[i] = '/' && text.[i + 1] = '/')
+         || (text.[i] = '-' && text.[i + 1] = '-'))
+    then begin
+      let rec skip j = if j < n && text.[j] <> '\n' then skip (j + 1) else j in
+      scan (skip i) false
+    end
+    else begin
+      Buffer.add_char buf text.[i];
+      scan (i + 1) false
+    end
+  in
+  scan 0 false;
+  let stripped = Buffer.contents buf in
+  let lines =
+    String.split_on_char '\n' stripped
+    |> List.filter (fun l -> String.trim l <> "")
+    |> List.length
+  in
+  let is_word c =
+    match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false
+  in
+  let tokens = ref 0 and in_word = ref false in
+  String.iter
+    (fun c ->
+      if is_word c then begin
+        if not !in_word then incr tokens;
+        in_word := true
+      end
+      else begin
+        in_word := false;
+        match c with
+        | ' ' | '\t' | '\n' | '\r' | '(' | ')' | '{' | '}' | ';' | ',' -> ()
+        | _ -> incr tokens
+      end)
+    stripped;
+  let count_word w =
+    let wl = String.length w and sl = String.length stripped in
+    let boundary j = j < 0 || j >= sl || not (is_word stripped.[j]) in
+    let rec go i acc =
+      if i + wl > sl then acc
+      else if
+        String.sub stripped i wl = w && boundary (i - 1) && boundary (i + wl)
+      then go (i + wl) (acc + 1)
+      else go (i + 1) acc
+    in
+    go 0 0
+  in
+  let decisions =
+    count_word "if" + count_word "case" + count_word "when" + count_word "switch"
+    + count_word "elsif"
+  in
+  { lines; tokens = !tokens; decisions }
+
+let rec stmt_decisions (st : Ir.stmt) =
+  match st with
+  | Assign (_, e) | Assign_slice (_, _, e) -> expr_decisions e
+  | Array_write (_, i, e) -> expr_decisions i + expr_decisions e
+  | If (c, t, els) ->
+      1 + expr_decisions c
+      + List.fold_left (fun a s -> a + stmt_decisions s) 0 t
+      + List.fold_left (fun a s -> a + stmt_decisions s) 0 els
+  | Case (s, arms, dflt) ->
+      1 + expr_decisions s
+      + List.fold_left
+          (fun a (_, b) ->
+            a + List.fold_left (fun a s -> a + stmt_decisions s) 0 b)
+          0 arms
+      + List.fold_left (fun a s -> a + stmt_decisions s) 0 dflt
+
+and expr_decisions (e : Ir.expr) =
+  match e with
+  | Const _ | Var _ -> 0
+  | Array_read (_, i) -> expr_decisions i
+  | Unop (_, e) | Resize (_, e, _) | Slice (e, _, _) -> expr_decisions e
+  | Binop (_, a, b) | Concat (a, b) -> expr_decisions a + expr_decisions b
+  | Mux (s, t, e) -> 1 + expr_decisions s + expr_decisions t + expr_decisions e
+
+let of_module m =
+  let rec walk (m : Ir.module_def) =
+    let stats = Ir.module_stats m in
+    let decisions =
+      List.fold_left
+        (fun acc proc ->
+          let body =
+            match proc with
+            | Ir.Comb { body; _ } | Ir.Sync { body; _ } -> body
+          in
+          acc + List.fold_left (fun a s -> a + stmt_decisions s) 0 body)
+        0 m.Ir.processes
+    in
+    let children =
+      List.map (fun (i : Ir.instance) -> walk i.inst_of) m.Ir.instances
+    in
+    List.fold_left
+      (fun (l, t, d) (l', t', d') -> (l + l', t + t', d + d'))
+      (stats.Ir.n_statements, stats.Ir.n_expr_nodes, decisions)
+      children
+  in
+  let lines, tokens, decisions = walk m in
+  { lines; tokens; decisions }
+
+let effort_days m =
+  (float_of_int m.tokens /. 400.0) +. (float_of_int m.decisions /. 25.0)
+
+let pp fmt m =
+  Format.fprintf fmt "%d lines, %d tokens, %d decision points" m.lines
+    m.tokens m.decisions

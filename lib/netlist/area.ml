@@ -1,0 +1,39 @@
+type report = {
+  total : float;
+  combinational : float;
+  sequential : float;
+  n_cells : int;
+  n_ffs : int;
+  by_kind : (Cell.kind * int * float) list;
+}
+
+let analyze nl =
+  let by_kind =
+    List.map
+      (fun (kind, count) -> (kind, count, float_of_int count *. Cell.area kind))
+      (Netlist.stats nl)
+  in
+  let total = List.fold_left (fun acc (_, _, a) -> acc +. a) 0.0 by_kind in
+  let sequential =
+    List.fold_left
+      (fun acc (k, _, a) -> if k = Cell.Dff then acc +. a else acc)
+      0.0 by_kind
+  in
+  let n_ffs =
+    List.fold_left
+      (fun acc (k, n, _) -> if k = Cell.Dff then acc + n else acc)
+      0 by_kind
+  in
+  {
+    total;
+    combinational = total -. sequential;
+    sequential;
+    n_cells = Netlist.cell_count nl;
+    n_ffs;
+    by_kind;
+  }
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "area %.1f GE (%.1f comb + %.1f seq), %d cells, %d flip-flops" r.total
+    r.combinational r.sequential r.n_cells r.n_ffs

@@ -1,0 +1,13 @@
+(** Area accounting in NAND2-equivalent gate units. *)
+
+type report = {
+  total : float;  (** gate-equivalents, flip-flops included *)
+  combinational : float;
+  sequential : float;
+  n_cells : int;
+  n_ffs : int;
+  by_kind : (Cell.kind * int * float) list;  (** kind, count, area *)
+}
+
+val analyze : Netlist.t -> report
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,109 @@
+type node = int
+
+exception Size_limit
+
+(* Node storage: three growable arrays indexed by node id.  Ids 0 and 1
+   are the terminals (their slots are unused placeholders). *)
+type t = {
+  max_nodes : int;
+  mutable level : int array;  (* variable index; max_int for terminals *)
+  mutable hi : int array;
+  mutable lo : int array;
+  mutable next : int;  (* next free id *)
+  unique : (int * int * int, node) Hashtbl.t;
+  ite_memo : (int * int * int, node) Hashtbl.t;
+}
+
+let zero = 0
+let one = 1
+
+let create ?(max_nodes = 2_000_000) () =
+  let n = 1024 in
+  let t =
+    {
+      max_nodes;
+      level = Array.make n max_int;
+      hi = Array.make n 0;
+      lo = Array.make n 0;
+      next = 2;
+      unique = Hashtbl.create 4096;
+      ite_memo = Hashtbl.create 4096;
+    }
+  in
+  t
+
+let grow t =
+  let n = Array.length t.level in
+  let bigger = 2 * n in
+  let copy arr fill =
+    let fresh = Array.make bigger fill in
+    Array.blit arr 0 fresh 0 n;
+    fresh
+  in
+  t.level <- copy t.level max_int;
+  t.hi <- copy t.hi 0;
+  t.lo <- copy t.lo 0
+
+let mk t level hi lo =
+  if hi = lo then hi
+  else
+    let key = (level, hi, lo) in
+    match Hashtbl.find_opt t.unique key with
+    | Some id -> id
+    | None ->
+        if t.next >= t.max_nodes then raise Size_limit;
+        if t.next >= Array.length t.level then grow t;
+        let id = t.next in
+        t.next <- id + 1;
+        t.level.(id) <- level;
+        t.hi.(id) <- hi;
+        t.lo.(id) <- lo;
+        Hashtbl.replace t.unique key id;
+        id
+
+let var t i = mk t i one zero
+
+let level_of t n = if n < 2 then max_int else t.level.(n)
+
+let rec ite t f g h =
+  if f = one then g
+  else if f = zero then h
+  else if g = h then g
+  else if g = one && h = zero then f
+  else begin
+    let key = (f, g, h) in
+    match Hashtbl.find_opt t.ite_memo key with
+    | Some r -> r
+    | None ->
+        let top =
+          min (level_of t f) (min (level_of t g) (level_of t h))
+        in
+        let cof n branch =
+          if level_of t n = top then
+            if branch then t.hi.(n) else t.lo.(n)
+          else n
+        in
+        let hi = ite t (cof f true) (cof g true) (cof h true) in
+        let lo = ite t (cof f false) (cof g false) (cof h false) in
+        let r = mk t top hi lo in
+        Hashtbl.replace t.ite_memo key r;
+        r
+  end
+
+let not_ t f = ite t f zero one
+let and_ t f g = ite t f g zero
+let or_ t f g = ite t f one g
+let xor t f g = ite t f (not_ t g) g
+
+let node_count t = t.next
+
+let satisfying t f =
+  if f = zero then None
+  else begin
+    let rec walk n acc =
+      if n = one then acc
+      else if t.hi.(n) <> zero then walk t.hi.(n) ((t.level.(n), true) :: acc)
+      else walk t.lo.(n) ((t.level.(n), false) :: acc)
+    in
+    Some (List.rev (walk f []))
+  end

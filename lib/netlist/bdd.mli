@@ -1,0 +1,41 @@
+(** Reduced ordered binary decision diagrams.
+
+    A small, classical ROBDD package (unique table + memoized [ite])
+    backing the formal combinational equivalence checker.  Nodes are
+    integers; equal functions have physically equal node ids, so
+    equivalence is an integer comparison.
+
+    Variables are identified by their order index: smaller index =
+    closer to the root. *)
+
+type t
+(** A manager.  Nodes from different managers must not be mixed. *)
+
+type node = int
+
+exception Size_limit
+(** Raised when the node count exceeds the manager's limit. *)
+
+val create : ?max_nodes:int -> unit -> t
+(** [max_nodes] (default 2_000_000) bounds the table; exceeding it
+    raises {!Size_limit} — the caller treats that as "too large to
+    prove". *)
+
+val zero : node
+val one : node
+
+val var : t -> int -> node
+(** The function of a single variable. *)
+
+val ite : t -> node -> node -> node -> node
+val not_ : t -> node -> node
+val and_ : t -> node -> node -> node
+val or_ : t -> node -> node -> node
+val xor : t -> node -> node -> node
+
+val node_count : t -> int
+
+val satisfying : t -> node -> (int * bool) list option
+(** A satisfying assignment (variable index, value) for a non-zero
+    function, following one path to the [one] terminal; [None] for the
+    constant-false function.  Variables not listed are don't-care. *)

@@ -1,0 +1,35 @@
+(** Formal combinational equivalence checking.
+
+    Where {!Equiv} samples random cycles, [Cec] {e proves} equivalence
+    with BDDs.  Sequential designs are handled through their
+    combinational view: every flip-flop output becomes a pseudo primary
+    input and every flip-flop data input a pseudo output, with
+    registers matched between the two designs by {e bit position in
+    creation order} (sound for designs lowered from IR, where process
+    order fixes register order; a width mismatch is reported as
+    [Interface_mismatch]).
+
+    BDDs blow up on multipliers; the checker answers [Too_large] when
+    the node limit is hit rather than looping. *)
+
+type verdict =
+  | Proved  (** all outputs (and next-state functions) identical *)
+  | Failed of counterexample
+  | Interface_mismatch of string
+  | Too_large
+
+and counterexample = {
+  at : string;  (** output or pseudo-output that differs *)
+  inputs : (string * Bitvec.t) list;
+      (** assignment to the primary inputs (don't-cares zeroed) *)
+  state_bits : (int * bool) list;  (** pseudo-input register bits set *)
+}
+
+val check : ?max_nodes:int -> Netlist.t -> Netlist.t -> verdict
+(** Both netlists must expose identically named/sized inputs and
+    outputs and the same total register bit count. *)
+
+val check_ir : ?max_nodes:int -> Ir.module_def -> Ir.module_def -> verdict
+(** Lower both designs and {!check} them. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit

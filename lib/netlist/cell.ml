@@ -1,0 +1,56 @@
+type kind =
+  | Const0
+  | Const1
+  | Buf
+  | Not
+  | And2
+  | Or2
+  | Xor2
+  | Nand2
+  | Nor2
+  | Mux2
+  | Dff
+
+let arity = function
+  | Const0 | Const1 -> 0
+  | Buf | Not | Dff -> 1
+  | And2 | Or2 | Xor2 | Nand2 | Nor2 -> 2
+  | Mux2 -> 3
+
+let area = function
+  | Const0 | Const1 -> 0.0
+  | Buf -> 0.7
+  | Not -> 0.7
+  | And2 | Or2 -> 1.3
+  | Nand2 | Nor2 -> 1.0
+  | Xor2 -> 2.3
+  | Mux2 -> 2.3
+  | Dff -> 5.5
+
+let delay = function
+  | Const0 | Const1 -> 0.0
+  | Buf -> 0.05
+  | Not -> 0.05
+  | And2 | Or2 -> 0.10
+  | Nand2 | Nor2 -> 0.07
+  | Xor2 -> 0.14
+  | Mux2 -> 0.12
+  | Dff -> 0.20
+
+let setup_time = 0.10
+
+let name = function
+  | Const0 -> "const0"
+  | Const1 -> "const1"
+  | Buf -> "buf"
+  | Not -> "not"
+  | And2 -> "and2"
+  | Or2 -> "or2"
+  | Xor2 -> "xor2"
+  | Nand2 -> "nand2"
+  | Nor2 -> "nor2"
+  | Mux2 -> "mux2"
+  | Dff -> "dff"
+
+let all =
+  [ Const0; Const1; Buf; Not; And2; Or2; Xor2; Nand2; Nor2; Mux2; Dff ]

@@ -1,0 +1,30 @@
+(** Generic technology cell library.
+
+    Areas are in NAND2-equivalent gate units and delays in nanoseconds —
+    a representative 180 nm-class standard-cell flavour (the paper's
+    FPGA/ASIC back end is proprietary; only ratios matter for the
+    reproduced results). *)
+
+type kind =
+  | Const0
+  | Const1
+  | Buf
+  | Not
+  | And2
+  | Or2
+  | Xor2
+  | Nand2
+  | Nor2
+  | Mux2  (** inputs: select, then-input, else-input *)
+  | Dff  (** input: d; output: q; implicit global clock *)
+
+val arity : kind -> int
+val area : kind -> float
+val delay : kind -> float
+(** Propagation delay; for [Dff] this is clock-to-q. *)
+
+val setup_time : float
+(** Dff setup requirement, added to every register-bound path. *)
+
+val name : kind -> string
+val all : kind list

@@ -1,0 +1,21 @@
+(** Synthesis proper: lowering a (hierarchical) IR module to a gate
+    netlist.
+
+    The design is flattened, then each process body is symbolically
+    executed at bit level: every IR variable is bound to a vector of
+    nets, registers become flip-flops whose next-state nets come from
+    executing the synchronous processes, branches become multiplexer
+    merges, memories become flip-flop banks with decoded write enables
+    and read multiplexer trees.
+
+    Arithmetic mapping: ripple-carry adders/subtractors/comparators,
+    shift-and-add multipliers, barrel shifters. *)
+
+exception Lower_error of string
+
+val lower : ?fold:bool -> Ir.module_def -> Netlist.t
+(** [fold] is passed to the netlist constructor (constant folding and
+    structural hashing on construction). *)
+
+val ceil_log2 : int -> int
+(** Smallest [k] with [2^k >= n]; [ceil_log2 1 = 0]. *)

@@ -1,0 +1,77 @@
+(** Gate-level netlists.
+
+    A netlist is a set of cells connected by integer-numbered nets, plus
+    named primary input and output buses.  Construction goes through the
+    gate builders below, which optionally perform constant folding and
+    structural hashing (the "optimizing construction" that a production
+    synthesis front end would do; it can be disabled to measure its
+    effect — see DESIGN.md ablations). *)
+
+type net = int
+
+type cell = { kind : Cell.kind; ins : net array; out : net }
+
+type t
+
+val create : ?fold:bool -> name:string -> unit -> t
+(** [fold] (default [true]) enables constant folding plus structural
+    hashing during construction. *)
+
+val name : t -> string
+val folding : t -> bool
+
+(** {1 Primary connectivity} *)
+
+val new_net : t -> net
+val add_input : t -> string -> int -> net array
+val add_output : t -> string -> net array -> unit
+val inputs : t -> (string * net array) list
+val outputs : t -> (string * net array) list
+
+(** {1 Gate builders} *)
+
+val const0 : t -> net
+val const1 : t -> net
+val constant : t -> Bitvec.t -> net array
+val not_ : t -> net -> net
+val and2 : t -> net -> net -> net
+val or2 : t -> net -> net -> net
+val xor2 : t -> net -> net -> net
+val nand2 : t -> net -> net -> net
+val nor2 : t -> net -> net -> net
+val mux2 : t -> sel:net -> net -> net -> net
+(** [mux2 ~sel a b] = [a] if [sel] else [b]. *)
+
+val dff : t -> d:net -> net
+(** Allocates a flip-flop and returns its [q] net. *)
+
+val dff_deferred : t -> net
+(** Allocate a flip-flop output whose [d] input is supplied later with
+    {!connect_dff} — needed because registers are read before the logic
+    producing their next value has been built. *)
+
+val connect_dff : t -> q:net -> d:net -> unit
+(** Raises [Invalid_argument] if [q] was not created by
+    {!dff_deferred} or is already connected. *)
+
+(** {1 Observation} *)
+
+val cells : t -> cell list
+(** All cells, in creation order. *)
+
+val cell_count : t -> int
+val net_count : t -> int
+val driver : t -> net -> cell option
+(** The cell driving a net; [None] for primary inputs and unconnected
+    nets. *)
+
+val check : t -> unit
+(** Verifies every non-input net has exactly one driver and every
+    deferred flip-flop got connected.  Raises [Failure]. *)
+
+val stats : t -> (Cell.kind * int) list
+(** Instance count per cell kind (zero-count kinds omitted). *)
+
+val emit_verilog : t -> string
+(** Structural Verilog of the mapped netlist ([*.v] hand-off of the
+    paper's flow). *)

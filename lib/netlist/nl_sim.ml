@@ -1,0 +1,132 @@
+type t = {
+  nl : Netlist.t;
+  values : bool array;  (* indexed by net *)
+  toggles : int array;  (* transitions per net, for power estimation *)
+  order : Netlist.cell array;  (* combinational cells, topologically sorted *)
+  dffs : Netlist.cell array;
+  in_nets : (string, Netlist.net array) Hashtbl.t;
+  out_nets : (string, Netlist.net array) Hashtbl.t;
+  mutable n_cycles : int;
+  mutable n_evals : int;
+}
+
+let topo_order nl =
+  let cells = Netlist.cells nl in
+  let comb = List.filter (fun c -> c.Netlist.kind <> Cell.Dff) cells in
+  let state = Hashtbl.create 256 in
+  let order = ref [] in
+  let rec visit (c : Netlist.cell) =
+    match Hashtbl.find_opt state c.out with
+    | Some 2 -> ()
+    | Some 1 ->
+        failwith
+          (Printf.sprintf "Nl_sim: combinational loop at net %d in %s" c.out
+             (Netlist.name nl))
+    | _ ->
+        Hashtbl.replace state c.out 1;
+        Array.iter
+          (fun n ->
+            match Netlist.driver nl n with
+            | Some d when d.Netlist.kind <> Cell.Dff -> visit d
+            | Some _ | None -> ())
+          c.ins;
+        Hashtbl.replace state c.out 2;
+        order := c :: !order
+  in
+  List.iter visit comb;
+  Array.of_list (List.rev !order)
+
+let create nl =
+  Netlist.check nl;
+  let in_nets = Hashtbl.create 8 and out_nets = Hashtbl.create 8 in
+  List.iter (fun (n, nets) -> Hashtbl.replace in_nets n nets) (Netlist.inputs nl);
+  List.iter
+    (fun (n, nets) -> Hashtbl.replace out_nets n nets)
+    (Netlist.outputs nl);
+  let dffs =
+    List.filter (fun c -> c.Netlist.kind = Cell.Dff) (Netlist.cells nl)
+    |> Array.of_list
+  in
+  {
+    nl;
+    values = Array.make (Netlist.net_count nl) false;
+    toggles = Array.make (Netlist.net_count nl) 0;
+    order = topo_order nl;
+    dffs;
+    in_nets;
+    out_nets;
+    n_cycles = 0;
+    n_evals = 0;
+  }
+
+let set_input t name bv =
+  match Hashtbl.find_opt t.in_nets name with
+  | None -> raise Not_found
+  | Some nets ->
+      if Bitvec.width bv <> Array.length nets then
+        invalid_arg
+          (Printf.sprintf "Nl_sim.set_input %s: width %d expected %d" name
+             (Bitvec.width bv) (Array.length nets));
+      Array.iteri (fun i n -> t.values.(n) <- Bitvec.get bv i) nets
+
+let set_input_int t name n =
+  let nets = Hashtbl.find t.in_nets name in
+  set_input t name (Bitvec.of_int ~width:(Array.length nets) n)
+
+let read_bus t nets =
+  Bitvec.init (Array.length nets) (fun i -> t.values.(nets.(i)))
+
+let get_output t name =
+  match Hashtbl.find_opt t.out_nets name with
+  | None -> raise Not_found
+  | Some nets -> read_bus t nets
+
+let get_output_int t name = Bitvec.to_int (get_output t name)
+
+let eval_cell t (c : Netlist.cell) =
+  let v = t.values in
+  let r =
+    match c.kind with
+    | Cell.Const0 -> false
+    | Const1 -> true
+    | Buf -> v.(c.ins.(0))
+    | Not -> not v.(c.ins.(0))
+    | And2 -> v.(c.ins.(0)) && v.(c.ins.(1))
+    | Or2 -> v.(c.ins.(0)) || v.(c.ins.(1))
+    | Xor2 -> v.(c.ins.(0)) <> v.(c.ins.(1))
+    | Nand2 -> not (v.(c.ins.(0)) && v.(c.ins.(1)))
+    | Nor2 -> not (v.(c.ins.(0)) || v.(c.ins.(1)))
+    | Mux2 -> if v.(c.ins.(0)) then v.(c.ins.(1)) else v.(c.ins.(2))
+    | Dff -> v.(c.out)
+  in
+  v.(c.out) <- r
+
+let settle t =
+  Array.iter (eval_cell t) t.order;
+  t.n_evals <- t.n_evals + Array.length t.order
+
+let step t =
+  settle t;
+  (* Toggle accounting once per cycle, against the settled pre-edge
+     values; a per-settle count would double-book glitch-free nets. *)
+  let snapshot = Array.copy t.values in
+  (* Sample every d, then commit: flip-flops see the pre-edge values. *)
+  let sampled = Array.map (fun c -> t.values.(c.Netlist.ins.(0))) t.dffs in
+  Array.iteri (fun i c -> t.values.(c.Netlist.out) <- sampled.(i)) t.dffs;
+  t.n_evals <- t.n_evals + Array.length t.dffs;
+  t.n_cycles <- t.n_cycles + 1;
+  settle t;
+  for n = 0 to Array.length t.values - 1 do
+    if t.values.(n) <> snapshot.(n) then
+      t.toggles.(n) <- t.toggles.(n) + 1
+  done
+
+let run t n =
+  for _ = 1 to n do
+    step t
+  done
+
+let cycles t = t.n_cycles
+let gate_evals t = t.n_evals
+
+let net_toggles t n = t.toggles.(n)

@@ -1,0 +1,28 @@
+(** Levelized two-valued gate-level simulator — the "conventional RTL
+    simulator" stand-in for the paper's simulation-speed comparison.
+    Flip-flops power up at 0. *)
+
+type t
+
+val create : Netlist.t -> t
+
+val set_input : t -> string -> Bitvec.t -> unit
+val set_input_int : t -> string -> int -> unit
+val get_output : t -> string -> Bitvec.t
+val get_output_int : t -> string -> int
+
+val settle : t -> unit
+(** Propagate combinational logic only. *)
+
+val step : t -> unit
+(** One clock cycle: settle, commit flip-flops, settle. *)
+
+val run : t -> int -> unit
+
+val cycles : t -> int
+val gate_evals : t -> int
+(** Total gate evaluations so far (simulation-cost metric). *)
+
+val net_toggles : t -> Netlist.net -> int
+(** Value transitions observed on a net across clock cycles — the
+    switching activity behind dynamic-power estimation. *)

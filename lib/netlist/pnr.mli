@@ -1,0 +1,34 @@
+(** Placement and post-layout timing — the "Place&Route" stage of the
+    paper's flow (Figure 6), on an abstract island-style FPGA.
+
+    LUTs and flip-flops occupy a square logic grid sized to the design;
+    I/O pads sit on the perimeter.  Simulated annealing minimizes total
+    half-perimeter wirelength; timing then combines LUT delay with a
+    per-grid-unit wire delay over the placed positions, giving the
+    post-layout frequency that corresponds to the paper's "achieved
+    frequency of the ExpoCU". *)
+
+type placement
+
+type report = {
+  grid : int * int;
+  utilization : float;  (** logic elements / grid capacity *)
+  wirelength : float;  (** total half-perimeter wirelength, grid units *)
+  initial_wirelength : float;  (** before annealing *)
+  critical_ns : float;
+  fmax_mhz : float;
+  lut_levels : int;  (** logic depth of the critical path *)
+}
+
+val place : ?seed:int -> ?moves:int -> Techmap.mapped -> placement
+(** [moves] bounds the annealing effort (default 150_000 attempted
+    moves, scaled down for tiny designs). *)
+
+val analyze : placement -> report
+
+val lut_delay_ns : float
+val wire_base_ns : float
+(** Fixed switch cost per routed connection. *)
+
+val wire_delay_ns_per_unit : float
+(** Distance-dependent term per grid unit (Manhattan). *)

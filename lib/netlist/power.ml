@@ -1,0 +1,61 @@
+type report = {
+  dynamic_mw : float;
+  leakage_mw : float;
+  total_mw : float;
+  clock_mw : float;
+  avg_activity : float;
+  cycles : int;
+}
+
+(* Load capacitance per cell output, in fF-class model units keyed to
+   the cell's drive/area; leakage in uW per gate-equivalent. *)
+let cap_ff kind = 1.5 +. (2.0 *. Cell.area kind)
+let leakage_uw_per_ge = 0.12
+let clock_pin_cap_ff = 1.0
+
+let estimate ?(freq_mhz = 66.0) ?(vdd = 1.8) nl sim =
+  let cycles = max 1 (Nl_sim.cycles sim) in
+  let f_hz = freq_mhz *. 1e6 in
+  let v2 = vdd *. vdd in
+  (* energy per transition: C * V^2; power: alpha * C * V^2 * f *)
+  let dynamic = ref 0.0 in
+  let total_toggles = ref 0 in
+  let n_nets = ref 0 in
+  List.iter
+    (fun (c : Netlist.cell) ->
+      let toggles = Nl_sim.net_toggles sim c.out in
+      total_toggles := !total_toggles + toggles;
+      incr n_nets;
+      let alpha = float_of_int toggles /. float_of_int cycles in
+      dynamic := !dynamic +. (alpha *. cap_ff c.kind *. 1e-15 *. v2 *. f_hz))
+    (Netlist.cells nl);
+  (* clock tree: every flip-flop's clock pin switches twice a cycle *)
+  let n_ffs =
+    List.length
+      (List.filter (fun (c : Netlist.cell) -> c.kind = Cell.Dff)
+         (Netlist.cells nl))
+  in
+  let clock =
+    2.0 *. float_of_int n_ffs *. clock_pin_cap_ff *. 1e-15 *. v2 *. f_hz
+  in
+  let area = (Area.analyze nl).Area.total in
+  let leakage = area *. leakage_uw_per_ge *. 1e-6 in
+  let dynamic_mw = (!dynamic +. clock) *. 1e3 in
+  let leakage_mw = leakage *. 1e3 in
+  {
+    dynamic_mw;
+    leakage_mw;
+    total_mw = dynamic_mw +. leakage_mw;
+    clock_mw = clock *. 1e3;
+    avg_activity =
+      float_of_int !total_toggles
+      /. float_of_int (max 1 !n_nets)
+      /. float_of_int cycles;
+    cycles;
+  }
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "%.3f mW total (%.3f dynamic incl. %.3f clock, %.3f leakage), avg \
+     activity %.3f over %d cycles"
+    r.total_mw r.dynamic_mw r.clock_mw r.leakage_mw r.avg_activity r.cycles

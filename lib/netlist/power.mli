@@ -1,0 +1,24 @@
+(** Activity-based power estimation.
+
+    Dynamic power follows [P = α·C·V²·f]: every cell output carries a
+    load proportional to its area; its switching activity [α] comes
+    from the toggle counts a {!Nl_sim} run collected; voltage and
+    frequency are parameters.  Leakage is a fixed per-area term.  The
+    absolute numbers are model units; like area and timing, only ratios
+    between designs are meaningful. *)
+
+type report = {
+  dynamic_mw : float;
+  leakage_mw : float;
+  total_mw : float;
+  clock_mw : float;  (** flip-flop clock-pin contribution *)
+  avg_activity : float;  (** mean toggles per net per cycle *)
+  cycles : int;
+}
+
+val estimate :
+  ?freq_mhz:float -> ?vdd:float -> Netlist.t -> Nl_sim.t -> report
+(** The simulation must have run some cycles of representative
+    stimulus.  Defaults: 66 MHz, 1.8 V. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,235 @@
+type lut = {
+  lut_inputs : Netlist.net array;
+  truth : int;
+  lut_out : Netlist.net;
+}
+
+exception Map_error of string
+
+type mapped = {
+  source : Netlist.t;
+  lut_tbl : (Netlist.net, lut) Hashtbl.t;  (* keyed by output net *)
+  m_ffs : (Netlist.net * Netlist.net) list;
+  primary_out : (Netlist.net, unit) Hashtbl.t;
+}
+
+let source m = m.source
+let luts m = Hashtbl.fold (fun _ l acc -> l :: acc) m.lut_tbl []
+let ffs m = m.m_ffs
+let lut_count m = Hashtbl.length m.lut_tbl
+let ff_count m = List.length m.m_ffs
+
+(* Truth table of a single gate, input position i = bit i of the index. *)
+let seed_lut (c : Netlist.cell) =
+  let tt =
+    match c.kind with
+    | Cell.Const0 -> 0b0
+    | Const1 -> 0b1
+    | Buf -> 0b10
+    | Not -> 0b01
+    | And2 -> 0b1000
+    | Or2 -> 0b1110
+    | Xor2 -> 0b0110
+    | Nand2 -> 0b0111
+    | Nor2 -> 0b0001
+    | Mux2 -> 0b11011000 (* index = sel | a<<1 | b<<2; out = sel ? a : b *)
+    | Dff -> raise (Map_error "seed_lut: flip-flop")
+  in
+  { lut_inputs = Array.copy c.ins; truth = tt; lut_out = c.out }
+
+let lut_value l values_of =
+  let index = ref 0 in
+  Array.iteri
+    (fun i net -> if values_of net then index := !index lor (1 lsl i))
+    l.lut_inputs;
+  l.truth lsr !index land 1 = 1
+
+(* Merge [victim] (driving one input of [l], single fanout) into [l]. *)
+let absorb l victim =
+  let keep =
+    Array.to_list l.lut_inputs |> List.filter (fun n -> n <> victim.lut_out)
+  in
+  let extra =
+    Array.to_list victim.lut_inputs
+    |> List.filter (fun n -> not (List.mem n keep))
+  in
+  let merged = Array.of_list (keep @ extra) in
+  let n = Array.length merged in
+  let truth = ref 0 in
+  for idx = 0 to (1 lsl n) - 1 do
+    let values_of net =
+      let rec position i =
+        if i >= n then
+          raise
+            (Map_error
+               (Printf.sprintf "absorb: net %d escapes the merged support" net))
+        else if merged.(i) = net then i
+        else position (i + 1)
+      in
+      if net = victim.lut_out then lut_value victim (fun m ->
+          idx lsr (let rec p i = if merged.(i) = m then i else p (i + 1) in p 0)
+          land 1 = 1)
+      else idx lsr position 0 land 1 = 1
+    in
+    if lut_value l values_of then truth := !truth lor (1 lsl idx)
+  done;
+  { lut_inputs = merged; truth = !truth; lut_out = l.lut_out }
+
+let map ?(k = 4) nl =
+  if k < 1 || k > 6 then raise (Map_error "map: K must be in 1..6");
+  Netlist.check nl;
+  let lut_tbl = Hashtbl.create 256 in
+  let m_ffs = ref [] in
+  List.iter
+    (fun (c : Netlist.cell) ->
+      match c.kind with
+      | Cell.Dff -> m_ffs := (c.ins.(0), c.out) :: !m_ffs
+      | _ -> Hashtbl.replace lut_tbl c.out (seed_lut c))
+    (Netlist.cells nl);
+  let primary_out = Hashtbl.create 64 in
+  List.iter
+    (fun (_, nets) ->
+      Array.iter (fun n -> Hashtbl.replace primary_out n ()) nets)
+    (Netlist.outputs nl);
+  (* fanout counts over LUT inputs, FF data inputs and primary outputs *)
+  let recompute_fanout () =
+    let fanout = Hashtbl.create 256 in
+    let bump n =
+      Hashtbl.replace fanout n (1 + Option.value ~default:0 (Hashtbl.find_opt fanout n))
+    in
+    Hashtbl.iter (fun _ l -> Array.iter bump l.lut_inputs) lut_tbl;
+    List.iter (fun (d, _) -> bump d) !m_ffs;
+    Hashtbl.iter (fun n () -> bump n) primary_out;
+    fanout
+  in
+  (* Greedy absorption passes until fixpoint. *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let fanout = recompute_fanout () in
+    let outputs = Hashtbl.fold (fun net _ acc -> net :: acc) lut_tbl [] in
+    List.iter
+      (fun net ->
+        match Hashtbl.find_opt lut_tbl net with
+        | None -> ()
+        | Some _ ->
+            (* always operate on the current table entry: each
+               absorption replaces it *)
+            let try_absorb l victim_net =
+              match Hashtbl.find_opt lut_tbl victim_net with
+              | Some victim
+                when Option.value ~default:0 (Hashtbl.find_opt fanout victim_net)
+                     = 1
+                     && (not (Hashtbl.mem primary_out victim_net))
+                     && victim.lut_out <> l.lut_out ->
+                  let keep =
+                    Array.to_list l.lut_inputs
+                    |> List.filter (fun n -> n <> victim_net)
+                  in
+                  let extra =
+                    Array.to_list victim.lut_inputs
+                    |> List.filter (fun n -> not (List.mem n keep))
+                  in
+                  if List.length keep + List.length extra <= k then begin
+                    let merged = absorb l victim in
+                    Hashtbl.replace lut_tbl l.lut_out merged;
+                    Hashtbl.remove lut_tbl victim_net;
+                    changed := true;
+                    true
+                  end
+                  else false
+              | Some _ | None -> false
+            in
+            (* retry current lut until nothing absorbs *)
+            let rec greedy () =
+              match Hashtbl.find_opt lut_tbl net with
+              | None -> ()
+              | Some l' ->
+                  let absorbed =
+                    Array.exists (fun input -> try_absorb l' input) l'.lut_inputs
+                  in
+                  if absorbed then greedy ()
+            in
+            greedy ())
+      outputs
+  done;
+  { source = nl; lut_tbl; m_ffs = !m_ffs; primary_out }
+
+(* Longest LUT chain: inputs/FF outputs are depth 0. *)
+let depth m =
+  let memo = Hashtbl.create 256 in
+  let rec of_net net =
+    match Hashtbl.find_opt memo net with
+    | Some d -> d
+    | None ->
+        Hashtbl.replace memo net 0;
+        (* breaks cycles through FFs *)
+        let d =
+          match Hashtbl.find_opt m.lut_tbl net with
+          | None -> 0
+          | Some l ->
+              1
+              + Array.fold_left
+                  (fun acc input -> max acc (of_net input))
+                  0 l.lut_inputs
+        in
+        Hashtbl.replace memo net d;
+        d
+  in
+  let worst = ref 0 in
+  List.iter
+    (fun (_, nets) -> Array.iter (fun n -> worst := max !worst (of_net n)) nets)
+    (Netlist.outputs m.source);
+  List.iter (fun (d, _) -> worst := max !worst (of_net d)) m.m_ffs;
+  !worst
+
+(* Simulate the LUT network and compare against the gate netlist. *)
+let verify ?(vectors = 200) ?(seed = 9) m =
+  let gate_sim = Nl_sim.create m.source in
+  let rng = Random.State.make [| seed |] in
+  (* LUT-side state *)
+  let values : (Netlist.net, bool) Hashtbl.t = Hashtbl.create 256 in
+  let value_of net = Option.value ~default:false (Hashtbl.find_opt values net) in
+  let rec eval net (visiting : (Netlist.net, unit) Hashtbl.t) =
+    match Hashtbl.find_opt m.lut_tbl net with
+    | None -> value_of net
+    | Some l ->
+        if Hashtbl.mem visiting net then value_of net
+        else begin
+          Hashtbl.replace visiting net ();
+          let v = lut_value l (fun n -> eval n visiting) in
+          Hashtbl.replace values net v;
+          v
+        end
+  in
+  let settle () =
+    let visiting = Hashtbl.create 64 in
+    List.iter
+      (fun (_, nets) -> Array.iter (fun n -> ignore (eval n visiting)) nets)
+      (Netlist.outputs m.source);
+    List.iter (fun (d, _) -> ignore (eval d visiting)) m.m_ffs
+  in
+  let ok = ref true in
+  for _ = 1 to vectors do
+    List.iter
+      (fun (name, nets) ->
+        let bv =
+          Bitvec.init (Array.length nets) (fun _ -> Random.State.bool rng)
+        in
+        Nl_sim.set_input gate_sim name bv;
+        Array.iteri (fun i n -> Hashtbl.replace values n (Bitvec.get bv i)) nets)
+      (Netlist.inputs m.source);
+    (* one clock cycle on both sides *)
+    Nl_sim.step gate_sim;
+    settle ();
+    let next = List.map (fun (d, q) -> (q, value_of d)) m.m_ffs in
+    List.iter (fun (q, v) -> Hashtbl.replace values q v) next;
+    settle ();
+    List.iter
+      (fun (name, nets) ->
+        let lut_val = Bitvec.init (Array.length nets) (fun i -> value_of nets.(i)) in
+        if not (Bitvec.equal lut_val (Nl_sim.get_output gate_sim name)) then
+          ok := false)
+      (Netlist.outputs m.source)
+  done;
+  !ok

@@ -1,0 +1,34 @@
+(** Technology mapping onto K-input lookup tables — the "Map Tool" stage
+    of the paper's flow (Figure 6), targeting a generic FPGA fabric.
+
+    Gates are seeded as single-gate LUTs and then greedily absorbed into
+    their fanouts while the merged support stays within K inputs and the
+    absorbed cone has no other fanout; LUT functions are kept as truth
+    tables (K <= 6, so a table fits an OCaml int). *)
+
+type lut = {
+  lut_inputs : Netlist.net array;  (** support, position i = truth bit i *)
+  truth : int;
+  lut_out : Netlist.net;
+}
+
+type mapped
+
+exception Map_error of string
+
+val map : ?k:int -> Netlist.t -> mapped
+(** Default K = 4.  Raises {!Map_error} for K outside 1..6. *)
+
+val source : mapped -> Netlist.t
+val luts : mapped -> lut list
+val ffs : mapped -> (Netlist.net * Netlist.net) list
+(** [(d, q)] pairs. *)
+
+val lut_count : mapped -> int
+val ff_count : mapped -> int
+val depth : mapped -> int
+(** Longest LUT chain between registers/IO. *)
+
+val verify : ?vectors:int -> ?seed:int -> mapped -> bool
+(** Random co-simulation of the LUT network against the original gate
+    netlist, flip-flops included. *)

@@ -1,0 +1,77 @@
+type report = {
+  critical_ns : float;
+  fmax_mhz : float;
+  endpoint : string;
+  levels : int;
+}
+
+let analyze nl =
+  let n = Netlist.net_count nl in
+  let arrival = Array.make n 0.0 in
+  let depth = Array.make n 0 in
+  (* Flip-flop outputs launch at clock-to-q. *)
+  List.iter
+    (fun (c : Netlist.cell) ->
+      if c.kind = Cell.Dff then begin
+        arrival.(c.out) <- Cell.delay Cell.Dff;
+        depth.(c.out) <- 0
+      end)
+    (Netlist.cells nl);
+  (* Combinational cells are stored in creation order, which is already
+     topological for inputs built before outputs; a DFS makes it robust
+     to any ordering. *)
+  let state = Hashtbl.create 256 in
+  let rec arrive net =
+    match Hashtbl.find_opt state net with
+    | Some () -> arrival.(net)
+    | None -> (
+        Hashtbl.replace state net ();
+        match Netlist.driver nl net with
+        | None -> arrival.(net) (* primary input: 0 *)
+        | Some c when c.kind = Cell.Dff -> arrival.(net)
+        | Some c ->
+            let worst = ref 0.0 and lvl = ref 0 in
+            Array.iter
+              (fun i ->
+                let a = arrive i in
+                if a > !worst then begin
+                  worst := a;
+                  lvl := depth.(i)
+                end
+                else if a = !worst && depth.(i) > !lvl then lvl := depth.(i))
+              c.ins;
+            arrival.(net) <- !worst +. Cell.delay c.kind;
+            depth.(net) <- !lvl + (if c.kind = Cell.Const0 || c.kind = Cell.Const1 then 0 else 1);
+            arrival.(net))
+  in
+  let best = ref 0.0 and best_ep = ref "(none)" and best_lvl = ref 0 in
+  let consider label net extra =
+    let a = arrive net +. extra in
+    if a > !best then begin
+      best := a;
+      best_ep := label;
+      best_lvl := depth.(net)
+    end
+  in
+  List.iter
+    (fun (c : Netlist.cell) ->
+      if c.kind = Cell.Dff then
+        consider (Printf.sprintf "dff d-input (net %d)" c.ins.(0)) c.ins.(0)
+          Cell.setup_time)
+    (Netlist.cells nl);
+  List.iter
+    (fun (name, nets) ->
+      Array.iter (fun net -> consider ("output " ^ name) net 0.0) nets)
+    (Netlist.outputs nl);
+  let critical_ns = !best in
+  let fmax_mhz =
+    if critical_ns <= 0.0 then Float.infinity else 1000.0 /. critical_ns
+  in
+  { critical_ns; fmax_mhz; endpoint = !best_ep; levels = !best_lvl }
+
+let meets r ~freq_mhz = r.fmax_mhz >= freq_mhz
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "critical path %.2f ns (%d levels) to %s; fmax %.1f MHz" r.critical_ns
+    r.levels r.endpoint r.fmax_mhz

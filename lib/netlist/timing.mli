@@ -1,0 +1,22 @@
+(** Static timing analysis over the cell library's delay model.
+
+    Paths start at primary inputs (arrival 0) and flip-flop outputs
+    (arrival = clock-to-q) and end at primary outputs or flip-flop data
+    inputs (plus setup).  The critical path bounds the achievable clock
+    frequency — the quantity the paper compares between the OSSS and the
+    VHDL flows. *)
+
+type report = {
+  critical_ns : float;  (** longest register-to-register/IO path *)
+  fmax_mhz : float;
+  endpoint : string;  (** description of the critical endpoint *)
+  levels : int;  (** logic depth in cells on the critical path *)
+}
+
+val analyze : Netlist.t -> report
+
+val meets : report -> freq_mhz:float -> bool
+(** Does the netlist close timing at the given clock? (The ExpoCU
+    requirement is 66 MHz.) *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,127 @@
+type field = { f_name : string; f_width : int; f_init : Bitvec.t }
+
+exception Class_error of string
+
+let class_error fmt = Printf.ksprintf (fun s -> raise (Class_error s)) fmt
+
+let field ?init name width =
+  if width < 1 then class_error "field %s: width must be >= 1" name;
+  let f_init =
+    match init with
+    | None -> Bitvec.zero width
+    | Some bv ->
+        if Bitvec.width bv <> width then
+          class_error "field %s: init width %d vs %d" name (Bitvec.width bv)
+            width;
+        bv
+  in
+  { f_name = name; f_width = width; f_init }
+
+type method_ctx = {
+  get : string -> Ir.expr;
+  set : string -> Ir.expr -> Ir.stmt;
+  arg : string -> Ir.expr;
+}
+
+type body_result = Ir.stmt list * Ir.expr option
+
+type meth = {
+  m_name : string;
+  m_params : (string * int) list;
+  m_return : int option;
+  m_body : method_ctx -> body_result;
+}
+
+let proc_method ~name ~params body =
+  { m_name = name; m_params = params; m_return = None;
+    m_body = (fun ctx -> (body ctx, None)) }
+
+let fn_method ~name ~params ~return body =
+  if return < 1 then class_error "method %s: return width must be >= 1" name;
+  { m_name = name; m_params = params; m_return = Some return;
+    m_body =
+      (fun ctx ->
+        let stmts, result = body ctx in
+        (stmts, Some result)) }
+
+type t = {
+  cname : string;
+  cparent : t option;
+  own_fields : field list;
+  own_methods : meth list;
+}
+
+let class_name c = c.cname
+let parent c = c.cparent
+
+let rec fields c =
+  (match c.cparent with None -> [] | Some p -> fields p) @ c.own_fields
+
+let rec methods c =
+  let inherited = match c.cparent with None -> [] | Some p -> methods p in
+  (* An own method with the same name overrides the inherited one. *)
+  let not_overridden m =
+    not (List.exists (fun own -> own.m_name = m.m_name) c.own_methods)
+  in
+  List.filter not_overridden inherited @ c.own_methods
+
+let declare ?parent ~name own_fields own_methods =
+  let c = { cname = name; cparent = parent; own_fields; own_methods } in
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun f ->
+      if Hashtbl.mem seen f.f_name then
+        class_error "class %s: duplicate field %s" name f.f_name;
+      Hashtbl.replace seen f.f_name ())
+    (fields c);
+  let mseen = Hashtbl.create 8 in
+  List.iter
+    (fun m ->
+      if Hashtbl.mem mseen m.m_name then
+        class_error "class %s: duplicate method %s" name m.m_name;
+      Hashtbl.replace mseen m.m_name ())
+    own_methods;
+  (* Overrides must keep the signature. *)
+  (match parent with
+  | None -> ()
+  | Some p ->
+      List.iter
+        (fun own ->
+          match List.find_opt (fun m -> m.m_name = own.m_name) (methods p) with
+          | None -> ()
+          | Some base ->
+              if
+                List.map snd base.m_params <> List.map snd own.m_params
+                || base.m_return <> own.m_return
+              then
+                class_error "class %s: override %s changes the signature" name
+                  own.m_name)
+        own_methods);
+  c
+
+let find_method c name = List.find (fun m -> m.m_name = name) (methods c)
+let has_method c name = List.exists (fun m -> m.m_name = name) (methods c)
+
+let state_width c =
+  let w = List.fold_left (fun acc f -> acc + f.f_width) 0 (fields c) in
+  max w 1
+
+let reset_value c =
+  match fields c with
+  | [] -> Bitvec.zero 1
+  | fs ->
+      (* Field 0 occupies the low bits; concat_list wants MSB first. *)
+      Bitvec.concat_list (List.rev_map (fun f -> f.f_init) fs)
+
+let field_range c name =
+  let rec scan lo = function
+    | [] -> raise Not_found
+    | f :: _ when f.f_name = name -> (lo, f.f_width)
+    | f :: rest -> scan (lo + f.f_width) rest
+  in
+  scan 0 (fields c)
+
+let rec is_subclass c ~of_ =
+  c == of_
+  || c.cname = of_.cname
+  || match c.cparent with None -> false | Some p -> is_subclass p ~of_

@@ -1,0 +1,88 @@
+(** OSSS synthesizable classes.
+
+    A class declares data members (fields) and member functions
+    (methods).  Following the paper's resolution strategy (§8), the data
+    members of an instance map onto a {e single bit vector}; methods
+    become free functions over slices of that vector.
+
+    Inheritance: a class may extend a parent; it sees the parent's
+    fields and methods, may add its own, and may {e override} methods by
+    redeclaring the same name.
+
+    Templates: parameterized classes are plain OCaml functions returning
+    a class (see [Template] and the [SyncRegister] example), which is
+    exactly C++ template specialization performed at OCaml evaluation
+    time.
+
+    Method bodies are OCaml functions from a {!method_ctx} to IR
+    statements; parameters are captured by name as pure expressions, so
+    bodies should compute over pre-call state before mutating fields
+    (the discipline the ODETTE synthesizer enforces with generated
+    temporaries, Figure 7). *)
+
+type field = { f_name : string; f_width : int; f_init : Bitvec.t }
+
+val field : ?init:Bitvec.t -> string -> int -> field
+(** Default initial value: zero. *)
+
+(** Accessors a method body uses to touch its object and arguments. *)
+type method_ctx = {
+  get : string -> Ir.expr;  (** read a field of [this] *)
+  set : string -> Ir.expr -> Ir.stmt;  (** write a field of [this] *)
+  arg : string -> Ir.expr;  (** read a parameter *)
+}
+
+type body_result = Ir.stmt list * Ir.expr option
+(** Statements plus the return value for non-void methods. *)
+
+type meth = {
+  m_name : string;
+  m_params : (string * int) list;  (** name, width *)
+  m_return : int option;  (** return width; [None] = procedure *)
+  m_body : method_ctx -> body_result;
+}
+
+val proc_method :
+  name:string -> params:(string * int) list ->
+  (method_ctx -> Ir.stmt list) -> meth
+
+val fn_method :
+  name:string -> params:(string * int) list -> return:int ->
+  (method_ctx -> Ir.stmt list * Ir.expr) -> meth
+
+type t
+
+exception Class_error of string
+
+val declare : ?parent:t -> name:string -> field list -> meth list -> t
+(** Raises {!Class_error} on duplicate field names (including clashes
+    with inherited fields) or malformed methods. *)
+
+val class_name : t -> string
+val parent : t -> t option
+
+val fields : t -> field list
+(** Inherited fields first, in declaration order. *)
+
+val methods : t -> meth list
+(** Effective method table: inherited methods with overrides applied,
+    then own additions. *)
+
+val find_method : t -> string -> meth
+(** Raises [Not_found]. *)
+
+val has_method : t -> string -> bool
+
+val state_width : t -> int
+(** Total width of the object's resolved state vector. *)
+
+val reset_value : t -> Bitvec.t
+(** Concatenated field initial values — what the constructor/[Reset]
+    establishes. *)
+
+val field_range : t -> string -> int * int
+(** [(lo, width)] of a field inside the state vector.  Raises
+    [Not_found]. *)
+
+val is_subclass : t -> of_:t -> bool
+(** Reflexive-transitive subclass test. *)

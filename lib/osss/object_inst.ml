@@ -1,0 +1,129 @@
+type t = { cls : Class_def.t; var : Ir.var; offset : int }
+
+exception Call_error of string
+
+let call_error fmt = Printf.ksprintf (fun s -> raise (Call_error s)) fmt
+
+let instantiate b ~name cls =
+  let var = Builder.wire b name (Class_def.state_width cls) in
+  { cls; var; offset = 0 }
+
+let of_var var cls =
+  if var.Ir.width <> Class_def.state_width cls then
+    call_error "of_var: width %d vs class %s state width %d" var.Ir.width
+      (Class_def.class_name cls) (Class_def.state_width cls);
+  { cls; var; offset = 0 }
+
+let view var ~offset cls =
+  if offset < 0 || offset + Class_def.state_width cls > var.Ir.width then
+    call_error "view: class %s does not fit at offset %d of %s"
+      (Class_def.class_name cls) offset var.Ir.var_name;
+  { cls; var; offset }
+
+let class_of o = o.cls
+let state_var o = o.var
+
+let state_width o = Class_def.state_width o.cls
+
+let construct o =
+  let value = Ir.Const (Class_def.reset_value o.cls) in
+  if o.offset = 0 && state_width o = o.var.Ir.width then Ir.Assign (o.var, value)
+  else Ir.Assign_slice (o.var, o.offset, value)
+
+let read_expr o =
+  if o.offset = 0 && state_width o = o.var.Ir.width then Ir.Var o.var
+  else Ir.Slice (Ir.Var o.var, o.offset + state_width o - 1, o.offset)
+
+let field_expr o name =
+  let lo, width = Class_def.field_range o.cls name in
+  let lo = lo + o.offset in
+  Ir.Slice (Ir.Var o.var, lo + width - 1, lo)
+
+(* operator == of Figure 11: whole-object comparison. *)
+let equals a b =
+  if Class_def.class_name a.cls <> Class_def.class_name b.cls then
+    call_error "equals: comparing %s with %s" (Class_def.class_name a.cls)
+      (Class_def.class_name b.cls);
+  Ir.Binop (Ir.Eq, read_expr a, read_expr b)
+
+let peek_field o sim name =
+  let lo, width = Class_def.field_range o.cls name in
+  let lo = lo + o.offset in
+  Bitvec.slice (Rtl_sim.peek_var sim o.var) ~hi:(lo + width - 1) ~lo
+
+(* Build the method context for an inlined call on this object. *)
+let ctx_for o (m : Class_def.meth) args =
+  if List.length args <> List.length m.Class_def.m_params then
+    call_error "%s.%s: %d arguments, expected %d"
+      (Class_def.class_name o.cls) m.Class_def.m_name (List.length args)
+      (List.length m.Class_def.m_params);
+  let bound =
+    List.map2
+      (fun (pname, pwidth) actual ->
+        let w = Ir.width_of actual in
+        if w <> pwidth then
+          call_error "%s.%s: argument %s has width %d, expected %d"
+            (Class_def.class_name o.cls) m.Class_def.m_name pname w pwidth;
+        (pname, actual))
+      m.Class_def.m_params args
+  in
+  {
+    Class_def.get =
+      (fun fname ->
+        match Class_def.field_range o.cls fname with
+        | lo, width ->
+            let lo = lo + o.offset in
+            Ir.Slice (Ir.Var o.var, lo + width - 1, lo)
+        | exception Not_found ->
+            call_error "%s: unknown field %s" (Class_def.class_name o.cls)
+              fname);
+    set =
+      (fun fname value ->
+        match Class_def.field_range o.cls fname with
+        | lo, _ -> Ir.Assign_slice (o.var, lo + o.offset, value)
+        | exception Not_found ->
+            call_error "%s: unknown field %s" (Class_def.class_name o.cls)
+              fname);
+    arg =
+      (fun pname ->
+        match List.assoc_opt pname bound with
+        | Some e -> e
+        | None ->
+            call_error "%s.%s: unknown parameter %s"
+              (Class_def.class_name o.cls) m.Class_def.m_name pname);
+  }
+
+let lookup o name =
+  match Class_def.find_method o.cls name with
+  | m -> m
+  | exception Not_found ->
+      call_error "%s has no method %s" (Class_def.class_name o.cls) name
+
+let call o name args =
+  let m = lookup o name in
+  if m.Class_def.m_return <> None then
+    call_error "%s.%s returns a value; use call_fn"
+      (Class_def.class_name o.cls) name;
+  let stmts, _ = m.Class_def.m_body (ctx_for o m args) in
+  stmts
+
+let call_fn o name args =
+  let m = lookup o name in
+  match m.Class_def.m_return with
+  | None ->
+      call_error "%s.%s is a procedure; use call" (Class_def.class_name o.cls)
+        name
+  | Some rw ->
+      let stmts, result = m.Class_def.m_body (ctx_for o m args) in
+      let result =
+        match result with
+        | Some e -> e
+        | None ->
+            call_error "%s.%s: body returned no value"
+              (Class_def.class_name o.cls) name
+      in
+      let w = Ir.width_of result in
+      if w <> rw then
+        call_error "%s.%s: returns width %d, declared %d"
+          (Class_def.class_name o.cls) name w rw;
+      (stmts, result)

@@ -1,0 +1,56 @@
+(** Object instantiation and method-call resolution.
+
+    Instantiating a class inside a module allocates one state variable
+    of {!Class_def.state_width} bits — the paper's "data members of a
+    class instance are mapped to a single bit vector" (§8).  A method
+    call inlines the method body with field accesses rewritten to
+    slices of that vector; this is the OSSS synthesizer's member-
+    function-to-free-function resolution, performed structurally. *)
+
+type t
+
+exception Call_error of string
+
+val instantiate : Builder.t -> name:string -> Class_def.t -> t
+(** Adds the state variable to the builder as a local. *)
+
+val of_var : Ir.var -> Class_def.t -> t
+(** Wrap an existing variable (used by the shared-object machinery);
+    the variable's width must equal the class state width. *)
+
+val view : Ir.var -> offset:int -> Class_def.t -> t
+(** Wrap a slice of a wider variable starting at bit [offset] — how a
+    polymorphic container embeds each variant's state. *)
+
+val class_of : t -> Class_def.t
+val state_var : t -> Ir.var
+
+val construct : t -> Ir.stmt
+(** Assign the constructor/reset value to the whole state vector. *)
+
+val call : t -> string -> Ir.expr list -> Ir.stmt list
+(** [call obj "Write" [e]] inlines procedure method [Write].  Raises
+    {!Call_error} on unknown method, arity or width mismatch, or if the
+    method returns a value. *)
+
+val call_fn : t -> string -> Ir.expr list -> Ir.stmt list * Ir.expr
+(** Inline a returning method: side-effect statements plus the return
+    expression (evaluated against the pre-statement state; the
+    statements must be executed before uses of the expression, exactly
+    like the generated SystemC of Figure 7). *)
+
+val read_expr : t -> Ir.expr
+(** The whole state vector, e.g. for [sc_signal<Object>] transfers or
+    [operator ==] comparisons. *)
+
+val field_expr : t -> string -> Ir.expr
+(** Direct field access — only the object's own methods should use
+    this; exposed for tests and tracing ([sc_trace], Figure 9). *)
+
+val equals : t -> t -> Ir.expr
+(** Whole-object comparison — the [operator ==] overload of Figure 11.
+    Both objects must be instances of the same class. *)
+
+val peek_field : t -> Rtl_sim.t -> string -> Bitvec.t
+(** Read a field's current value out of a running RTL simulation (the
+    debugging access behind [sc_trace]/[operator <<], Figures 9-10). *)

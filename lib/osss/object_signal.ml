@@ -1,0 +1,37 @@
+type t = { cls : Class_def.t; sig_ : Bitvec.t Sim.Signal.t }
+
+let create k ~name cls =
+  {
+    cls;
+    sig_ =
+      Sim.Signal.create k ~equal:Bitvec.equal ~name
+        (Class_def.reset_value cls);
+  }
+
+let class_of t = t.cls
+let signal t = t.sig_
+
+let check_class t obj =
+  if
+    Class_def.class_name (Sim_object.class_of obj)
+    <> Class_def.class_name t.cls
+  then
+    invalid_arg
+      (Printf.sprintf "Object_signal: %s carried on a %s signal"
+         (Class_def.class_name (Sim_object.class_of obj))
+         (Class_def.class_name t.cls))
+
+let write t obj =
+  check_class t obj;
+  Sim.Signal.write t.sig_ (Sim_object.state obj)
+
+let read t =
+  let obj = Sim_object.create t.cls in
+  Sim_object.set_state obj (Sim.Signal.read t.sig_);
+  obj
+
+let read_into t obj =
+  check_class t obj;
+  Sim_object.set_state obj (Sim.Signal.read t.sig_)
+
+let changed_event t = Sim.Signal.changed_event t.sig_

@@ -1,0 +1,29 @@
+(** Objects on signals — "the object data can be transferred via
+    [sc_signal<Object>] between different processes" (§6).
+
+    An object signal carries the class's state vector with ordinary
+    signal semantics (write now, visible after the update phase).
+    Reading yields a fresh {!Sim_object} so the receiving process can
+    call methods on its own copy, exactly like receiving a C++ object
+    by value. *)
+
+type t
+
+val create :
+  Sim.Kernel.t -> name:string -> Class_def.t -> t
+(** Initial value: the class's constructor state. *)
+
+val class_of : t -> Class_def.t
+val signal : t -> Bitvec.t Sim.Signal.t
+(** The underlying state-vector signal (e.g. for tracing). *)
+
+val write : t -> Sim_object.t -> unit
+(** Classes must match; raises [Invalid_argument] otherwise. *)
+
+val read : t -> Sim_object.t
+(** A fresh object holding the current signal value. *)
+
+val read_into : t -> Sim_object.t -> unit
+(** Overwrite an existing object's state with the signal value. *)
+
+val changed_event : t -> Sim.Kernel.event

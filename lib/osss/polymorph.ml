@@ -1,0 +1,130 @@
+type t = {
+  base : Class_def.t;
+  var : Ir.var;
+  vlist : Class_def.t list;
+  tag_w : int;
+  payload_w : int;
+}
+
+exception Poly_error of string
+
+let poly_error fmt = Printf.ksprintf (fun s -> raise (Poly_error s)) fmt
+
+let tag_bits n =
+  let rec go k p = if p >= n then max k 1 else go (k + 1) (p * 2) in
+  go 0 1
+
+let instantiate b ~name ~base vlist =
+  if vlist = [] then poly_error "%s: no variants" name;
+  List.iter
+    (fun v ->
+      if not (Class_def.is_subclass v ~of_:base) then
+        poly_error "%s: %s is not a subclass of %s" name
+          (Class_def.class_name v) (Class_def.class_name base);
+      List.iter
+        (fun (m : Class_def.meth) ->
+          if not (Class_def.has_method v m.Class_def.m_name) then
+            poly_error "%s: %s lacks method %s" name (Class_def.class_name v)
+              m.Class_def.m_name)
+        (Class_def.methods base))
+    vlist;
+  let payload_w =
+    List.fold_left (fun acc v -> max acc (Class_def.state_width v)) 1 vlist
+  in
+  let tag_w = tag_bits (List.length vlist) in
+  let var = Builder.wire b name (payload_w + tag_w) in
+  { base; var; vlist; tag_w; payload_w }
+
+let variants p = p.vlist
+let state_var p = p.var
+let tag_width p = p.tag_w
+
+let tag_expr p =
+  Ir.Slice (Ir.Var p.var, p.payload_w + p.tag_w - 1, p.payload_w)
+
+let tag_of p cls =
+  let rec find i = function
+    | [] ->
+        poly_error "%s is not a variant of %s" (Class_def.class_name cls)
+          p.var.Ir.var_name
+    | v :: rest ->
+        if Class_def.class_name v = Class_def.class_name cls then i
+        else find (i + 1) rest
+  in
+  find 0 p.vlist
+
+let view_of p cls = Object_inst.view p.var ~offset:0 cls
+
+let assign_class p cls =
+  let tag = tag_of p cls in
+  [
+    Ir.Assign_slice (p.var, p.payload_w, Ir.Const (Bitvec.of_int ~width:p.tag_w tag));
+    Object_inst.construct (view_of p cls);
+  ]
+
+let is_instance p cls =
+  Ir.Binop
+    (Ir.Eq, tag_expr p, Ir.Const (Bitvec.of_int ~width:p.tag_w (tag_of p cls)))
+
+let vcall p name args =
+  (match Class_def.find_method p.base name with
+  | m ->
+      if m.Class_def.m_return <> None then
+        poly_error "%s is a function; use vcall_fn" name
+  | exception Not_found ->
+      poly_error "base %s has no method %s" (Class_def.class_name p.base) name);
+  let arms =
+    List.mapi
+      (fun i v ->
+        ( Bitvec.of_int ~width:p.tag_w i,
+          Object_inst.call (view_of p v) name args ))
+      p.vlist
+  in
+  [ Ir.Case (tag_expr p, arms, []) ]
+
+let vcall_fn p name args =
+  let base_m =
+    match Class_def.find_method p.base name with
+    | m -> m
+    | exception Not_found ->
+        poly_error "base %s has no method %s" (Class_def.class_name p.base)
+          name
+  in
+  let rw =
+    match base_m.Class_def.m_return with
+    | Some w -> w
+    | None -> poly_error "%s is a procedure; use vcall" name
+  in
+  let per_variant =
+    List.mapi
+      (fun i v ->
+        let stmts, result = Object_inst.call_fn (view_of p v) name args in
+        (i, stmts, result))
+      p.vlist
+  in
+  let arms =
+    List.map
+      (fun (i, stmts, _) -> (Bitvec.of_int ~width:p.tag_w i, stmts))
+      per_variant
+  in
+  let stmts =
+    if List.for_all (fun (_, stmts, _) -> stmts = []) per_variant then []
+    else [ Ir.Case (tag_expr p, arms, []) ]
+  in
+  (* The function-select multiplexer of §8.  Every per-variant result
+     already type-checked against the shared signature width [rw]. *)
+  let result =
+    match per_variant with
+    | [] -> poly_error "no variants"
+    | (_, _, first) :: rest ->
+        List.fold_left
+          (fun acc (i, _, r) ->
+            let sel =
+              Ir.Binop
+                (Ir.Eq, tag_expr p, Ir.Const (Bitvec.of_int ~width:p.tag_w i))
+            in
+            Ir.Mux (sel, r, acc))
+          first rest
+  in
+  assert (Ir.width_of result = rw);
+  (stmts, result)

@@ -1,0 +1,37 @@
+(** Synthesizable polymorphism.
+
+    A polymorphic object holds {e any} of a closed set of classes
+    derived from a common base.  Its resolved state vector is a class
+    tag plus the widest variant's state; a virtual call dispatches on
+    the tag, which synthesizes to exactly the multiplexers the paper
+    says polymorphism costs (§8: "in case of polymorphism, multiplexers
+    are being inserted to select the function and object"). *)
+
+type t
+
+exception Poly_error of string
+
+val instantiate :
+  Builder.t -> name:string -> base:Class_def.t -> Class_def.t list -> t
+(** [instantiate b ~name ~base variants]: every variant must be a
+    subclass of [base] (the base itself may be listed) and implement
+    every [base] method.  Tag value [i] = position in [variants]. *)
+
+val variants : t -> Class_def.t list
+val state_var : t -> Ir.var
+val tag_width : t -> int
+
+val assign_class : t -> Class_def.t -> Ir.stmt list
+(** "new Variant": set the tag and construct the variant's state. *)
+
+val tag_expr : t -> Ir.expr
+val is_instance : t -> Class_def.t -> Ir.expr
+(** 1-bit expression: does the object currently hold this variant? *)
+
+val vcall : t -> string -> Ir.expr list -> Ir.stmt list
+(** Virtual procedure call: a [Case] over the tag, each arm inlining
+    the variant's implementation. *)
+
+val vcall_fn : t -> string -> Ir.expr list -> Ir.stmt list * Ir.expr
+(** Virtual function call: the result is a mux chain over the tag.  All
+    variant implementations must return the base signature's width. *)

@@ -1,0 +1,190 @@
+let non_member_name cls mname =
+  Printf.sprintf "_%s_%s_1_" (Class_def.class_name cls) mname
+
+(* Render IR expressions/statements in SystemC/C++ flavour. *)
+let rec expr_str (e : Ir.expr) =
+  match e with
+  | Const c ->
+      if Bitvec.width c <= 62 then string_of_int (Bitvec.to_int c)
+      else "0x" ^ Bitvec.to_hex_string c
+  | Var v -> v.Ir.var_name
+  | Array_read (v, i) -> Printf.sprintf "%s[%s]" v.Ir.var_name (expr_str i)
+  | Unop (op, e) ->
+      let s =
+        match op with
+        | Ir.Not -> "~"
+        | Neg -> "-"
+        | Reduce_and -> "and_reduce"
+        | Reduce_or -> "or_reduce"
+        | Reduce_xor -> "xor_reduce"
+      in
+      (match op with
+      | Ir.Not | Neg -> Printf.sprintf "(%s%s)" s (expr_str e)
+      | _ -> Printf.sprintf "%s(%s)" s (expr_str e))
+  | Binop (op, a, b) ->
+      let s =
+        match op with
+        | Ir.Add -> "+"
+        | Sub -> "-"
+        | Mul -> "*"
+        | And -> "&"
+        | Or -> "|"
+        | Xor -> "^"
+        | Eq -> "=="
+        | Ne -> "!="
+        | Ult -> "<"
+        | Ule -> "<="
+        | Slt -> "<"
+        | Sle -> "<="
+        | Shl -> "<<"
+        | Lshr -> ">>"
+        | Ashr -> ">>"
+      in
+      Printf.sprintf "(%s %s %s)" (expr_str a) s (expr_str b)
+  | Mux (s, t, e) ->
+      Printf.sprintf "(%s ? %s : %s)" (expr_str s) (expr_str t) (expr_str e)
+  | Slice (e, hi, lo) ->
+      if hi = lo then Printf.sprintf "%s[%d]" (expr_str e) hi
+      else Printf.sprintf "%s.range(%d, %d)" (expr_str e) hi lo
+  | Concat (a, b) -> Printf.sprintf "(%s, %s)" (expr_str a) (expr_str b)
+  | Resize (_, e, w) -> Printf.sprintf "sc_biguint<%d>(%s)" w (expr_str e)
+
+let rec stmt_lines indent (st : Ir.stmt) =
+  let pad = String.make indent ' ' in
+  match st with
+  | Assign (v, e) -> [ Printf.sprintf "%s%s = %s;" pad v.Ir.var_name (expr_str e) ]
+  | Assign_slice (v, lo, e) ->
+      let w = Ir.width_of e in
+      if w = 1 then
+        [ Printf.sprintf "%s%s[%d] = %s;" pad v.Ir.var_name lo (expr_str e) ]
+      else
+        [
+          Printf.sprintf "%s%s.range(%d, %d) = %s;" pad v.Ir.var_name
+            (lo + w - 1) lo (expr_str e);
+        ]
+  | Array_write (v, i, e) ->
+      [
+        Printf.sprintf "%s%s[%s] = %s;" pad v.Ir.var_name (expr_str i)
+          (expr_str e);
+      ]
+  | If (c, t, els) ->
+      [ Printf.sprintf "%sif (%s) {" pad (expr_str c) ]
+      @ List.concat_map (stmt_lines (indent + 2)) t
+      @ (if els = [] then []
+         else
+           (Printf.sprintf "%s} else {" pad)
+           :: List.concat_map (stmt_lines (indent + 2)) els)
+      @ [ pad ^ "}" ]
+  | Case (s, arms, dflt) ->
+      [ Printf.sprintf "%sswitch (%s) {" pad (expr_str s) ]
+      @ List.concat_map
+          (fun (label, body) ->
+            (Printf.sprintf "%scase %d:" pad (Bitvec.to_int label))
+            :: List.concat_map (stmt_lines (indent + 2)) body
+            @ [ Printf.sprintf "%s  break;" pad ])
+          arms
+      @ (Printf.sprintf "%sdefault:" pad)
+        :: List.concat_map (stmt_lines (indent + 2)) dflt
+      @ [ Printf.sprintf "%s  break;" pad; pad ^ "}" ]
+
+let emit_method cls mname =
+  let m = Class_def.find_method cls mname in
+  let sw = Class_def.state_width cls in
+  let this_var = Ir.fresh_var ~name:"_this_" ~width:sw () in
+  let params =
+    List.map
+      (fun (pname, w) -> (pname, Ir.fresh_var ~name:pname ~width:w ()))
+      m.Class_def.m_params
+  in
+  let ctx =
+    {
+      Class_def.get =
+        (fun fname ->
+          let lo, width = Class_def.field_range cls fname in
+          Ir.Slice (Ir.Var this_var, lo + width - 1, lo));
+      set =
+        (fun fname value ->
+          let lo, _ = Class_def.field_range cls fname in
+          Ir.Assign_slice (this_var, lo, value));
+      arg =
+        (fun pname ->
+          match List.assoc_opt pname params with
+          | Some v -> Ir.Var v
+          | None -> invalid_arg ("emit_method: unknown parameter " ^ pname));
+    }
+  in
+  let stmts, result = m.Class_def.m_body ctx in
+  let ret_type =
+    match m.Class_def.m_return with
+    | None -> "void"
+    | Some 1 -> "bool"
+    | Some w -> Printf.sprintf "sc_biguint<%d>" w
+  in
+  let param_decls =
+    Printf.sprintf "sc_biguint<%d>& _this_" sw
+    :: List.map
+         (fun (pname, v) ->
+           Printf.sprintf "const sc_biguint<%d>& %s" v.Ir.width pname)
+         params
+  in
+  let body_lines = List.concat_map (stmt_lines 2) stmts in
+  let return_lines =
+    match result with
+    | None -> []
+    | Some e -> [ Printf.sprintf "  return %s;" (expr_str e) ]
+  in
+  String.concat "\n"
+    ((Printf.sprintf "%s %s(%s)" ret_type (non_member_name cls mname)
+        (String.concat ", " param_decls))
+     :: "{"
+     :: (body_lines @ return_lines)
+    @ [ "}" ])
+
+let emit_class cls =
+  let layout =
+    Class_def.fields cls
+    |> List.map (fun (f : Class_def.field) ->
+           let lo, w = Class_def.field_range cls f.Class_def.f_name in
+           Printf.sprintf "//   [%d:%d] %s" (lo + w - 1) lo f.Class_def.f_name)
+  in
+  let header =
+    Printf.sprintf "// class %s resolved to sc_biguint<%d> with layout:"
+      (Class_def.class_name cls) (Class_def.state_width cls)
+  in
+  let bodies =
+    List.map
+      (fun (m : Class_def.meth) -> emit_method cls m.Class_def.m_name)
+      (Class_def.methods cls)
+  in
+  String.concat "\n" ((header :: layout) @ [ "" ] @ bodies)
+
+let emit_module (m : Ir.module_def) =
+  let buf = Buffer.create 1024 in
+  let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  p "SC_MODULE( %s )\n{\n" m.Ir.mod_name;
+  List.iter
+    (fun (pt : Ir.port) ->
+      let dir = match pt.dir with Ir.Input -> "sc_in" | Output -> "sc_out" in
+      p "  %s< sc_biguint<%d> > %s;\n" dir pt.port_var.Ir.width pt.port_name)
+    m.Ir.ports;
+  List.iter
+    (fun (v : Ir.var) ->
+      if Ir.is_array v then
+        p "  sc_biguint<%d> %s[%d];\n" v.Ir.width v.Ir.var_name v.Ir.depth
+      else p "  sc_biguint<%d> %s;\n" v.Ir.width v.Ir.var_name)
+    m.Ir.locals;
+  List.iter
+    (fun proc ->
+      match proc with
+      | Ir.Comb { proc_name; body } ->
+          p "\n  void %s()  // SC_METHOD\n  {\n" proc_name;
+          List.iter (fun st -> List.iter (fun l -> p "%s\n" l) (stmt_lines 4 st)) body;
+          p "  }\n"
+      | Ir.Sync { proc_name; body } ->
+          p "\n  void %s()  // SC_CTHREAD(clk.pos())\n  {\n" proc_name;
+          p "    while (true) {\n";
+          List.iter (fun st -> List.iter (fun l -> p "%s\n" l) (stmt_lines 6 st)) body;
+          p "      wait();\n    }\n  }\n")
+    m.Ir.processes;
+  p "\n  SC_CTOR(%s) { /* process registration elided */ }\n};\n" m.Ir.mod_name;
+  Buffer.contents buf

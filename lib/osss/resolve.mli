@@ -1,0 +1,26 @@
+(** The OSSS synthesizer's visible output: resolved standard SystemC.
+
+    In the ODETTE flow (Figure 6) the synthesizer writes plain SystemC
+    files in which classes have been dissolved: member functions become
+    non-member functions over a [sc_biguint] state vector (Figure 7),
+    and modules hold the vector directly (Figure 8).  In this embedding
+    the structural resolution happens at IR construction time
+    ([Object_inst] / [Polymorph] / [Shared]); this module regenerates
+    the equivalent human-readable SystemC text, which is what a designer
+    debugging the intermediate files (§12) would inspect. *)
+
+val non_member_name : Class_def.t -> string -> string
+(** [_SyncRegister_Write_1_] style mangled name. *)
+
+val emit_method : Class_def.t -> string -> string
+(** The resolved non-member function for one method, Figure 7 style. *)
+
+val emit_class : Class_def.t -> string
+(** All methods of a class (inherited ones included, with the
+    effective override), preceded by a layout comment for the state
+    vector. *)
+
+val emit_module : Ir.module_def -> string
+(** An [SC_MODULE] rendering of a resolved IR module, Figure 8 style:
+    ports, the state vectors as [sc_biguint] members, and each process
+    as an [SC_CTHREAD]/[SC_METHOD] body. *)

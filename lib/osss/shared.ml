@@ -1,0 +1,297 @@
+type custom_arbiter =
+  reqs:Ir.var array -> grant:Ir.var -> last_grant:Ir.var -> Ir.stmt list
+
+type policy =
+  | Round_robin
+  | Fixed_priority
+  | Fcfs
+  | Custom of string * custom_arbiter
+
+let policy_name = function
+  | Round_robin -> "round-robin"
+  | Fixed_priority -> "fixed-priority"
+  | Fcfs -> "first-come-first-served"
+  | Custom (name, _) -> name
+
+exception Shared_error of string
+
+let shared_error fmt = Printf.ksprintf (fun s -> raise (Shared_error s)) fmt
+
+type client_vars = {
+  c_req : Ir.var;
+  c_op : Ir.var;
+  c_args : Ir.var array;
+  c_index : int;
+}
+
+type t = {
+  obj : Object_inst.t;
+  method_names : string list;
+  clients_v : client_vars array;
+  grant : Ir.var;  (* one-hot, n bits *)
+  done_reg : Ir.var;  (* one-hot, n bits *)
+  result_reg : Ir.var;
+}
+
+type client = { owner : t; vars : client_vars }
+
+let ceil_log2 n =
+  let rec go k p = if p >= n then max k 1 else go (k + 1) (p * 2) in
+  go 0 1
+
+let bit_of var i = Ir.Slice (Ir.Var var, i, i)
+
+let create b ~name ~class_ ~policy ~clients ~methods ~reset =
+  if clients < 1 then shared_error "%s: need at least one client" name;
+  if methods = [] then shared_error "%s: no shared methods" name;
+  let meths =
+    List.map
+      (fun mn ->
+        match Class_def.find_method class_ mn with
+        | m -> m
+        | exception Not_found ->
+            shared_error "%s: class %s has no method %s" name
+              (Class_def.class_name class_) mn)
+      methods
+  in
+  let op_w = ceil_log2 (List.length meths) in
+  let max_arity =
+    List.fold_left
+      (fun acc (m : Class_def.meth) -> max acc (List.length m.m_params))
+      0 meths
+  in
+  let slot_width j =
+    List.fold_left
+      (fun acc (m : Class_def.meth) ->
+        match List.nth_opt m.m_params j with
+        | Some (_, w) -> max acc w
+        | None -> acc)
+      1 meths
+  in
+  let result_w =
+    List.fold_left
+      (fun acc (m : Class_def.meth) ->
+        match m.m_return with Some w -> max acc w | None -> acc)
+      1 meths
+  in
+  let state_var = Builder.wire b (name ^ "_state") (Class_def.state_width class_) in
+  let obj = Object_inst.of_var state_var class_ in
+  let clients_v =
+    Array.init clients (fun i ->
+        {
+          c_req = Builder.wire b (Printf.sprintf "%s_req%d" name i) 1;
+          c_op = Builder.wire b (Printf.sprintf "%s_op%d" name i) op_w;
+          c_args =
+            Array.init max_arity (fun j ->
+                Builder.wire b
+                  (Printf.sprintf "%s_arg%d_%d" name i j)
+                  (slot_width j));
+          c_index = i;
+        })
+  in
+  let grant = Builder.wire b (name ^ "_grant") clients in
+  let done_reg = Builder.wire b (name ^ "_done") clients in
+  let result_reg = Builder.wire b (name ^ "_result") result_w in
+  let last_grant = Builder.wire b (name ^ "_last") (ceil_log2 clients) in
+  let age_w = 8 in
+  let ages =
+    match policy with
+    | Fcfs ->
+        Array.init clients (fun i ->
+            Builder.wire b (Printf.sprintf "%s_age%d" name i) age_w)
+    | Round_robin | Fixed_priority | Custom _ -> [||]
+  in
+  (* ---- combinational arbiter ---- *)
+  let no_req_before order upto_exclusive =
+    (* conjunction of negated requests of clients earlier in [order] *)
+    let rec build acc = function
+      | [] -> acc
+      | j :: rest when j = upto_exclusive -> ignore rest; acc
+      | j :: rest ->
+          let nj = Ir.Unop (Ir.Not, Ir.Var clients_v.(j).c_req) in
+          build (Ir.Binop (Ir.And, acc, nj)) rest
+    in
+    build (Ir.Const (Bitvec.of_bool true)) order
+  in
+  let fixed_priority_grants order =
+    (* grant_j = req_j and no earlier request in [order] *)
+    List.map
+      (fun j ->
+        let g = Ir.Binop (Ir.And, Ir.Var clients_v.(j).c_req, no_req_before order j) in
+        Ir.Assign_slice (grant, j, g))
+      order
+  in
+  let clear_grant = Ir.Assign (grant, Ir.Const (Bitvec.zero clients)) in
+  let arbiter_body =
+    match policy with
+    | Fixed_priority ->
+        clear_grant :: fixed_priority_grants (List.init clients (fun i -> i))
+    | Round_robin ->
+        (* Rotate priority: the client after the last granted one wins
+           ties.  A case over last_grant selects the rotation. *)
+        let arms =
+          List.init clients (fun last ->
+              let order = List.init clients (fun k -> (last + 1 + k) mod clients) in
+              ( Bitvec.of_int ~width:(ceil_log2 clients) last,
+                fixed_priority_grants order ))
+        in
+        [
+          clear_grant;
+          Ir.Case (Ir.Var last_grant, arms, fixed_priority_grants (List.init clients (fun i -> i)));
+        ]
+    | Fcfs ->
+        (* Grant the requester with the highest age; ties to the lower
+           index.  Ages are registered in the server process. *)
+        let is_winner j =
+          let others = List.filter (fun k -> k <> j) (List.init clients (fun i -> i)) in
+          List.fold_left
+            (fun acc k ->
+              let k_loses =
+                (* k not requesting, or k's age strictly lower, or equal
+                   ages and k has the higher index *)
+                let not_req = Ir.Unop (Ir.Not, Ir.Var clients_v.(k).c_req) in
+                let lower_age =
+                  Ir.Binop (Ir.Ult, Ir.Var ages.(k), Ir.Var ages.(j))
+                in
+                let tie_break =
+                  if k > j then
+                    Ir.Binop (Ir.Eq, Ir.Var ages.(k), Ir.Var ages.(j))
+                  else Ir.Const (Bitvec.of_bool false)
+                in
+                Ir.Binop
+                  (Ir.And, acc,
+                   Ir.Binop (Ir.Or, not_req, Ir.Binop (Ir.Or, lower_age, tie_break)))
+              in
+              k_loses)
+            (Ir.Var clients_v.(j).c_req)
+            others
+        in
+        clear_grant
+        :: List.init clients (fun j -> Ir.Assign_slice (grant, j, is_winner j))
+    | Custom (_, arbiter) ->
+        (* user-supplied scheduler (§6: "or implement an own according
+           to the required needs"); the contract is to drive [grant]
+           one-hot from the request variables *)
+        clear_grant
+        :: arbiter
+             ~reqs:(Array.map (fun cv -> cv.c_req) clients_v)
+             ~grant ~last_grant
+  in
+  Builder.comb b (name ^ "_arbiter") arbiter_body;
+  (* ---- synchronous server ---- *)
+  let call_arm (m : Class_def.meth) (cv : client_vars) =
+    let actuals =
+      List.mapi
+        (fun j (_, w) ->
+          let slot = cv.c_args.(j) in
+          if w = slot.Ir.width then Ir.Var slot
+          else Ir.Slice (Ir.Var slot, w - 1, 0))
+        m.m_params
+    in
+    match m.m_return with
+    | None -> Object_inst.call obj m.m_name actuals
+    | Some w ->
+        let stmts, ret = Object_inst.call_fn obj m.m_name actuals in
+        let padded =
+          if w = result_w then ret else Ir.Resize (false, ret, result_w)
+        in
+        stmts @ [ Ir.Assign (result_reg, padded) ]
+  in
+  let dispatch cv =
+    let arms =
+      List.mapi
+        (fun k m -> (Bitvec.of_int ~width:op_w k, call_arm m cv))
+        meths
+    in
+    Ir.Case (Ir.Var cv.c_op, arms, [])
+  in
+  let per_client_exec =
+    List.concat
+      (List.init clients (fun i ->
+           let cv = clients_v.(i) in
+           [
+             Ir.If
+               ( bit_of grant i,
+                 [
+                   dispatch cv;
+                   Ir.Assign_slice (done_reg, i, Ir.Const (Bitvec.of_bool true));
+                   Ir.Assign
+                     ( last_grant,
+                       Ir.Const (Bitvec.of_int ~width:(ceil_log2 clients) i) );
+                 ],
+                 [] );
+           ]))
+  in
+  let age_updates =
+    match policy with
+    | Round_robin | Fixed_priority | Custom _ -> []
+    | Fcfs ->
+        List.init clients (fun i ->
+            (* pending and not granted: age++ (saturating); otherwise 0 *)
+            let pending =
+              Ir.Binop
+                (Ir.And, Ir.Var clients_v.(i).c_req,
+                 Ir.Unop (Ir.Not, bit_of grant i))
+            in
+            let saturated =
+              Ir.Binop
+                (Ir.Eq, Ir.Var ages.(i), Ir.Const (Bitvec.ones age_w))
+            in
+            let bumped =
+              Ir.Mux
+                ( saturated,
+                  Ir.Var ages.(i),
+                  Ir.Binop
+                    (Ir.Add, Ir.Var ages.(i), Ir.Const (Bitvec.of_int ~width:age_w 1)) )
+            in
+            Ir.Assign (ages.(i), Ir.Mux (pending, bumped, Ir.Const (Bitvec.zero age_w))))
+  in
+  let reset_body =
+    [
+      Object_inst.construct obj;
+      Ir.Assign (done_reg, Ir.Const (Bitvec.zero clients));
+      Ir.Assign (result_reg, Ir.Const (Bitvec.zero result_w));
+      Ir.Assign
+        (last_grant, Ir.Const (Bitvec.zero (ceil_log2 clients)));
+    ]
+    @ (match policy with
+      | Fcfs ->
+          Array.to_list
+            (Array.map
+               (fun a -> Ir.Assign (a, Ir.Const (Bitvec.zero age_w)))
+               ages)
+      | Round_robin | Fixed_priority | Custom _ -> [])
+  in
+  let run_body =
+    (Ir.Assign (done_reg, Ir.Const (Bitvec.zero clients)) :: per_client_exec)
+    @ age_updates
+  in
+  Builder.sync b (name ^ "_server")
+    [ Ir.If (Ir.Var reset, reset_body, run_body) ];
+  let t =
+    { obj; method_names = methods; clients_v; grant; done_reg; result_reg }
+  in
+  t
+
+let client t i =
+  if i < 0 || i >= Array.length t.clients_v then
+    shared_error "client index %d out of range" i;
+  { owner = t; vars = t.clients_v.(i) }
+
+let n_clients t = Array.length t.clients_v
+let req c = c.vars.c_req
+let op c = c.vars.c_op
+let args c = c.vars.c_args
+let granted c = bit_of c.owner.grant c.vars.c_index
+let done_ c = bit_of c.owner.done_reg c.vars.c_index
+let result t = Ir.Var t.result_reg
+
+let op_index t name =
+  let rec find i = function
+    | [] -> raise Not_found
+    | m :: _ when m = name -> i
+    | _ :: rest -> find (i + 1) rest
+  in
+  find 0 t.method_names
+
+let state t = t.obj

@@ -1,0 +1,82 @@
+(** Global (shared) objects with synthesized access scheduling.
+
+    "Often, components of a system have to be accessed by different
+    modules or processes. [...] Such parts of a system can be
+    implemented as global objects.  The access and scheduling of a
+    global object gets automatically included for synthesis.  A
+    designer can use a standard scheduler or implement an own" (§6).
+
+    [create] builds, inside the current module: a request/operation/
+    argument interface per client, a combinational arbiter implementing
+    the chosen policy, and a synchronous server process that executes
+    one granted method call per clock cycle on the shared object state
+    and publishes the return value.
+
+    Client processes drive [req]/[op]/[args] (they are ordinary IR
+    variables) and observe [granted]/[done_]/[result]. *)
+
+type custom_arbiter =
+  reqs:Ir.var array -> grant:Ir.var -> last_grant:Ir.var -> Ir.stmt list
+(** A user-defined scheduler ("a designer can [...] implement an own",
+    §6): given the per-client request variables, produce combinational
+    statements driving [grant] one-hot.  [last_grant] is the registered
+    index of the most recently served client (updated by the generated
+    server), available for rotating policies.  The grant register is
+    pre-cleared to zero before these statements run. *)
+
+type policy =
+  | Round_robin
+  | Fixed_priority
+  | Fcfs
+  | Custom of string * custom_arbiter
+
+val policy_name : policy -> string
+
+type t
+type client
+
+exception Shared_error of string
+
+val create :
+  Builder.t ->
+  name:string ->
+  class_:Class_def.t ->
+  policy:policy ->
+  clients:int ->
+  methods:string list ->
+  reset:Ir.var ->
+  t
+(** [methods] lists the class methods callable through the shared
+    interface; operation code [k] selects the [k]-th.  [reset]
+    (synchronous, active high) constructs the object and clears the
+    scheduler state. *)
+
+val client : t -> int -> client
+val n_clients : t -> int
+
+val req : client -> Ir.var
+(** 1-bit request; hold high until {!done_}. *)
+
+val op : client -> Ir.var
+(** Operation selector, [ceil_log2 (length methods)] bits wide. *)
+
+val args : client -> Ir.var array
+(** Argument slots; slot [j] is as wide as the widest [j]-th parameter
+    over all shared methods.  Narrower parameters take the low bits. *)
+
+val granted : client -> Ir.expr
+(** 1-bit: the arbiter grants this client in the current cycle. *)
+
+val done_ : client -> Ir.expr
+(** 1-bit, registered: this client's call executed in the previous
+    cycle; {!result} holds its return value. *)
+
+val result : t -> Ir.expr
+(** Return-value register (width = widest shared method return; 1 if
+    all are procedures). *)
+
+val op_index : t -> string -> int
+(** Operation code for a method name.  Raises [Not_found]. *)
+
+val state : t -> Object_inst.t
+(** The shared object itself (for tracing and tests). *)

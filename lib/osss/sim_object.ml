@@ -1,0 +1,110 @@
+type t = { cls : Class_def.t; var : Ir.var; env : Eval.env }
+
+exception Sim_call_error of string
+
+let sim_error fmt = Printf.ksprintf (fun s -> raise (Sim_call_error s)) fmt
+
+let create cls =
+  let var =
+    Ir.fresh_var
+      ~name:("simobj_" ^ Class_def.class_name cls)
+      ~width:(Class_def.state_width cls) ()
+  in
+  let env = Eval.create () in
+  Eval.set env var (Class_def.reset_value cls);
+  { cls; var; env }
+
+let class_of o = o.cls
+let reset o = Eval.set o.env o.var (Class_def.reset_value o.cls)
+let state o = Eval.get o.env o.var
+
+let set_state o bv =
+  if Bitvec.width bv <> o.var.Ir.width then
+    sim_error "set_state: width %d expected %d" (Bitvec.width bv)
+      o.var.Ir.width;
+  Eval.set o.env o.var bv
+
+let get_field o name =
+  let lo, width = Class_def.field_range o.cls name in
+  Bitvec.slice (state o) ~hi:(lo + width - 1) ~lo
+
+let ctx_for o (m : Class_def.meth) args =
+  if List.length args <> List.length m.Class_def.m_params then
+    sim_error "%s.%s: %d arguments, expected %d" (Class_def.class_name o.cls)
+      m.Class_def.m_name (List.length args)
+      (List.length m.Class_def.m_params);
+  let bound =
+    List.map2
+      (fun (pname, pwidth) actual ->
+        if Bitvec.width actual <> pwidth then
+          sim_error "%s.%s: argument %s has width %d, expected %d"
+            (Class_def.class_name o.cls) m.Class_def.m_name pname
+            (Bitvec.width actual) pwidth;
+        (pname, actual))
+      m.Class_def.m_params args
+  in
+  {
+    Class_def.get =
+      (fun fname ->
+        match Class_def.field_range o.cls fname with
+        | lo, width -> Ir.Slice (Ir.Var o.var, lo + width - 1, lo)
+        | exception Not_found ->
+            sim_error "%s: unknown field %s" (Class_def.class_name o.cls)
+              fname);
+    set =
+      (fun fname value ->
+        match Class_def.field_range o.cls fname with
+        | lo, _ -> Ir.Assign_slice (o.var, lo, value)
+        | exception Not_found ->
+            sim_error "%s: unknown field %s" (Class_def.class_name o.cls)
+              fname);
+    arg =
+      (fun pname ->
+        match List.assoc_opt pname bound with
+        | Some bv -> Ir.Const bv
+        | None ->
+            sim_error "%s.%s: unknown parameter %s"
+              (Class_def.class_name o.cls) m.Class_def.m_name pname);
+  }
+
+let lookup o name =
+  match Class_def.find_method o.cls name with
+  | m -> m
+  | exception Not_found ->
+      sim_error "%s has no method %s" (Class_def.class_name o.cls) name
+
+let call o name args =
+  let m = lookup o name in
+  if m.Class_def.m_return <> None then
+    sim_error "%s.%s returns a value; use call_fn" (Class_def.class_name o.cls)
+      name;
+  let stmts, _ = m.Class_def.m_body (ctx_for o m args) in
+  Eval.run_body o.env stmts
+
+let call_fn o name args =
+  let m = lookup o name in
+  if m.Class_def.m_return = None then
+    sim_error "%s.%s is a procedure; use call" (Class_def.class_name o.cls)
+      name;
+  let stmts, result = m.Class_def.m_body (ctx_for o m args) in
+  Eval.run_body o.env stmts;
+  match result with
+  | Some e -> Eval.eval_expr o.env e
+  | None ->
+      sim_error "%s.%s: body returned no value" (Class_def.class_name o.cls)
+        name
+
+let show o =
+  let fields =
+    List.map
+      (fun (f : Class_def.field) ->
+        Printf.sprintf "%s=%s" f.Class_def.f_name
+          (Bitvec.to_string (get_field o f.Class_def.f_name)))
+      (Class_def.fields o.cls)
+  in
+  Printf.sprintf "%s{%s}" (Class_def.class_name o.cls)
+    (String.concat ", " fields)
+
+let equal a b =
+  Class_def.class_name a.cls = Class_def.class_name b.cls
+  && Bitvec.equal (state a) (state b)

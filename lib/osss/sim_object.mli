@@ -1,0 +1,41 @@
+(** Objects at simulation time — the paper's pre-synthesis execution
+    model ("the capability to compile the design and generate a binary
+    executable file with any C++ compiler to support simulation stays
+    untouched", §5).
+
+    A simulation object holds its state vector in memory and executes
+    method bodies immediately (through the IR evaluator), so the same
+    {!Class_def} drives both behavioural simulation — typically inside
+    [Sim.Process] threads — and synthesis.  Bit-exactness between the
+    two paths is tested, which is the OSSS refinement guarantee. *)
+
+type t
+
+exception Sim_call_error of string
+
+val create : Class_def.t -> t
+(** State starts at the constructor/reset value. *)
+
+val class_of : t -> Class_def.t
+
+val call : t -> string -> Bitvec.t list -> unit
+(** Execute a procedure method immediately. *)
+
+val call_fn : t -> string -> Bitvec.t list -> Bitvec.t
+(** Execute a returning method; side effects apply, the return value
+    is evaluated after them (same convention as the synthesis path). *)
+
+val reset : t -> unit
+(** Re-run the constructor. *)
+
+val state : t -> Bitvec.t
+val set_state : t -> Bitvec.t -> unit
+(** Whole-vector access, e.g. to model [sc_signal<Object>] transfers. *)
+
+val get_field : t -> string -> Bitvec.t
+val show : t -> string
+(** [operator <<] rendering, as {!Trace.show} but for simulation
+    objects. *)
+
+val equal : t -> t -> bool
+(** [operator ==]: same class and same state bits. *)

@@ -1,0 +1,12 @@
+let specialized_name base params =
+  Printf.sprintf "%s<%s>" base (String.concat "," (List.map string_of_int params))
+
+let memoize make =
+  let table : (int list, Class_def.t) Hashtbl.t = Hashtbl.create 8 in
+  fun params ->
+    match Hashtbl.find_opt table params with
+    | Some cls -> cls
+    | None ->
+        let cls = make params in
+        Hashtbl.replace table params cls;
+        cls

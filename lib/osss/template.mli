@@ -1,0 +1,16 @@
+(** Template support.
+
+    C++ templates specialize at compile time; in this embedding a
+    parameterized class is an OCaml function returning a
+    {!Class_def.t}, evaluated when the design is built — the same
+    phase distinction.  This module provides the specialization-naming
+    convention and a memoizing helper so repeated instantiations of
+    the same parameters share one class definition (as a C++ compiler
+    shares one template instantiation). *)
+
+val specialized_name : string -> int list -> string
+(** [specialized_name "SyncRegister" [4; 0]] is ["SyncRegister<4,0>"]. *)
+
+val memoize : (int list -> Class_def.t) -> int list -> Class_def.t
+(** Per-generator memo table keyed by the parameter list.  Call it
+    partially applied: [let sync_register = Template.memoize make]. *)

@@ -1,0 +1,54 @@
+let trace_object tracer ?prefix obj =
+  let prefix =
+    Option.value ~default:(Object_inst.state_var obj).Ir.var_name prefix
+  in
+  List.iter
+    (fun (f : Class_def.field) ->
+      Rtl_trace.lens tracer
+        ~name:(prefix ^ "." ^ f.Class_def.f_name)
+        ~width:f.Class_def.f_width
+        (fun sim -> Object_inst.peek_field obj sim f.Class_def.f_name))
+    (Class_def.fields (Object_inst.class_of obj))
+
+let show obj sim =
+  let cls = Object_inst.class_of obj in
+  let fields =
+    List.map
+      (fun (f : Class_def.field) ->
+        Printf.sprintf "%s=%s" f.Class_def.f_name
+          (Bitvec.to_string (Object_inst.peek_field obj sim f.Class_def.f_name)))
+      (Class_def.fields cls)
+  in
+  Printf.sprintf "%s{%s}" (Class_def.class_name cls) (String.concat ", " fields)
+
+let emit_trace_support cls =
+  let name = Class_def.class_name cls in
+  let buf = Buffer.create 512 in
+  let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  p "#ifndef SYNTHESIS\n";
+  p "// overloading operator << (Figure 9)\n";
+  p "inline ostream& operator << (ostream& OStream,\n";
+  p "                             const %s& ObjectReference)\n" name;
+  p "{\n  OStream << \"%s{\"" name;
+  List.iteri
+    (fun i (f : Class_def.field) ->
+      p "\n          << \"%s%s=\" << ObjectReference.%s"
+        (if i = 0 then "" else ", ")
+        f.Class_def.f_name f.Class_def.f_name)
+    (Class_def.fields cls);
+  p "\n          << \"}\";\n  return OStream;\n}\n\n";
+  p "// overloading method sc_trace (Figure 9)\n";
+  p "extern void sc_trace(sc_trace_file* TraceFile,\n";
+  p "                     const %s& ObjectReference,\n" name;
+  p "                     const sc_string& ObjectName)\n{\n";
+  List.iter
+    (fun (f : Class_def.field) ->
+      p "  sc_trace(TraceFile, ObjectReference.%s, ObjectName + \".%s\");\n"
+        f.Class_def.f_name f.Class_def.f_name)
+    (Class_def.fields cls);
+  p "}\n\n";
+  p "// friend declaration inside the class body (Figure 10)\n";
+  p "//   friend void sc_trace(sc_trace_file*, const %s&, const sc_string&);\n"
+    name;
+  p "#endif // SYNTHESIS\n";
+  Buffer.contents buf

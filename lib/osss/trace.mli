@@ -1,0 +1,21 @@
+(** Object tracing and printing — the [sc_trace] and [operator <<]
+    support of §9 (Figures 9–10).
+
+    [sc_trace] for an object dumps each data member as its own
+    waveform channel; [operator <<] renders the object's state for
+    [cout]-style debugging.  Both work against a running RTL
+    simulation. *)
+
+val trace_object :
+  Rtl_trace.t -> ?prefix:string -> Object_inst.t -> unit
+(** Register every field of the object as a separate channel named
+    ["prefix.field"] (default prefix: the state variable's name). *)
+
+val show : Object_inst.t -> Rtl_sim.t -> string
+(** ["ClassName{field=16'h002a, ...}"] — the streaming-operator view of
+    the object's current state. *)
+
+val emit_trace_support : Class_def.t -> string
+(** The C++ text a designer adds for tracing (the [sc_trace] overload
+    and friend declaration plus [operator <<]) — the literal content of
+    Figures 9 and 10, generated for any class. *)

@@ -1,0 +1,24 @@
+type t = { sig_ : bool Signal.t; period : int }
+
+let create k ?(name = "clk") ?(start_high = false) ~period_ps () =
+  if period_ps < 2 then invalid_arg "Clock.create: period must be >= 2 ps";
+  let sig_ = Signal.create k ~name start_high in
+  let half = period_ps / 2 in
+  let rec toggle v () =
+    Signal.write sig_ v;
+    Kernel.schedule_at k half (toggle (not v))
+  in
+  Kernel.add_startup k (fun () ->
+      Kernel.schedule_at k half (toggle (not start_high)));
+  { sig_; period = period_ps }
+
+let of_freq_mhz k ?name freq =
+  if freq <= 0.0 then invalid_arg "Clock.of_freq_mhz: frequency must be > 0";
+  let period = int_of_float (1e6 /. freq) in
+  create k ?name ~period_ps:(max 2 period) ()
+
+let signal c = c.sig_
+let posedge c = Signal.posedge_event c.sig_
+let negedge c = Signal.negedge_event c.sig_
+let period_ps c = c.period
+let cycles_elapsed c k = Kernel.now k / c.period

@@ -1,0 +1,23 @@
+(** Free-running clock generators.
+
+    A clock is a boolean signal toggled by the kernel's timed queue.  The
+    ExpoCU system clock in the paper is 66 MHz; [create ~freq_mhz:66.0]
+    builds exactly that. *)
+
+type t
+
+val create :
+  Kernel.t -> ?name:string -> ?start_high:bool -> period_ps:int -> unit -> t
+(** A clock with the given full period in picoseconds.  The first edge
+    occurs half a period after simulation start. *)
+
+val of_freq_mhz : Kernel.t -> ?name:string -> float -> t
+
+val signal : t -> bool Signal.t
+val posedge : t -> Kernel.event
+val negedge : t -> Kernel.event
+val period_ps : t -> int
+
+val cycles_elapsed : t -> Kernel.t -> int
+(** Number of full periods since time zero at the kernel's current
+    time. *)

@@ -1,0 +1,135 @@
+open Effect
+open Effect.Deep
+
+exception Wait_outside_thread
+
+type _ Effect.t += Suspend : unit Effect.t
+
+exception Reset_restart
+
+type state = Ready | Suspended | Done
+
+type thread = {
+  t_name : string;
+  kernel : Kernel.t;
+  body : ctx -> unit;
+  mutable cont : (unit, unit) continuation option;
+  mutable state : state;
+  mutable restarts : int;
+}
+
+and ctx = { this : thread; kind : kind }
+
+and kind =
+  | Clocked of { clock : Clock.t; reset : bool Signal.t option; active_high : bool }
+  | Async
+
+type t = Method of string | Thread of thread
+
+let name = function Method n -> n | Thread th -> th.t_name
+let terminated = function Method _ -> false | Thread th -> th.state = Done
+let restarts = function Method _ -> 0 | Thread th -> th.restarts
+
+let method_ k ~name ~sensitive f =
+  List.iter (fun ev -> Kernel.subscribe_static ev f) sensitive;
+  Kernel.add_startup k f;
+  Method name
+
+(* Launch (or relaunch after reset) the thread body under the effect
+   handler.  The handler is deep, so a single installation covers every
+   subsequent [Suspend] of this activation. *)
+let start th ctx =
+  th.state <- Ready;
+  match_with th.body ctx
+    {
+      retc = (fun () -> th.state <- Done);
+      exnc =
+        (fun e ->
+          match e with
+          | Reset_restart -> th.state <- Ready
+          | e -> raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Suspend ->
+              Some
+                (fun (k : (a, _) continuation) ->
+                  th.state <- Suspended;
+                  th.cont <- Some k)
+          | _ -> None);
+    }
+
+let resume th =
+  match th.cont with
+  | Some k ->
+      th.cont <- None;
+      th.state <- Ready;
+      continue k ()
+  | None -> ()
+
+let kill_pending th =
+  match th.cont with
+  | Some k ->
+      th.cont <- None;
+      (* Unwind the suspended body; the handler's [exnc] swallows the
+         restart exception so this call returns normally. *)
+      discontinue k Reset_restart
+  | None -> ()
+
+let cthread k ~name ~clock ?reset ?(reset_active_high = true) body =
+  let th =
+    { t_name = name; kernel = k; body; cont = None; state = Ready; restarts = 0 }
+  in
+  let ctx =
+    { this = th; kind = Clocked { clock; reset; active_high = reset_active_high } }
+  in
+  let reset_active () =
+    match reset with
+    | None -> false
+    | Some r -> Signal.read r = reset_active_high
+  in
+  let on_edge () =
+    match th.state with
+    | Done -> ()
+    | Ready | Suspended ->
+        if reset_active () then begin
+          kill_pending th;
+          th.restarts <- th.restarts + 1;
+          start th ctx
+        end
+        else resume th
+  in
+  Kernel.subscribe_static (Clock.posedge clock) on_edge;
+  Kernel.add_startup k (fun () -> start th ctx);
+  Thread th
+
+let thread k ~name body =
+  let th =
+    { t_name = name; kernel = k; body; cont = None; state = Ready; restarts = 0 }
+  in
+  let ctx = { this = th; kind = Async } in
+  Kernel.add_startup k (fun () -> start th ctx);
+  Thread th
+
+let wait ctx =
+  match ctx.kind with
+  | Clocked _ -> perform Suspend
+  | Async -> raise Wait_outside_thread
+
+let wait_n ctx n =
+  if n < 1 then invalid_arg "Process.wait_n: count must be >= 1";
+  for _ = 1 to n do
+    wait ctx
+  done
+
+let rec wait_until ctx pred =
+  wait ctx;
+  if not (pred ()) then wait_until ctx pred
+
+let await_event ctx ev =
+  Kernel.subscribe_once ev (fun () -> resume ctx.this);
+  perform Suspend
+
+let delay ctx d =
+  Kernel.schedule_at ctx.this.kernel d (fun () -> resume ctx.this);
+  perform Suspend

@@ -1,0 +1,77 @@
+(** Simulation processes.
+
+    Three flavours, mirroring SystemC:
+    - {e methods} ([SC_METHOD]): run-to-completion callbacks with static
+      sensitivity;
+    - {e clocked threads} ([SC_CTHREAD]): suspendable bodies woken at
+      every rising clock edge, with synchronous-reset restart semantics
+      (the paper's [watching (reset.delayed() == true)]);
+    - {e async threads} ([SC_THREAD]): suspendable bodies that wait on
+      arbitrary events or time delays (testbenches).
+
+    Thread suspension is implemented with OCaml effect handlers; a
+    [wait] performs an effect whose continuation is resumed by the
+    scheduler. *)
+
+type ctx
+(** Handle threads use to suspend themselves.  Only valid inside the
+    body of the thread it was given to. *)
+
+type t
+
+exception Wait_outside_thread
+
+(** {1 Methods} *)
+
+val method_ :
+  Kernel.t -> name:string -> sensitive:Kernel.event list -> (unit -> unit) -> t
+(** Statically sensitive run-to-completion process; also runs once in
+    the first evaluation phase, like SystemC initialization. *)
+
+(** {1 Clocked threads} *)
+
+val cthread :
+  Kernel.t ->
+  name:string ->
+  clock:Clock.t ->
+  ?reset:bool Signal.t ->
+  ?reset_active_high:bool ->
+  (ctx -> unit) ->
+  t
+(** The body starts in the first evaluation phase and must suspend with
+    {!wait}.  At every rising clock edge: if [reset] is active the
+    pending continuation is discarded and the body restarts from the
+    top; otherwise the thread resumes after its [wait]. *)
+
+(** {1 Async threads} *)
+
+val thread : Kernel.t -> name:string -> (ctx -> unit) -> t
+(** Starts in the first evaluation phase; may use {!await_event} and
+    {!delay}. *)
+
+(** {1 Suspension primitives (inside thread bodies)} *)
+
+val wait : ctx -> unit
+(** Clocked threads: suspend until the next rising edge (post-reset
+    check). *)
+
+val wait_n : ctx -> int -> unit
+(** [wait_n ctx n] waits [n] >= 1 edges. *)
+
+val wait_until : ctx -> (unit -> bool) -> unit
+(** Wait edges until the predicate holds (checked after each edge). *)
+
+val await_event : ctx -> Kernel.event -> unit
+(** Async threads: suspend until the event fires. *)
+
+val delay : ctx -> Kernel.time -> unit
+(** Async threads: suspend for a simulated duration. *)
+
+(** {1 Observation} *)
+
+val name : t -> string
+val terminated : t -> bool
+(** The body returned normally. *)
+
+val restarts : t -> int
+(** Number of reset-induced restarts (diagnostic). *)

@@ -1,0 +1,67 @@
+type 'a t = {
+  sig_name : string;
+  k : Kernel.t;
+  equal : 'a -> 'a -> bool;
+  mutable current : 'a;
+  mutable next : 'a;
+  mutable scheduled : bool;
+  changed : Kernel.event;
+  mutable observers : ('a -> unit) list;
+  mutable posedge : Kernel.event option;
+  mutable negedge : Kernel.event option;
+}
+
+let create k ?(equal = ( = )) ~name init =
+  {
+    sig_name = name;
+    k;
+    equal;
+    current = init;
+    next = init;
+    scheduled = false;
+    changed = Kernel.make_event k (name ^ ".changed");
+    observers = [];
+    posedge = None;
+    negedge = None;
+  }
+
+let name s = s.sig_name
+let read s = s.current
+let kernel s = s.k
+let changed_event s = s.changed
+let on_change s f = s.observers <- f :: s.observers
+
+let commit s () =
+  s.scheduled <- false;
+  if not (s.equal s.current s.next) then begin
+    s.current <- s.next;
+    Kernel.notify s.changed;
+    List.iter (fun f -> f s.current) (List.rev s.observers)
+  end
+
+let write s v =
+  s.next <- v;
+  if not s.scheduled then begin
+    s.scheduled <- true;
+    Kernel.schedule_update s.k (commit s)
+  end
+
+let force s v =
+  s.current <- v;
+  s.next <- v
+
+(* Edge events are created lazily and fed by a change observer so that
+   signals which nobody watches pay nothing. *)
+let edge_events s =
+  match (s.posedge, s.negedge) with
+  | Some p, Some n -> (p, n)
+  | _ ->
+      let p = Kernel.make_event s.k (s.sig_name ^ ".posedge") in
+      let n = Kernel.make_event s.k (s.sig_name ^ ".negedge") in
+      s.posedge <- Some p;
+      s.negedge <- Some n;
+      on_change s (fun v -> Kernel.notify (if v then p else n));
+      (p, n)
+
+let posedge_event s = fst (edge_events s)
+let negedge_event s = snd (edge_events s)

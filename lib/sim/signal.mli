@@ -1,0 +1,36 @@
+(** Signals with SystemC semantics: reads see the value committed in the
+    last update phase; writes take effect in the next update phase, and
+    a change notifies the signal's event. *)
+
+type 'a t
+
+val create :
+  Kernel.t -> ?equal:('a -> 'a -> bool) -> name:string -> 'a -> 'a t
+(** [create k ~name init] makes a signal whose current value is [init].
+    [equal] (default [Stdlib.( = )]) decides whether a commit is a
+    change. *)
+
+val name : 'a t -> string
+val read : 'a t -> 'a
+val write : 'a t -> 'a -> unit
+
+val force : 'a t -> 'a -> unit
+(** Immediately set the current value without an update phase; intended
+    for initialization before the simulation starts. *)
+
+val changed_event : 'a t -> Kernel.event
+(** Notified in the delta after any committed change. *)
+
+val on_change : 'a t -> ('a -> unit) -> unit
+(** Synchronous observer called during the update phase with the new
+    value (used by tracing; must not write signals). *)
+
+val kernel : 'a t -> Kernel.t
+
+(** {1 Derived helpers for boolean signals} *)
+
+val posedge_event : bool t -> Kernel.event
+(** Notified one delta after the signal commits a [false -> true]
+    transition.  Allocated lazily; shared across calls. *)
+
+val negedge_event : bool t -> Kernel.event

@@ -1,0 +1,22 @@
+(** Value-change-dump tracing — the [sc_trace] equivalent.
+
+    Register signals before running the simulation; the dump is written
+    incrementally into a buffer and retrieved with {!contents} (or saved
+    with {!save}) after the run. *)
+
+type t
+
+val create : Kernel.t -> ?timescale:string -> ?top:string -> unit -> t
+(** [timescale] defaults to ["1ps"]; [top] is the scope name. *)
+
+val trace_bool : t -> bool Signal.t -> unit
+val trace_bitvec : t -> Bitvec.t Signal.t -> unit
+val trace_int : t -> width:int -> int Signal.t -> unit
+
+val signal_count : t -> int
+
+val contents : t -> string
+(** Full VCD document (header plus all changes so far). *)
+
+val save : t -> string -> unit
+(** Write {!contents} to a file. *)

@@ -1,0 +1,44 @@
+type entry = {
+  path : string;
+  module_name : string;
+  depth : int;
+  stats : Ir.stats;
+}
+
+let analyze m =
+  let rows = ref [] in
+  let rec walk path depth (m : Ir.module_def) =
+    rows :=
+      {
+        path;
+        module_name = m.Ir.mod_name;
+        depth;
+        stats = Ir.module_stats m;
+      }
+      :: !rows;
+    List.iter
+      (fun (inst : Ir.instance) ->
+        walk (path ^ "/" ^ inst.inst_name) (depth + 1) inst.inst_of)
+      m.Ir.instances
+  in
+  walk ("/" ^ m.Ir.mod_name) 0 m;
+  List.rev !rows
+
+let report m =
+  let buf = Buffer.create 1024 in
+  let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  p "design library for %s\n" m.Ir.mod_name;
+  p "%-40s %-24s %5s %5s %6s\n" "instance path" "module" "procs" "insts"
+    "state";
+  List.iter
+    (fun e ->
+      let indent = String.make (2 * e.depth) ' ' in
+      p "%-40s %-24s %5d %5d %6d\n"
+        (indent ^ e.path)
+        e.module_name e.stats.Ir.n_processes e.stats.Ir.n_instances
+        e.stats.Ir.n_state_bits)
+    (analyze m);
+  Buffer.contents buf
+
+let total_state_bits m =
+  List.fold_left (fun acc e -> acc + e.stats.Ir.n_state_bits) 0 (analyze m)

@@ -1,0 +1,23 @@
+(** The ODETTE analyzer (first tool of Figure 6): parses a design and
+    builds a library describing its whole structure.  Here it walks the
+    IR hierarchy and produces the per-module inventory that the second
+    tool (the synthesizer) and the designer's structure view
+    (Figure 12) consume. *)
+
+type entry = {
+  path : string;  (** hierarchical instance path *)
+  module_name : string;
+  depth : int;
+  stats : Ir.stats;
+}
+
+val analyze : Ir.module_def -> entry list
+(** Root first, pre-order. *)
+
+val report : Ir.module_def -> string
+(** Human-readable structure tree with per-module process/state
+    counts — the textual equivalent of the paper's synthesis-tool
+    screenshot (Figure 12). *)
+
+val total_state_bits : Ir.module_def -> int
+(** Register bits across the whole hierarchy. *)

@@ -1,0 +1,293 @@
+type operand = Input of string | Node of int | Literal of Bitvec.t
+
+type op_kind = Add | Sub | Mul | And | Or | Xor | Mux
+
+type op = { kind : op_kind; operands : operand list; op_width : int }
+
+type dfg = {
+  dfg_name : string;
+  inputs : (string * int) list;
+  mutable ops : op list;  (* reverse order *)
+  mutable n_ops : int;
+  mutable outs : (string * operand) list;
+}
+
+let create ~name ~inputs =
+  { dfg_name = name; inputs; ops = []; n_ops = 0; outs = [] }
+
+let op_array g = Array.of_list (List.rev g.ops)
+
+let operand_width g = function
+  | Input name -> (
+      match List.assoc_opt name g.inputs with
+      | Some w -> w
+      | None -> invalid_arg ("Behavioral: unknown input " ^ name))
+  | Node i ->
+      if i < 0 || i >= g.n_ops then invalid_arg "Behavioral: bad node id";
+      (List.nth (List.rev g.ops) i).op_width
+  | Literal bv -> Bitvec.width bv
+
+let node g kind operands =
+  let ws = List.map (operand_width g) operands in
+  let op_width =
+    match (kind, ws) with
+    | Mux, [ 1; wt; we ] when wt = we -> wt
+    | Mux, _ -> invalid_arg "Behavioral: mux needs [sel(1); a; b] same width"
+    | (Add | Sub | Mul | And | Or | Xor), [ wa; wb ] when wa = wb -> wa
+    | _ -> invalid_arg "Behavioral: binary op needs two equal-width operands"
+  in
+  g.ops <- { kind; operands; op_width } :: g.ops;
+  g.n_ops <- g.n_ops + 1;
+  g.n_ops - 1
+
+let output g name operand =
+  ignore (operand_width g operand);
+  g.outs <- (name, operand) :: g.outs
+
+let node_count g = g.n_ops
+
+type schedule = { states : int array (* per op *); n_states : int }
+
+let latency s = s.n_states
+
+let ops_in_state s k =
+  let acc = ref [] in
+  Array.iteri (fun i st -> if st = k then acc := i :: !acc) s.states;
+  List.rev !acc
+
+let node_deps op =
+  List.filter_map (function Node j -> Some j | Input _ | Literal _ -> None)
+    op.operands
+
+let asap g =
+  let ops = op_array g in
+  let states = Array.make (Array.length ops) 0 in
+  Array.iteri
+    (fun i op ->
+      let earliest =
+        List.fold_left (fun acc j -> max acc (states.(j) + 1)) 0 (node_deps op)
+      in
+      states.(i) <- earliest)
+    ops;
+  let n_states =
+    Array.fold_left (fun acc s -> max acc (s + 1)) 1 states
+  in
+  { states; n_states = (if Array.length ops = 0 then 1 else n_states) }
+
+let list_schedule g ~resources =
+  let ops = op_array g in
+  let n = Array.length ops in
+  if n = 0 then { states = [||]; n_states = 1 }
+  else begin
+    (* Priority: height = longest path to a sink. *)
+    let height = Array.make n 0 in
+    for i = n - 1 downto 0 do
+      List.iter
+        (fun j -> height.(j) <- max height.(j) (height.(i) + 1))
+        (node_deps ops.(i))
+    done;
+    let states = Array.make n (-1) in
+    let remaining = ref n in
+    let t = ref 0 in
+    while !remaining > 0 do
+      let used = Hashtbl.create 8 in
+      let ready =
+        List.filter
+          (fun i ->
+            states.(i) = -1
+            && List.for_all (fun j -> states.(j) >= 0 && states.(j) < !t)
+                 (node_deps ops.(i)))
+          (List.init n (fun i -> i))
+      in
+      let by_priority =
+        List.sort (fun a b -> compare (height.(b), a) (height.(a), b)) ready
+      in
+      List.iter
+        (fun i ->
+          let k = ops.(i).kind in
+          let in_use = Option.value ~default:0 (Hashtbl.find_opt used k) in
+          if in_use < resources k then begin
+            Hashtbl.replace used k (in_use + 1);
+            states.(i) <- !t;
+            decr remaining
+          end)
+        by_priority;
+      incr t;
+      if !t > 4 * n + 4 then failwith "Behavioral.list_schedule: no progress"
+    done;
+    { states; n_states = Array.fold_left (fun acc s -> max acc (s + 1)) 1 states }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Controller + datapath generation                                    *)
+
+let to_module g schedule =
+  let ops = op_array g in
+  let n = Array.length ops in
+  let b = Builder.create g.dfg_name in
+  let start = Builder.input b "start" 1 in
+  let in_vars =
+    List.map (fun (nm, w) -> (nm, Builder.input b nm w)) g.inputs
+  in
+  let done_v = Builder.output b "done" 1 in
+  let out_ports =
+    List.map
+      (fun (nm, operand) ->
+        (nm, operand, Builder.output b nm (operand_width g operand)))
+      (List.rev g.outs)
+  in
+  let fsm_w =
+    let rec go k p = if p >= schedule.n_states + 2 then max k 1 else go (k + 1) (p * 2) in
+    go 0 1
+  in
+  let fsm = Builder.wire b "fsm_state" fsm_w in
+  let result_reg =
+    Array.init n (fun i ->
+        Builder.wire b (Printf.sprintf "op%d_r" i) ops.(i).op_width)
+  in
+  let operand_expr = function
+    | Input nm -> Ir.Var (List.assoc nm in_vars)
+    | Node j -> Ir.Var result_reg.(j)
+    | Literal bv -> Ir.Const bv
+  in
+  (* Bind each op to a functional unit: per kind, ops in the same state
+     occupy distinct units. *)
+  let fu_of = Array.make n 0 in
+  let fu_count : (op_kind, int) Hashtbl.t = Hashtbl.create 8 in
+  for s = 0 to schedule.n_states - 1 do
+    let used = Hashtbl.create 8 in
+    List.iter
+      (fun i ->
+        let k = ops.(i).kind in
+        let idx = Option.value ~default:0 (Hashtbl.find_opt used k) in
+        Hashtbl.replace used k (idx + 1);
+        fu_of.(i) <- idx;
+        let current = Option.value ~default:0 (Hashtbl.find_opt fu_count k) in
+        Hashtbl.replace fu_count k (max current (idx + 1)))
+      (ops_in_state schedule s)
+  done;
+  (* Functional units: inputs selected by the FSM state, one comb
+     process per unit. *)
+  let fu_out : (op_kind * int, Ir.var) Hashtbl.t = Hashtbl.create 8 in
+  let kind_name = function
+    | Add -> "add"
+    | Sub -> "sub"
+    | Mul -> "mul"
+    | And -> "and"
+    | Or -> "or"
+    | Xor -> "xor"
+    | Mux -> "mux"
+  in
+  Hashtbl.iter
+    (fun kind count ->
+      for u = 0 to count - 1 do
+        (* Widest op bound to this unit defines the port width. *)
+        let bound =
+          List.filter (fun i -> ops.(i).kind = kind && fu_of.(i) = u)
+            (List.init n (fun i -> i))
+        in
+        let width =
+          List.fold_left (fun acc i -> max acc ops.(i).op_width) 1 bound
+        in
+        let n_ins = match kind with Mux -> 3 | _ -> 2 in
+        let in_sel =
+          Array.init n_ins (fun j ->
+              Builder.wire b
+                (Printf.sprintf "fu_%s%d_in%d" (kind_name kind) u j)
+                (if kind = Mux && j = 0 then 1 else width))
+        in
+        let out =
+          Builder.wire b (Printf.sprintf "fu_%s%d_out" (kind_name kind) u) width
+        in
+        (* Input selection: a case over the fsm state. *)
+        let arms =
+          List.filter_map
+            (fun i ->
+              if ops.(i).kind = kind && fu_of.(i) = u then
+                let exprs = List.map operand_expr ops.(i).operands in
+                let widened =
+                  List.mapi
+                    (fun j e ->
+                      let target =
+                        if kind = Mux && j = 0 then 1 else width
+                      in
+                      if Ir.width_of e = target then e
+                      else Ir.Resize (false, e, target))
+                    exprs
+                in
+                Some
+                  ( Bitvec.of_int ~width:fsm_w (schedule.states.(i) + 1),
+                    List.mapi
+                      (fun j e -> Ir.Assign (in_sel.(j), e))
+                      widened )
+              else None)
+            (List.init n (fun i -> i))
+        in
+        let defaults =
+          Array.to_list
+            (Array.map
+               (fun v -> Ir.Assign (v, Ir.Const (Bitvec.zero v.Ir.width)))
+               in_sel)
+        in
+        Builder.comb b
+          (Printf.sprintf "sel_%s%d" (kind_name kind) u)
+          (defaults @ [ Ir.Case (Ir.Var fsm, arms, []) ]);
+        let compute =
+          match kind with
+          | Add -> Ir.Binop (Ir.Add, Ir.Var in_sel.(0), Ir.Var in_sel.(1))
+          | Sub -> Ir.Binop (Ir.Sub, Ir.Var in_sel.(0), Ir.Var in_sel.(1))
+          | Mul -> Ir.Binop (Ir.Mul, Ir.Var in_sel.(0), Ir.Var in_sel.(1))
+          | And -> Ir.Binop (Ir.And, Ir.Var in_sel.(0), Ir.Var in_sel.(1))
+          | Or -> Ir.Binop (Ir.Or, Ir.Var in_sel.(0), Ir.Var in_sel.(1))
+          | Xor -> Ir.Binop (Ir.Xor, Ir.Var in_sel.(0), Ir.Var in_sel.(1))
+          | Mux ->
+              Ir.Mux (Ir.Var in_sel.(0), Ir.Var in_sel.(1), Ir.Var in_sel.(2))
+        in
+        Builder.comb b
+          (Printf.sprintf "fu_%s%d" (kind_name kind) u)
+          [ Ir.Assign (out, compute) ];
+        Hashtbl.replace fu_out (kind, u) out
+      done)
+    fu_count;
+  (* Controller. *)
+  let cst v = Ir.Const (Bitvec.of_int ~width:fsm_w v) in
+  let capture_stmts =
+    List.init n (fun i ->
+        let out = Hashtbl.find fu_out (ops.(i).kind, fu_of.(i)) in
+        let value =
+          if out.Ir.width = ops.(i).op_width then Ir.Var out
+          else Ir.Slice (Ir.Var out, ops.(i).op_width - 1, 0)
+        in
+        Ir.If
+          ( Ir.Binop (Ir.Eq, Ir.Var fsm, cst (schedule.states.(i) + 1)),
+            [ Ir.Assign (result_reg.(i), value) ],
+            [] ))
+  in
+  let finish_stmts =
+    [
+      Ir.If
+        ( Ir.Binop (Ir.Eq, Ir.Var fsm, cst schedule.n_states),
+          [ Ir.Assign (fsm, cst 0); Ir.Assign (done_v, Ir.Const (Bitvec.of_bool true)) ]
+          @ List.map
+              (fun (_, operand, port) -> Ir.Assign (port, operand_expr operand))
+              out_ports,
+          [ Ir.Assign (fsm, Ir.Binop (Ir.Add, Ir.Var fsm, cst 1)) ] );
+    ]
+  in
+  Builder.sync b "controller"
+    [
+      Ir.If
+        ( Ir.Var start,
+          [
+            Ir.Assign (fsm, cst 1);
+            Ir.Assign (done_v, Ir.Const (Bitvec.of_bool false));
+          ],
+          [
+            Ir.If
+              ( Ir.Binop (Ir.Ne, Ir.Var fsm, cst 0),
+                capture_stmts @ finish_stmts,
+                [] );
+          ] );
+    ]
+  |> ignore;
+  Builder.finish b

@@ -1,0 +1,64 @@
+type kind = Osss | Vhdl
+
+let kind_name = function Osss -> "osss" | Vhdl -> "vhdl"
+
+type result = {
+  flow_kind : kind;
+  design : Ir.module_def;
+  flat : Ir.module_def;
+  intermediate : (string * string) list;
+  netlist : Backend.Netlist.t;
+  raw_cells : int;
+  area : Backend.Area.report;
+  timing : Backend.Timing.report;
+  structure : string;
+}
+
+let run ?(fold = true) flow_kind (design : Ir.module_def) =
+  Ir.check_module design;
+  let flat = Elaborate.flatten design in
+  let intermediate =
+    match flow_kind with
+    | Osss ->
+        [
+          (design.Ir.mod_name ^ "_resolved.cpp", Osss.Resolve.emit_module flat);
+          (design.Ir.mod_name ^ ".v", Verilog.emit design);
+        ]
+    | Vhdl ->
+        [
+          (design.Ir.mod_name ^ ".vhd", Vhdl.emit design);
+          (design.Ir.mod_name ^ ".v", Verilog.emit design);
+        ]
+  in
+  let raw = Backend.Lower.lower ~fold flat in
+  let netlist = Backend.Opt.optimize raw in
+  let intermediate =
+    intermediate
+    @ [ (design.Ir.mod_name ^ "_netlist.v", Backend.Netlist.emit_verilog netlist) ]
+  in
+  {
+    flow_kind;
+    design;
+    flat;
+    intermediate;
+    netlist;
+    raw_cells = Backend.Netlist.cell_count raw;
+    area = Backend.Area.analyze netlist;
+    timing = Backend.Timing.analyze netlist;
+    structure = Analyzer.report design;
+  }
+
+let summary r =
+  let buf = Buffer.create 256 in
+  let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  p "%s flow, design %s:\n" (kind_name r.flow_kind) r.design.Ir.mod_name;
+  p "  cells: %d (from %d before optimization)\n"
+    (Backend.Netlist.cell_count r.netlist)
+    r.raw_cells;
+  p "  area: %.1f GE (%d flip-flops)\n" r.area.Backend.Area.total
+    r.area.Backend.Area.n_ffs;
+  p "  timing: %.2f ns critical path, fmax %.1f MHz\n"
+    r.timing.Backend.Timing.critical_ns r.timing.Backend.Timing.fmax_mhz;
+  p "  66 MHz target: %s\n"
+    (if Backend.Timing.meets r.timing ~freq_mhz:66.0 then "met" else "missed");
+  Buffer.contents buf

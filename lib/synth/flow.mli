@@ -1,0 +1,33 @@
+(** End-to-end synthesis flows (Figure 6).
+
+    Both flows share the back end (lowering, optimization, timing and
+    area analysis); they differ in the front-end artifacts they emit —
+    the OSSS flow materializes the resolved standard-SystemC
+    intermediate files, the conventional flow goes through VHDL text.
+    The measured differences between the two ExpoCU implementations
+    therefore come from the designs the methodologies produce, not from
+    back-end bias. *)
+
+type kind = Osss | Vhdl
+
+val kind_name : kind -> string
+
+type result = {
+  flow_kind : kind;
+  design : Ir.module_def;  (** as given, hierarchical *)
+  flat : Ir.module_def;
+  intermediate : (string * string) list;
+      (** artifact name -> text: resolved SystemC for the OSSS flow,
+          VHDL for the conventional flow, structural Verilog netlist
+          for both *)
+  netlist : Backend.Netlist.t;  (** optimized *)
+  raw_cells : int;  (** cell count before optimization *)
+  area : Backend.Area.report;
+  timing : Backend.Timing.report;
+  structure : string;  (** analyzer report *)
+}
+
+val run : ?fold:bool -> kind -> Ir.module_def -> result
+
+val summary : result -> string
+(** One-paragraph synthesis report: area, fmax, cell mix. *)

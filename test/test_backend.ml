@@ -1,0 +1,314 @@
+(* Tests for the netlist back end: gate builders, lowering, gate-level
+   simulation, timing/area analysis, optimization, equivalence. *)
+
+open Hdl
+open Builder.Dsl
+module N = Backend.Netlist
+
+let test_builder_folding () =
+  let nl = N.create ~name:"t" () in
+  let a = N.add_input nl "a" 1 in
+  let one = N.const1 nl in
+  let zero = N.const0 nl in
+  Alcotest.(check int) "and with 1 is identity" a.(0)
+    (N.and2 nl a.(0) one);
+  Alcotest.(check int) "and with 0 is 0" zero (N.and2 nl a.(0) zero);
+  Alcotest.(check int) "xor self is 0" zero (N.xor2 nl a.(0) a.(0));
+  let n1 = N.not_ nl a.(0) in
+  Alcotest.(check int) "double negation cancels" a.(0) (N.not_ nl n1);
+  let g1 = N.and2 nl a.(0) n1 and g2 = N.and2 nl n1 a.(0) in
+  Alcotest.(check int) "structural hashing commutes" g1 g2;
+  Alcotest.(check int) "mux with equal arms" a.(0)
+    (N.mux2 nl ~sel:one a.(0) a.(0))
+
+let test_builder_no_folding () =
+  let nl = N.create ~fold:false ~name:"t" () in
+  let a = N.add_input nl "a" 1 in
+  let g1 = N.and2 nl a.(0) a.(0) and g2 = N.and2 nl a.(0) a.(0) in
+  Alcotest.(check bool) "duplicates kept" true (g1 <> g2)
+
+(* Reference designs reused below. *)
+let alu_design () =
+  let b = Builder.create "mini_alu" in
+  let op = Builder.input b "op" 2 in
+  let a = Builder.input b "a" 8 in
+  let x = Builder.input b "x" 8 in
+  let y = Builder.output b "y" 8 in
+  Builder.comb b "alu"
+    [
+      case (v op)
+        [
+          (0, [ y <-- (v a +: v x) ]);
+          (1, [ y <-- (v a -: v x) ]);
+          (2, [ y <-- (v a &: v x) ]);
+        ]
+        [ y <-- (v a ^: v x) ];
+    ];
+  Builder.finish b
+
+let counter_design () =
+  let b = Builder.create "counter" in
+  let reset = Builder.input b "reset" 1 in
+  let count = Builder.output b "count" 8 in
+  Builder.sync b "tick"
+    [
+      if_ (v reset)
+        [ count <-- c ~width:8 0 ]
+        [ count <-- (v count +: c ~width:8 1) ];
+    ];
+  Builder.finish b
+
+let mul_design () =
+  let b = Builder.create "mult" in
+  let a = Builder.input b "a" 8 in
+  let x = Builder.input b "x" 8 in
+  let p = Builder.output b "p" 16 in
+  Builder.comb b "mul" [ p <-- (zext (v a) 16 *: zext (v x) 16) ];
+  Builder.finish b
+
+let test_lower_and_simulate_alu () =
+  let nl = Backend.Lower.lower (alu_design ()) in
+  let sim = Backend.Nl_sim.create nl in
+  let expect op a x value =
+    Backend.Nl_sim.set_input_int sim "op" op;
+    Backend.Nl_sim.set_input_int sim "a" a;
+    Backend.Nl_sim.set_input_int sim "x" x;
+    Backend.Nl_sim.settle sim;
+    Alcotest.(check int)
+      (Printf.sprintf "op=%d a=%d x=%d" op a x)
+      value
+      (Backend.Nl_sim.get_output_int sim "y")
+  in
+  expect 0 200 100 44;
+  expect 1 100 30 70;
+  expect 2 0xCC 0xAA 0x88;
+  expect 3 0xCC 0xAA 0x66
+
+let test_lower_counter () =
+  let nl = Backend.Lower.lower (counter_design ()) in
+  let sim = Backend.Nl_sim.create nl in
+  Backend.Nl_sim.set_input_int sim "reset" 1;
+  Backend.Nl_sim.step sim;
+  Backend.Nl_sim.set_input_int sim "reset" 0;
+  Backend.Nl_sim.run sim 5;
+  Alcotest.(check int) "counted to 5" 5
+    (Backend.Nl_sim.get_output_int sim "count")
+
+let test_equivalence_random () =
+  List.iter
+    (fun design ->
+      let nl = Backend.Lower.lower design in
+      match Backend.Equiv.ir_vs_netlist ~cycles:300 design nl with
+      | Ok n -> Alcotest.(check int) "cycles compared" 300 n
+      | Error m ->
+          Alcotest.failf "%s: %a" design.Ir.mod_name Backend.Equiv.pp_mismatch
+            m)
+    [ alu_design (); counter_design (); mul_design () ]
+
+let test_equivalence_unfolded () =
+  (* Disabling construction-time folding must not change behaviour. *)
+  let design = alu_design () in
+  let nl = Backend.Lower.lower ~fold:false design in
+  match Backend.Equiv.ir_vs_netlist ~cycles:200 design nl with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "%a" Backend.Equiv.pp_mismatch m
+
+let test_memory_lowering () =
+  let b = Builder.create "regfile" in
+  let we = Builder.input b "we" 1 in
+  let waddr = Builder.input b "waddr" 2 in
+  let wdata = Builder.input b "wdata" 4 in
+  let raddr = Builder.input b "raddr" 2 in
+  let rdata = Builder.output b "rdata" 4 in
+  let mem = Builder.memory b "mem" ~width:4 ~depth:4 in
+  Builder.sync b "write" [ when_ (v we) [ awrite mem (v waddr) (v wdata) ] ];
+  Builder.comb b "read" [ rdata <-- aread mem (v raddr) ];
+  let design = Builder.finish b in
+  let nl = Backend.Lower.lower design in
+  (match Backend.Equiv.ir_vs_netlist ~cycles:400 design nl with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "%a" Backend.Equiv.pp_mismatch m);
+  let area = Backend.Area.analyze nl in
+  Alcotest.(check int) "16 state bits" 16 area.Backend.Area.n_ffs
+
+let test_barrel_shifter () =
+  let b = Builder.create "shifter" in
+  let a = Builder.input b "a" 8 in
+  let amount = Builder.input b "amount" 4 in
+  let left = Builder.output b "left" 8 in
+  let right = Builder.output b "right" 8 in
+  Builder.comb b "shift"
+    [ left <-- (v a <<: v amount); right <-- (v a >>: v amount) ];
+  let design = Builder.finish b in
+  let nl = Backend.Lower.lower design in
+  match Backend.Equiv.ir_vs_netlist ~cycles:300 design nl with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "%a" Backend.Equiv.pp_mismatch m
+
+let test_signed_compare_lowering () =
+  let b = Builder.create "signed_cmp" in
+  let a = Builder.input b "a" 6 in
+  let x = Builder.input b "x" 6 in
+  let lt = Builder.output b "lt" 1 in
+  let le = Builder.output b "le" 1 in
+  Builder.comb b "cmp"
+    [
+      lt <-- Ir.Binop (Ir.Slt, v a, v x);
+      le <-- Ir.Binop (Ir.Sle, v a, v x);
+    ];
+  let design = Builder.finish b in
+  let nl = Backend.Lower.lower design in
+  match Backend.Equiv.ir_vs_netlist ~cycles:500 design nl with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "%a" Backend.Equiv.pp_mismatch m
+
+let test_timing_analysis () =
+  let nl = Backend.Lower.lower (mul_design ()) in
+  let report = Backend.Timing.analyze nl in
+  Alcotest.(check bool) "positive delay" true
+    (report.Backend.Timing.critical_ns > 0.5);
+  Alcotest.(check bool) "levels counted" true (report.Backend.Timing.levels > 5);
+  let small = Backend.Lower.lower (counter_design ()) in
+  let small_report = Backend.Timing.analyze small in
+  Alcotest.(check bool) "mult slower than counter" true
+    (report.Backend.Timing.critical_ns
+    > small_report.Backend.Timing.critical_ns)
+
+let test_area_analysis () =
+  let nl = Backend.Lower.lower (counter_design ()) in
+  let report = Backend.Area.analyze nl in
+  Alcotest.(check int) "8 flip-flops" 8 report.Backend.Area.n_ffs;
+  Alcotest.(check bool) "total includes comb" true
+    (report.Backend.Area.total > report.Backend.Area.sequential)
+
+let test_optimize_removes_dead_logic () =
+  let b = Builder.create "deadwood" in
+  let a = Builder.input b "a" 8 in
+  let out = Builder.output b "out" 8 in
+  let unused = Builder.wire b "unused" 8 in
+  Builder.comb b "dead" [ unused <-- (v a *: v a) ];
+  Builder.comb b "live" [ out <-- (v a +: c ~width:8 1) ];
+  let design = Builder.finish b in
+  let nl = Backend.Lower.lower ~fold:false design in
+  let optimized = Backend.Opt.optimize nl in
+  Alcotest.(check bool) "smaller" true
+    (N.cell_count optimized < N.cell_count nl);
+  match Backend.Equiv.ir_vs_netlist ~cycles:100 design optimized with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "%a" Backend.Equiv.pp_mismatch m
+
+let test_power_estimation () =
+  (* An active counter burns more dynamic power than a held one. *)
+  let nl = Backend.Lower.lower (counter_design ()) in
+  let active = Backend.Nl_sim.create nl in
+  Backend.Nl_sim.set_input_int active "reset" 0;
+  Backend.Nl_sim.run active 200;
+  let idle = Backend.Nl_sim.create nl in
+  Backend.Nl_sim.set_input_int idle "reset" 1;
+  (* held in reset: the counter stays at zero *)
+  Backend.Nl_sim.run idle 200;
+  let p_active = Backend.Power.estimate nl active in
+  let p_idle = Backend.Power.estimate nl idle in
+  Alcotest.(check bool) "activity measured" true
+    (p_active.Backend.Power.avg_activity > p_idle.Backend.Power.avg_activity);
+  Alcotest.(check bool) "active burns more" true
+    (p_active.Backend.Power.total_mw > p_idle.Backend.Power.total_mw);
+  Alcotest.(check bool) "leakage equal" true
+    (abs_float
+       (p_active.Backend.Power.leakage_mw -. p_idle.Backend.Power.leakage_mw)
+    < 1e-12);
+  Alcotest.(check bool) "idle still pays clock" true
+    (p_idle.Backend.Power.clock_mw > 0.0)
+
+let test_netlist_verilog () =
+  let nl = Backend.Lower.lower (counter_design ()) in
+  let text = N.emit_verilog nl in
+  let contains needle hay =
+    let nl' = String.length needle and hl = String.length hay in
+    let rec go i =
+      i + nl' <= hl && (String.sub hay i nl' = needle || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "module" true (contains "module counter" text);
+  Alcotest.(check bool) "dff always" true (contains "always @(posedge clk)" text)
+
+let test_netlist_check_catches_dangling () =
+  let nl = N.create ~name:"broken" () in
+  let _q = N.dff_deferred nl in
+  Alcotest.(check bool) "check raises" true
+    (try
+       N.check nl;
+       false
+     with Failure _ -> true)
+
+(* Property: random expression trees lower to netlists that agree with
+   the interpreter on random inputs. *)
+let gen_expr_design =
+  let open QCheck2.Gen in
+  let rec gen_expr env depth =
+    if depth = 0 then
+      oneof
+        [
+          (let* i = int_range 0 (List.length env - 1) in
+           return (v (List.nth env i)));
+          (let* n = int_range 0 255 in
+           return (c ~width:8 n));
+        ]
+    else
+      let sub = gen_expr env (depth - 1) in
+      oneof
+        [
+          (let* a = sub and* b = sub in
+           let* op =
+             oneofl
+               [ Ir.Add; Ir.Sub; Ir.And; Ir.Or; Ir.Xor; Ir.Mul ]
+           in
+           return (Ir.Binop (op, a, b)));
+          (let* a = sub and* b = sub and* s = sub in
+           return (mux2 (slice s ~hi:0 ~lo:0) a b));
+          (let* a = sub in
+           return (notb a));
+          (let* a = sub and* b = sub in
+           return (zext (Ir.Binop (Ir.Eq, a, b)) 8));
+        ]
+  in
+  let* depth = int_range 1 4 in
+  let b = Builder.create "random_expr" in
+  let i0 = Builder.input b "i0" 8 in
+  let i1 = Builder.input b "i1" 8 in
+  let out = Builder.output b "out" 8 in
+  let* e = gen_expr [ i0; i1 ] depth in
+  Builder.comb b "f" [ out <-- e ];
+  return (Builder.finish b)
+
+let prop_random_exprs =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:60 ~name:"random expr lowering equivalence"
+       gen_expr_design (fun design ->
+         let nl = Backend.Lower.lower design in
+         match Backend.Equiv.ir_vs_netlist ~cycles:40 design nl with
+         | Ok _ -> true
+         | Error _ -> false))
+
+let suite =
+  [
+    Alcotest.test_case "builder folding" `Quick test_builder_folding;
+    Alcotest.test_case "builder no folding" `Quick test_builder_no_folding;
+    Alcotest.test_case "lower+simulate alu" `Quick test_lower_and_simulate_alu;
+    Alcotest.test_case "lower counter" `Quick test_lower_counter;
+    Alcotest.test_case "random equivalence" `Quick test_equivalence_random;
+    Alcotest.test_case "unfolded equivalence" `Quick test_equivalence_unfolded;
+    Alcotest.test_case "memory lowering" `Quick test_memory_lowering;
+    Alcotest.test_case "barrel shifter" `Quick test_barrel_shifter;
+    Alcotest.test_case "signed compares" `Quick test_signed_compare_lowering;
+    Alcotest.test_case "timing analysis" `Quick test_timing_analysis;
+    Alcotest.test_case "area analysis" `Quick test_area_analysis;
+    Alcotest.test_case "optimizer" `Quick test_optimize_removes_dead_logic;
+    Alcotest.test_case "power estimation" `Quick test_power_estimation;
+    Alcotest.test_case "netlist verilog" `Quick test_netlist_verilog;
+    Alcotest.test_case "netlist check" `Quick test_netlist_check_catches_dangling;
+    prop_random_exprs;
+  ]
+
+let () = Alcotest.run "backend" [ ("backend", suite) ]

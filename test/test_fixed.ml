@@ -1,0 +1,139 @@
+(* Tests for fixed-point format resolution, concrete values, and the
+   synthesizable expression layer. *)
+
+open Hdl
+module F = Fixed
+module FV = Fixed.Value
+module FE = Fixed.Expr
+
+let uq i f = F.fmt ~int_bits:i ~frac_bits:f ()
+let sq i f = F.fmt ~signed:true ~int_bits:i ~frac_bits:f ()
+
+let test_formats () =
+  Alcotest.(check int) "uq4.12 width" 16 (F.fmt_width (uq 4 12));
+  Alcotest.(check int) "sq7.4 width" 12 (F.fmt_width (sq 7 4));
+  Alcotest.(check string) "name" "uq4.8" (F.fmt_to_string (uq 4 8));
+  Alcotest.(check string) "signed name" "sq4.8" (F.fmt_to_string (sq 4 8))
+
+let test_resolution_rules () =
+  let r = F.resolve_add (uq 4 8) (uq 6 2) in
+  Alcotest.(check int) "add int grows" 7 r.F.int_bits;
+  Alcotest.(check int) "add frac max" 8 r.F.frac_bits;
+  let m = F.resolve_mul (sq 4 8) (uq 6 2) in
+  Alcotest.(check int) "mul int sums" 10 m.F.int_bits;
+  Alcotest.(check int) "mul frac sums" 10 m.F.frac_bits;
+  Alcotest.(check bool) "mul signedness" true m.F.signed
+
+let test_value_roundtrip () =
+  let f = uq 4 8 in
+  let x = FV.of_float f 3.14159 in
+  Alcotest.(check bool) "close" true (Float.abs (FV.to_float x -. 3.14159) < 0.01);
+  let neg = FV.of_float (sq 4 8) (-2.5) in
+  Alcotest.(check (float 1e-9)) "negative exact" (-2.5) (FV.to_float neg);
+  (* saturation at the format range *)
+  let sat = FV.of_float f 100.0 in
+  Alcotest.(check bool) "saturates high" true (FV.to_float sat < 16.01)
+
+let test_value_arith_exact () =
+  let a = FV.of_float (uq 4 8) 1.25 and b = FV.of_float (uq 4 8) 2.5 in
+  Alcotest.(check (float 1e-9)) "add" 3.75 (FV.to_float (FV.add a b));
+  Alcotest.(check (float 1e-9)) "sub" (-1.25) (FV.to_float (FV.sub a b));
+  Alcotest.(check (float 1e-9)) "mul" 3.125 (FV.to_float (FV.mul a b));
+  (* resolution means no precision loss *)
+  let tiny = FV.of_float (uq 0 12) 0.000244140625 in
+  let big = FV.of_float (uq 12 0) 4095.0 in
+  let s = FV.add big tiny in
+  Alcotest.(check (float 1e-12)) "no loss" 4095.000244140625 (FV.to_float s)
+
+let test_value_resize () =
+  let x = FV.of_float (uq 4 8) 1.7890625 in
+  let t = FV.resize (uq 4 2) x in
+  Alcotest.(check (float 1e-9)) "truncate" 1.75 (FV.to_float t);
+  let n = FV.resize ~round:`Nearest (uq 4 2) x in
+  Alcotest.(check (float 1e-9)) "nearest" 1.75 (FV.to_float n);
+  let x2 = FV.of_float (uq 4 8) 1.90 in
+  Alcotest.(check (float 1e-9)) "nearest rounds up" 1.75
+    (FV.to_float (FV.resize ~round:`Truncate (uq 4 2) x2));
+  Alcotest.(check (float 1e-9)) "nearest rounds up 2" 2.0
+    (FV.to_float (FV.resize ~round:`Nearest (uq 4 2) x2));
+  let sat = FV.resize ~saturate:true (uq 1 2) (FV.of_float (uq 4 2) 7.0) in
+  Alcotest.(check (float 1e-9)) "saturating resize" 1.75 (FV.to_float sat)
+
+let test_value_compare () =
+  let a = FV.of_float (uq 4 8) 1.5 and b = FV.of_float (uq 8 2) 1.5 in
+  Alcotest.(check int) "equal across formats" 0 (FV.compare a b);
+  Alcotest.(check bool) "not structurally equal" false (FV.equal a b)
+
+(* Expression layer: build a module computing with fixed-point and
+   check against Value semantics over a range of inputs. *)
+let test_expr_matches_value () =
+  let fa = uq 2 6 and fb = uq 3 3 in
+  let b = Builder.create "fixmath" in
+  let xa = Builder.input b "a" (F.fmt_width fa) in
+  let xb = Builder.input b "b" (F.fmt_width fb) in
+  let sum_f = F.resolve_add fa fb in
+  let prod_f = F.resolve_mul fa fb in
+  let sum_o = Builder.output b "sum" (F.fmt_width sum_f) in
+  let prod_o = Builder.output b "prod" (F.fmt_width prod_f) in
+  let ea = FE.lift fa (Ir.Var xa) and eb = FE.lift fb (Ir.Var xb) in
+  Builder.comb b "math"
+    [
+      Ir.Assign (sum_o, FE.to_expr (FE.add ea eb));
+      Ir.Assign (prod_o, FE.to_expr (FE.mul ea eb));
+    ];
+  let sim = Rtl_sim.create (Builder.finish b) in
+  let check_one ra rb =
+    Rtl_sim.set_input sim "a" (Bitvec.of_int ~width:(F.fmt_width fa) ra);
+    Rtl_sim.set_input sim "b" (Bitvec.of_int ~width:(F.fmt_width fb) rb);
+    Rtl_sim.settle sim;
+    let va = FV.create fa (Bitvec.of_int ~width:(F.fmt_width fa) ra) in
+    let vb = FV.create fb (Bitvec.of_int ~width:(F.fmt_width fb) rb) in
+    Alcotest.(check int)
+      (Printf.sprintf "sum %d %d" ra rb)
+      (Bitvec.to_int (FV.raw (FV.add va vb)))
+      (Rtl_sim.get_int sim "sum");
+    Alcotest.(check int)
+      (Printf.sprintf "prod %d %d" ra rb)
+      (Bitvec.to_int (FV.raw (FV.mul va vb)))
+      (Rtl_sim.get_int sim "prod")
+  in
+  List.iter
+    (fun (a, b) -> check_one a b)
+    [ (0, 0); (1, 1); (255, 63); (128, 32); (77, 19); (200, 55) ]
+
+let test_expr_width_check () =
+  Alcotest.(check bool) "lift checks width" true
+    (try
+       ignore (FE.lift (uq 4 12) (Ir.Const (Bitvec.zero 8)));
+       false
+     with F.Fixed_error _ -> true)
+
+let prop_add_never_overflows =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:300 ~name:"resolved add is exact"
+       QCheck2.Gen.(
+         pair (pair (int_range 0 6) (int_range 0 6))
+           (pair (int_range 0 255) (int_range 0 255)))
+       (fun ((i, f), (ra, rb)) ->
+         let fa = uq (i + 1) f and fb = uq f (i + 1) in
+         let wa = F.fmt_width fa and wb = F.fmt_width fb in
+         let va = FV.create fa (Bitvec.of_int ~width:wa (ra land ((1 lsl wa) - 1))) in
+         let vb = FV.create fb (Bitvec.of_int ~width:wb (rb land ((1 lsl wb) - 1))) in
+         let s = FV.add va vb in
+         Float.abs (FV.to_float s -. (FV.to_float va +. FV.to_float vb))
+         < 1e-9))
+
+let suite =
+  [
+    Alcotest.test_case "formats" `Quick test_formats;
+    Alcotest.test_case "resolution rules" `Quick test_resolution_rules;
+    Alcotest.test_case "value roundtrip" `Quick test_value_roundtrip;
+    Alcotest.test_case "value arithmetic" `Quick test_value_arith_exact;
+    Alcotest.test_case "value resize" `Quick test_value_resize;
+    Alcotest.test_case "value compare" `Quick test_value_compare;
+    Alcotest.test_case "expr matches value" `Quick test_expr_matches_value;
+    Alcotest.test_case "expr width check" `Quick test_expr_width_check;
+    prop_add_never_overflows;
+  ]
+
+let () = Alcotest.run "fixed" [ ("fixed", suite) ]

@@ -1,0 +1,462 @@
+(* Tests for the OSSS layer: classes, inheritance, templates, object
+   resolution, polymorphism, shared objects, SystemC re-emission. *)
+
+open Hdl
+module CD = Osss.Class_def
+module OI = Osss.Object_inst
+
+let contains needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+(* A small counter class used across tests. *)
+let counter_class width =
+  CD.declare ~name:(Printf.sprintf "Counter%d" width)
+    [ CD.field "count" width ]
+    [
+      CD.proc_method ~name:"Reset" ~params:[] (fun ctx ->
+          [ ctx.CD.set "count" (Ir.Const (Bitvec.zero width)) ]);
+      CD.proc_method ~name:"Tick" ~params:[] (fun ctx ->
+          [
+            ctx.CD.set "count"
+              (Ir.Binop
+                 (Ir.Add, ctx.CD.get "count",
+                  Ir.Const (Bitvec.of_int ~width 1)));
+          ]);
+      CD.fn_method ~name:"Value" ~params:[] ~return:width (fun ctx ->
+          ([], ctx.CD.get "count"));
+    ]
+
+(* Saturating counter overriding Tick — inheritance + override. *)
+let sat_counter_class width =
+  CD.declare ~parent:(counter_class width)
+    ~name:(Printf.sprintf "SatCounter%d" width)
+    []
+    [
+      CD.proc_method ~name:"Tick" ~params:[] (fun ctx ->
+          let maxed =
+            Ir.Binop (Ir.Eq, ctx.CD.get "count", Ir.Const (Bitvec.ones width))
+          in
+          [
+            Ir.If
+              ( maxed,
+                [],
+                [
+                  ctx.CD.set "count"
+                    (Ir.Binop
+                       (Ir.Add, ctx.CD.get "count",
+                        Ir.Const (Bitvec.of_int ~width 1)));
+                ] );
+          ]);
+    ]
+
+let test_class_layout () =
+  let cls = counter_class 8 in
+  Alcotest.(check int) "state width" 8 (CD.state_width cls);
+  Alcotest.(check (pair int int)) "field range" (0, 8) (CD.field_range cls "count");
+  let sub = sat_counter_class 8 in
+  Alcotest.(check int) "inherited width" 8 (CD.state_width sub);
+  Alcotest.(check int) "method count" 3 (List.length (CD.methods sub));
+  Alcotest.(check bool) "subclass" true
+    (CD.is_subclass sub ~of_:(counter_class 8));
+  Alcotest.(check bool) "not superclass" false
+    (CD.is_subclass (counter_class 8) ~of_:sub)
+
+let test_duplicate_field_rejected () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore
+         (CD.declare ~name:"Bad"
+            [ CD.field "x" 4; CD.field "x" 4 ]
+            []);
+       false
+     with CD.Class_error _ -> true)
+
+let test_override_signature_checked () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore
+         (CD.declare ~parent:(counter_class 8) ~name:"Bad" []
+            [
+              CD.fn_method ~name:"Tick" ~params:[] ~return:1 (fun ctx ->
+                  ([], ctx.CD.get "count"));
+            ]);
+       false
+     with CD.Class_error _ -> true)
+
+(* Build a module holding an object and exercising method calls. *)
+let counter_module cls =
+  let b = Builder.create "obj_counter" in
+  let reset = Builder.input b "reset" 1 in
+  let enable = Builder.input b "enable" 1 in
+  let out = Builder.output b "value" 8 in
+  let obj = OI.instantiate b ~name:"cnt" cls in
+  let _, value_e = OI.call_fn obj "Value" [] in
+  Builder.sync b "drive"
+    [
+      Ir.If
+        ( Ir.Var reset,
+          OI.call obj "Reset" [],
+          [ Ir.If (Ir.Var enable, OI.call obj "Tick" [], []) ] );
+      Ir.Assign (out, value_e);
+    ];
+  Builder.finish b
+
+let run_counter design cycles =
+  let sim = Rtl_sim.create design in
+  Rtl_sim.set_input_int sim "reset" 1;
+  Rtl_sim.step sim;
+  Rtl_sim.set_input_int sim "reset" 0;
+  Rtl_sim.set_input_int sim "enable" 1;
+  Rtl_sim.run sim cycles;
+  Rtl_sim.get_int sim "value"
+
+let test_object_method_calls () =
+  Alcotest.(check int) "ticks" 10 (run_counter (counter_module (counter_class 8)) 10)
+
+let test_override_behaviour () =
+  (* 4-bit saturating counter stops at 15. *)
+  let cls = sat_counter_class 8 in
+  Alcotest.(check int) "saturates" 255 (run_counter (counter_module cls) 300);
+  Alcotest.(check int) "plain wraps" (300 - 256)
+    (run_counter (counter_module (counter_class 8)) 300)
+
+let test_template_memoization () =
+  let a = Expocu.Sync.sync_register ~regsize:4 ~resetvalue:0 in
+  let b = Expocu.Sync.sync_register ~regsize:4 ~resetvalue:0 in
+  let c = Expocu.Sync.sync_register ~regsize:8 ~resetvalue:0 in
+  Alcotest.(check bool) "same specialization shared" true (a == b);
+  Alcotest.(check bool) "different parameters distinct" true (a != c);
+  Alcotest.(check string) "specialized name" "SyncRegister<4,0>"
+    (CD.class_name a)
+
+let test_call_errors () =
+  let b = Builder.create "errs" in
+  let obj = OI.instantiate b ~name:"o" (counter_class 8) in
+  Alcotest.(check bool) "unknown method" true
+    (try ignore (OI.call obj "Nope" []); false
+     with OI.Call_error _ -> true);
+  Alcotest.(check bool) "arity" true
+    (try ignore (OI.call obj "Tick" [ Ir.Const (Bitvec.zero 1) ]); false
+     with OI.Call_error _ -> true);
+  Alcotest.(check bool) "fn via call" true
+    (try ignore (OI.call obj "Value" []); false
+     with OI.Call_error _ -> true)
+
+(* ---------------- polymorphism ---------------- *)
+
+(* ALU variants with a common Execute interface, as in §6. *)
+let alu_base =
+  CD.declare ~name:"AluBase"
+    [ CD.field "acc" 8 ]
+    [
+      CD.fn_method ~name:"Execute" ~params:[ ("A", 8); ("B", 8) ] ~return:8
+        (fun ctx -> ([], Ir.Binop (Ir.Add, ctx.CD.arg "A", ctx.CD.arg "B")));
+    ]
+
+let alu_variant name op =
+  CD.declare ~parent:alu_base ~name []
+    [
+      CD.fn_method ~name:"Execute" ~params:[ ("A", 8); ("B", 8) ] ~return:8
+        (fun ctx -> ([], Ir.Binop (op, ctx.CD.arg "A", ctx.CD.arg "B")));
+    ]
+
+let poly_alu_module () =
+  let b = Builder.create "poly_alu" in
+  let reset = Builder.input b "reset" 1 in
+  let sel = Builder.input b "sel" 2 in
+  let a = Builder.input b "a" 8 in
+  let x = Builder.input b "x" 8 in
+  let y = Builder.output b "y" 8 in
+  let variants =
+    [ alu_variant "AluAdd" Ir.Add; alu_variant "AluSub" Ir.Sub;
+      alu_variant "AluXor" Ir.Xor ]
+  in
+  let poly = Osss.Polymorph.instantiate b ~name:"alu" ~base:alu_base variants in
+  let _, result = Osss.Polymorph.vcall_fn poly "Execute" [ Ir.Var a; Ir.Var x ] in
+  Builder.sync b "drive"
+    [
+      Ir.If
+        ( Ir.Var reset,
+          Osss.Polymorph.assign_class poly (List.nth variants 0),
+          [
+            (* "new" the variant selected by the input *)
+            Ir.Case
+              ( Ir.Var sel,
+                [
+                  (Bitvec.of_int ~width:2 0,
+                   Osss.Polymorph.assign_class poly (List.nth variants 0));
+                  (Bitvec.of_int ~width:2 1,
+                   Osss.Polymorph.assign_class poly (List.nth variants 1));
+                  (Bitvec.of_int ~width:2 2,
+                   Osss.Polymorph.assign_class poly (List.nth variants 2));
+                ],
+                [] );
+          ] );
+      Ir.Assign (y, result);
+    ];
+  Builder.finish b
+
+let test_polymorphic_dispatch () =
+  let sim = Rtl_sim.create (poly_alu_module ()) in
+  Rtl_sim.set_input_int sim "reset" 1;
+  Rtl_sim.step sim;
+  Rtl_sim.set_input_int sim "reset" 0;
+  Rtl_sim.set_input_int sim "a" 200;
+  Rtl_sim.set_input_int sim "x" 100;
+  let expect sel value label =
+    Rtl_sim.set_input_int sim "sel" sel;
+    Rtl_sim.step sim;
+    (* One more cycle: the object is re-classed at the first edge, the
+       dispatched result registers at the second. *)
+    Rtl_sim.step sim;
+    Alcotest.(check int) label value (Rtl_sim.get_int sim "y")
+  in
+  expect 0 44 "virtual add";
+  expect 1 100 "virtual sub";
+  expect 2 172 "virtual xor"
+
+let test_polymorphism_synthesizes () =
+  let design = poly_alu_module () in
+  let nl = Backend.Lower.lower design in
+  match Backend.Equiv.ir_vs_netlist ~cycles:300 design nl with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "%a" Backend.Equiv.pp_mismatch m
+
+let test_poly_rejects_foreign_class () =
+  let b = Builder.create "bad_poly" in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore
+         (Osss.Polymorph.instantiate b ~name:"p" ~base:alu_base
+            [ counter_class 8 ]);
+       false
+     with Osss.Polymorph.Poly_error _ -> true)
+
+(* ---------------- shared objects ---------------- *)
+
+let shared_counter_module policy =
+  let b = Builder.create "shared_counter" in
+  let reset = Builder.input b "reset" 1 in
+  let req0 = Builder.input b "req0" 1 in
+  let req1 = Builder.input b "req1" 1 in
+  let req2 = Builder.input b "req2" 1 in
+  let value = Builder.output b "value" 8 in
+  let grants = Builder.output b "grants" 3 in
+  let shared =
+    Osss.Shared.create b ~name:"cnt" ~class_:(counter_class 8) ~policy
+      ~clients:3 ~methods:[ "Tick"; "Value"; "Reset" ] ~reset
+  in
+  (* Each external request line drives one client requesting Tick. *)
+  List.iteri
+    (fun i req ->
+      let cl = Osss.Shared.client shared i in
+      Builder.comb b
+        (Printf.sprintf "client%d" i)
+        [
+          Ir.Assign (Osss.Shared.req cl, Ir.Var req);
+          Ir.Assign
+            ( Osss.Shared.op cl,
+              Ir.Const
+                (Bitvec.of_int ~width:2 (Osss.Shared.op_index shared "Tick")) );
+        ])
+    [ req0; req1; req2 ];
+  let g i = Osss.Shared.granted (Osss.Shared.client shared i) in
+  Builder.comb b "observe"
+    [
+      Ir.Assign
+        (value, Osss.Object_inst.field_expr (Osss.Shared.state shared) "count");
+      Ir.Assign (grants, Ir.Concat (g 2, Ir.Concat (g 1, g 0)));
+    ];
+  Builder.finish b
+
+let test_shared_serializes () =
+  (* Three clients requesting every cycle: exactly one Tick per cycle. *)
+  let sim = Rtl_sim.create (shared_counter_module Osss.Shared.Round_robin) in
+  Rtl_sim.set_input_int sim "reset" 1;
+  Rtl_sim.step sim;
+  Rtl_sim.set_input_int sim "reset" 0;
+  Rtl_sim.set_input_int sim "req0" 1;
+  Rtl_sim.set_input_int sim "req1" 1;
+  Rtl_sim.set_input_int sim "req2" 1;
+  Rtl_sim.run sim 9;
+  Alcotest.(check int) "9 serialized ticks" 9 (Rtl_sim.get_int sim "value")
+
+let grant_sequence policy reqs cycles =
+  let sim = Rtl_sim.create (shared_counter_module policy) in
+  Rtl_sim.set_input_int sim "reset" 1;
+  Rtl_sim.step sim;
+  Rtl_sim.set_input_int sim "reset" 0;
+  let r0, r1, r2 = reqs in
+  Rtl_sim.set_input_int sim "req0" r0;
+  Rtl_sim.set_input_int sim "req1" r1;
+  Rtl_sim.set_input_int sim "req2" r2;
+  List.init cycles (fun _ ->
+      Rtl_sim.settle sim;
+      let g = Rtl_sim.get_int sim "grants" in
+      Rtl_sim.step sim;
+      g)
+
+let test_round_robin_rotates () =
+  let gs = grant_sequence Osss.Shared.Round_robin (1, 1, 1) 6 in
+  (* After reset last=0, so priority order is 1,2,0 repeating fairly. *)
+  Alcotest.(check (list int)) "rotation" [ 2; 4; 1; 2; 4; 1 ] gs
+
+let test_fixed_priority_starves () =
+  let gs = grant_sequence Osss.Shared.Fixed_priority (1, 1, 1) 4 in
+  Alcotest.(check (list int)) "client 0 always wins" [ 1; 1; 1; 1 ] gs
+
+let test_fcfs_by_age () =
+  (* Two contending clients: the one passed over accumulates age and
+     wins the next cycle, so FCFS alternates where fixed priority would
+     starve client 1. *)
+  let gs = grant_sequence Osss.Shared.Fcfs (1, 1, 0) 4 in
+  Alcotest.(check (list int)) "alternation by age" [ 1; 2; 1; 2 ] gs
+
+let test_shared_synthesizes () =
+  let design = shared_counter_module Osss.Shared.Round_robin in
+  let nl = Backend.Lower.lower design in
+  match Backend.Equiv.ir_vs_netlist ~cycles:300 design nl with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "%a" Backend.Equiv.pp_mismatch m
+
+let test_custom_scheduler () =
+  (* user-defined policy: client 2 has absolute priority, the others in
+     fixed order below it *)
+  let policy =
+    Osss.Shared.Custom
+      ( "client2-first",
+        fun ~reqs ~grant ~last_grant ->
+          ignore last_grant;
+          let r i = Ir.Var reqs.(i) in
+          let n e = Ir.Unop (Ir.Not, e) in
+          [
+            Ir.Assign_slice (grant, 2, r 2);
+            Ir.Assign_slice (grant, 0, Ir.Binop (Ir.And, r 0, n (r 2)));
+            Ir.Assign_slice
+              ( grant,
+                1,
+                Ir.Binop (Ir.And, r 1, Ir.Binop (Ir.And, n (r 0), n (r 2))) );
+          ] )
+  in
+  let gs = grant_sequence policy (1, 1, 1) 4 in
+  Alcotest.(check (list int)) "client 2 always wins" [ 4; 4; 4; 4 ] gs;
+  let gs = grant_sequence policy (1, 1, 0) 4 in
+  Alcotest.(check (list int)) "then client 0" [ 1; 1; 1; 1 ] gs;
+  (* custom-scheduled shared objects synthesize and match their netlist *)
+  let design = shared_counter_module policy in
+  match Backend.Equiv.ir_vs_netlist ~cycles:200 design
+          (Backend.Lower.lower design) with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "%a" Backend.Equiv.pp_mismatch m
+
+(* Shared object with a returning method: one client writes, another
+   reads back through the result register. *)
+let shared_result_module () =
+  let b = Builder.create "shared_result" in
+  let reset = Builder.input b "reset" 1 in
+  let do_tick = Builder.input b "do_tick" 1 in
+  let do_read = Builder.input b "do_read" 1 in
+  let result = Builder.output b "result" 8 in
+  let done0 = Builder.output b "done0" 1 in
+  let done1 = Builder.output b "done1" 1 in
+  let shared =
+    Osss.Shared.create b ~name:"cnt" ~class_:(counter_class 8)
+      ~policy:Osss.Shared.Fixed_priority ~clients:2
+      ~methods:[ "Tick"; "Value" ] ~reset
+  in
+  let c0 = Osss.Shared.client shared 0 in
+  let c1 = Osss.Shared.client shared 1 in
+  Builder.comb b "client0"
+    [
+      Ir.Assign (Osss.Shared.req c0, Ir.Var do_tick);
+      Ir.Assign
+        ( Osss.Shared.op c0,
+          Ir.Const (Bitvec.of_int ~width:1 (Osss.Shared.op_index shared "Tick")) );
+    ];
+  Builder.comb b "client1"
+    [
+      Ir.Assign (Osss.Shared.req c1, Ir.Var do_read);
+      Ir.Assign
+        ( Osss.Shared.op c1,
+          Ir.Const (Bitvec.of_int ~width:1 (Osss.Shared.op_index shared "Value")) );
+    ];
+  Builder.comb b "observe"
+    [
+      Ir.Assign (result, Osss.Shared.result shared);
+      Ir.Assign (done0, Osss.Shared.done_ c0);
+      Ir.Assign (done1, Osss.Shared.done_ c1);
+    ];
+  Builder.finish b
+
+let test_shared_returning_method () =
+  let sim = Rtl_sim.create (shared_result_module ()) in
+  Rtl_sim.set_input_int sim "reset" 1;
+  Rtl_sim.step sim;
+  Rtl_sim.set_input_int sim "reset" 0;
+  (* client 0 ticks three times *)
+  Rtl_sim.set_input_int sim "do_tick" 1;
+  Rtl_sim.run sim 3;
+  Rtl_sim.set_input_int sim "do_tick" 0;
+  Alcotest.(check int) "tick completion flagged" 1 (Rtl_sim.get_int sim "done0");
+  (* client 1 reads the value back through the shared interface; the
+     done strobe lasts exactly one cycle *)
+  Rtl_sim.set_input_int sim "do_read" 1;
+  Rtl_sim.step sim;
+  Rtl_sim.set_input_int sim "do_read" 0;
+  Alcotest.(check int) "read completion flagged" 1 (Rtl_sim.get_int sim "done1");
+  Alcotest.(check int) "result register holds the count" 3
+    (Rtl_sim.get_int sim "result");
+  Rtl_sim.step sim;
+  Alcotest.(check int) "done strobe clears" 0 (Rtl_sim.get_int sim "done1");
+  Alcotest.(check int) "result persists" 3 (Rtl_sim.get_int sim "result")
+
+(* ---------------- resolution output ---------------- *)
+
+let test_resolve_method_text () =
+  let cls = Expocu.Sync.sync_register ~regsize:4 ~resetvalue:0 in
+  let text = Osss.Resolve.emit_method cls "Write" in
+  Alcotest.(check bool) "non-member name" true
+    (contains "_SyncRegister<4,0>_Write_1_" text);
+  Alcotest.(check bool) "takes _this_" true
+    (contains "sc_biguint<4>& _this_" text);
+  let cls_text = Osss.Resolve.emit_class cls in
+  Alcotest.(check bool) "layout comment" true
+    (contains "resolved to sc_biguint<4>" cls_text)
+
+let test_resolve_module_text () =
+  let flat = Elaborate.flatten (Expocu.Sync.osss_module ()) in
+  let text = Osss.Resolve.emit_module flat in
+  Alcotest.(check bool) "SC_MODULE" true (contains "SC_MODULE( sync_osss )" text);
+  Alcotest.(check bool) "cthread" true (contains "SC_CTHREAD" text);
+  Alcotest.(check bool) "state vector member" true
+    (contains "sc_biguint<4> data_sync_reg" text)
+
+let suite =
+  [
+    Alcotest.test_case "class layout" `Quick test_class_layout;
+    Alcotest.test_case "duplicate field" `Quick test_duplicate_field_rejected;
+    Alcotest.test_case "override signature" `Quick test_override_signature_checked;
+    Alcotest.test_case "object method calls" `Quick test_object_method_calls;
+    Alcotest.test_case "override behaviour" `Quick test_override_behaviour;
+    Alcotest.test_case "template memoization" `Quick test_template_memoization;
+    Alcotest.test_case "call errors" `Quick test_call_errors;
+    Alcotest.test_case "polymorphic dispatch" `Quick test_polymorphic_dispatch;
+    Alcotest.test_case "polymorphism synthesizes" `Quick
+      test_polymorphism_synthesizes;
+    Alcotest.test_case "poly rejects foreign class" `Quick
+      test_poly_rejects_foreign_class;
+    Alcotest.test_case "shared serializes" `Quick test_shared_serializes;
+    Alcotest.test_case "round robin rotates" `Quick test_round_robin_rotates;
+    Alcotest.test_case "fixed priority" `Quick test_fixed_priority_starves;
+    Alcotest.test_case "fcfs by age" `Quick test_fcfs_by_age;
+    Alcotest.test_case "shared synthesizes" `Quick test_shared_synthesizes;
+    Alcotest.test_case "shared returning method" `Quick
+      test_shared_returning_method;
+    Alcotest.test_case "custom scheduler" `Quick test_custom_scheduler;
+    Alcotest.test_case "resolve method text" `Quick test_resolve_method_text;
+    Alcotest.test_case "resolve module text" `Quick test_resolve_module_text;
+  ]
+
+let () = Alcotest.run "osss" [ ("osss", suite) ]

@@ -1,0 +1,106 @@
+(* Tests for technology mapping and place & route. *)
+
+open Hdl
+open Builder.Dsl
+module T = Backend.Techmap
+module P = Backend.Pnr
+
+let small_design () =
+  let b = Builder.create "small" in
+  let reset = Builder.input b "reset" 1 in
+  let x = Builder.input b "x" 4 in
+  let y = Builder.output b "y" 4 in
+  let acc = Builder.wire b "acc" 4 in
+  Builder.sync b "f"
+    [
+      if_ (v reset)
+        [ acc <-- c ~width:4 0 ]
+        [ acc <-- (v acc +: v x) ];
+    ];
+  Builder.comb b "g" [ y <-- (v acc ^: v x) ];
+  Builder.finish b
+
+let test_map_reduces_cells () =
+  let nl = Backend.Lower.lower (small_design ()) in
+  let gates =
+    List.length
+      (List.filter (fun (c : Backend.Netlist.cell) -> c.kind <> Backend.Cell.Dff)
+         (Backend.Netlist.cells nl))
+  in
+  let mapped = T.map nl in
+  Alcotest.(check bool) "fewer LUTs than gates" true (T.lut_count mapped < gates);
+  Alcotest.(check int) "flip-flops preserved" 4 (T.ff_count mapped);
+  Alcotest.(check bool) "depth positive" true (T.depth mapped >= 1);
+  (* every LUT respects K *)
+  List.iter
+    (fun (l : T.lut) ->
+      Alcotest.(check bool) "support <= 4" true
+        (Array.length l.T.lut_inputs <= 4))
+    (T.luts mapped)
+
+let test_map_is_equivalent () =
+  List.iter
+    (fun design ->
+      let nl = Backend.Lower.lower design in
+      let mapped = T.map nl in
+      Alcotest.(check bool)
+        ("mapping preserves " ^ design.Ir.mod_name)
+        true
+        (T.verify ~vectors:150 mapped))
+    [
+      small_design ();
+      Expocu.Sync.rtl_module ();
+      Expocu.Threshold.rtl_module ();
+      Expocu.I2c.vhdl_module ();
+    ]
+
+let test_map_k_variants () =
+  let nl = Backend.Lower.lower (Expocu.Sync.rtl_module ()) in
+  let l2 = T.lut_count (T.map ~k:2 nl) in
+  let l4 = T.lut_count (T.map ~k:4 nl) in
+  let l6 = T.lut_count (T.map ~k:6 nl) in
+  Alcotest.(check bool) "wider LUTs absorb more" true (l6 <= l4 && l4 <= l2);
+  Alcotest.(check bool) "k out of range" true
+    (try ignore (T.map ~k:9 nl); false with T.Map_error _ -> true)
+
+let test_place_improves_wirelength () =
+  let nl = Backend.Lower.lower (Expocu.I2c.vhdl_module ()) in
+  let mapped = T.map nl in
+  let placement = P.place ~seed:3 ~moves:30_000 mapped in
+  let r = P.analyze placement in
+  Alcotest.(check bool) "annealing reduced wirelength" true
+    (r.P.wirelength < r.P.initial_wirelength);
+  Alcotest.(check bool) "utilization sane" true
+    (r.P.utilization > 0.1 && r.P.utilization <= 1.0);
+  Alcotest.(check bool) "post-layout slower than pure logic" true
+    (r.P.critical_ns > float_of_int r.P.lut_levels *. P.lut_delay_ns)
+
+let test_pnr_determinism () =
+  let nl = Backend.Lower.lower (Expocu.Sync.rtl_module ()) in
+  let run () = (P.analyze (P.place ~seed:5 ~moves:5_000 (T.map nl))).P.wirelength in
+  Alcotest.(check (float 1e-9)) "same seed, same placement" (run ()) (run ())
+
+let test_full_flow_to_layout () =
+  (* ExpoCU end to end: gates -> LUTs -> placement -> fmax *)
+  let nl =
+    Backend.Opt.optimize (Backend.Lower.lower (Expocu.Expocu_top.rtl_top ()))
+  in
+  let mapped = T.map nl in
+  Alcotest.(check bool) "chip maps" true (T.lut_count mapped > 300);
+  let placement = P.place ~seed:11 ~moves:20_000 mapped in
+  let r = P.analyze placement in
+  Alcotest.(check bool) "fmax finite" true (r.P.fmax_mhz > 1.0);
+  Alcotest.(check bool) "grid fits" true (fst r.P.grid > 10)
+
+let suite =
+  [
+    Alcotest.test_case "map reduces cells" `Quick test_map_reduces_cells;
+    Alcotest.test_case "map is equivalent" `Quick test_map_is_equivalent;
+    Alcotest.test_case "map k variants" `Quick test_map_k_variants;
+    Alcotest.test_case "place improves wirelength" `Quick
+      test_place_improves_wirelength;
+    Alcotest.test_case "pnr determinism" `Quick test_pnr_determinism;
+    Alcotest.test_case "full flow to layout" `Quick test_full_flow_to_layout;
+  ]
+
+let () = Alcotest.run "pnr" [ ("pnr", suite) ]

@@ -1,0 +1,180 @@
+(* Tests for simulation-time objects: immediate method execution, and
+   bit-exactness against the synthesis path (the OSSS refinement
+   guarantee — the simulated object and the synthesized object never
+   diverge). *)
+
+open Hdl
+module CD = Osss.Class_def
+module SO = Osss.Sim_object
+module OI = Osss.Object_inst
+
+let sync_cls = Expocu.Sync.sync_register ~regsize:4 ~resetvalue:0
+
+let test_create_and_reset () =
+  let o = SO.create sync_cls in
+  Alcotest.(check int) "reset state" 0 (Bitvec.to_int (SO.state o));
+  SO.call o "Write" [ Bitvec.of_bool true ];
+  Alcotest.(check bool) "changed" false (Bitvec.is_zero (SO.state o));
+  SO.reset o;
+  Alcotest.(check int) "reset again" 0 (Bitvec.to_int (SO.state o))
+
+let test_method_semantics () =
+  let o = SO.create sync_cls in
+  (* shift in 1,1,0 -> RegValue = 0110 *)
+  SO.call o "Write" [ Bitvec.of_bool true ];
+  SO.call o "Write" [ Bitvec.of_bool true ];
+  SO.call o "Write" [ Bitvec.of_bool false ];
+  Alcotest.(check int) "shift register contents" 0b0110
+    (Bitvec.to_int (SO.call_fn o "Value" []));
+  Alcotest.(check int) "rising at index 2" 1
+    (Bitvec.to_int (SO.call_fn o "RisingEdge" [ Bitvec.of_int ~width:8 2 ]));
+  Alcotest.(check int) "falling at index 0" 1
+    (Bitvec.to_int (SO.call_fn o "FallingEdge" [ Bitvec.of_int ~width:8 0 ]))
+
+let test_show_and_equal () =
+  let a = SO.create sync_cls and b = SO.create sync_cls in
+  Alcotest.(check bool) "fresh objects equal" true (SO.equal a b);
+  SO.call a "Write" [ Bitvec.of_bool true ];
+  Alcotest.(check bool) "diverged" false (SO.equal a b);
+  SO.set_state b (SO.state a);
+  Alcotest.(check bool) "signal-style transfer" true (SO.equal a b);
+  Alcotest.(check string) "show" "SyncRegister<4,0>{RegValue=4'h1}" (SO.show a)
+
+let test_call_errors () =
+  let o = SO.create sync_cls in
+  Alcotest.(check bool) "unknown method" true
+    (try SO.call o "Nope" []; false with SO.Sim_call_error _ -> true);
+  Alcotest.(check bool) "width check" true
+    (try
+       SO.call o "Write" [ Bitvec.of_int ~width:2 1 ];
+       false
+     with SO.Sim_call_error _ -> true);
+  Alcotest.(check bool) "fn via call" true
+    (try SO.call o "Value" []; false with SO.Sim_call_error _ -> true)
+
+(* Refinement: drive random Write sequences into a simulation object
+   and into a synthesized module holding the same class; the state
+   vectors must agree after every step. *)
+let test_refinement_bit_exact () =
+  let b = Builder.create "refine" in
+  let data = Builder.input b "data" 1 in
+  let out = Builder.output b "out" 4 in
+  let obj = OI.instantiate b ~name:"reg" sync_cls in
+  let _, value_e = OI.call_fn obj "Value" [] in
+  Builder.sync b "drive"
+    (OI.call obj "Write" [ Ir.Var data ] @ [ Ir.Assign (out, value_e) ]);
+  let sim = Rtl_sim.create (Builder.finish b) in
+  let o = SO.create sync_cls in
+  let rng = Random.State.make [| 7 |] in
+  for i = 0 to 199 do
+    let bit = Random.State.bool rng in
+    Rtl_sim.set_input sim "data" (Bitvec.of_bool bit);
+    Rtl_sim.step sim;
+    SO.call o "Write" [ Bitvec.of_bool bit ];
+    if not (Bitvec.equal (SO.state o) (Rtl_sim.get sim "out")) then
+      Alcotest.failf "diverged at step %d: sim-object %s vs hardware %s" i
+        (Bitvec.to_string (SO.state o))
+        (Bitvec.to_string (Rtl_sim.get sim "out"))
+  done
+
+(* The same check as a qcheck property over arbitrary bit sequences and
+   register sizes. *)
+let prop_refinement =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:60 ~name:"sim object refines hardware"
+       QCheck2.Gen.(pair (int_range 2 12) (list_size (int_range 1 40) bool))
+       (fun (regsize, bits) ->
+         let cls = Expocu.Sync.sync_register ~regsize ~resetvalue:0 in
+         let b = Builder.create "refine_prop" in
+         let data = Builder.input b "data" 1 in
+         let out = Builder.output b "out" regsize in
+         let obj = OI.instantiate b ~name:"reg" cls in
+         let _, value_e = OI.call_fn obj "Value" [] in
+         Builder.sync b "drive"
+           (OI.call obj "Write" [ Ir.Var data ] @ [ Ir.Assign (out, value_e) ]);
+         let sim = Rtl_sim.create (Builder.finish b) in
+         let o = SO.create cls in
+         List.for_all
+           (fun bit ->
+             Rtl_sim.set_input sim "data" (Bitvec.of_bool bit);
+             Rtl_sim.step sim;
+             SO.call o "Write" [ Bitvec.of_bool bit ];
+             Bitvec.equal (SO.state o) (Rtl_sim.get sim "out"))
+           bits))
+
+(* Histogram class as a simulation object vs the golden model. *)
+let test_histogram_sim_object () =
+  let cls = Expocu.Histogram.histogram_class ~bins:16 ~count_w:16 in
+  let o = SO.create cls in
+  let pixels = Array.init 300 (fun i -> i * 29 mod 256) in
+  Array.iter
+    (fun px -> SO.call o "AddSample" [ Bitvec.of_int ~width:8 px ])
+    pixels;
+  let golden = Expocu.Exposure_algo.histogram ~bins:16 pixels in
+  Array.iteri
+    (fun i expected ->
+      Alcotest.(check int)
+        (Printf.sprintf "bin %d" i)
+        expected
+        (Bitvec.to_int (SO.call_fn o "GetBin" [ Bitvec.of_int ~width:8 i ])))
+    golden;
+  Alcotest.(check int) "total" 300 (Bitvec.to_int (SO.call_fn o "Total" []))
+
+(* sc_signal<Object> transfer between two clocked threads (§6). *)
+let test_object_signal_transfer () =
+  let k = Sim.Kernel.create () in
+  let clock = Sim.Clock.create k ~period_ps:10 () in
+  let chan = Osss.Object_signal.create k ~name:"chan" sync_cls in
+  let received = ref [] in
+  let _producer =
+    Sim.Process.cthread k ~name:"producer" ~clock (fun ctx ->
+        let obj = SO.create sync_cls in
+        let rec loop () =
+          SO.call obj "Write" [ Bitvec.of_bool true ];
+          Osss.Object_signal.write chan obj;
+          Sim.Process.wait ctx;
+          loop ()
+        in
+        loop ())
+  in
+  let _consumer =
+    Sim.Process.cthread k ~name:"consumer" ~clock (fun ctx ->
+        let rec loop () =
+          Sim.Process.wait ctx;
+          let obj = Osss.Object_signal.read chan in
+          received := Bitvec.to_int (SO.call_fn obj "Value" []) :: !received;
+          loop ()
+        in
+        loop ())
+  in
+  Sim.Kernel.run_until k 62;
+  (* the consumer sees the producer's object one update phase behind:
+     successive shift-register states 0b11, 0b111, 0b1111, ... (newest
+     first in the trace) *)
+  Alcotest.(check (list int)) "received object states" [ 15; 15; 15; 7; 3 ]
+    (List.filteri (fun i _ -> i < 5) !received)
+
+let test_object_signal_class_check () =
+  let k = Sim.Kernel.create () in
+  let chan = Osss.Object_signal.create k ~name:"chan" sync_cls in
+  let wrong = SO.create (Expocu.Histogram.histogram_class ~bins:4 ~count_w:4) in
+  Alcotest.(check bool) "wrong class rejected" true
+    (try Osss.Object_signal.write chan wrong; false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "create and reset" `Quick test_create_and_reset;
+    Alcotest.test_case "method semantics" `Quick test_method_semantics;
+    Alcotest.test_case "show and equal" `Quick test_show_and_equal;
+    Alcotest.test_case "call errors" `Quick test_call_errors;
+    Alcotest.test_case "refinement bit exact" `Quick test_refinement_bit_exact;
+    prop_refinement;
+    Alcotest.test_case "histogram sim object" `Quick test_histogram_sim_object;
+    Alcotest.test_case "object signal transfer" `Quick
+      test_object_signal_transfer;
+    Alcotest.test_case "object signal class check" `Quick
+      test_object_signal_class_check;
+  ]
+
+let () = Alcotest.run "sim_object" [ ("sim_object", suite) ]
