@@ -715,6 +715,150 @@ let xcheck () =
   report "after POR stretch elapses"
 
 (* ------------------------------------------------------------------ *)
+(* Simulation-core benchmark: activity-based vs full evaluation        *)
+
+(* One ExpoCU frame of stimulus against an already-created simulator,
+   parameterized over the simulator API so the netlist modes and the
+   RTL interpreter share the exact same drive sequence. *)
+let drive_frame ~set ~step ~get ~pixels () =
+  let frame = Array.init pixels (fun i -> i * 53 mod 256) in
+  set "ext_reset" 0;
+  set "target_bin" 7;
+  set "sda_in" 0;
+  set "frame_sync" 0;
+  set "line_valid" 0;
+  set "pixel" 0;
+  for _ = 1 to 15 do step () done;
+  set "frame_sync" 1;
+  for _ = 1 to 4 do step () done;
+  set "line_valid" 1;
+  Array.iter
+    (fun px ->
+      set "pixel" px;
+      step ())
+    frame;
+  set "line_valid" 0;
+  set "frame_sync" 0;
+  let guard = ref 0 in
+  while get "frame_done" = 0 && !guard < 4000 do
+    step ();
+    incr guard
+  done
+
+let nl_frame ~mode ~pixels () =
+  let sim = Backend.Nl_sim.create ~mode (Lazy.force gate_netlist) in
+  drive_frame
+    ~set:(Backend.Nl_sim.set_input_int sim)
+    ~step:(fun () -> Backend.Nl_sim.step sim)
+    ~get:(Backend.Nl_sim.get_output_int sim)
+    ~pixels ();
+  sim
+
+let rtl_frame ~pixels () =
+  let sim = Rtl_sim.create (Expocu.Expocu_top.rtl_top ()) in
+  drive_frame
+    ~set:(Rtl_sim.set_input_int sim)
+    ~step:(fun () -> Rtl_sim.step sim)
+    ~get:(Rtl_sim.get_int sim)
+    ~pixels ();
+  sim
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* Emit BENCH_sim.json: cycles/sec and evals/cycle for the ExpoCU frame
+   workload — netlist simulator in both modes, plus the RTL
+   interpreter's process-run rate.  See docs/PERFORMANCE.md. *)
+let bench_json () =
+  let pixels = 256 in
+  let ev, ev_s = timed (fun () -> nl_frame ~mode:Backend.Nl_sim.Event_driven ~pixels ()) in
+  let fl, fl_s = timed (fun () -> nl_frame ~mode:Backend.Nl_sim.Full_eval ~pixels ()) in
+  let rtl, rtl_s = timed (fun () -> rtl_frame ~pixels ()) in
+  let per_cycle count sim = float_of_int count /. float_of_int (Backend.Nl_sim.cycles sim) in
+  let cps cycles s = if s > 0.0 then float_of_int cycles /. s else 0.0 in
+  let rtl_cycles = Rtl_sim.cycles rtl in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"workload\": \"expocu_frame\",\n  \"pixels\": %d,\n"
+       pixels);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"netlist\": {\n\
+       \    \"comb_cells\": %d,\n\
+       \    \"dff_cells\": %d,\n\
+       \    \"event_driven\": { \"cycles\": %d, \"gate_evals\": %d, \
+        \"evals_per_cycle\": %.1f, \"cells_skipped\": %d, \
+        \"cycles_per_sec\": %.0f },\n\
+       \    \"full_eval\": { \"cycles\": %d, \"gate_evals\": %d, \
+        \"evals_per_cycle\": %.1f, \"cycles_per_sec\": %.0f },\n\
+       \    \"evals_per_cycle_ratio\": %.3f\n\
+       \  },\n"
+       (Backend.Nl_sim.comb_cells ev)
+       (Backend.Nl_sim.dff_cells ev)
+       (Backend.Nl_sim.cycles ev)
+       (Backend.Nl_sim.gate_evals ev)
+       (per_cycle (Backend.Nl_sim.gate_evals ev) ev)
+       (Backend.Nl_sim.cells_skipped ev)
+       (cps (Backend.Nl_sim.cycles ev) ev_s)
+       (Backend.Nl_sim.cycles fl)
+       (Backend.Nl_sim.gate_evals fl)
+       (per_cycle (Backend.Nl_sim.gate_evals fl) fl)
+       (cps (Backend.Nl_sim.cycles fl) fl_s)
+       (per_cycle (Backend.Nl_sim.gate_evals ev) ev
+       /. per_cycle (Backend.Nl_sim.gate_evals fl) fl));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"rtl\": { \"cycles\": %d, \"process_runs\": %d, \
+        \"process_skips\": %d, \"runs_per_cycle\": %.2f, \
+        \"cycles_per_sec\": %.0f }\n}\n"
+       rtl_cycles (Rtl_sim.comb_runs rtl) (Rtl_sim.comb_skips rtl)
+       (float_of_int (Rtl_sim.comb_runs rtl) /. float_of_int rtl_cycles)
+       (cps rtl_cycles rtl_s));
+  let oc = open_out "BENCH_sim.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  print_string (Buffer.contents buf);
+  Printf.printf "wrote BENCH_sim.json\n"
+
+(* Small self-checking run for `dune build @bench-smoke`: event-driven
+   and full evaluation must agree on outputs and toggles while the
+   event-driven core does strictly less work. *)
+let bench_smoke () =
+  let pixels = 32 in
+  let ev = nl_frame ~mode:Backend.Nl_sim.Event_driven ~pixels () in
+  let fl = nl_frame ~mode:Backend.Nl_sim.Full_eval ~pixels () in
+  let nl = Lazy.force gate_netlist in
+  assert (Backend.Nl_sim.cycles ev = Backend.Nl_sim.cycles fl);
+  List.iter
+    (fun (name, _) ->
+      if
+        not
+          (Bitvec.equal
+             (Backend.Nl_sim.get_output ev name)
+             (Backend.Nl_sim.get_output fl name))
+      then failwith ("bench-smoke: output mismatch on " ^ name))
+    (Backend.Netlist.outputs nl);
+  for n = 0 to Backend.Netlist.net_count nl - 1 do
+    if Backend.Nl_sim.net_toggles ev n <> Backend.Nl_sim.net_toggles fl n then
+      failwith (Printf.sprintf "bench-smoke: toggle mismatch on net %d" n)
+  done;
+  if Backend.Nl_sim.gate_evals ev >= Backend.Nl_sim.gate_evals fl then
+    failwith "bench-smoke: event-driven mode did not reduce gate evals";
+  let rtl = rtl_frame ~pixels () in
+  if Rtl_sim.comb_skips rtl = 0 then
+    failwith "bench-smoke: rtl scheduler never skipped a process";
+  Printf.printf
+    "bench-smoke ok: %d cycles, gate evals %d (event) vs %d (full), rtl \
+     process runs %d skips %d\n"
+    (Backend.Nl_sim.cycles ev)
+    (Backend.Nl_sim.gate_evals ev)
+    (Backend.Nl_sim.gate_evals fl)
+    (Rtl_sim.comb_runs rtl) (Rtl_sim.comb_skips rtl)
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -726,6 +870,10 @@ let experiments =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [ "--json" ] -> bench_json ()
+  | [ "--smoke" ] -> bench_smoke ()
+  | _ ->
   let selected =
     match args with
     | [] -> experiments

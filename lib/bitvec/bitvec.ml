@@ -60,7 +60,14 @@ let init w f =
 
 let of_int ~width n =
   if width < 1 then raise (Invalid_bitvec "width must be >= 1");
-  init width (fun i -> if i > 62 then n < 0 else (n asr i) land 1 = 1)
+  (* Word-level fast path: up to two limbs come straight from the int's
+     two's-complement representation ([asr] past bit 62 replicates the
+     sign, which matches the bit-by-bit definition below). *)
+  if width <= limb_bits then normalize { width; limbs = [| n land limb_mask |] }
+  else if width <= 2 * limb_bits then
+    normalize
+      { width; limbs = [| n land limb_mask; (n asr limb_bits) land limb_mask |] }
+  else init width (fun i -> if i > 62 then n < 0 else (n asr i) land 1 = 1)
 
 let of_int64 ~width n =
   init width (fun i ->
@@ -126,7 +133,7 @@ let of_string s =
         hex body (4 * String.length body)
   else raise (Invalid_bitvec ("of_string: expected 0b... or 0x...: " ^ s))
 
-let to_int v =
+let to_int_slow v =
   if v.width > 62 then begin
     (* Accept only if the high bits are all zero. *)
     for i = 62 to v.width - 1 do
@@ -138,6 +145,13 @@ let to_int v =
     n := (!n lsl 1) lor (if get v i then 1 else 0)
   done;
   !n
+
+let to_int v =
+  (* Word-level fast path: the top limb is kept masked, so one or two
+     limbs can be read back directly when the value fits an OCaml int. *)
+  if v.width <= limb_bits then v.limbs.(0)
+  else if v.width <= 62 then v.limbs.(0) lor (v.limbs.(1) lsl limb_bits)
+  else to_int_slow v
 
 let to_signed_int v =
   if v.width = 1 then if get v 0 then -1 else 0

@@ -27,6 +27,19 @@ let set_array_elem env v i bv =
   let a = get_array env v in
   if i >= 0 && i < Array.length a then a.(i) <- bv
 
+let snapshot env (vars : Ir.var list) =
+  (* Partial deep copy: only the listed vars are captured.  Vars missing
+     from [env] are left missing — they read back as zero either way. *)
+  let fresh : env = Hashtbl.create (max 8 (2 * List.length vars)) in
+  List.iter
+    (fun (v : Ir.var) ->
+      match Hashtbl.find_opt env v.Ir.id with
+      | None -> ()
+      | Some (Scalar bv) -> Hashtbl.replace fresh v.Ir.id (Scalar bv)
+      | Some (Arr a) -> Hashtbl.replace fresh v.Ir.id (Arr (Array.copy a)))
+    vars;
+  fresh
+
 let copy env =
   let fresh = Hashtbl.create (Hashtbl.length env) in
   Hashtbl.iter

@@ -17,6 +17,11 @@ val get_array : env -> Ir.var -> Bitvec.t array
 val copy : env -> env
 (** Deep copy, arrays included. *)
 
+val snapshot : env -> Ir.var list -> env
+(** [snapshot env vars] is a fresh environment holding copies of just
+    [vars] (arrays deep-copied).  Vars unbound in [env] stay unbound and
+    read back as zero, like in [env] itself. *)
+
 val eval_expr : env -> Ir.expr -> Bitvec.t
 
 val run_body : env -> Ir.stmt list -> unit

@@ -135,6 +135,49 @@ let rec stmt_reads = function
 
 and body_reads body = List.concat_map stmt_reads body
 
+module Int_set = Set.Make (Int)
+
+let body_inputs stmts =
+  (* Variables whose value on entry the body can observe: read before
+     being definitely assigned, plus read-modify-write targets
+     ([Assign_slice] keeps the untouched bits, [Array_write] keeps the
+     other elements).  A variable assigned in only some branches of a
+     conditional still counts as an input, since the untaken path leaves
+     the entry value visible.  This is the sequential refinement of
+     {!body_reads} that the activity-based RTL scheduler needs. *)
+  let inputs = Hashtbl.create 16 in
+  let order = ref [] in
+  let use defined (v : var) =
+    if (not (Int_set.mem v.id defined)) && not (Hashtbl.mem inputs v.id) then begin
+      Hashtbl.replace inputs v.id ();
+      order := v :: !order
+    end
+  in
+  let rec stmt defined = function
+    | Assign (v, e) ->
+        List.iter (use defined) (expr_reads e);
+        Int_set.add v.id defined
+    | Assign_slice (v, _, e) ->
+        List.iter (use defined) (expr_reads e);
+        use defined v;
+        Int_set.add v.id defined
+    | Array_write (v, idx, e) ->
+        List.iter (use defined) (expr_reads idx);
+        List.iter (use defined) (expr_reads e);
+        use defined v;
+        Int_set.add v.id defined
+    | If (c, t, e) ->
+        List.iter (use defined) (expr_reads c);
+        Int_set.inter (body defined t) (body defined e)
+    | Case (s, arms, dflt) ->
+        List.iter (use defined) (expr_reads s);
+        List.fold_left
+          (fun acc (_, b) -> Int_set.inter acc (body defined b))
+          (body defined dflt) arms
+  and body defined = List.fold_left stmt defined in
+  ignore (body Int_set.empty stmts);
+  List.rev !order
+
 let rec stmt_writes = function
   | Assign (v, _) | Assign_slice (v, _, _) | Array_write (v, _, _) -> [ v ]
   | If (_, t, e) -> body_writes t @ body_writes e

@@ -124,6 +124,15 @@ val stmt_writes : stmt -> var list
 val body_reads : stmt list -> var list
 val body_writes : stmt list -> var list
 
+val body_inputs : stmt list -> var list
+(** Variables whose value {e on entry} the body can observe under
+    sequential (read-after-write-sees-the-write) semantics: variables
+    read before being definitely assigned on every path, plus
+    read-modify-write targets ([Assign_slice], [Array_write]).  A subset
+    of {!body_reads} plus RMW targets; the activity-based simulators use
+    it as the process sensitivity list and snapshot set.  Each variable
+    appears once, in first-observation order. *)
+
 val find_port : module_def -> string -> port
 (** Raises [Not_found]. *)
 

@@ -1,16 +1,43 @@
 exception Combinational_loop of string
 
-type sync_proc = { s_name : string; s_body : Ir.stmt list; s_writes : Ir.var list }
-type comb_proc = { c_name : string; c_body : Ir.stmt list; c_writes : Ir.var list }
+(* Global activity counters (see Metrics.Perf). *)
+let ctr_settles = Perf.counter "rtl_sim.settles"
+let ctr_runs = Perf.counter "rtl_sim.process_runs"
+let ctr_skips = Perf.counter "rtl_sim.process_skips"
+let ctr_sync_runs = Perf.counter "rtl_sim.sync_runs"
+
+type sync_proc = {
+  s_name : string;
+  s_body : Ir.stmt list;
+  s_writes : Ir.var list;
+  s_snap : Ir.var list;
+      (* vars whose pre-edge value the activation can observe: the body's
+         entry reads plus every write target (an untaken write path must
+         commit the old value back unchanged) *)
+}
+
+type comb_proc = {
+  c_name : string;
+  c_body : Ir.stmt list;
+  c_writes : Ir.var list;
+  c_inputs : int list;  (* ids of vars whose entry value the body observes *)
+  c_self : bool;  (* reads one of its own write targets before writing it *)
+}
 
 type t = {
   flat : Ir.module_def;
   env : Eval.env;
   inputs : (string, Ir.var) Hashtbl.t;
   outputs : (string, Ir.var) Hashtbl.t;
-  combs : comb_proc list;
+  combs : comb_proc array;  (* dependency order (writers before readers) *)
+  comb_cycle : string option;  (* diagnostic when the graph is cyclic *)
   syncs : sync_proc list;
+  dirty : (int, unit) Hashtbl.t;  (* var ids changed since last settle *)
+  mutable full_settle : bool;  (* first settle runs everything *)
   mutable n_cycles : int;
+  mutable n_settles : int;
+  mutable n_comb_runs : int;
+  mutable n_comb_skips : int;
 }
 
 let dedup_vars vars =
@@ -23,6 +50,65 @@ let dedup_vars vars =
         true
       end)
     vars
+
+(* Order comb processes so writers precede readers, keeping the original
+   relative order of unconstrained processes (Kahn's algorithm with
+   lowest-index selection); this preserves the final values the old
+   run-in-order fixpoint produced when several processes write the same
+   variable.  Self-dependencies are handled by local iteration, not
+   ordering.  Returns the order, or the name of a process on a cycle. *)
+let dependency_order (combs : comb_proc array) =
+  let n = Array.length combs in
+  let writers = Hashtbl.create 32 in
+  Array.iteri
+    (fun i cp ->
+      List.iter
+        (fun (v : Ir.var) ->
+          let prev = Option.value ~default:[] (Hashtbl.find_opt writers v.Ir.id) in
+          Hashtbl.replace writers v.Ir.id (i :: prev))
+        cp.c_writes)
+    combs;
+  let edge = Hashtbl.create 64 in
+  let indeg = Array.make n 0 in
+  let succs = Array.make n [] in
+  Array.iteri
+    (fun i cp ->
+      List.iter
+        (fun id ->
+          List.iter
+            (fun j ->
+              if j <> i && not (Hashtbl.mem edge (j, i)) then begin
+                Hashtbl.replace edge (j, i) ();
+                succs.(j) <- i :: succs.(j);
+                indeg.(i) <- indeg.(i) + 1
+              end)
+            (Option.value ~default:[] (Hashtbl.find_opt writers id)))
+        cp.c_inputs)
+    combs;
+  let placed = Array.make n false in
+  let order = ref [] and n_placed = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    let pick = ref (-1) in
+    for i = n - 1 downto 0 do
+      if (not placed.(i)) && indeg.(i) = 0 then pick := i
+    done;
+    match !pick with
+    | -1 -> continue_ := false
+    | i ->
+        placed.(i) <- true;
+        incr n_placed;
+        order := i :: !order;
+        List.iter (fun j -> indeg.(j) <- indeg.(j) - 1) succs.(i)
+  done;
+  if !n_placed = n then Ok (Array.of_list (List.rev_map (fun i -> combs.(i)) !order))
+  else begin
+    let culprit = ref "" in
+    for i = n - 1 downto 0 do
+      if not placed.(i) then culprit := combs.(i).c_name
+    done;
+    Error !culprit
+  end
 
 let create m =
   let flat = Elaborate.flatten m in
@@ -48,25 +134,57 @@ let create m =
                           "comb process %s writes memory %s (inferred latch)"
                           proc_name v.Ir.var_name)))
               writes;
-            ({ c_name = proc_name; c_body = body; c_writes = writes } :: cs, ss)
+            let input_vars = Ir.body_inputs body in
+            let write_ids = Hashtbl.create 8 in
+            List.iter (fun (v : Ir.var) -> Hashtbl.replace write_ids v.Ir.id ()) writes;
+            let c_self =
+              List.exists (fun (v : Ir.var) -> Hashtbl.mem write_ids v.Ir.id) input_vars
+            in
+            ( {
+                c_name = proc_name;
+                c_body = body;
+                c_writes = writes;
+                c_inputs = List.map (fun (v : Ir.var) -> v.Ir.id) input_vars;
+                c_self;
+              }
+              :: cs,
+              ss )
         | Ir.Sync { proc_name; body } ->
+            let writes = dedup_vars (Ir.body_writes body) in
             ( cs,
               {
                 s_name = proc_name;
                 s_body = body;
-                s_writes = dedup_vars (Ir.body_writes body);
+                s_writes = writes;
+                s_snap = dedup_vars (Ir.body_inputs body @ writes);
               }
               :: ss ))
       ([], []) flat.processes
+  in
+  let combs = Array.of_list (List.rev combs) in
+  let combs, comb_cycle =
+    match dependency_order combs with
+    | Ok ordered -> (ordered, None)
+    | Error name ->
+        ( combs,
+          Some
+            (Printf.sprintf "%s: combinational cycle through process %s"
+               flat.Ir.mod_name name) )
   in
   {
     flat;
     env = Eval.create ();
     inputs;
     outputs;
-    combs = List.rev combs;
+    combs;
+    comb_cycle;
     syncs = List.rev syncs;
+    dirty = Hashtbl.create 64;
+    full_settle = true;
     n_cycles = 0;
+    n_settles = 0;
+    n_comb_runs = 0;
+    n_comb_skips = 0;
   }
 
 let find_port t name =
@@ -77,6 +195,8 @@ let find_port t name =
       | Some v -> v
       | None -> raise Not_found)
 
+let mark_dirty t id = Hashtbl.replace t.dirty id ()
+
 let set_input t name bv =
   match Hashtbl.find_opt t.inputs name with
   | None -> raise Not_found
@@ -85,45 +205,88 @@ let set_input t name bv =
         invalid_arg
           (Printf.sprintf "set_input %s: width %d expected %d" name
              (Bitvec.width bv) v.Ir.width);
-      Eval.set t.env v bv
+      if not (Bitvec.equal bv (Eval.get t.env v)) then begin
+        Eval.set t.env v bv;
+        mark_dirty t v.Ir.id
+      end
 
 let set_input_int t name n =
   let v = Hashtbl.find t.inputs name in
-  Eval.set t.env v (Bitvec.of_int ~width:v.Ir.width n)
+  set_input t name (Bitvec.of_int ~width:v.Ir.width n)
 
 let get t name = Eval.get t.env (find_port t name)
 let get_int t name = Bitvec.to_int (get t name)
 let peek_var t v = Eval.get t.env v
 let peek_array t v = Eval.get_array t.env v
 
-let settle t =
-  (* Fixpoint over combinational processes; the bound covers any acyclic
-     dependency chain, so hitting it means a combinational loop. *)
-  let max_rounds = List.length t.combs + 2 in
-  let rec round n =
-    if n > max_rounds then
-      raise (Combinational_loop t.flat.Ir.mod_name);
-    let changed = ref false in
-    List.iter
-      (fun cp ->
-        let before = List.map (fun v -> Eval.get t.env v) cp.c_writes in
-        Eval.run_body t.env cp.c_body;
-        let after = List.map (fun v -> Eval.get t.env v) cp.c_writes in
-        if not (List.for_all2 Bitvec.equal before after) then changed := true)
-      t.combs;
-    if !changed then round (n + 1)
+(* Run one comb process on the live env; returns whether any of its
+   outputs changed, marking changed vars dirty for downstream readers. *)
+let run_comb t (cp : comb_proc) =
+  let before = List.map (fun v -> Eval.get t.env v) cp.c_writes in
+  Eval.run_body t.env cp.c_body;
+  t.n_comb_runs <- t.n_comb_runs + 1;
+  Perf.incr ctr_runs;
+  let changed = ref false in
+  List.iter2
+    (fun (v : Ir.var) old ->
+      if not (Bitvec.equal old (Eval.get t.env v)) then begin
+        changed := true;
+        mark_dirty t v.Ir.id
+      end)
+    cp.c_writes before;
+  !changed
+
+(* A process that observes one of its own write targets (read before
+   write somewhere in the body) needs the old global fixpoint — but only
+   over itself, since cross-process cycles are rejected statically. *)
+let run_comb_converge t cp =
+  let bound = 2 + max (Array.length t.combs) (List.length cp.c_writes) in
+  let rec go n =
+    if n > bound then
+      raise
+        (Combinational_loop
+           (Printf.sprintf "%s: process %s does not stabilize"
+              t.flat.Ir.mod_name cp.c_name));
+    if run_comb t cp then go (n + 1)
   in
-  if t.combs <> [] then round 1
+  go 1
+
+let settle t =
+  (match t.comb_cycle with
+  | Some msg -> raise (Combinational_loop msg)
+  | None -> ());
+  t.n_settles <- t.n_settles + 1;
+  Perf.incr ctr_settles;
+  let force = t.full_settle in
+  Array.iter
+    (fun cp ->
+      if
+        force || List.exists (fun id -> Hashtbl.mem t.dirty id) cp.c_inputs
+      then
+        if cp.c_self then run_comb_converge t cp else ignore (run_comb t cp)
+      else begin
+        t.n_comb_skips <- t.n_comb_skips + 1;
+        Perf.incr ctr_skips
+      end)
+    t.combs;
+  t.full_settle <- false;
+  (* Processes run in dependency order, so every change was seen by all
+     downstream readers; the whole dirty set is consumed. *)
+  Hashtbl.reset t.dirty
 
 let step t =
   settle t;
-  (* All synchronous processes observe the same pre-edge snapshot. *)
-  let snapshot = Eval.copy t.env in
+  (* All synchronous processes observe the same pre-edge state.  Each
+     gets a private snapshot of just the vars it can read (plus its
+     write targets, whose old values an untaken write path commits
+     back); building every snapshot before any body runs keeps the
+     pre-edge view consistent. *)
   let commits =
     List.map
       (fun sp ->
-        let local = Eval.copy snapshot in
+        let local = Eval.snapshot t.env sp.s_snap in
         Eval.run_body local sp.s_body;
+        Perf.incr ctr_sync_runs;
         (sp, local))
       t.syncs
   in
@@ -134,9 +297,23 @@ let step t =
           if Ir.is_array v then begin
             let src = Eval.get_array local v in
             let dst = Eval.get_array t.env v in
-            Array.blit src 0 dst 0 (Array.length dst)
+            let changed = ref false in
+            Array.iteri
+              (fun i x ->
+                if not (Bitvec.equal dst.(i) x) then begin
+                  dst.(i) <- x;
+                  changed := true
+                end)
+              src;
+            if !changed then mark_dirty t v.Ir.id
           end
-          else Eval.set t.env v (Eval.get local v))
+          else begin
+            let nv = Eval.get local v in
+            if not (Bitvec.equal nv (Eval.get t.env v)) then begin
+              Eval.set t.env v nv;
+              mark_dirty t v.Ir.id
+            end
+          end)
         sp.s_writes)
     commits;
   t.n_cycles <- t.n_cycles + 1;
@@ -149,3 +326,6 @@ let run t n =
 
 let cycles t = t.n_cycles
 let design t = t.flat
+let settles t = t.n_settles
+let comb_runs t = t.n_comb_runs
+let comb_skips t = t.n_comb_skips

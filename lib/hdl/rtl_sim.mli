@@ -1,10 +1,15 @@
 (** Cycle-accurate interpreter for IR modules — the "RTL simulation"
     level of the flow.  The design is flattened on creation.
 
-    Per {!step}: combinational processes settle to a fixpoint, then all
-    synchronous processes execute against the same pre-edge snapshot
-    (sequential visibility inside each process), their register writes
-    commit, and combinational logic settles again. *)
+    Activity-based scheduling: combinational processes are ordered
+    statically so writers run before readers (a cross-process cycle
+    raises {!Combinational_loop} naming the offending process), and a
+    settle runs only the processes whose inputs changed since the last
+    settle — each at most once when the graph is acyclic.  Synchronous
+    processes execute against private snapshots of just the variables
+    they can observe, taken before any of them runs, so all of them see
+    the same pre-edge state; their register writes then commit and
+    combinational logic settles again. *)
 
 type t
 
@@ -40,3 +45,18 @@ val run : t -> int -> unit
 val cycles : t -> int
 val design : t -> Ir.module_def
 (** The flattened design being simulated. *)
+
+(** {1 Activity counters}
+
+    Per-instance equivalents of the global [Metrics.Perf] counters
+    [rtl_sim.settles] / [rtl_sim.process_runs] / [rtl_sim.process_skips]. *)
+
+val settles : t -> int
+(** Number of combinational settles performed so far. *)
+
+val comb_runs : t -> int
+(** Combinational process activations actually executed. *)
+
+val comb_skips : t -> int
+(** Combinational process activations skipped because no input of the
+    process had changed since its last run. *)

@@ -1,3 +1,5 @@
+module Perf = Perf
+
 type code_metrics = { lines : int; tokens : int; decisions : int }
 
 (* Strip // and -- line comments and /* */ blocks, then count. *)

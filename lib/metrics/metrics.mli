@@ -8,6 +8,10 @@
     an effort estimate with a fixed productivity constant so the
     *ratios* between methodologies can be compared with the paper's. *)
 
+module Perf = Perf
+(** Global runtime counters (gate evaluations, process runs, skipped
+    work) bumped by the simulators — see {!Perf}. *)
+
 type code_metrics = {
   lines : int;  (** non-blank, non-comment *)
   tokens : int;  (** rough lexical tokens *)

@@ -1,0 +1,21 @@
+type t = { cname : string; mutable count : int }
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 16
+
+let counter name =
+  match Hashtbl.find_opt registry name with
+  | Some c -> c
+  | None ->
+      let c = { cname = name; count = 0 } in
+      Hashtbl.replace registry name c;
+      c
+
+let incr ?(by = 1) c = c.count <- c.count + by
+let value c = c.count
+let name c = c.cname
+let reset c = c.count <- 0
+let reset_all () = Hashtbl.iter (fun _ c -> c.count <- 0) registry
+
+let all () =
+  Hashtbl.fold (fun name c acc -> (name, c.count) :: acc) registry []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)

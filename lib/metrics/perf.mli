@@ -1,0 +1,28 @@
+(** Global, process-wide performance counters.
+
+    The simulators (RTL interpreter, gate-level netlist simulator) bump
+    these counters on their hot paths so that scheduling improvements —
+    activity-based process skipping, dirty-set gate evaluation — are
+    observable from tests and benchmarks without threading a context
+    through every call site.  Counters are registered by name on first
+    use; looking the same name up twice returns the same counter. *)
+
+type t
+
+val counter : string -> t
+(** [counter name] returns the counter registered under [name], creating
+    it (at zero) on first use. *)
+
+val incr : ?by:int -> t -> unit
+
+val value : t -> int
+
+val name : t -> string
+
+val reset : t -> unit
+
+val reset_all : unit -> unit
+(** Zeroes every registered counter (they stay registered). *)
+
+val all : unit -> (string * int) list
+(** Every registered counter with its current value, sorted by name. *)

@@ -1,13 +1,39 @@
+(* Global activity counters (see Metrics.Perf). *)
+let ctr_evals = Perf.counter "nl_sim.gate_evals"
+let ctr_skipped = Perf.counter "nl_sim.cells_skipped"
+let ctr_full = Perf.counter "nl_sim.full_settles"
+
+type mode = Event_driven | Full_eval
+
 type t = {
   nl : Netlist.t;
+  mode : mode;
   values : bool array;  (* indexed by net *)
   toggles : int array;  (* transitions per net, for power estimation *)
   order : Netlist.cell array;  (* combinational cells, topologically sorted *)
   dffs : Netlist.cell array;
   in_nets : (string, Netlist.net array) Hashtbl.t;
   out_nets : (string, Netlist.net array) Hashtbl.t;
+  (* Event-driven machinery.  [level.(ci)] is the logic depth of cell
+     [order.(ci)]; a cell's level is strictly greater than the level of
+     any combinational cell driving one of its inputs, so one ascending
+     sweep over [buckets] settles the dirty region. *)
+  level : int array;  (* per index into [order] *)
+  fanout : int array array;  (* net -> indices into [order] reading it *)
+  buckets : int list array;  (* per level: pending cell indices *)
+  pending : bool array;  (* per index into [order]: already scheduled *)
+  mutable need_full : bool;  (* next settle evaluates everything *)
+  (* Toggle-accounting epoch (clock edge + post-edge settle): the value
+     each touched net had when the epoch opened, recorded lazily at its
+     first change.  Bit-identical to the full snapshot/compare of
+     [Full_eval] mode because inputs never move during the epoch. *)
+  epoch_pre : bool array;
+  epoch_seen : bool array;
+  mutable epoch_touched : int list;
+  mutable in_epoch : bool;
   mutable n_cycles : int;
   mutable n_evals : int;
+  mutable n_skipped : int;
 }
 
 let topo_order nl =
@@ -36,7 +62,7 @@ let topo_order nl =
   List.iter visit comb;
   Array.of_list (List.rev !order)
 
-let create nl =
+let create ?(mode = Event_driven) nl =
   Netlist.check nl;
   let in_nets = Hashtbl.create 8 and out_nets = Hashtbl.create 8 in
   List.iter (fun (n, nets) -> Hashtbl.replace in_nets n nets) (Netlist.inputs nl);
@@ -47,17 +73,83 @@ let create nl =
     List.filter (fun c -> c.Netlist.kind = Cell.Dff) (Netlist.cells nl)
     |> Array.of_list
   in
+  let order = topo_order nl in
+  let n_comb = Array.length order in
+  let n_nets = Netlist.net_count nl in
+  (* Levelization: primary inputs, constants-free nets and flip-flop
+     outputs sit at depth 0; each cell one past its deepest input. *)
+  let net_level = Array.make n_nets 0 in
+  let level = Array.make n_comb 0 in
+  let n_levels = ref 1 in
+  Array.iteri
+    (fun ci (c : Netlist.cell) ->
+      let l =
+        Array.fold_left (fun acc n -> max acc (net_level.(n) + 1)) 0 c.ins
+      in
+      level.(ci) <- l;
+      net_level.(c.out) <- l;
+      if l + 1 > !n_levels then n_levels := l + 1)
+    order;
+  (* Per-net fanout lists (combinational readers only), count-then-fill. *)
+  let fan_count = Array.make n_nets 0 in
+  Array.iter
+    (fun (c : Netlist.cell) ->
+      Array.iter (fun n -> fan_count.(n) <- fan_count.(n) + 1) c.ins)
+    order;
+  let fanout = Array.init n_nets (fun n -> Array.make fan_count.(n) 0) in
+  let cursor = Array.make n_nets 0 in
+  Array.iteri
+    (fun ci (c : Netlist.cell) ->
+      Array.iter
+        (fun n ->
+          fanout.(n).(cursor.(n)) <- ci;
+          cursor.(n) <- cursor.(n) + 1)
+        c.ins)
+    order;
   {
     nl;
-    values = Array.make (Netlist.net_count nl) false;
-    toggles = Array.make (Netlist.net_count nl) 0;
-    order = topo_order nl;
+    mode;
+    values = Array.make n_nets false;
+    toggles = Array.make n_nets 0;
+    order;
     dffs;
     in_nets;
     out_nets;
+    level;
+    fanout;
+    buckets = Array.make !n_levels [];
+    pending = Array.make n_comb false;
+    need_full = true;
+    epoch_pre = Array.make n_nets false;
+    epoch_seen = Array.make n_nets false;
+    epoch_touched = [];
+    in_epoch = false;
     n_cycles = 0;
     n_evals = 0;
+    n_skipped = 0;
   }
+
+let schedule t ci =
+  if not t.pending.(ci) then begin
+    t.pending.(ci) <- true;
+    let l = t.level.(ci) in
+    t.buckets.(l) <- ci :: t.buckets.(l)
+  end
+
+let record_epoch t n =
+  if t.in_epoch && not t.epoch_seen.(n) then begin
+    t.epoch_seen.(n) <- true;
+    t.epoch_pre.(n) <- t.values.(n);
+    t.epoch_touched <- n :: t.epoch_touched
+  end
+
+(* Write a net and wake its combinational readers if the value moved. *)
+let drive t n v =
+  if t.values.(n) <> v then begin
+    record_epoch t n;
+    t.values.(n) <- v;
+    Array.iter (fun ci -> schedule t ci) t.fanout.(n)
+  end
 
 let set_input t name bv =
   match Hashtbl.find_opt t.in_nets name with
@@ -67,7 +159,11 @@ let set_input t name bv =
         invalid_arg
           (Printf.sprintf "Nl_sim.set_input %s: width %d expected %d" name
              (Bitvec.width bv) (Array.length nets));
-      Array.iteri (fun i n -> t.values.(n) <- Bitvec.get bv i) nets
+      (match t.mode with
+      | Full_eval ->
+          Array.iteri (fun i n -> t.values.(n) <- Bitvec.get bv i) nets
+      | Event_driven ->
+          Array.iteri (fun i n -> drive t n (Bitvec.get bv i)) nets)
 
 let set_input_int t name n =
   let nets = Hashtbl.find t.in_nets name in
@@ -83,30 +179,86 @@ let get_output t name =
 
 let get_output_int t name = Bitvec.to_int (get_output t name)
 
-let eval_cell t (c : Netlist.cell) =
+let eval_kind t (c : Netlist.cell) =
   let v = t.values in
-  let r =
-    match c.kind with
-    | Cell.Const0 -> false
-    | Const1 -> true
-    | Buf -> v.(c.ins.(0))
-    | Not -> not v.(c.ins.(0))
-    | And2 -> v.(c.ins.(0)) && v.(c.ins.(1))
-    | Or2 -> v.(c.ins.(0)) || v.(c.ins.(1))
-    | Xor2 -> v.(c.ins.(0)) <> v.(c.ins.(1))
-    | Nand2 -> not (v.(c.ins.(0)) && v.(c.ins.(1)))
-    | Nor2 -> not (v.(c.ins.(0)) || v.(c.ins.(1)))
-    | Mux2 -> if v.(c.ins.(0)) then v.(c.ins.(1)) else v.(c.ins.(2))
-    | Dff -> v.(c.out)
-  in
-  v.(c.out) <- r
+  match c.kind with
+  | Cell.Const0 -> false
+  | Const1 -> true
+  | Buf -> v.(c.ins.(0))
+  | Not -> not v.(c.ins.(0))
+  | And2 -> v.(c.ins.(0)) && v.(c.ins.(1))
+  | Or2 -> v.(c.ins.(0)) || v.(c.ins.(1))
+  | Xor2 -> v.(c.ins.(0)) <> v.(c.ins.(1))
+  | Nand2 -> not (v.(c.ins.(0)) && v.(c.ins.(1)))
+  | Nor2 -> not (v.(c.ins.(0)) || v.(c.ins.(1)))
+  | Mux2 -> if v.(c.ins.(0)) then v.(c.ins.(1)) else v.(c.ins.(2))
+  | Dff -> v.(c.out)
+
+let eval_cell t (c : Netlist.cell) = t.values.(c.out) <- eval_kind t c
+
+let settle_full t =
+  Array.iter (eval_cell t) t.order;
+  t.n_evals <- t.n_evals + Array.length t.order;
+  Perf.incr ~by:(Array.length t.order) ctr_evals
+
+(* One settle in event mode: either a forced full pass (first settle, in
+   topological order, epoch recording preserved) or an ascending-level
+   sweep of the scheduled cells.  A cell's fanout lives at strictly
+   higher levels, so each level's bucket is complete when reached. *)
+let settle_event t =
+  if t.need_full then begin
+    t.need_full <- false;
+    Array.iter
+      (fun (c : Netlist.cell) ->
+        let r = eval_kind t c in
+        if t.values.(c.out) <> r then begin
+          record_epoch t c.out;
+          t.values.(c.out) <- r
+        end)
+      t.order;
+    t.n_evals <- t.n_evals + Array.length t.order;
+    Perf.incr ~by:(Array.length t.order) ctr_evals;
+    Perf.incr ctr_full;
+    (* Anything scheduled beforehand was just evaluated. *)
+    Array.iteri
+      (fun l b ->
+        List.iter (fun ci -> t.pending.(ci) <- false) b;
+        t.buckets.(l) <- [])
+      t.buckets
+  end
+  else begin
+    let evals = ref 0 in
+    for l = 0 to Array.length t.buckets - 1 do
+      let rec drain () =
+        match t.buckets.(l) with
+        | [] -> ()
+        | ci :: rest ->
+            t.buckets.(l) <- rest;
+            t.pending.(ci) <- false;
+            let c = t.order.(ci) in
+            let r = eval_kind t c in
+            incr evals;
+            if t.values.(c.out) <> r then begin
+              record_epoch t c.out;
+              t.values.(c.out) <- r;
+              Array.iter (fun cj -> schedule t cj) t.fanout.(c.out)
+            end;
+            drain ()
+      in
+      drain ()
+    done;
+    t.n_evals <- t.n_evals + !evals;
+    Perf.incr ~by:!evals ctr_evals;
+    let skipped = Array.length t.order - !evals in
+    t.n_skipped <- t.n_skipped + skipped;
+    Perf.incr ~by:skipped ctr_skipped
+  end
 
 let settle t =
-  Array.iter (eval_cell t) t.order;
-  t.n_evals <- t.n_evals + Array.length t.order
+  match t.mode with Full_eval -> settle_full t | Event_driven -> settle_event t
 
-let step t =
-  settle t;
+let step_full t =
+  settle_full t;
   (* Toggle accounting once per cycle, against the settled pre-edge
      values; a per-settle count would double-book glitch-free nets. *)
   let snapshot = Array.copy t.values in
@@ -114,12 +266,36 @@ let step t =
   let sampled = Array.map (fun c -> t.values.(c.Netlist.ins.(0))) t.dffs in
   Array.iteri (fun i c -> t.values.(c.Netlist.out) <- sampled.(i)) t.dffs;
   t.n_evals <- t.n_evals + Array.length t.dffs;
+  Perf.incr ~by:(Array.length t.dffs) ctr_evals;
   t.n_cycles <- t.n_cycles + 1;
-  settle t;
+  settle_full t;
   for n = 0 to Array.length t.values - 1 do
-    if t.values.(n) <> snapshot.(n) then
-      t.toggles.(n) <- t.toggles.(n) + 1
+    if t.values.(n) <> snapshot.(n) then t.toggles.(n) <- t.toggles.(n) + 1
   done
+
+let step_event t =
+  (* Flush pending input changes first; the toggle epoch then covers
+     exactly the clock edge and the post-edge settle, like the snapshot
+     window of [Full_eval]. *)
+  settle_event t;
+  t.in_epoch <- true;
+  let sampled = Array.map (fun c -> t.values.(c.Netlist.ins.(0))) t.dffs in
+  Array.iteri (fun i c -> drive t c.Netlist.out sampled.(i)) t.dffs;
+  t.n_evals <- t.n_evals + Array.length t.dffs;
+  Perf.incr ~by:(Array.length t.dffs) ctr_evals;
+  t.n_cycles <- t.n_cycles + 1;
+  settle_event t;
+  List.iter
+    (fun n ->
+      if t.values.(n) <> t.epoch_pre.(n) then
+        t.toggles.(n) <- t.toggles.(n) + 1;
+      t.epoch_seen.(n) <- false)
+    t.epoch_touched;
+  t.epoch_touched <- [];
+  t.in_epoch <- false
+
+let step t =
+  match t.mode with Full_eval -> step_full t | Event_driven -> step_event t
 
 let run t n =
   for _ = 1 to n do
@@ -128,5 +304,8 @@ let run t n =
 
 let cycles t = t.n_cycles
 let gate_evals t = t.n_evals
+let cells_skipped t = t.n_skipped
+let comb_cells t = Array.length t.order
+let dff_cells t = Array.length t.dffs
 
 let net_toggles t n = t.toggles.(n)

@@ -1,10 +1,29 @@
-(** Levelized two-valued gate-level simulator — the "conventional RTL
-    simulator" stand-in for the paper's simulation-speed comparison.
-    Flip-flops power up at 0. *)
+(** Two-valued gate-level simulator — the "conventional RTL simulator"
+    stand-in for the paper's simulation-speed comparison.  Flip-flops
+    power up at 0.
+
+    The default {!Event_driven} mode is activity-based: cells are
+    levelized at creation, each net knows its combinational readers, and
+    a settle re-evaluates only cells whose inputs toggled (one ascending
+    sweep over the dirty levels).  {!Full_eval} retains the original
+    evaluate-everything behaviour as a bit-identical reference — both
+    modes produce the same output values and the same per-net toggle
+    counts, cycle for cycle. *)
 
 type t
 
-val create : Netlist.t -> t
+type mode =
+  | Event_driven  (** dirty-set propagation (default) *)
+  | Full_eval  (** every combinational cell, every settle (reference) *)
+
+val create : ?mode:mode -> Netlist.t -> t
+(** Checks the netlist and levelizes it; raises [Failure] naming the
+    offending net on a combinational loop. *)
+
+val topo_order : Netlist.t -> Netlist.cell array
+(** Combinational cells in topological (inputs-before-readers) order;
+    raises [Failure "Nl_sim: combinational loop at net %d in %s"] on a
+    cycle. *)
 
 val set_input : t -> string -> Bitvec.t -> unit
 val set_input_int : t -> string -> int -> unit
@@ -22,6 +41,16 @@ val run : t -> int -> unit
 val cycles : t -> int
 val gate_evals : t -> int
 (** Total gate evaluations so far (simulation-cost metric). *)
+
+val cells_skipped : t -> int
+(** Combinational evaluations avoided relative to a full settle
+    (always 0 in {!Full_eval} mode). *)
+
+val comb_cells : t -> int
+(** Number of combinational cells in the design. *)
+
+val dff_cells : t -> int
+(** Number of flip-flops in the design. *)
 
 val net_toggles : t -> Netlist.net -> int
 (** Value transitions observed on a net across clock cycles — the

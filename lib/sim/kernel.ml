@@ -15,14 +15,17 @@ module Timed_queue = struct
   }
 
   let dummy = { at = 0; seq = 0; thunk = (fun () -> ()) }
-  let create () = { heap = Array.make 64 dummy; size = 0; next_seq = 0 }
 
+  let create ?(capacity = 64) () =
+    { heap = Array.make (max 1 capacity) dummy; size = 0; next_seq = 0 }
 
   let less a b = a.at < b.at || (a.at = b.at && a.seq < b.seq)
 
   let push q ~at thunk =
     if q.size = Array.length q.heap then begin
-      let bigger = Array.make (2 * q.size) dummy in
+      (* [max]: a queue created small (or emptied to a tiny heap by an
+         earlier shrink) must still at least double past the default. *)
+      let bigger = Array.make (max 64 (2 * q.size)) dummy in
       Array.blit q.heap 0 bigger 0 q.size;
       q.heap <- bigger
     end;

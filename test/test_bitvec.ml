@@ -198,6 +198,40 @@ let test_logic_resolution () =
   Alcotest.(check char) "wired-and both low" '0'
     (L.to_char (L.resolve_wired_and L.L0 L.L0))
 
+let test_int_fast_paths () =
+  (* of_int/to_int take a word-level shortcut for vectors of at most two
+     limbs; it must agree bit for bit with the general bit-by-bit
+     construction across the width boundary cases (1, 32, 33, 62, 63,
+     64, 70) and for negative (sign-replicated) inputs. *)
+  let reference ~width n =
+    Bitvec.init width (fun i ->
+        if i > 62 then n < 0 else (n asr i) land 1 = 1)
+  in
+  let values =
+    [ 0; 1; 2; 0xff; 0x12345678; max_int; min_int; -1; -2; -0x5544332211 ]
+  in
+  List.iter
+    (fun width ->
+      List.iter
+        (fun n ->
+          let got = Bitvec.of_int ~width n in
+          check_bv (Printf.sprintf "of_int ~width:%d %d" width n)
+            (reference ~width n) got;
+          (* to_int must agree with an independent bit-by-bit readback
+             wherever the unsigned value fits an OCaml int. *)
+          if width <= 62 then begin
+            let expected = ref 0 in
+            for i = width - 1 downto 0 do
+              expected :=
+                (!expected lsl 1) lor (if Bitvec.get got i then 1 else 0)
+            done;
+            Alcotest.(check int)
+              (Printf.sprintf "to_int readback w=%d n=%d" width n)
+              !expected (Bitvec.to_int got)
+          end)
+        values)
+    [ 1; 2; 7; 31; 32; 33; 61; 62; 63; 64; 70; 100 ]
+
 let suite =
   [
     Alcotest.test_case "construction" `Quick test_construction;
@@ -211,6 +245,7 @@ let suite =
     Alcotest.test_case "width mismatch" `Quick test_width_mismatch;
     Alcotest.test_case "logic tables" `Quick test_logic_tables;
     Alcotest.test_case "logic resolution" `Quick test_logic_resolution;
+    Alcotest.test_case "int fast paths" `Quick test_int_fast_paths;
   ]
   @ props
 

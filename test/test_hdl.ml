@@ -214,8 +214,81 @@ let test_comb_loop_detection () =
   Builder.comb b "p2" [ y <-- (v x +: c ~width:4 1) ];
   let m = Builder.finish b in
   let sim = Rtl_sim.create m in
-  Alcotest.check_raises "loop raises" (Rtl_sim.Combinational_loop "looped")
+  (* The static scheduler names both the module and a process on the
+     cycle in the diagnostic. *)
+  Alcotest.check_raises "loop raises"
+    (Rtl_sim.Combinational_loop "looped: combinational cycle through process p1")
     (fun () -> Rtl_sim.settle sim)
+
+let test_comb_self_dependence () =
+  (* A process that reads its own write target before assigning it is
+     not a combinational loop: sequential body semantics resolve it.
+     The scheduler must not reject it, and the default-then-override
+     idiom must still evaluate correctly. *)
+  let b = Builder.create "self_dep" in
+  let a = Builder.input b "a" 4 in
+  let out = Builder.output b "out" 4 in
+  Builder.comb b "dflt"
+    [ out <-- c ~width:4 9; when_ (v a >: c ~width:4 7) [ out <-- v a ] ];
+  let sim = Rtl_sim.create (Builder.finish b) in
+  Rtl_sim.set_input_int sim "a" 3;
+  Rtl_sim.settle sim;
+  Alcotest.(check int) "default arm" 9 (Rtl_sim.get_int sim "out");
+  Rtl_sim.set_input_int sim "a" 12;
+  Rtl_sim.settle sim;
+  Alcotest.(check int) "override arm" 12 (Rtl_sim.get_int sim "out")
+
+let test_comb_activity_scheduling () =
+  (* Activity-based settling: an acyclic design runs each combinational
+     process at most once per settle, and processes whose inputs did not
+     change are skipped entirely.  Checked through both the per-instance
+     accessors and the global Metrics.Perf counters. *)
+  let runs_ctr = Metrics.Perf.counter "rtl_sim.process_runs" in
+  let b = Builder.create "activity" in
+  let reset = Builder.input b "reset" 1 in
+  let enable = Builder.input b "enable" 1 in
+  let data = Builder.input b "data" 8 in
+  let total = Builder.output b "total" 8 in
+  let twice = Builder.output b "twice" 8 in
+  let flag = Builder.output b "flag" 1 in
+  Builder.sync b "accumulate"
+    [
+      if_ (v reset)
+        [ total <-- c ~width:8 0 ]
+        [ when_ (v enable) [ total <-- (v total +: v data) ] ];
+    ];
+  Builder.comb b "double" [ twice <-- (v total +: v total) ];
+  Builder.comb b "compare" [ flag <-- (v twice >: c ~width:8 100) ];
+  let sim = Rtl_sim.create (Builder.finish b) in
+  let n_combs = 2 in
+  Rtl_sim.set_input_int sim "reset" 0;
+  Rtl_sim.set_input_int sim "enable" 1;
+  Rtl_sim.set_input_int sim "data" 7;
+  let perf_before = Metrics.Perf.value runs_ctr in
+  Rtl_sim.run sim 10;
+  Alcotest.(check int) "total" 70 (Rtl_sim.get_int sim "total");
+  Alcotest.(check int) "twice" 140 (Rtl_sim.get_int sim "twice");
+  Alcotest.(check int) "flag" 1 (Rtl_sim.get_int sim "flag");
+  (* Every settle accounts for every comb process exactly once, as a run
+     or a skip — i.e. nothing ran twice in one settle. *)
+  Alcotest.(check int) "at most once per settle"
+    (n_combs * Rtl_sim.settles sim)
+    (Rtl_sim.comb_runs sim + Rtl_sim.comb_skips sim);
+  Alcotest.(check int) "global counter tracks instance"
+    (Rtl_sim.comb_runs sim)
+    (Metrics.Perf.value runs_ctr - perf_before);
+  (* Freeze the accumulator: after the first quiescent settle nothing is
+     dirty any more, so further settles skip both processes. *)
+  Rtl_sim.set_input_int sim "enable" 0;
+  Rtl_sim.run sim 1;
+  let runs0 = Rtl_sim.comb_runs sim and skips0 = Rtl_sim.comb_skips sim in
+  Rtl_sim.run sim 5;
+  Alcotest.(check int) "quiescent cycles run nothing" runs0
+    (Rtl_sim.comb_runs sim);
+  Alcotest.(check int) "quiescent cycles skip everything"
+    (skips0 + (5 * 2 * n_combs))
+    (Rtl_sim.comb_skips sim);
+  Alcotest.(check int) "outputs hold" 140 (Rtl_sim.get_int sim "twice")
 
 let suite =
   [
@@ -234,6 +307,9 @@ let suite =
     Alcotest.test_case "verilog emission" `Quick test_verilog_emission;
     Alcotest.test_case "vhdl emission" `Quick test_vhdl_emission;
     Alcotest.test_case "comb loop detection" `Quick test_comb_loop_detection;
+    Alcotest.test_case "comb self dependence" `Quick test_comb_self_dependence;
+    Alcotest.test_case "comb activity scheduling" `Quick
+      test_comb_activity_scheduling;
   ]
 
 let () = Alcotest.run "hdl" [ ("hdl", suite) ]

@@ -227,6 +227,41 @@ let test_clock_of_freq () =
   Alcotest.(check int) "cycles elapsed" (1_000_000 / C.period_ps clk)
     (C.cycles_elapsed clk k)
 
+let test_timed_queue_insertion_order () =
+  (* Events scheduled for the same instant must fire in insertion order,
+     including across the timed queue's internal heap growth (the
+     initial capacity is 64; schedule several hundred).  Also mixes in
+     later-time events posted first, which must not jump the queue. *)
+  let k = K.create () in
+  let n = 300 in
+  let log = ref [] in
+  K.schedule_at k 20 (fun () -> log := (-1) :: !log);
+  for i = 0 to n - 1 do
+    K.schedule_at k 10 (fun () -> log := i :: !log)
+  done;
+  K.run_until k 50;
+  let fired = List.rev !log in
+  Alcotest.(check int) "all fired" (n + 1) (List.length fired);
+  Alcotest.(check (list int)) "same-time events in insertion order"
+    (List.init n (fun i -> i))
+    (List.filteri (fun idx _ -> idx < n) fired);
+  Alcotest.(check int) "later time fires last" (-1) (List.nth fired n)
+
+let test_timed_queue_heavy_use () =
+  (* Create-then-heavy-use: a fresh kernel fed far more timed events
+     than the queue's initial capacity, at descending times, must still
+     release them in time order. *)
+  let k = K.create () in
+  let order = ref [] in
+  for i = 999 downto 0 do
+    K.schedule_at k (i + 1) (fun () -> order := K.now k :: !order)
+  done;
+  K.run_until k 2_000;
+  let fired = List.rev !order in
+  Alcotest.(check int) "all fired" 1000 (List.length fired);
+  Alcotest.(check (list int)) "time order" (List.init 1000 (fun i -> i + 1))
+    fired
+
 let test_delta_determinism () =
   (* Two runs of the same stochastic-free model must agree exactly. *)
   let run () =
@@ -265,6 +300,10 @@ let suite =
     Alcotest.test_case "subscribe once" `Quick test_subscribe_once_consumed;
     Alcotest.test_case "run_for relative" `Quick test_run_for_advances_relative;
     Alcotest.test_case "clock of freq" `Quick test_clock_of_freq;
+    Alcotest.test_case "timed queue insertion order" `Quick
+      test_timed_queue_insertion_order;
+    Alcotest.test_case "timed queue heavy use" `Quick
+      test_timed_queue_heavy_use;
     Alcotest.test_case "determinism" `Quick test_delta_determinism;
   ]
 
