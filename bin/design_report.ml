@@ -3,7 +3,7 @@
 
 open Cmdliner
 
-let report name show_metrics show_systemc =
+let report name show_metrics show_systemc show_passes flow_name =
   match Designs.find name with
   | None ->
       Printf.eprintf "unknown design %s; available:\n%s\n" name
@@ -22,6 +22,20 @@ let report name show_metrics show_systemc =
         print_endline "\n-- resolved standard SystemC --";
         print_string (Osss.Resolve.emit_module (Hdl.Elaborate.flatten design))
       end;
+      if show_passes then begin
+        let kind =
+          match flow_name with
+          | "osss" -> Synth.Flow.Osss
+          | "vhdl" -> Synth.Flow.Vhdl
+          | other ->
+              Printf.eprintf "unknown flow %s (osss|vhdl)\n" other;
+              exit 1
+        in
+        let result = Synth.Flow.run kind design in
+        Printf.printf "\n-- %s flow pass trace --\n"
+          (Synth.Flow.kind_name kind);
+        print_string (Synth.Flow.pass_table result)
+      end;
       0
 
 let design_arg =
@@ -36,10 +50,23 @@ let systemc_arg =
   let doc = "Print the resolved SystemC rendering of the flattened design." in
   Arg.(value & flag & info [ "systemc" ] ~doc)
 
+let passes_arg =
+  let doc =
+    "Run the synthesis flow and print the per-pass trace (time, cell/area \
+     deltas, artifacts)."
+  in
+  Arg.(value & flag & info [ "passes" ] ~doc)
+
+let flow_arg =
+  let doc = "Flow used by --passes: osss or vhdl." in
+  Arg.(value & opt string "osss" & info [ "flow" ] ~docv:"FLOW" ~doc)
+
 let cmd =
   let doc = "design structure and metrics report (the ODETTE analyzer)" in
   Cmd.v
     (Cmd.info "design_report" ~doc)
-    Term.(const report $ design_arg $ metrics_arg $ systemc_arg)
+    Term.(
+      const report $ design_arg $ metrics_arg $ systemc_arg $ passes_arg
+      $ flow_arg)
 
 let () = exit (Cmd.eval' cmd)

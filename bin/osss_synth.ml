@@ -3,7 +3,7 @@
 
 open Cmdliner
 
-let synthesize name flow_name out_dir emit_artifacts no_fold layout =
+let synthesize name flow_name out_dir emit_artifacts no_fold layout cec =
   match Designs.find name with
   | None ->
       Printf.eprintf "unknown design %s; available:\n%s\n" name
@@ -18,24 +18,13 @@ let synthesize name flow_name out_dir emit_artifacts no_fold layout =
             Printf.eprintf "unknown flow %s (osss|vhdl)\n" other;
             exit 1
       in
-      let result = Synth.Flow.run ~fold:(not no_fold) kind (make ()) in
+      let result =
+        Synth.Flow.run ~fold:(not no_fold) ~check_invariants:cec ~layout kind
+          (make ())
+      in
       print_string (Synth.Flow.summary result);
       print_newline ();
       print_string result.Synth.Flow.structure;
-      if layout then begin
-        let mapped = Backend.Techmap.map result.Synth.Flow.netlist in
-        let placement = Backend.Pnr.place mapped in
-        let r = Backend.Pnr.analyze placement in
-        let w, h = r.Backend.Pnr.grid in
-        Printf.printf
-          "\nlayout: %d LUT4 + %d FFs on %dx%d (util %.0f%%), wirelength \
-           %.0f, post-layout fmax %.1f MHz\n"
-          (Backend.Techmap.lut_count mapped)
-          (Backend.Techmap.ff_count mapped)
-          w h
-          (100.0 *. r.Backend.Pnr.utilization)
-          r.Backend.Pnr.wirelength r.Backend.Pnr.fmax_mhz
-      end;
       if emit_artifacts then begin
         (try Unix.mkdir out_dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
         List.iter
@@ -73,16 +62,23 @@ let layout_arg =
   let doc = "Continue through technology mapping and place & route." in
   Arg.(value & flag & info [ "layout" ] ~doc)
 
+let cec_arg =
+  let doc =
+    "Check every netlist-rewriting pass with combinational equivalence \
+     (slow on large designs)."
+  in
+  Arg.(value & flag & info [ "cec" ] ~doc)
+
 let list_arg =
   let doc = "List the available designs." in
   Arg.(value & flag & info [ "list" ] ~doc)
 
-let main design flow out emit no_fold layout list =
+let main design flow out emit no_fold layout cec list =
   if list then begin
     List.iter print_endline (Designs.list_lines ());
     0
   end
-  else synthesize design flow out emit no_fold layout
+  else synthesize design flow out emit no_fold layout cec
 
 let cmd =
   let doc = "synthesize OSSS/RTL designs down to a gate netlist" in
@@ -90,6 +86,6 @@ let cmd =
     (Cmd.info "osss_synth" ~doc)
     Term.(
       const main $ design_arg $ flow_arg $ out_arg $ emit_arg $ nofold_arg
-      $ layout_arg $ list_arg)
+      $ layout_arg $ cec_arg $ list_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -94,4 +94,4 @@ let () =
     area.Backend.Area.total area.Backend.Area.n_ffs;
   match Backend.Equiv.ir_vs_netlist ~cycles:300 m nl with
   | Ok n -> Printf.printf "netlist equivalence: %d cycles, bit exact\n" n
-  | Error e -> Format.printf "MISMATCH: %a@." Backend.Equiv.pp_mismatch e
+  | Error e -> Format.printf "MISMATCH: %a@." Backend.Equiv.pp_divergence e

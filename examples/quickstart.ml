@@ -63,4 +63,4 @@ let () =
   with
   | Ok n -> Printf.printf "equivalence vs netlist: %d cycles, bit exact\n" n
   | Error m ->
-      Format.printf "MISMATCH: %a@." Backend.Equiv.pp_mismatch m
+      Format.printf "MISMATCH: %a@." Backend.Equiv.pp_divergence m

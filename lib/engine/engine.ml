@@ -1,0 +1,134 @@
+module type S = sig
+  type t
+
+  val kind : string
+  val inputs : t -> (string * int) list
+  val outputs : t -> (string * int) list
+  val set_input : t -> string -> Bitvec.t -> unit
+  val get : t -> string -> Bitvec.t
+  val settle : t -> unit
+  val step : t -> unit
+  val cycles : t -> int
+  val stats : t -> (string * int) list
+end
+
+type t = Pack : (module S with type t = 'a) * 'a * string -> t
+
+let pack (type a) ?label (m : (module S with type t = a)) (state : a) =
+  let module M = (val m) in
+  Pack (m, state, Option.value label ~default:M.kind)
+
+let label (Pack (_, _, l)) = l
+let kind (Pack ((module M), _, _)) = M.kind
+let inputs (Pack ((module M), e, _)) = M.inputs e
+let outputs (Pack ((module M), e, _)) = M.outputs e
+let set_input (Pack ((module M), e, _)) name bv = M.set_input e name bv
+let get (Pack ((module M), e, _)) name = M.get e name
+let settle (Pack ((module M), e, _)) = M.settle e
+let step (Pack ((module M), e, _)) = M.step e
+let cycles (Pack ((module M), e, _)) = M.cycles e
+let stats (Pack ((module M), e, _)) = M.stats e
+
+let run e n =
+  for _ = 1 to n do
+    step e
+  done
+
+let port_width ports name =
+  match List.assoc_opt name ports with
+  | Some w -> w
+  | None -> raise Not_found
+
+let set_input_int e name n =
+  set_input e name (Bitvec.of_int ~width:(port_width (inputs e) name) n)
+
+let get_int e name = Bitvec.to_int (get e name)
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection: a transparent wrapper corrupting one output.       *)
+
+type fault = { inner : t; fault_port : string; from_cycle : int }
+
+module Faulty = struct
+  type t = fault
+
+  let kind = "fault"
+  let inputs f = inputs f.inner
+  let outputs f = outputs f.inner
+  let set_input f name bv = set_input f.inner name bv
+
+  let get f name =
+    let v = get f.inner name in
+    if name = f.fault_port && cycles f.inner >= f.from_cycle then
+      Bitvec.set_bit v 0 (not (Bitvec.get v 0))
+    else v
+
+  let settle f = settle f.inner
+  let step f = step f.inner
+  let cycles f = cycles f.inner
+  let stats f = stats f.inner
+end
+
+let inject_fault ?(from_cycle = 0) ~port e =
+  (match List.assoc_opt port (outputs e) with
+  | Some _ -> ()
+  | None -> invalid_arg ("Engine.inject_fault: no output port " ^ port));
+  pack
+    ~label:(label e ^ "+fault:" ^ port)
+    (module Faulty)
+    { inner = e; fault_port = port; from_cycle }
+
+(* ------------------------------------------------------------------ *)
+(* Consolidated tracing over any engine set.                           *)
+
+module Trace = struct
+  type channel = {
+    ch_id : Vcd_writer.id;
+    ch_engine : t;
+    ch_port : string;
+    mutable ch_last : Bitvec.t option;
+  }
+
+  type tracer = { doc : Vcd_writer.t; channels : channel list }
+
+  let create ?(top = "engines") engines =
+    let doc =
+      Vcd_writer.create ~date:"osss engine trace"
+        ~version:"osss-ocaml engine trace" ~timescale:"1ns" ~top ()
+    in
+    let channels =
+      List.concat_map
+        (fun e ->
+          let scope = label e in
+          List.map
+            (fun (port, width) ->
+              {
+                ch_id =
+                  Vcd_writer.register doc ~scope ~name:port ~width ();
+                ch_engine = e;
+                ch_port = port;
+                ch_last = None;
+              })
+            (inputs e @ outputs e))
+        engines
+    in
+    { doc; channels }
+
+  let sample tr =
+    let time =
+      List.fold_left (fun acc ch -> max acc (cycles ch.ch_engine)) 0 tr.channels
+    in
+    List.iter
+      (fun ch ->
+        let v = get ch.ch_engine ch.ch_port in
+        match ch.ch_last with
+        | Some previous when Bitvec.equal previous v -> ()
+        | Some _ | None ->
+            ch.ch_last <- Some v;
+            Vcd_writer.change_bv tr.doc ~time ch.ch_id v)
+      tr.channels
+
+  let signal_count tr = List.length tr.channels
+  let contents tr = Vcd_writer.contents tr.doc
+  let save tr path = Vcd_writer.save tr.doc path
+end

@@ -1,0 +1,87 @@
+(** First-class simulation engines.
+
+    Every simulator in the flow — the behavioural kernel level, the RTL
+    interpreter and the gate-level netlist simulator — is wrapped into
+    one interface: named, sized ports driven with {!set_input} and read
+    with {!get}, a {!settle}/{!step}/{!run} execution model with one
+    [step] per clock cycle, and activity counters ({!stats}).  The
+    N-way lockstep differential harness ([Backend.Equiv]), the traces
+    and the benchmarks all consume this interface, so a new simulation
+    backend only has to provide an {!S} implementation to plug into
+    equivalence checking, waveforms and the performance reports. *)
+
+module type S = sig
+  type t
+
+  val kind : string
+  (** Static backend name, e.g. ["rtl-interp"] or ["netlist-event"]. *)
+
+  val inputs : t -> (string * int) list
+  (** Input ports with widths, in declaration order. *)
+
+  val outputs : t -> (string * int) list
+
+  val set_input : t -> string -> Bitvec.t -> unit
+  val get : t -> string -> Bitvec.t
+  (** Current value of any port (inputs echo their last driven value). *)
+
+  val settle : t -> unit
+  (** Propagate combinational activity without a clock edge. *)
+
+  val step : t -> unit
+  (** One full clock cycle. *)
+
+  val cycles : t -> int
+  val stats : t -> (string * int) list
+  (** Engine-specific activity counters (same figures the global
+      [Perf] registry accumulates), e.g. gate evaluations. *)
+end
+
+type t = Pack : (module S with type t = 'a) * 'a * string -> t
+(** An engine instance packed with its implementation and an instance
+    label (used in mismatch reports and trace scopes). *)
+
+val pack : ?label:string -> (module S with type t = 'a) -> 'a -> t
+(** [label] defaults to the implementation's [kind]. *)
+
+(** {1 Generic operations over packed engines} *)
+
+val label : t -> string
+val kind : t -> string
+val inputs : t -> (string * int) list
+val outputs : t -> (string * int) list
+val set_input : t -> string -> Bitvec.t -> unit
+val set_input_int : t -> string -> int -> unit
+val get : t -> string -> Bitvec.t
+val get_int : t -> string -> int
+val settle : t -> unit
+val step : t -> unit
+val run : t -> int -> unit
+val cycles : t -> int
+val stats : t -> (string * int) list
+
+val inject_fault : ?from_cycle:int -> port:string -> t -> t
+(** A wrapper engine that behaves exactly like the inner one except
+    that reads of output [port] come back with the least significant
+    bit flipped once the engine has stepped at least [from_cycle]
+    (default [0]) cycles.  Used to validate that the differential
+    harness detects, localizes and shrinks a divergence. *)
+
+(** {1 Consolidated tracing}
+
+    One VCD document for any set of engines: every port of every engine
+    is declared (scoped per engine label) and sampled against the
+    engines' common cycle count. *)
+
+module Trace : sig
+  type tracer
+
+  val create : ?top:string -> t list -> tracer
+  val sample : tracer -> unit
+  (** Record the current port values at the (maximum) engine cycle
+      count; only changed values are written. *)
+
+  val signal_count : tracer -> int
+  val contents : tracer -> string
+  val save : tracer -> string -> unit
+end

@@ -1,0 +1,28 @@
+let ports dir (m : Ir.module_def) =
+  List.filter_map
+    (fun (p : Ir.port) ->
+      if p.dir = dir then Some (p.port_name, p.port_var.Ir.width) else None)
+    m.ports
+
+module Impl = struct
+  type t = Rtl_sim.t
+
+  let kind = "rtl-interp"
+  let inputs sim = ports Ir.Input (Rtl_sim.design sim)
+  let outputs sim = ports Ir.Output (Rtl_sim.design sim)
+  let set_input = Rtl_sim.set_input
+  let get = Rtl_sim.get
+  let settle = Rtl_sim.settle
+  let step = Rtl_sim.step
+  let cycles = Rtl_sim.cycles
+
+  let stats sim =
+    [
+      ("settles", Rtl_sim.settles sim);
+      ("comb_runs", Rtl_sim.comb_runs sim);
+      ("comb_skips", Rtl_sim.comb_skips sim);
+    ]
+end
+
+let of_sim ?label sim = Engine.pack ?label (module Impl) sim
+let create ?label design = of_sim ?label (Rtl_sim.create design)

@@ -1,0 +1,7 @@
+(** {!Engine} adapter for the RTL interpreter ({!Rtl_sim}).
+
+    [kind] is ["rtl-interp"]; ports come from the (flattened) design,
+    [stats] exposes the interpreter's activity counters. *)
+
+val of_sim : ?label:string -> Rtl_sim.t -> Engine.t
+val create : ?label:string -> Ir.module_def -> Engine.t

@@ -1,6 +1,5 @@
 type channel = {
-  ch_id : string;
-  ch_name : string;
+  ch_id : Vcd_writer.id;
   ch_width : int;
   read : Rtl_sim.t -> Bitvec.t;
   mutable last : Bitvec.t option;
@@ -8,38 +7,22 @@ type channel = {
 
 type t = {
   sim : Rtl_sim.t;
-  top : string;
+  doc : Vcd_writer.t;
   mutable channels : channel list;  (* reverse registration order *)
-  mutable next_id : int;
-  changes : Buffer.t;
-  mutable last_cycle : int;
 }
 
 let create sim ?(top = "rtl") () =
   {
     sim;
-    top;
+    doc =
+      Vcd_writer.create ~date:"osss rtl simulation"
+        ~version:"osss-ocaml rtl_trace" ~timescale:"1ns" ~top ();
     channels = [];
-    next_id = 0;
-    changes = Buffer.create 4096;
-    last_cycle = -1;
   }
 
-let fresh_id t =
-  let n = t.next_id in
-  t.next_id <- n + 1;
-  let base = 94 and first = 33 in
-  let rec build n acc =
-    let c = Char.chr (first + (n mod base)) in
-    let acc = String.make 1 c ^ acc in
-    if n < base then acc else build ((n / base) - 1) acc
-  in
-  build n ""
-
 let lens t ~name ~width read =
-  t.channels <-
-    { ch_id = fresh_id t; ch_name = name; ch_width = width; read; last = None }
-    :: t.channels
+  let ch_id = Vcd_writer.register t.doc ~name ~width () in
+  t.channels <- { ch_id; ch_width = width; read; last = None } :: t.channels
 
 let var t ?name (v : Ir.var) =
   let name = Option.value ~default:v.Ir.var_name name in
@@ -49,20 +32,8 @@ let port t name =
   let width = Bitvec.width (Rtl_sim.get t.sim name) in
   lens t ~name ~width (fun sim -> Rtl_sim.get sim name)
 
-let emit t ch value =
-  let cycle = Rtl_sim.cycles t.sim in
-  if cycle <> t.last_cycle then begin
-    Buffer.add_string t.changes (Printf.sprintf "#%d\n" cycle);
-    t.last_cycle <- cycle
-  end;
-  if ch.ch_width = 1 then
-    Buffer.add_string t.changes
-      ((if Bitvec.lsb value then "1" else "0") ^ ch.ch_id ^ "\n")
-  else
-    Buffer.add_string t.changes
-      (Printf.sprintf "b%s %s\n" (Bitvec.to_binary_string value) ch.ch_id)
-
 let sample t =
+  let time = Rtl_sim.cycles t.sim in
   List.iter
     (fun ch ->
       let value = ch.read t.sim in
@@ -70,7 +41,7 @@ let sample t =
       | Some previous when Bitvec.equal previous value -> ()
       | Some _ | None ->
           ch.last <- Some value;
-          emit t ch value)
+          Vcd_writer.change_bv t.doc ~time ch.ch_id value)
     (List.rev t.channels)
 
 let step t =
@@ -83,25 +54,5 @@ let run t n =
   done
 
 let signal_count t = List.length t.channels
-
-let contents t =
-  let b = Buffer.create (Buffer.length t.changes + 1024) in
-  Buffer.add_string b "$date\n  osss rtl simulation\n$end\n";
-  Buffer.add_string b "$version\n  osss-ocaml rtl_trace\n$end\n";
-  Buffer.add_string b "$timescale 1ns $end\n";
-  Buffer.add_string b (Printf.sprintf "$scope module %s $end\n" t.top);
-  List.iter
-    (fun ch ->
-      Buffer.add_string b
-        (Printf.sprintf "$var wire %d %s %s $end\n" ch.ch_width ch.ch_id
-           ch.ch_name))
-    (List.rev t.channels);
-  Buffer.add_string b "$upscope $end\n$enddefinitions $end\n";
-  Buffer.add_buffer b t.changes;
-  Buffer.contents b
-
-let save t path =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (contents t))
+let contents t = Vcd_writer.contents t.doc
+let save t path = Vcd_writer.save t.doc path

@@ -3,78 +3,161 @@ type mismatch = {
   port : string;
   expected : Bitvec.t;
   got : Bitvec.t;
+  ref_engine : string;
+  got_engine : string;
+}
+
+type divergence = {
+  first : mismatch;
+  window_start : int;
+  window : (string * Bitvec.t) list array;
+  replay : mismatch option;
+  vcd : string option;
 }
 
 let pp_mismatch fmt m =
-  Format.fprintf fmt "cycle %d, port %s: expected %a, got %a" m.at_cycle
-    m.port Bitvec.pp m.expected Bitvec.pp m.got
+  Format.fprintf fmt "cycle %d, port %s: %s=%a, %s=%a" m.at_cycle m.port
+    m.ref_engine Bitvec.pp m.expected m.got_engine Bitvec.pp m.got
 
-let random_bv rng width =
-  Bitvec.init width (fun _ -> Random.State.bool rng)
+let pp_divergence fmt d =
+  pp_mismatch fmt d.first;
+  Format.fprintf fmt "; reproducer: %d-cycle window from cycle %d"
+    (Array.length d.window) d.window_start;
+  (match d.replay with
+  | Some m ->
+      Format.fprintf fmt " (replays as cycle %d, port %s)" m.at_cycle m.port
+  | None -> ());
+  match d.vcd with
+  | Some text -> Format.fprintf fmt " [vcd: %d bytes]" (String.length text)
+  | None -> ()
 
-let input_ports (m : Ir.module_def) =
-  List.filter_map
-    (fun (p : Ir.port) ->
-      match p.dir with
-      | Ir.Input -> Some (p.port_name, p.port_var.Ir.width)
-      | Output -> None)
-    m.ports
+let random_bv rng width = Bitvec.init width (fun _ -> Random.State.bool rng)
 
-let output_ports (m : Ir.module_def) =
-  List.filter_map
-    (fun (p : Ir.port) ->
-      match p.dir with
-      | Ir.Output -> Some p.port_name
-      | Input -> None)
-    m.ports
+(* Drive one recorded input assignment into every engine, step them all,
+   then compare every output of every non-reference engine against the
+   reference.  Returns the first mismatch, if any. *)
+let drive_and_compare engines outs cycle assignment =
+  List.iter
+    (fun (name, value) ->
+      List.iter (fun e -> Engine.set_input e name value) engines)
+    assignment;
+  List.iter Engine.step engines;
+  let reference = List.hd engines in
+  let rec scan = function
+    | [] -> None
+    | e :: rest ->
+        let rec ports = function
+          | [] -> scan rest
+          | (port, _) :: more ->
+              let expected = Engine.get reference port in
+              let got = Engine.get e port in
+              if Bitvec.equal expected got then ports more
+              else
+                Some
+                  {
+                    at_cycle = cycle;
+                    port;
+                    expected;
+                    got;
+                    ref_engine = Engine.label reference;
+                    got_engine = Engine.label e;
+                  }
+        in
+        ports outs
+  in
+  scan (List.tl engines)
 
-let co_simulate ~cycles ~seed ~drive ~ins ~outs ~set_a ~set_b ~step_a ~step_b
-    ~get_a ~get_b =
+(* Replay a stimulus slice against fresh engines; first mismatch, if
+   any.  [observe] is called after every cycle (used for tracing). *)
+let replay_window ?(observe = fun _ -> ()) factories outs window =
+  let engines = List.map (fun f -> f ()) factories in
+  let n = Array.length window in
+  let rec cycle i =
+    if i >= n then None
+    else begin
+      let result = drive_and_compare engines outs i window.(i) in
+      observe engines;
+      match result with Some m -> Some m | None -> cycle (i + 1)
+    end
+  in
+  observe engines;
+  cycle 0
+
+let shrink_window factories outs stim =
+  let total = Array.length stim in
+  let suffix len = Array.sub stim (total - len) len in
+  let diverges len = replay_window factories outs (suffix len) <> None in
+  (* The full recording reproduces by determinism; binary-search the
+     shortest suffix that still diverges when replayed from reset. *)
+  let lo = ref 1 and hi = ref total in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if diverges mid then hi := mid else lo := mid + 1
+  done;
+  if diverges !lo then !lo else total
+
+let differential ?(cycles = 500) ?(seed = 42) ?(drive = fun _ (_, r) -> r)
+    ?(shrink = true) ?(dump_vcd = false) factories =
+  if List.length factories < 2 then
+    invalid_arg "Equiv.differential: need at least two engines";
+  let engines = List.map (fun f -> f ()) factories in
+  let reference = List.hd engines in
+  let ins = Engine.inputs reference in
+  let outs = Engine.outputs reference in
   let rng = Random.State.make [| seed |] in
+  let stim = Array.make cycles [] in
   let rec cycle n =
     if n >= cycles then Ok cycles
     else begin
-      List.iter
-        (fun (name, width) ->
-          let value = drive n (name, random_bv rng width) in
-          set_a name value;
-          set_b name value)
-        ins;
-      step_a ();
-      step_b ();
-      let rec compare_ports = function
-        | [] -> cycle (n + 1)
-        | port :: rest ->
-            let expected = get_a port and got = get_b port in
-            if Bitvec.equal expected got then compare_ports rest
-            else Error { at_cycle = n; port; expected; got }
+      let assignment =
+        List.map
+          (fun (name, width) -> (name, drive n (name, random_bv rng width)))
+          ins
       in
-      compare_ports outs
+      stim.(n) <- assignment;
+      match drive_and_compare engines outs n assignment with
+      | None -> cycle (n + 1)
+      | Some first ->
+          let recorded = Array.sub stim 0 (n + 1) in
+          let len =
+            if shrink then shrink_window factories outs recorded else n + 1
+          in
+          let window = Array.sub recorded (n + 1 - len) len in
+          let replay = replay_window factories outs window in
+          let vcd =
+            if not dump_vcd then None
+            else begin
+              let tracer = ref None in
+              let observe engines =
+                let tr =
+                  match !tracer with
+                  | Some tr -> tr
+                  | None ->
+                      let tr = Engine.Trace.create engines in
+                      tracer := Some tr;
+                      tr
+                in
+                Engine.Trace.sample tr
+              in
+              ignore (replay_window ~observe factories outs window);
+              Option.map Engine.Trace.contents !tracer
+            end
+          in
+          Error { first; window_start = n + 1 - len; window; replay; vcd }
     end
   in
   cycle 0
 
-let ir_vs_netlist ?(cycles = 500) ?(seed = 42) ?(drive = fun _ (_, r) -> r)
-    design nl =
-  let rtl = Rtl_sim.create design in
-  let gates = Nl_sim.create nl in
-  co_simulate ~cycles ~seed ~drive ~ins:(input_ports design)
-    ~outs:(output_ports design)
-    ~set_a:(Rtl_sim.set_input rtl)
-    ~set_b:(Nl_sim.set_input gates)
-    ~step_a:(fun () -> Rtl_sim.step rtl)
-    ~step_b:(fun () -> Nl_sim.step gates)
-    ~get_a:(Rtl_sim.get rtl)
-    ~get_b:(Nl_sim.get_output gates)
+let ir_vs_netlist ?cycles ?seed ?drive design nl =
+  differential ?cycles ?seed ?drive
+    [
+      (fun () -> Rtl_engine.create ~label:("rtl:" ^ design.Ir.mod_name) design);
+      (fun () -> Nl_engine.create ~label:("gates:" ^ Netlist.name nl) nl);
+    ]
 
-let ir_vs_ir ?(cycles = 500) ?(seed = 42) ?(drive = fun _ (_, r) -> r) a b =
-  let sim_a = Rtl_sim.create a in
-  let sim_b = Rtl_sim.create b in
-  co_simulate ~cycles ~seed ~drive ~ins:(input_ports a)
-    ~outs:(output_ports a)
-    ~set_a:(Rtl_sim.set_input sim_a)
-    ~set_b:(Rtl_sim.set_input sim_b)
-    ~step_a:(fun () -> Rtl_sim.step sim_a)
-    ~step_b:(fun () -> Rtl_sim.step sim_b)
-    ~get_a:(Rtl_sim.get sim_a)
-    ~get_b:(Rtl_sim.get sim_b)
+let ir_vs_ir ?cycles ?seed ?drive a b =
+  differential ?cycles ?seed ?drive
+    [
+      (fun () -> Rtl_engine.create ~label:("rtl:" ^ a.Ir.mod_name) a);
+      (fun () -> Rtl_engine.create ~label:("rtl:" ^ b.Ir.mod_name) b);
+    ]

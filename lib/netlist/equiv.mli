@@ -1,19 +1,65 @@
-(** Equivalence checking by randomized co-simulation.
+(** N-way lockstep differential simulation.
 
     The paper verifies that OSSS designs stay {e bit and cycle accurate}
-    through every stage of the flow; these checkers compare the RTL-IR
-    interpretation against the synthesized gate-level netlist (or two IR
-    designs against each other) cycle by cycle under common random plus
-    directed stimulus. *)
+    through every stage of the flow.  This harness drives one random
+    (plus directed) stimulus stream into any number of {!Engine.t}
+    instances — behavioural, RTL-interpreted, gate-level, in any mix —
+    compares every output of every engine against the first (reference)
+    engine after every cycle, and on the first divergence produces a
+    {e minimal reproducer}: the stimulus window is shrunk to the
+    shortest suffix that still reproduces a divergence from reset, and
+    the mismatch window can be dumped as a single VCD covering all
+    engines through the consolidated {!Engine.Trace} interface. *)
 
 type mismatch = {
   at_cycle : int;
   port : string;
-  expected : Bitvec.t;  (** reference value *)
+  expected : Bitvec.t;  (** reference engine's value *)
   got : Bitvec.t;
+  ref_engine : string;  (** label of the reference engine *)
+  got_engine : string;  (** label of the diverging engine *)
+}
+
+type divergence = {
+  first : mismatch;  (** first mismatch of the full run *)
+  window_start : int;
+      (** index into the original run where the shrunk window begins *)
+  window : (string * Bitvec.t) list array;
+      (** the shrunk reproducer: per-cycle input assignments that,
+          replayed from reset, reproduce a divergence *)
+  replay : mismatch option;
+      (** the mismatch observed when replaying just [window] from
+          reset (cycle numbers relative to the window) *)
+  vcd : string option;
+      (** waveforms of all engines over the replayed window, when
+          requested *)
 }
 
 val pp_mismatch : Format.formatter -> mismatch -> unit
+val pp_divergence : Format.formatter -> divergence -> unit
+
+val differential :
+  ?cycles:int ->
+  ?seed:int ->
+  ?drive:(int -> string * Bitvec.t -> Bitvec.t) ->
+  ?shrink:bool ->
+  ?dump_vcd:bool ->
+  (unit -> Engine.t) list ->
+  (int, divergence) result
+(** [differential factories] instantiates every engine, drives all of
+    them with identical stimulus and compares all outputs every cycle;
+    the first factory builds the reference engine, whose input/output
+    port lists define the interface (every engine must accept them).
+
+    [drive cycle (name, random)] may override the stimulus for a port
+    (default: pure random from [seed]).  [shrink] (default [true])
+    minimizes the reproducer window by replaying recorded stimulus
+    against fresh engine instances; [dump_vcd] (default [false])
+    additionally replays the shrunk window under the consolidated
+    trace and stores the VCD text in the report.
+
+    [Ok n] reports the number of compared cycles.  Raises
+    [Invalid_argument] with fewer than two factories. *)
 
 val ir_vs_netlist :
   ?cycles:int ->
@@ -21,11 +67,10 @@ val ir_vs_netlist :
   ?drive:(int -> string * Bitvec.t -> Bitvec.t) ->
   Ir.module_def ->
   Netlist.t ->
-  (int, mismatch) result
-(** Runs both simulations with identical random input streams and
-    compares all outputs after every cycle.  [drive cycle (name, random)]
-    may override the stimulus for a port (default: pure random).
-    [Ok n] reports the number of compared cycles. *)
+  (int, divergence) result
+(** {!differential} between the RTL interpretation of [design]
+    (reference) and the event-driven gate-level simulation of the
+    netlist. *)
 
 val ir_vs_ir :
   ?cycles:int ->
@@ -33,5 +78,5 @@ val ir_vs_ir :
   ?drive:(int -> string * Bitvec.t -> Bitvec.t) ->
   Ir.module_def ->
   Ir.module_def ->
-  (int, mismatch) result
+  (int, divergence) result
 (** Both designs must expose identically named and sized ports. *)

@@ -1,0 +1,59 @@
+type state = {
+  sim : Nl_sim.t;
+  nl_inputs : (string * int) list;
+  nl_outputs : (string * int) list;
+  driven : (string, Bitvec.t) Hashtbl.t;  (* last value per input port *)
+  sim_kind : string;
+}
+
+let make_impl sim_kind =
+  (module struct
+    type t = state
+
+    let kind = sim_kind
+    let inputs t = t.nl_inputs
+    let outputs t = t.nl_outputs
+
+    let set_input t name bv =
+      Nl_sim.set_input t.sim name bv;
+      Hashtbl.replace t.driven name bv
+
+    let get t name =
+      match List.assoc_opt name t.nl_outputs with
+      | Some _ -> Nl_sim.get_output t.sim name
+      | None -> (
+          match Hashtbl.find_opt t.driven name with
+          | Some bv -> bv
+          | None -> Bitvec.zero (List.assoc name t.nl_inputs))
+
+    let settle t = Nl_sim.settle t.sim
+    let step t = Nl_sim.step t.sim
+    let cycles t = Nl_sim.cycles t.sim
+
+    let stats t =
+      [
+        ("gate_evals", Nl_sim.gate_evals t.sim);
+        ("cells_skipped", Nl_sim.cells_skipped t.sim);
+        ("comb_cells", Nl_sim.comb_cells t.sim);
+        ("dff_cells", Nl_sim.dff_cells t.sim);
+      ]
+  end : Engine.S
+    with type t = state)
+
+let create ?label ?(mode = Nl_sim.Event_driven) nl =
+  let sim_kind =
+    match mode with
+    | Nl_sim.Event_driven -> "netlist-event"
+    | Nl_sim.Full_eval -> "netlist-full"
+  in
+  let widths ports = List.map (fun (n, nets) -> (n, Array.length nets)) ports in
+  let state =
+    {
+      sim = Nl_sim.create ~mode nl;
+      nl_inputs = widths (Netlist.inputs nl);
+      nl_outputs = widths (Netlist.outputs nl);
+      driven = Hashtbl.create 8;
+      sim_kind;
+    }
+  in
+  Engine.pack ?label (make_impl sim_kind) state

@@ -1,0 +1,9 @@
+(** {!Engine} adapter for the gate-level netlist simulator
+    ({!Nl_sim}).
+
+    [kind] is ["netlist-event"] or ["netlist-full"] depending on the
+    scheduling mode; input ports echo their last driven value (zero
+    before the first drive) so the consolidated trace can record
+    stimulus alongside outputs. *)
+
+val create : ?label:string -> ?mode:Nl_sim.mode -> Netlist.t -> Engine.t

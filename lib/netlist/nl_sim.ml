@@ -5,6 +5,16 @@ let ctr_full = Perf.counter "nl_sim.full_settles"
 
 type mode = Event_driven | Full_eval
 
+exception Combinational_loop of { module_name : string; net : int }
+
+let () =
+  Printexc.register_printer (function
+    | Combinational_loop { module_name; net } ->
+        Some
+          (Printf.sprintf "Nl_sim.Combinational_loop(net %d in %s)" net
+             module_name)
+    | _ -> None)
+
 type t = {
   nl : Netlist.t;
   mode : mode;
@@ -45,9 +55,8 @@ let topo_order nl =
     match Hashtbl.find_opt state c.out with
     | Some 2 -> ()
     | Some 1 ->
-        failwith
-          (Printf.sprintf "Nl_sim: combinational loop at net %d in %s" c.out
-             (Netlist.name nl))
+        raise
+          (Combinational_loop { module_name = Netlist.name nl; net = c.out })
     | _ ->
         Hashtbl.replace state c.out 1;
         Array.iter

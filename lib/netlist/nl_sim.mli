@@ -16,14 +16,17 @@ type mode =
   | Event_driven  (** dirty-set propagation (default) *)
   | Full_eval  (** every combinational cell, every settle (reference) *)
 
+exception Combinational_loop of { module_name : string; net : int }
+(** A combinational cycle through [net] in the named design — the
+    gate-level counterpart of {!Rtl_sim.Combinational_loop}. *)
+
 val create : ?mode:mode -> Netlist.t -> t
-(** Checks the netlist and levelizes it; raises [Failure] naming the
-    offending net on a combinational loop. *)
+(** Checks the netlist and levelizes it; raises {!Combinational_loop}
+    naming the offending net on a combinational cycle. *)
 
 val topo_order : Netlist.t -> Netlist.cell array
 (** Combinational cells in topological (inputs-before-readers) order;
-    raises [Failure "Nl_sim: combinational loop at net %d in %s"] on a
-    cycle. *)
+    raises {!Combinational_loop} on a cycle. *)
 
 val set_input : t -> string -> Bitvec.t -> unit
 val set_input_int : t -> string -> int -> unit

@@ -1,0 +1,31 @@
+(** {!Engine} adapter for behavioural models running on the
+    discrete-event {!Kernel} — the OSSS/behavioural stage of the flow.
+
+    A behavioural model exposes an engine by registering named input
+    setters and output getters (typically {!Signal} writes and reads)
+    and a [step] thunk that advances the kernel by one clock cycle
+    (e.g. [Kernel.run_for k (Clock.period_ps clk)]).  The wrapped model
+    then participates in the N-way differential harness and the
+    consolidated trace exactly like the RTL and gate-level engines. *)
+
+type t
+
+val create : Kernel.t -> ?settle:(unit -> unit) -> step:(unit -> unit) ->
+  unit -> t
+(** [settle] defaults to running the pending delta cycles at the
+    current time ([Kernel.run_for k 0]). *)
+
+val add_input : t -> string -> width:int -> (Bitvec.t -> unit) -> unit
+val add_output : t -> string -> width:int -> (unit -> Bitvec.t) -> unit
+
+val input_signal : t -> width:int -> Bitvec.t Signal.t -> unit
+(** Register a bitvector signal as an input port under its signal
+    name. *)
+
+val output_signal : t -> width:int -> Bitvec.t Signal.t -> unit
+val bool_input_signal : t -> bool Signal.t -> unit
+val bool_output_signal : t -> bool Signal.t -> unit
+
+val engine : ?label:string -> t -> Engine.t
+(** Pack as an engine of kind ["behavioural"]; [stats] reports the
+    kernel's delta-cycle and process-activation counts. *)

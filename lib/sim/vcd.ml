@@ -1,104 +1,43 @@
-type var = { id : string; vcd_name : string; vcd_width : int; initial : string }
-
-type t = {
-  kernel : Kernel.t;
-  timescale : string;
-  top : string;
-  mutable vars : var list;
-  mutable next_id : int;
-  changes : Buffer.t;
-  mutable last_time : int;
-}
+type t = { kernel : Kernel.t; doc : Vcd_writer.t }
 
 let create kernel ?(timescale = "1ps") ?(top = "top") () =
   {
     kernel;
-    timescale;
-    top;
-    vars = [];
-    next_id = 0;
-    changes = Buffer.create 4096;
-    last_time = -1;
+    doc =
+      Vcd_writer.create ~date:"osss simulation"
+        ~version:"osss-ocaml vcd writer" ~timescale ~top ();
   }
 
-(* Short printable identifiers drawn from the printable ASCII range. *)
-let fresh_id t =
-  let n = t.next_id in
-  t.next_id <- n + 1;
-  let base = 94 and first = 33 in
-  let rec build n acc =
-    let c = Char.chr (first + (n mod base)) in
-    let acc = String.make 1 c ^ acc in
-    if n < base then acc else build ((n / base) - 1) acc
-  in
-  build n ""
-
-let emit_change t id width value_str =
-  let now = Kernel.now t.kernel in
-  if now <> t.last_time then begin
-    Buffer.add_string t.changes (Printf.sprintf "#%d\n" now);
-    t.last_time <- now
-  end;
-  if width = 1 then Buffer.add_string t.changes (value_str ^ id ^ "\n")
-  else Buffer.add_string t.changes (Printf.sprintf "b%s %s\n" value_str id)
-
-let register t ~name ~width ~initial ~hook =
-  let id = fresh_id t in
-  t.vars <- { id; vcd_name = name; vcd_width = width; initial } :: t.vars;
-  hook id
+let emit_change t id value = Vcd_writer.change t.doc ~time:(Kernel.now t.kernel) id value
 
 let bool_str b = if b then "1" else "0"
 
 let trace_bool t s =
-  let hook id =
-    Signal.on_change s (fun v -> emit_change t id 1 (bool_str v))
+  let id =
+    Vcd_writer.register t.doc ~name:(Signal.name s) ~width:1
+      ~initial:(bool_str (Signal.read s))
+      ()
   in
-  register t ~name:(Signal.name s) ~width:1
-    ~initial:(bool_str (Signal.read s))
-    ~hook
+  Signal.on_change s (fun v -> emit_change t id (bool_str v))
 
 let trace_bitvec t s =
   let width = Bitvec.width (Signal.read s) in
-  let hook id =
-    Signal.on_change s (fun v ->
-        emit_change t id width (Bitvec.to_binary_string v))
+  let id =
+    Vcd_writer.register t.doc ~name:(Signal.name s) ~width
+      ~initial:(Bitvec.to_binary_string (Signal.read s))
+      ()
   in
-  register t ~name:(Signal.name s) ~width
-    ~initial:(Bitvec.to_binary_string (Signal.read s))
-    ~hook
+  Signal.on_change s (fun v -> emit_change t id (Bitvec.to_binary_string v))
 
 let trace_int t ~width s =
   let to_bin v = Bitvec.to_binary_string (Bitvec.of_int ~width v) in
-  let hook id = Signal.on_change s (fun v -> emit_change t id width (to_bin v)) in
-  register t ~name:(Signal.name s) ~width ~initial:(to_bin (Signal.read s)) ~hook
+  let id =
+    Vcd_writer.register t.doc ~name:(Signal.name s) ~width
+      ~initial:(to_bin (Signal.read s))
+      ()
+  in
+  Signal.on_change s (fun v -> emit_change t id (to_bin v))
 
-let signal_count t = List.length t.vars
-
-let contents t =
-  let b = Buffer.create (Buffer.length t.changes + 1024) in
-  Buffer.add_string b "$date\n  osss simulation\n$end\n";
-  Buffer.add_string b "$version\n  osss-ocaml vcd writer\n$end\n";
-  Buffer.add_string b (Printf.sprintf "$timescale %s $end\n" t.timescale);
-  Buffer.add_string b (Printf.sprintf "$scope module %s $end\n" t.top);
-  let vars = List.rev t.vars in
-  List.iter
-    (fun v ->
-      Buffer.add_string b
-        (Printf.sprintf "$var wire %d %s %s $end\n" v.vcd_width v.id v.vcd_name))
-    vars;
-  Buffer.add_string b "$upscope $end\n$enddefinitions $end\n";
-  Buffer.add_string b "$dumpvars\n";
-  List.iter
-    (fun v ->
-      if v.vcd_width = 1 then Buffer.add_string b (v.initial ^ v.id ^ "\n")
-      else Buffer.add_string b (Printf.sprintf "b%s %s\n" v.initial v.id))
-    vars;
-  Buffer.add_string b "$end\n";
-  Buffer.add_buffer b t.changes;
-  Buffer.contents b
-
-let save t path =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (contents t))
+let signal_count t = Vcd_writer.signal_count t.doc
+let contents t = Vcd_writer.contents t.doc
+let save t path = Vcd_writer.save t.doc path

@@ -2,6 +2,26 @@ type kind = Osss | Vhdl
 
 let kind_name = function Osss -> "osss" | Vhdl -> "vhdl"
 
+type pass = {
+  pass_name : string;
+  elapsed_ms : float;
+  artifacts : string list;
+  metrics : (string * float) list;
+  invariant : Backend.Cec.verdict option;
+}
+
+let pass_metric p key = List.assoc_opt key p.metrics
+
+type layout = {
+  luts : int;
+  ffs : int;
+  depth : int;
+  grid : int * int;
+  utilization : float;
+  wirelength : float;
+  post_fmax_mhz : float;
+}
+
 type result = {
   flow_kind : kind;
   design : Ir.module_def;
@@ -12,41 +32,213 @@ type result = {
   area : Backend.Area.report;
   timing : Backend.Timing.report;
   structure : string;
+  passes : pass list;
+  layout : layout option;
 }
 
-let run ?(fold = true) flow_kind (design : Ir.module_def) =
-  Ir.check_module design;
-  let flat = Elaborate.flatten design in
-  let intermediate =
-    match flow_kind with
-    | Osss ->
-        [
-          (design.Ir.mod_name ^ "_resolved.cpp", Osss.Resolve.emit_module flat);
-          (design.Ir.mod_name ^ ".v", Verilog.emit design);
-        ]
-    | Vhdl ->
-        [
-          (design.Ir.mod_name ^ ".vhd", Vhdl.emit design);
-          (design.Ir.mod_name ^ ".v", Verilog.emit design);
-        ]
+(* Cell/area/timing snapshot of a netlist, prefixed "before_"/"after_". *)
+let nl_metrics prefix nl =
+  let a = Backend.Area.analyze nl in
+  let t = Backend.Timing.analyze nl in
+  [
+    (prefix ^ "cells", float_of_int (Backend.Netlist.cell_count nl));
+    (prefix ^ "area_ge", a.Backend.Area.total);
+    (prefix ^ "critical_ns", t.Backend.Timing.critical_ns);
+  ]
+
+(* Mutable pass-trace accumulator threaded through [run]. *)
+type trace = {
+  mutable t_passes : pass list;  (* reverse order *)
+  mutable t_artifacts : (string * string) list;  (* reverse order *)
+}
+
+let perf_deltas name metrics =
+  let delta key scale counter_suffix =
+    match
+      (List.assoc_opt ("before_" ^ key) metrics,
+       List.assoc_opt ("after_" ^ key) metrics)
+    with
+    | Some before, Some after ->
+        Perf.incr
+          ~by:(int_of_float (Float.round ((after -. before) *. scale)))
+          (Perf.counter (Printf.sprintf "flow.%s.%s" name counter_suffix))
+    | _ -> ()
   in
-  let raw = Backend.Lower.lower ~fold flat in
-  let netlist = Backend.Opt.optimize raw in
-  let intermediate =
-    intermediate
-    @ [ (design.Ir.mod_name ^ "_netlist.v", Backend.Netlist.emit_verilog netlist) ]
+  delta "cells" 1.0 "cells_delta";
+  delta "area_ge" 1.0 "area_delta_ge";
+  delta "critical_ns" 1000.0 "critical_delta_ps"
+
+let run_pass tr name ?(artifacts = fun _ -> []) ?invariant
+    ?(metrics = fun _ -> []) f =
+  let t0 = Sys.time () in
+  let value = f () in
+  let elapsed_ms = (Sys.time () -. t0) *. 1000.0 in
+  let artifacts = artifacts value in
+  let metrics = metrics value in
+  let invariant = Option.map (fun check -> check value) invariant in
+  Perf.incr (Perf.counter (Printf.sprintf "flow.%s.runs" name));
+  perf_deltas name metrics;
+  tr.t_artifacts <- List.rev_append artifacts tr.t_artifacts;
+  tr.t_passes <-
+    {
+      pass_name = name;
+      elapsed_ms;
+      artifacts = List.map fst artifacts;
+      metrics;
+      invariant;
+    }
+    :: tr.t_passes;
+  value
+
+let run ?(fold = true) ?(check_invariants = false) ?(layout = false) flow_kind
+    (design : Ir.module_def) =
+  let tr = { t_passes = []; t_artifacts = [] } in
+  let base = design.Ir.mod_name in
+  run_pass tr "check" (fun () -> Ir.check_module design);
+  let flat =
+    run_pass tr "flatten"
+      ~metrics:(fun flat ->
+        [
+          ( "before_modules",
+            float_of_int (List.length (Elaborate.hierarchy design)) );
+          ( "before_processes",
+            float_of_int (List.length design.Ir.processes) );
+          ("after_processes", float_of_int (List.length flat.Ir.processes));
+        ])
+      (fun () -> Elaborate.flatten design)
+  in
+  (* Front-end artifacts, at both hierarchy stages: the unsuffixed
+     files render the design as written (pre-flatten), the [_flat]
+     files the single module the back end actually consumes. *)
+  ignore
+    (run_pass tr "emit-frontend"
+       ~artifacts:(fun arts -> arts)
+       (fun () ->
+         let common =
+           [ (base ^ ".v", Verilog.emit design);
+             (base ^ "_flat.v", Verilog.emit flat) ]
+         in
+         match flow_kind with
+         | Osss ->
+             (base ^ "_resolved_flat.cpp", Osss.Resolve.emit_module flat)
+             :: common
+         | Vhdl ->
+             (base ^ ".vhd", Vhdl.emit design)
+             :: (base ^ "_flat.vhd", Vhdl.emit flat)
+             :: common));
+  let raw =
+    run_pass tr "lower"
+      ~artifacts:(fun raw ->
+        [ (base ^ "_netlist_raw.v", Backend.Netlist.emit_verilog raw) ])
+      ~metrics:(nl_metrics "after_")
+      (fun () -> Backend.Lower.lower ~fold flat)
+  in
+  let netlist =
+    run_pass tr "opt"
+      ~artifacts:(fun nl ->
+        [ (base ^ "_netlist.v", Backend.Netlist.emit_verilog nl) ])
+      ~metrics:(fun nl -> nl_metrics "before_" raw @ nl_metrics "after_" nl)
+      ?invariant:
+        (if check_invariants then Some (fun nl -> Backend.Cec.check raw nl)
+         else None)
+      (fun () -> Backend.Opt.optimize raw)
+  in
+  let layout_report =
+    if not layout then None
+    else begin
+      let mapped =
+        run_pass tr "techmap"
+          ~metrics:(fun mapped ->
+            [
+              ("after_luts", float_of_int (Backend.Techmap.lut_count mapped));
+              ("after_ffs", float_of_int (Backend.Techmap.ff_count mapped));
+              ("after_depth", float_of_int (Backend.Techmap.depth mapped));
+            ])
+          (fun () -> Backend.Techmap.map netlist)
+      in
+      let report =
+        run_pass tr "pnr"
+          ~metrics:(fun r ->
+            let w, h = r.Backend.Pnr.grid in
+            [
+              ("after_grid_w", float_of_int w);
+              ("after_grid_h", float_of_int h);
+              ("after_wirelength", r.Backend.Pnr.wirelength);
+              ("after_fmax_mhz", r.Backend.Pnr.fmax_mhz);
+            ])
+          (fun () -> Backend.Pnr.analyze (Backend.Pnr.place mapped))
+      in
+      Some
+        {
+          luts = Backend.Techmap.lut_count mapped;
+          ffs = Backend.Techmap.ff_count mapped;
+          depth = Backend.Techmap.depth mapped;
+          grid = report.Backend.Pnr.grid;
+          utilization = report.Backend.Pnr.utilization;
+          wirelength = report.Backend.Pnr.wirelength;
+          post_fmax_mhz = report.Backend.Pnr.fmax_mhz;
+        }
+    end
+  in
+  let area, timing, structure =
+    run_pass tr "analyze"
+      ~metrics:(fun (a, t, _) ->
+        [
+          ("after_area_ge", a.Backend.Area.total);
+          ("after_critical_ns", t.Backend.Timing.critical_ns);
+          ("after_fmax_mhz", t.Backend.Timing.fmax_mhz);
+        ])
+      (fun () ->
+        ( Backend.Area.analyze netlist,
+          Backend.Timing.analyze netlist,
+          Analyzer.report design ))
   in
   {
     flow_kind;
     design;
     flat;
-    intermediate;
+    intermediate = List.rev tr.t_artifacts;
     netlist;
     raw_cells = Backend.Netlist.cell_count raw;
-    area = Backend.Area.analyze netlist;
-    timing = Backend.Timing.analyze netlist;
-    structure = Analyzer.report design;
+    area;
+    timing;
+    structure;
+    passes = List.rev tr.t_passes;
+    layout = layout_report;
   }
+
+let pass_table r =
+  let buf = Buffer.create 512 in
+  let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  p "  %-14s %8s  %-18s %-22s %-16s %s\n" "pass" "ms" "cells" "area GE"
+    "critical ns" "invariant";
+  List.iter
+    (fun pass ->
+      let pair key fmt_one =
+        match
+          (pass_metric pass ("before_" ^ key), pass_metric pass ("after_" ^ key))
+        with
+        | Some b, Some a ->
+            Printf.sprintf "%s -> %s" (fmt_one b) (fmt_one a)
+        | None, Some a -> Printf.sprintf "-> %s" (fmt_one a)
+        | _ -> ""
+      in
+      let cells = pair "cells" (fun v -> Printf.sprintf "%.0f" v) in
+      let area = pair "area_ge" (fun v -> Printf.sprintf "%.1f" v) in
+      let crit = pair "critical_ns" (fun v -> Printf.sprintf "%.2f" v) in
+      let inv =
+        match pass.invariant with
+        | Some v -> Format.asprintf "%a" Backend.Cec.pp_verdict v
+        | None -> ""
+      in
+      let extra =
+        if pass.artifacts = [] then ""
+        else Printf.sprintf "  [%d artifacts]" (List.length pass.artifacts)
+      in
+      p "  %-14s %8.1f  %-18s %-22s %-16s %s%s\n" pass.pass_name
+        pass.elapsed_ms cells area crit inv extra)
+    r.passes;
+  Buffer.contents buf
 
 let summary r =
   let buf = Buffer.create 256 in
@@ -61,4 +253,14 @@ let summary r =
     r.timing.Backend.Timing.critical_ns r.timing.Backend.Timing.fmax_mhz;
   p "  66 MHz target: %s\n"
     (if Backend.Timing.meets r.timing ~freq_mhz:66.0 then "met" else "missed");
+  (match r.layout with
+  | Some l ->
+      let w, h = l.grid in
+      p
+        "  layout: %d LUT4 + %d FFs (depth %d) on %dx%d (util %.0f%%), \
+         wirelength %.0f, post-layout fmax %.1f MHz\n"
+        l.luts l.ffs l.depth w h (100.0 *. l.utilization) l.wirelength
+        l.post_fmax_mhz
+  | None -> ());
+  p "  passes:\n%s" (pass_table r);
   Buffer.contents buf

@@ -1,4 +1,5 @@
-(** End-to-end synthesis flows (Figure 6).
+(** End-to-end synthesis flows (Figure 6), structured as a pipeline of
+    named passes.
 
     Both flows share the back end (lowering, optimization, timing and
     area analysis); they differ in the front-end artifacts they emit —
@@ -6,28 +7,80 @@
     intermediate files, the conventional flow goes through VHDL text.
     The measured differences between the two ExpoCU implementations
     therefore come from the designs the methodologies produce, not from
-    back-end bias. *)
+    back-end bias.
+
+    Each pass records its wall-clock time, the artifacts it produced,
+    its metrics (cell/area/timing before and after for the
+    netlist-rewriting passes) and, optionally, a formal invariant
+    check: with [~check_invariants:true] every netlist-rewriting pass
+    is followed by a BDD-based combinational equivalence check
+    ({!Backend.Cec}) of its input against its output.  Deltas are also
+    accumulated into the global [Perf] registry under
+    [flow.<pass>.cells_delta] / [flow.<pass>.area_delta_ge] /
+    [flow.<pass>.critical_delta_ps]. *)
 
 type kind = Osss | Vhdl
 
 val kind_name : kind -> string
+
+type pass = {
+  pass_name : string;
+  elapsed_ms : float;  (** CPU time spent in the pass *)
+  artifacts : string list;
+      (** names of the intermediate files this pass contributed *)
+  metrics : (string * float) list;
+      (** ordered pass-specific figures, e.g. [cells_before],
+          [cells_after], [area_after_ge], [critical_after_ns] *)
+  invariant : Backend.Cec.verdict option;
+      (** before-vs-after equivalence verdict, when requested and the
+          pass rewrites the netlist *)
+}
+
+val pass_metric : pass -> string -> float option
+
+type layout = {
+  luts : int;
+  ffs : int;
+  depth : int;  (** LUT levels on the longest path *)
+  grid : int * int;
+  utilization : float;
+  wirelength : float;
+  post_fmax_mhz : float;
+}
 
 type result = {
   flow_kind : kind;
   design : Ir.module_def;  (** as given, hierarchical *)
   flat : Ir.module_def;
   intermediate : (string * string) list;
-      (** artifact name -> text: resolved SystemC for the OSSS flow,
-          VHDL for the conventional flow, structural Verilog netlist
-          for both *)
+      (** artifact name -> text, accumulated over all passes.
+          Front-end artifacts are emitted at both hierarchy stages and
+          labeled: unsuffixed names are pre-flatten, [_flat] names are
+          post-flatten; [_netlist_raw.v] is the lowered netlist before
+          optimization, [_netlist.v] after. *)
   netlist : Backend.Netlist.t;  (** optimized *)
   raw_cells : int;  (** cell count before optimization *)
   area : Backend.Area.report;
   timing : Backend.Timing.report;
   structure : string;  (** analyzer report *)
+  passes : pass list;  (** the full pass trace, in execution order *)
+  layout : layout option;  (** populated by [~layout:true] *)
 }
 
-val run : ?fold:bool -> kind -> Ir.module_def -> result
+val run :
+  ?fold:bool ->
+  ?check_invariants:bool ->
+  ?layout:bool ->
+  kind ->
+  Ir.module_def ->
+  result
+(** [check_invariants] (default [false]) runs CEC around every
+    netlist-rewriting pass; [layout] (default [false]) extends the
+    pipeline through technology mapping and place & route. *)
+
+val pass_table : result -> string
+(** One line per pass: name, time, cell/area/timing deltas, invariant
+    verdict. *)
 
 val summary : result -> string
-(** One-paragraph synthesis report: area, fmax, cell mix. *)
+(** Synthesis report: area, fmax, cell mix, then the pass table. *)

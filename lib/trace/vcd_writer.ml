@@ -1,0 +1,116 @@
+type id = { vid : string; vwidth : int }
+
+type var = {
+  var_id : id;
+  var_name : string;
+  var_scope : string option;
+  var_initial : string option;
+}
+
+type t = {
+  date : string;
+  version : string;
+  timescale : string;
+  top : string;
+  mutable vars : var list;  (* reverse registration order *)
+  mutable next_id : int;
+  changes : Buffer.t;
+  mutable last_time : int;
+}
+
+let create ?(date = "osss simulation") ?(version = "osss-ocaml vcd writer")
+    ?(timescale = "1ps") ?(top = "top") () =
+  {
+    date;
+    version;
+    timescale;
+    top;
+    vars = [];
+    next_id = 0;
+    changes = Buffer.create 4096;
+    last_time = -1;
+  }
+
+(* Short printable identifiers drawn from the printable ASCII range. *)
+let fresh_id t width =
+  let n = t.next_id in
+  t.next_id <- n + 1;
+  let base = 94 and first = 33 in
+  let rec build n acc =
+    let c = Char.chr (first + (n mod base)) in
+    let acc = String.make 1 c ^ acc in
+    if n < base then acc else build ((n / base) - 1) acc
+  in
+  { vid = build n ""; vwidth = width }
+
+let register t ?scope ?initial ~name ~width () =
+  let id = fresh_id t width in
+  t.vars <-
+    { var_id = id; var_name = name; var_scope = scope; var_initial = initial }
+    :: t.vars;
+  id
+
+let emit_value buf id value =
+  if id.vwidth = 1 then Buffer.add_string buf (value ^ id.vid ^ "\n")
+  else Buffer.add_string buf (Printf.sprintf "b%s %s\n" value id.vid)
+
+let change t ~time id value =
+  if time <> t.last_time then begin
+    Buffer.add_string t.changes (Printf.sprintf "#%d\n" time);
+    t.last_time <- time
+  end;
+  emit_value t.changes id value
+
+let change_bv t ~time id bv = change t ~time id (Bitvec.to_binary_string bv)
+
+let signal_count t = List.length t.vars
+
+let declare buf v =
+  Buffer.add_string buf
+    (Printf.sprintf "$var wire %d %s %s $end\n" v.var_id.vwidth v.var_id.vid
+       v.var_name)
+
+let contents t =
+  let b = Buffer.create (Buffer.length t.changes + 1024) in
+  Buffer.add_string b (Printf.sprintf "$date\n  %s\n$end\n" t.date);
+  Buffer.add_string b (Printf.sprintf "$version\n  %s\n$end\n" t.version);
+  Buffer.add_string b (Printf.sprintf "$timescale %s $end\n" t.timescale);
+  Buffer.add_string b (Printf.sprintf "$scope module %s $end\n" t.top);
+  let vars = List.rev t.vars in
+  (* Root-scope signals first, then one sub-scope per distinct scope
+     string, in first-registration order. *)
+  List.iter (fun v -> if v.var_scope = None then declare b v) vars;
+  let scopes =
+    List.fold_left
+      (fun acc v ->
+        match v.var_scope with
+        | Some s when not (List.mem s acc) -> s :: acc
+        | _ -> acc)
+      [] vars
+    |> List.rev
+  in
+  List.iter
+    (fun s ->
+      Buffer.add_string b (Printf.sprintf "$scope module %s $end\n" s);
+      List.iter (fun v -> if v.var_scope = Some s then declare b v) vars;
+      Buffer.add_string b "$upscope $end\n")
+    scopes;
+  Buffer.add_string b "$upscope $end\n$enddefinitions $end\n";
+  if List.exists (fun v -> v.var_initial <> None) vars then begin
+    Buffer.add_string b "$dumpvars\n";
+    List.iter
+      (fun v ->
+        match v.var_initial with
+        | Some init -> emit_value b v.var_id init
+        | None -> ())
+      vars;
+    Buffer.add_string b "$end\n"
+  end;
+  Buffer.add_buffer b t.changes;
+  Buffer.contents b
+
+let save t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (contents t))

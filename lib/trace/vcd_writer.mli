@@ -1,0 +1,41 @@
+(** Shared value-change-dump document builder.
+
+    One VCD writer backs every trace front end in the repository — the
+    kernel-level [Sim.Vcd], the RTL-level [Hdl.Rtl_trace] and the
+    engine-level [Engine.Trace] — so all abstraction levels produce
+    the same document structure and can be diffed in one waveform
+    viewer.  The writer knows nothing about simulators: callers
+    register signals (optionally grouped into sub-scopes), then report
+    value changes against a monotonically non-decreasing timestamp. *)
+
+type t
+
+type id
+(** Handle for a registered signal. *)
+
+val create :
+  ?date:string -> ?version:string -> ?timescale:string -> ?top:string ->
+  unit -> t
+(** [timescale] defaults to ["1ps"], [top] (the root scope name) to
+    ["top"]. *)
+
+val register : t -> ?scope:string -> ?initial:string -> name:string ->
+  width:int -> unit -> id
+(** Declare a signal.  [scope] nests it in a sub-scope of the root
+    (signals sharing a [scope] string share the sub-scope); [initial]
+    is a binary value emitted in a [$dumpvars] section (the section is
+    present iff at least one signal registered an initial value). *)
+
+val change : t -> time:int -> id -> string -> unit
+(** Record a value change (binary string, no ["b"] prefix) at [time].
+    Timestamps must not decrease across calls. *)
+
+val change_bv : t -> time:int -> id -> Bitvec.t -> unit
+
+val signal_count : t -> int
+
+val contents : t -> string
+(** The full VCD document: header, scoped declarations, optional
+    [$dumpvars], then all recorded changes. *)
+
+val save : t -> string -> unit

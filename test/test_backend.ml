@@ -101,7 +101,7 @@ let test_equivalence_random () =
       match Backend.Equiv.ir_vs_netlist ~cycles:300 design nl with
       | Ok n -> Alcotest.(check int) "cycles compared" 300 n
       | Error m ->
-          Alcotest.failf "%s: %a" design.Ir.mod_name Backend.Equiv.pp_mismatch
+          Alcotest.failf "%s: %a" design.Ir.mod_name Backend.Equiv.pp_divergence
             m)
     [ alu_design (); counter_design (); mul_design () ]
 
@@ -111,7 +111,7 @@ let test_equivalence_unfolded () =
   let nl = Backend.Lower.lower ~fold:false design in
   match Backend.Equiv.ir_vs_netlist ~cycles:200 design nl with
   | Ok _ -> ()
-  | Error m -> Alcotest.failf "%a" Backend.Equiv.pp_mismatch m
+  | Error m -> Alcotest.failf "%a" Backend.Equiv.pp_divergence m
 
 let test_memory_lowering () =
   let b = Builder.create "regfile" in
@@ -127,7 +127,7 @@ let test_memory_lowering () =
   let nl = Backend.Lower.lower design in
   (match Backend.Equiv.ir_vs_netlist ~cycles:400 design nl with
   | Ok _ -> ()
-  | Error m -> Alcotest.failf "%a" Backend.Equiv.pp_mismatch m);
+  | Error m -> Alcotest.failf "%a" Backend.Equiv.pp_divergence m);
   let area = Backend.Area.analyze nl in
   Alcotest.(check int) "16 state bits" 16 area.Backend.Area.n_ffs
 
@@ -143,7 +143,7 @@ let test_barrel_shifter () =
   let nl = Backend.Lower.lower design in
   match Backend.Equiv.ir_vs_netlist ~cycles:300 design nl with
   | Ok _ -> ()
-  | Error m -> Alcotest.failf "%a" Backend.Equiv.pp_mismatch m
+  | Error m -> Alcotest.failf "%a" Backend.Equiv.pp_divergence m
 
 let test_signed_compare_lowering () =
   let b = Builder.create "signed_cmp" in
@@ -160,7 +160,7 @@ let test_signed_compare_lowering () =
   let nl = Backend.Lower.lower design in
   match Backend.Equiv.ir_vs_netlist ~cycles:500 design nl with
   | Ok _ -> ()
-  | Error m -> Alcotest.failf "%a" Backend.Equiv.pp_mismatch m
+  | Error m -> Alcotest.failf "%a" Backend.Equiv.pp_divergence m
 
 let test_timing_analysis () =
   let nl = Backend.Lower.lower (mul_design ()) in
@@ -195,7 +195,7 @@ let test_optimize_removes_dead_logic () =
     (N.cell_count optimized < N.cell_count nl);
   match Backend.Equiv.ir_vs_netlist ~cycles:100 design optimized with
   | Ok _ -> ()
-  | Error m -> Alcotest.failf "%a" Backend.Equiv.pp_mismatch m
+  | Error m -> Alcotest.failf "%a" Backend.Equiv.pp_divergence m
 
 let test_power_estimation () =
   (* An active counter burns more dynamic power than a held one. *)
@@ -309,9 +309,9 @@ let test_netlist_loop_detection () =
     List.find (fun (c : N.cell) -> c.out = out) (N.cells nl)
   in
   (cell_of g1).ins.(1) <- g2;
-  let expected = Printf.sprintf "Nl_sim: combinational loop at net %d in ring" g1 in
-  Alcotest.check_raises "loop raises" (Failure expected) (fun () ->
-      ignore (Backend.Nl_sim.create nl))
+  Alcotest.check_raises "loop raises"
+    (Backend.Nl_sim.Combinational_loop { module_name = "ring"; net = g1 })
+    (fun () -> ignore (Backend.Nl_sim.create nl))
 
 (* Property: random expression trees lower to netlists that agree with
    the interpreter on random inputs. *)

@@ -32,7 +32,7 @@ let test_sync_styles_equivalent () =
       (Expocu.Sync.rtl_module ())
   with
   | Ok _ -> ()
-  | Error m -> Alcotest.failf "%a" Backend.Equiv.pp_mismatch m
+  | Error m -> Alcotest.failf "%a" Backend.Equiv.pp_divergence m
 
 let test_sync_netlist_equivalent () =
   let design = Expocu.Sync.osss_module () in
@@ -41,7 +41,7 @@ let test_sync_netlist_equivalent () =
       (Backend.Lower.lower design)
   with
   | Ok _ -> ()
-  | Error m -> Alcotest.failf "%a" Backend.Equiv.pp_mismatch m
+  | Error m -> Alcotest.failf "%a" Backend.Equiv.pp_divergence m
 
 let test_sync_zero_overhead () =
   (* §8: resolving classes/templates adds no logic.  The OSSS module
@@ -102,7 +102,7 @@ let test_histogram_styles_equivalent () =
       (Expocu.Histogram.rtl_module ())
   with
   | Ok _ -> ()
-  | Error m -> Alcotest.failf "%a" Backend.Equiv.pp_mismatch m
+  | Error m -> Alcotest.failf "%a" Backend.Equiv.pp_divergence m
 
 let test_histogram_netlist_equivalent () =
   let design = Expocu.Histogram.osss_module ~bins:8 ~count_w:8 () in
@@ -111,7 +111,7 @@ let test_histogram_netlist_equivalent () =
       (Backend.Lower.lower design)
   with
   | Ok _ -> ()
-  | Error m -> Alcotest.failf "%a" Backend.Equiv.pp_mismatch m
+  | Error m -> Alcotest.failf "%a" Backend.Equiv.pp_divergence m
 
 (* ------------------------- threshold ------------------------- *)
 
@@ -174,7 +174,7 @@ let test_threshold_styles_equivalent () =
       (Expocu.Threshold.rtl_module ())
   with
   | Ok _ -> ()
-  | Error m -> Alcotest.failf "%a" Backend.Equiv.pp_mismatch m
+  | Error m -> Alcotest.failf "%a" Backend.Equiv.pp_divergence m
 
 (* ------------------------- param calc ------------------------- *)
 
@@ -250,7 +250,7 @@ let test_param_styles_equivalent () =
       (Expocu.Param_calc.rtl_module ())
   with
   | Ok _ -> ()
-  | Error m -> Alcotest.failf "%a" Backend.Equiv.pp_mismatch m
+  | Error m -> Alcotest.failf "%a" Backend.Equiv.pp_divergence m
 
 let test_param_netlist_equivalent () =
   let design = Expocu.Param_calc.rtl_module () in
@@ -259,7 +259,7 @@ let test_param_netlist_equivalent () =
       (Backend.Lower.lower design)
   with
   | Ok _ -> ()
-  | Error m -> Alcotest.failf "%a" Backend.Equiv.pp_mismatch m
+  | Error m -> Alcotest.failf "%a" Backend.Equiv.pp_divergence m
 
 let test_param_clamps () =
   (* Hammer toward dark: exposure must stop at gain_max, not wrap. *)
@@ -499,7 +499,7 @@ let test_i2c_three_way_equivalence () =
       | Ok _ -> ()
       | Error m ->
           Alcotest.failf "%s vs %s: %a" a.Ir.mod_name b.Ir.mod_name
-            Backend.Equiv.pp_mismatch m)
+            Backend.Equiv.pp_divergence m)
     pairs
 
 let test_i2c_netlist_equivalent () =
@@ -509,7 +509,7 @@ let test_i2c_netlist_equivalent () =
       (Backend.Lower.lower design)
   with
   | Ok _ -> ()
-  | Error m -> Alcotest.failf "%a" Backend.Equiv.pp_mismatch m
+  | Error m -> Alcotest.failf "%a" Backend.Equiv.pp_divergence m
 
 let test_i2c_timing_budget () =
   let cycles = Expocu.I2c.transaction_cycles ~divider:4 in
@@ -550,7 +550,7 @@ let test_reset_ctrl_equivalent () =
       (Expocu.Reset_ctrl.rtl_module ())
   with
   | Ok _ -> ()
-  | Error m -> Alcotest.failf "%a" Backend.Equiv.pp_mismatch m
+  | Error m -> Alcotest.failf "%a" Backend.Equiv.pp_divergence m
 
 (* ------------------------- camera + golden loop ------------------------- *)
 
@@ -640,7 +640,7 @@ let test_tops_cycle_equivalent () =
       (Expocu.Expocu_top.rtl_top ())
   with
   | Ok _ -> ()
-  | Error m -> Alcotest.failf "%a" Backend.Equiv.pp_mismatch m
+  | Error m -> Alcotest.failf "%a" Backend.Equiv.pp_divergence m
 
 (* Property: random frames through the RTL histogram + threshold pair
    reproduce the golden median, for random bin configurations. *)

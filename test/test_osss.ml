@@ -222,7 +222,7 @@ let test_polymorphism_synthesizes () =
   let nl = Backend.Lower.lower design in
   match Backend.Equiv.ir_vs_netlist ~cycles:300 design nl with
   | Ok _ -> ()
-  | Error m -> Alcotest.failf "%a" Backend.Equiv.pp_mismatch m
+  | Error m -> Alcotest.failf "%a" Backend.Equiv.pp_divergence m
 
 let test_poly_rejects_foreign_class () =
   let b = Builder.create "bad_poly" in
@@ -319,7 +319,7 @@ let test_shared_synthesizes () =
   let nl = Backend.Lower.lower design in
   match Backend.Equiv.ir_vs_netlist ~cycles:300 design nl with
   | Ok _ -> ()
-  | Error m -> Alcotest.failf "%a" Backend.Equiv.pp_mismatch m
+  | Error m -> Alcotest.failf "%a" Backend.Equiv.pp_divergence m
 
 let test_custom_scheduler () =
   (* user-defined policy: client 2 has absolute priority, the others in
@@ -349,7 +349,7 @@ let test_custom_scheduler () =
   match Backend.Equiv.ir_vs_netlist ~cycles:200 design
           (Backend.Lower.lower design) with
   | Ok _ -> ()
-  | Error m -> Alcotest.failf "%a" Backend.Equiv.pp_mismatch m
+  | Error m -> Alcotest.failf "%a" Backend.Equiv.pp_divergence m
 
 (* Shared object with a returning method: one client writes, another
    reads back through the result register. *)

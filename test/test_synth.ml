@@ -113,7 +113,7 @@ let test_behavioral_netlist_equiv () =
   let nl = Backend.Lower.lower design in
   match Backend.Equiv.ir_vs_netlist ~cycles:400 design nl with
   | Ok _ -> ()
-  | Error m -> Alcotest.failf "%a" Backend.Equiv.pp_mismatch m
+  | Error m -> Alcotest.failf "%a" Backend.Equiv.pp_divergence m
 
 (* Property: random dataflow graphs scheduled under random resource
    budgets compute the same function as a direct evaluation of the
@@ -210,10 +210,86 @@ let test_flow_runs () =
   let r2 = Synth.Flow.run Synth.Flow.Osss (Expocu.Sync.osss_module ()) in
   Alcotest.(check bool) "resolved systemc artifact" true
     (List.exists
-       (fun (n, _) -> n = "sync_osss_resolved.cpp")
+       (fun (n, _) -> n = "sync_osss_resolved_flat.cpp")
+       r2.Synth.Flow.intermediate);
+  Alcotest.(check bool) "pre-flatten vhdl artifact" true
+    (List.exists (fun (n, _) -> n = "sync_rtl.vhd") r.Synth.Flow.intermediate);
+  Alcotest.(check bool) "post-flatten vhdl artifact" true
+    (List.exists
+       (fun (n, _) -> n = "sync_rtl_flat.vhd")
+       r.Synth.Flow.intermediate);
+  Alcotest.(check bool) "pre-flatten verilog in osss flow" true
+    (List.exists (fun (n, _) -> n = "sync_osss.v") r2.Synth.Flow.intermediate);
+  Alcotest.(check bool) "raw netlist artifact" true
+    (List.exists
+       (fun (n, _) -> n = "sync_osss_netlist_raw.v")
        r2.Synth.Flow.intermediate);
   Alcotest.(check bool) "summary text" true
     (contains "fmax" (Synth.Flow.summary r2))
+
+let test_flow_pass_trace () =
+  let r = Synth.Flow.run Synth.Flow.Vhdl (Expocu.Sync.rtl_module ()) in
+  Alcotest.(check (list string)) "pass sequence"
+    [ "check"; "flatten"; "emit-frontend"; "lower"; "opt"; "analyze" ]
+    (List.map (fun p -> p.Synth.Flow.pass_name) r.Synth.Flow.passes);
+  let opt =
+    List.find
+      (fun p -> p.Synth.Flow.pass_name = "opt")
+      r.Synth.Flow.passes
+  in
+  (match
+     ( Synth.Flow.pass_metric opt "before_cells",
+       Synth.Flow.pass_metric opt "after_cells" )
+   with
+  | Some before, Some after ->
+      Alcotest.(check bool) "opt shrinks or holds" true (after <= before);
+      Alcotest.(check (float 0.0)) "raw cell count matches"
+        (float_of_int r.Synth.Flow.raw_cells)
+        before
+  | _ -> Alcotest.fail "opt pass missing cell metrics");
+  Alcotest.(check bool) "pass table renders deltas" true
+    (contains "->" (Synth.Flow.pass_table r));
+  Alcotest.(check bool) "summary embeds pass table" true
+    (contains "opt" (Synth.Flow.summary r));
+  (* every pass feeds the global Perf registry *)
+  Alcotest.(check bool) "perf runs counter" true
+    (Metrics.Perf.value (Metrics.Perf.counter "flow.opt.runs") > 0)
+
+let test_flow_invariants_and_layout () =
+  (* a design with no dead registers: CEC must prove the opt pass *)
+  let b = Builder.create "invcnt" in
+  let reset = Builder.input b "reset" 1 in
+  let count = Builder.output b "count" 8 in
+  Builder.sync b "tick"
+    [
+      Builder.Dsl.if_
+        (Builder.Dsl.v reset)
+        [ Builder.Dsl.( <-- ) count (Builder.Dsl.c ~width:8 0) ]
+        [
+          Builder.Dsl.( <-- ) count
+            Builder.Dsl.(v count +: c ~width:8 1);
+        ];
+    ];
+  let design = Builder.finish b in
+  let r =
+    Synth.Flow.run ~check_invariants:true ~layout:true Synth.Flow.Vhdl design
+  in
+  let opt =
+    List.find (fun p -> p.Synth.Flow.pass_name = "opt") r.Synth.Flow.passes
+  in
+  (match opt.Synth.Flow.invariant with
+  | Some Backend.Cec.Proved -> ()
+  | Some v ->
+      Alcotest.failf "opt invariant not proved: %a" Backend.Cec.pp_verdict v
+  | None -> Alcotest.fail "invariant missing despite check_invariants");
+  match r.Synth.Flow.layout with
+  | Some l ->
+      Alcotest.(check bool) "ffs placed" true (l.Synth.Flow.ffs >= 8);
+      Alcotest.(check bool) "post-layout fmax positive" true
+        (l.Synth.Flow.post_fmax_mhz > 0.0);
+      Alcotest.(check bool) "layout in summary" true
+        (contains "layout" (Synth.Flow.summary r))
+  | None -> Alcotest.fail "layout report missing despite ~layout:true"
 
 let test_whole_catalogue_synthesizes () =
   (* every registered design lowers to a checked netlist with sane
@@ -273,6 +349,9 @@ let suite =
     prop_random_dfg;
     Alcotest.test_case "analyzer report" `Quick test_analyzer_report;
     Alcotest.test_case "flows run" `Quick test_flow_runs;
+    Alcotest.test_case "flow pass trace" `Quick test_flow_pass_trace;
+    Alcotest.test_case "flow invariants and layout" `Quick
+      test_flow_invariants_and_layout;
     Alcotest.test_case "whole catalogue synthesizes" `Quick
       test_whole_catalogue_synthesizes;
     Alcotest.test_case "catalogue names" `Quick test_catalogue_distinct_names;
