@@ -776,8 +776,9 @@ let drive_frame ~set ~step ~get ~pixels () =
     incr guard
   done
 
-let nl_frame ~mode ~pixels () =
+let nl_frame ?(profile = false) ~mode ~pixels () =
   let sim = Backend.Nl_sim.create ~mode (Lazy.force gate_netlist) in
+  if profile then Backend.Nl_sim.enable_profile sim;
   drive_frame
     ~set:(Backend.Nl_sim.set_input_int sim)
     ~step:(fun () -> Backend.Nl_sim.step sim)
@@ -801,65 +802,97 @@ let timed f =
 
 (* Emit BENCH_sim.json: cycles/sec and evals/cycle for the ExpoCU frame
    workload — netlist simulator in both modes, plus the RTL
-   interpreter's process-run rate.  See docs/PERFORMANCE.md. *)
-let bench_json () =
+   interpreter's process-run rate — with the per-settle histograms and
+   the hot-nets / hot-cells / hot-processes activity profiles.  See
+   docs/PERFORMANCE.md and docs/OBSERVABILITY.md. *)
+let bench_json ~profile () =
+  (* Histograms are part of the emitted document; recording costs one
+     branch per settle and is paid identically by every contestant. *)
+  Obs.Hist.enable ();
+  Obs.Hist.reset_all ();
   let pixels = 256 in
-  let ev, ev_s = timed (fun () -> nl_frame ~mode:Backend.Nl_sim.Event_driven ~pixels ()) in
+  let ev, ev_s =
+    timed (fun () ->
+        nl_frame ~profile:true ~mode:Backend.Nl_sim.Event_driven ~pixels ())
+  in
   let fl, fl_s = timed (fun () -> nl_frame ~mode:Backend.Nl_sim.Full_eval ~pixels ()) in
   let rtl, rtl_s = timed (fun () -> rtl_frame ~pixels ()) in
   let per_cycle count sim = float_of_int count /. float_of_int (Backend.Nl_sim.cycles sim) in
   let cps cycles s = if s > 0.0 then float_of_int cycles /. s else 0.0 in
   let rtl_cycles = Rtl_sim.cycles rtl in
-  let buf = Buffer.create 1024 in
-  Buffer.add_string buf "{\n";
-  Buffer.add_string buf
-    (Printf.sprintf "  \"workload\": \"expocu_frame\",\n  \"pixels\": %d,\n"
-       pixels);
-  Buffer.add_string buf
-    (Printf.sprintf
-       "  \"netlist\": {\n\
-       \    \"comb_cells\": %d,\n\
-       \    \"dff_cells\": %d,\n\
-       \    \"event_driven\": { \"cycles\": %d, \"gate_evals\": %d, \
-        \"evals_per_cycle\": %.1f, \"cells_skipped\": %d, \
-        \"cycles_per_sec\": %.0f },\n\
-       \    \"full_eval\": { \"cycles\": %d, \"gate_evals\": %d, \
-        \"evals_per_cycle\": %.1f, \"cycles_per_sec\": %.0f },\n\
-       \    \"evals_per_cycle_ratio\": %.3f\n\
-       \  },\n"
-       (Backend.Nl_sim.comb_cells ev)
-       (Backend.Nl_sim.dff_cells ev)
-       (Backend.Nl_sim.cycles ev)
-       (Backend.Nl_sim.gate_evals ev)
-       (per_cycle (Backend.Nl_sim.gate_evals ev) ev)
-       (Backend.Nl_sim.cells_skipped ev)
-       (cps (Backend.Nl_sim.cycles ev) ev_s)
-       (Backend.Nl_sim.cycles fl)
-       (Backend.Nl_sim.gate_evals fl)
-       (per_cycle (Backend.Nl_sim.gate_evals fl) fl)
-       (cps (Backend.Nl_sim.cycles fl) fl_s)
-       (per_cycle (Backend.Nl_sim.gate_evals ev) ev
-       /. per_cycle (Backend.Nl_sim.gate_evals fl) fl));
-  Buffer.add_string buf
-    (Printf.sprintf
-       "  \"rtl\": { \"cycles\": %d, \"process_runs\": %d, \
-        \"process_skips\": %d, \"runs_per_cycle\": %.2f, \
-        \"cycles_per_sec\": %.0f }\n}\n"
-       rtl_cycles (Rtl_sim.comb_runs rtl) (Rtl_sim.comb_skips rtl)
-       (float_of_int (Rtl_sim.comb_runs rtl) /. float_of_int rtl_cycles)
-       (cps rtl_cycles rtl_s));
-  let oc = open_out "BENCH_sim.json" in
-  output_string oc (Buffer.contents buf);
-  close_out oc;
-  print_string (Buffer.contents buf);
-  Printf.printf "wrote BENCH_sim.json\n"
+  let open Obs.Json in
+  let mode_obj sim seconds extras =
+    Obj
+      ([
+         ("cycles", Int (Backend.Nl_sim.cycles sim));
+         ("gate_evals", Int (Backend.Nl_sim.gate_evals sim));
+         ( "evals_per_cycle",
+           Float (per_cycle (Backend.Nl_sim.gate_evals sim) sim) );
+       ]
+      @ extras
+      @ [ ("cycles_per_sec", Float (cps (Backend.Nl_sim.cycles sim) seconds)) ])
+  in
+  let rank raw = Obs.Profile.to_json (Obs.Profile.top raw) in
+  let rtl_activity = Rtl_sim.process_activity rtl in
+  let doc =
+    Obj
+      [
+        ("workload", String "expocu_frame");
+        ("pixels", Int pixels);
+        ( "netlist",
+          Obj
+            [
+              ("comb_cells", Int (Backend.Nl_sim.comb_cells ev));
+              ("dff_cells", Int (Backend.Nl_sim.dff_cells ev));
+              ( "event_driven",
+                mode_obj ev ev_s
+                  [ ("cells_skipped", Int (Backend.Nl_sim.cells_skipped ev)) ]
+              );
+              ("full_eval", mode_obj fl fl_s []);
+              ( "evals_per_cycle_ratio",
+                Float
+                  (per_cycle (Backend.Nl_sim.gate_evals ev) ev
+                  /. per_cycle (Backend.Nl_sim.gate_evals fl) fl) );
+            ] );
+        ( "rtl",
+          Obj
+            [
+              ("cycles", Int rtl_cycles);
+              ("process_runs", Int (Rtl_sim.comb_runs rtl));
+              ("process_skips", Int (Rtl_sim.comb_skips rtl));
+              ( "runs_per_cycle",
+                Float
+                  (float_of_int (Rtl_sim.comb_runs rtl)
+                  /. float_of_int rtl_cycles) );
+              ("cycles_per_sec", Float (cps rtl_cycles rtl_s));
+            ] );
+        ("histograms", Obs.Hist.all_to_json ());
+        ( "profiles",
+          Obj
+            [
+              ("hot_nets", rank (Backend.Nl_sim.net_activity ev));
+              ("hot_cells", rank (Backend.Nl_sim.cell_activity ev));
+              ("hot_processes", rank rtl_activity);
+              ("hot_modules", rank (Obs.Profile.by_module rtl_activity));
+            ] );
+      ]
+  in
+  Obs.Json.save doc "BENCH_sim.json";
+  print_endline (to_string ~pretty:true doc);
+  if profile then begin
+    Obs.Log.info "hot nets (event-driven netlist):";
+    prerr_string
+      (Obs.Profile.table ~title:"hot nets" ~unit_name:"toggles"
+         (Obs.Profile.top (Backend.Nl_sim.net_activity ev)))
+  end;
+  Obs.Log.info "wrote BENCH_sim.json"
 
 (* Small self-checking run for `dune build @bench-smoke`: the
    ENGINE-based differential harness must keep all three simulation
    levels in lockstep, catch and shrink a seeded fault, and the
    event-driven core must agree with full evaluation while doing
    strictly less work. *)
-let bench_smoke () =
+let bench_smoke ~profile () =
   let pixels = 32 in
   let nl = Lazy.force gate_netlist in
   let factories =
@@ -895,7 +928,7 @@ let bench_smoke () =
         failwith "bench-smoke: seeded fault localized to wrong port";
       if Array.length d.Backend.Equiv.window <> 1 then
         failwith "bench-smoke: seeded fault window did not shrink");
-  let ev = nl_frame ~mode:Backend.Nl_sim.Event_driven ~pixels () in
+  let ev = nl_frame ~profile ~mode:Backend.Nl_sim.Event_driven ~pixels () in
   let fl = nl_frame ~mode:Backend.Nl_sim.Full_eval ~pixels () in
   assert (Backend.Nl_sim.cycles ev = Backend.Nl_sim.cycles fl);
   for n = 0 to Backend.Netlist.net_count nl - 1 do
@@ -907,13 +940,51 @@ let bench_smoke () =
   let rtl = rtl_frame ~pixels () in
   if Rtl_sim.comb_skips rtl = 0 then
     failwith "bench-smoke: rtl scheduler never skipped a process";
-  Printf.printf
+  Obs.Log.infof
     "bench-smoke ok: 3-way lockstep + fault shrink, %d cycles, gate evals \
-     %d (event) vs %d (full), rtl process runs %d skips %d\n"
+     %d (event) vs %d (full), rtl process runs %d skips %d"
     (Backend.Nl_sim.cycles ev)
     (Backend.Nl_sim.gate_evals ev)
     (Backend.Nl_sim.gate_evals fl)
-    (Rtl_sim.comb_runs rtl) (Rtl_sim.comb_skips rtl)
+    (Rtl_sim.comb_runs rtl) (Rtl_sim.comb_skips rtl);
+  let rtl_activity = Rtl_sim.process_activity rtl in
+  let extra =
+    let open Obs.Json in
+    [
+      ( "smoke",
+        Obj
+          [
+            ("workload", String "expocu_frame");
+            ("pixels", Int pixels);
+            ("cycles", Int (Backend.Nl_sim.cycles ev));
+            ("gate_evals_event", Int (Backend.Nl_sim.gate_evals ev));
+            ("gate_evals_full", Int (Backend.Nl_sim.gate_evals fl));
+            ("rtl_process_runs", Int (Rtl_sim.comb_runs rtl));
+            ("rtl_process_skips", Int (Rtl_sim.comb_skips rtl));
+          ] );
+    ]
+  in
+  let profiles =
+    [
+      ("hot_nets", Obs.Profile.top (Backend.Nl_sim.net_activity ev));
+      ("hot_cells", Obs.Profile.top (Backend.Nl_sim.cell_activity ev));
+      ("hot_processes", Obs.Profile.top rtl_activity);
+      ("hot_modules", Obs.Profile.top (Obs.Profile.by_module rtl_activity));
+    ]
+  in
+  (extra, profiles)
+
+(* When the smoke run is being traced, pull the remaining instrumented
+   layers (the sc_method kernel and the synthesis flow) into the same
+   process so one Chrome trace covers kernel steps, engine settles and
+   every Flow pass. *)
+let cover_traced_layers () =
+  let beh = Expocu.Behave_model.run ~frames:1 ~pixels_per_frame:32 () in
+  if beh.Expocu.Behave_model.kernel_runs = 0 then
+    failwith "bench-smoke: behavioural model ran no kernel processes";
+  let flow = Synth.Flow.run Synth.Flow.Osss (Expocu.Sync.osss_module ()) in
+  if flow.Synth.Flow.passes = [] then
+    failwith "bench-smoke: flow recorded no passes"
 
 (* ------------------------------------------------------------------ *)
 
@@ -925,25 +996,115 @@ let experiments =
     ("ablation", ablation);
   ]
 
+type opts = {
+  mutable smoke : bool;
+  mutable json : bool;
+  mutable profile : bool;
+  mutable trace_out : string option;
+  mutable stats_json : string option;
+  mutable check_report : string option;
+  mutable ids : string list;  (* reverse order *)
+}
+
+let usage () =
+  Obs.Log.error
+    "usage: bench [--smoke] [--json] [--profile] [--trace-out FILE] \
+     [--stats-json FILE] [--check-report FILE] [experiment ids...]";
+  exit 2
+
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  match args with
-  | [ "--json" ] -> bench_json ()
-  | [ "--smoke" ] -> bench_smoke ()
-  | _ ->
-  let selected =
-    match args with
-    | [] -> experiments
-    | ids ->
-        List.filter_map
-          (fun id ->
-            match List.assoc_opt (String.lowercase_ascii id) experiments with
-            | Some f -> Some (id, f)
-            | None ->
-                Printf.eprintf "unknown experiment %s\n" id;
-                None)
-          ids
+  let o =
+    {
+      smoke = false;
+      json = false;
+      profile = false;
+      trace_out = None;
+      stats_json = None;
+      check_report = None;
+      ids = [];
+    }
   in
-  Printf.printf
-    "OSSS evaluation reproduction — experiments from Bannow & Haug, DATE 2004\n";
-  List.iter (fun (_, f) -> f ()) selected
+  let rec parse = function
+    | [] -> ()
+    | "--smoke" :: rest ->
+        o.smoke <- true;
+        parse rest
+    | "--json" :: rest ->
+        o.json <- true;
+        parse rest
+    | "--profile" :: rest ->
+        o.profile <- true;
+        parse rest
+    | "--trace-out" :: file :: rest ->
+        o.trace_out <- Some file;
+        parse rest
+    | "--stats-json" :: file :: rest ->
+        o.stats_json <- Some file;
+        parse rest
+    | "--check-report" :: file :: rest ->
+        o.check_report <- Some file;
+        parse rest
+    | arg :: _ when String.length arg > 1 && arg.[0] = '-' ->
+        Obs.Log.errorf "unknown or incomplete option %s" arg;
+        usage ()
+    | id :: rest ->
+        o.ids <- id :: o.ids;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  (* --check-report validates and exits: the in-repo schema check CI
+     runs against a report produced moments earlier. *)
+  (match o.check_report with
+  | Some file -> (
+      match Obs.Report.validate_file file with
+      | Ok () ->
+          Printf.printf "%s: valid %s\n" file Obs.Report.schema_version;
+          exit 0
+      | Error e ->
+          Obs.Log.errorf "%s: invalid run report: %s" file e;
+          exit 1)
+  | None -> ());
+  let tracing = o.trace_out <> None || o.stats_json <> None in
+  if tracing then begin
+    Obs.Span.enable ();
+    Obs.Hist.enable ()
+  end;
+  if o.smoke then begin
+    let extra, profiles = bench_smoke ~profile:(o.profile || o.json) () in
+    if tracing then cover_traced_layers ();
+    if o.json then
+      print_endline
+        (Obs.Json.to_string ~pretty:true
+           (Obs.Report.make ~profiles ~extra ~run:"bench-smoke" ()))
+  end
+  else if o.json then bench_json ~profile:o.profile ()
+  else begin
+    let selected =
+      match List.rev o.ids with
+      | [] -> experiments
+      | ids ->
+          List.filter_map
+            (fun id ->
+              match List.assoc_opt (String.lowercase_ascii id) experiments with
+              | Some f -> Some (id, f)
+              | None ->
+                  Obs.Log.errorf "unknown experiment %s" id;
+                  None)
+            ids
+    in
+    Printf.printf
+      "OSSS evaluation reproduction — experiments from Bannow & Haug, DATE \
+       2004\n";
+    List.iter (fun (_, f) -> f ()) selected
+  end;
+  (match o.stats_json with
+  | Some path ->
+      let run = if o.smoke then "bench-smoke" else "bench" in
+      Obs.Json.save (Obs.Report.make ~run ()) path;
+      Obs.Log.infof "run report written to %s" path
+  | None -> ());
+  match o.trace_out with
+  | Some path ->
+      Obs.Span.save_chrome path;
+      Obs.Log.infof "chrome trace written to %s" path
+  | None -> ()

@@ -3,7 +3,7 @@
 
 open Cmdliner
 
-let report name show_metrics show_systemc show_passes flow_name =
+let report name show_metrics show_systemc show_passes flow_name json obs =
   match Designs.find name with
   | None ->
       Printf.eprintf "unknown design %s; available:\n%s\n" name
@@ -11,31 +11,42 @@ let report name show_metrics show_systemc show_passes flow_name =
       1
   | Some (desc, make) ->
       let design = make () in
-      Printf.printf "%s — %s\n\n" name desc;
-      print_string (Synth.Analyzer.report design);
-      if show_metrics then begin
-        let m = Metrics.of_module design in
-        Printf.printf "\nmetrics: %s\n" (Format.asprintf "%a" Metrics.pp m);
-        Printf.printf "effort model: %.2f units\n" (Metrics.effort_days m)
+      Obs_cli.setup obs;
+      let flow_kind () =
+        match flow_name with
+        | "osss" -> Synth.Flow.Osss
+        | "vhdl" -> Synth.Flow.Vhdl
+        | other ->
+            Printf.eprintf "unknown flow %s (osss|vhdl)\n" other;
+            exit 1
+      in
+      if json then begin
+        (* Machine-readable mode: run the flow and print its result
+           (including the per-pass table) as the only stdout output. *)
+        let result = Synth.Flow.run (flow_kind ()) design in
+        print_endline
+          (Obs.Json.to_string ~pretty:true (Synth.Flow.result_json result))
+      end
+      else begin
+        Printf.printf "%s — %s\n\n" name desc;
+        print_string (Synth.Analyzer.report design);
+        if show_metrics then begin
+          let m = Metrics.of_module design in
+          Printf.printf "\nmetrics: %s\n" (Format.asprintf "%a" Metrics.pp m);
+          Printf.printf "effort model: %.2f units\n" (Metrics.effort_days m)
+        end;
+        if show_systemc then begin
+          print_endline "\n-- resolved standard SystemC --";
+          print_string (Osss.Resolve.emit_module (Hdl.Elaborate.flatten design))
+        end;
+        if show_passes then begin
+          let result = Synth.Flow.run (flow_kind ()) design in
+          Printf.printf "\n-- %s flow pass trace --\n"
+            (Synth.Flow.kind_name (flow_kind ()));
+          print_string (Synth.Flow.pass_table result)
+        end
       end;
-      if show_systemc then begin
-        print_endline "\n-- resolved standard SystemC --";
-        print_string (Osss.Resolve.emit_module (Hdl.Elaborate.flatten design))
-      end;
-      if show_passes then begin
-        let kind =
-          match flow_name with
-          | "osss" -> Synth.Flow.Osss
-          | "vhdl" -> Synth.Flow.Vhdl
-          | other ->
-              Printf.eprintf "unknown flow %s (osss|vhdl)\n" other;
-              exit 1
-        in
-        let result = Synth.Flow.run kind design in
-        Printf.printf "\n-- %s flow pass trace --\n"
-          (Synth.Flow.kind_name kind);
-        print_string (Synth.Flow.pass_table result)
-      end;
+      Obs_cli.finish obs ~run:"design_report";
       0
 
 let design_arg =
@@ -58,8 +69,15 @@ let passes_arg =
   Arg.(value & flag & info [ "passes" ] ~doc)
 
 let flow_arg =
-  let doc = "Flow used by --passes: osss or vhdl." in
+  let doc = "Flow used by --passes/--json: osss or vhdl." in
   Arg.(value & opt string "osss" & info [ "flow" ] ~docv:"FLOW" ~doc)
+
+let json_arg =
+  let doc =
+    "Run the synthesis flow and print its result (final area/timing plus \
+     the per-pass table) as JSON — the only stdout output in this mode."
+  in
+  Arg.(value & flag & info [ "json" ] ~doc)
 
 let cmd =
   let doc = "design structure and metrics report (the ODETTE analyzer)" in
@@ -67,6 +85,6 @@ let cmd =
     (Cmd.info "design_report" ~doc)
     Term.(
       const report $ design_arg $ metrics_arg $ systemc_arg $ passes_arg
-      $ flow_arg)
+      $ flow_arg $ json_arg $ Obs_cli.term)
 
 let () = exit (Cmd.eval' cmd)

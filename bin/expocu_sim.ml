@@ -4,7 +4,7 @@
 open Cmdliner
 open Hdl
 
-let run_rtl style frames illumination target vcd_path =
+let run_rtl style frames illumination target vcd_path obs =
   let design =
     match style with
     | "osss" -> Expocu.Expocu_top.osss_top ()
@@ -67,6 +67,13 @@ let run_rtl style frames illumination target vcd_path =
       Rtl_trace.save tr path;
       Printf.printf "waveform written to %s\n" path
   | _, _ -> ());
+  let activity = Rtl_sim.process_activity sim in
+  Obs_cli.finish obs ~run:"expocu_sim"
+    ~profiles:
+      [
+        ("hot processes", activity);
+        ("hot modules", Obs.Profile.by_module activity);
+      ];
   0
 
 let run_behavioural frames illumination target =
@@ -81,10 +88,14 @@ let run_behavioural frames illumination target =
     r.Expocu.Behave_model.sim_cycles r.Expocu.Behave_model.kernel_runs;
   0
 
-let main level style frames illumination target vcd =
+let main level style frames illumination target vcd obs =
+  Obs_cli.setup obs;
   match level with
-  | "rtl" -> run_rtl style frames illumination target vcd
-  | "behavioural" | "behavioral" -> run_behavioural frames illumination target
+  | "rtl" -> run_rtl style frames illumination target vcd obs
+  | "behavioural" | "behavioral" ->
+      let rc = run_behavioural frames illumination target in
+      Obs_cli.finish obs ~run:"expocu_sim";
+      rc
   | other ->
       Printf.eprintf "unknown level %s (rtl|behavioural)\n" other;
       1
@@ -119,6 +130,6 @@ let cmd =
     (Cmd.info "expocu_sim" ~doc)
     Term.(
       const main $ level_arg $ style_arg $ frames_arg $ illum_arg $ target_arg
-      $ vcd_arg)
+      $ vcd_arg $ Obs_cli.term)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,67 @@
+(* Shared observability plumbing for the command-line tools: the
+   --trace-out / --stats-json / --profile flags, switching the
+   collectors on up front and exporting when the run finishes. *)
+
+open Cmdliner
+
+type t = {
+  trace_out : string option;
+  stats_json : string option;
+  profile : bool;
+}
+
+let trace_arg =
+  let doc =
+    "Write a Chrome trace-event JSON of the run to $(docv) (open in Perfetto \
+     or chrome://tracing)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
+let stats_arg =
+  let doc =
+    "Write a machine-readable run report (Perf counters, histograms, span \
+     tree, activity profiles) to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "stats-json" ] ~docv:"FILE" ~doc)
+
+let profile_arg =
+  let doc =
+    "Collect activity profiles and print the hot-spot tables (hot nets, hot \
+     cells, hot processes)."
+  in
+  Arg.(value & flag & info [ "profile" ] ~doc)
+
+let term =
+  let make trace_out stats_json profile = { trace_out; stats_json; profile } in
+  Term.(const make $ trace_arg $ stats_arg $ profile_arg)
+
+let profiling t = t.profile
+
+let setup t =
+  if t.trace_out <> None || t.stats_json <> None then begin
+    Obs.Span.enable ();
+    Obs.Hist.enable ()
+  end
+
+(* [profiles] are raw (name, count) activity lists; ranking and
+   serialization happen here. *)
+let finish ?(profiles = []) ~run t =
+  let ranked =
+    List.map (fun (title, raw) -> (title, Obs.Profile.top raw)) profiles
+  in
+  if t.profile then
+    List.iter
+      (fun (title, entries) ->
+        print_newline ();
+        print_string (Obs.Profile.table ~title entries))
+      ranked;
+  (match t.stats_json with
+  | Some path ->
+      Obs.Json.save (Obs.Report.make ~profiles:ranked ~run ()) path;
+      Obs.Log.infof "run report written to %s" path
+  | None -> ());
+  match t.trace_out with
+  | Some path ->
+      Obs.Span.save_chrome path;
+      Obs.Log.infof "chrome trace written to %s" path
+  | None -> ()

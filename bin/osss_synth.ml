@@ -3,7 +3,8 @@
 
 open Cmdliner
 
-let synthesize name flow_name out_dir emit_artifacts no_fold layout cec =
+let synthesize name flow_name out_dir emit_artifacts no_fold layout cec json
+    obs =
   match Designs.find name with
   | None ->
       Printf.eprintf "unknown design %s; available:\n%s\n" name
@@ -18,13 +19,21 @@ let synthesize name flow_name out_dir emit_artifacts no_fold layout cec =
             Printf.eprintf "unknown flow %s (osss|vhdl)\n" other;
             exit 1
       in
+      Obs_cli.setup obs;
       let result =
         Synth.Flow.run ~fold:(not no_fold) ~check_invariants:cec ~layout kind
           (make ())
       in
-      print_string (Synth.Flow.summary result);
-      print_newline ();
-      print_string result.Synth.Flow.structure;
+      (* --json keeps stdout machine-readable; the narrative goes to
+         stderr through the logger. *)
+      if json then
+        print_endline
+          (Obs.Json.to_string ~pretty:true (Synth.Flow.result_json result))
+      else begin
+        print_string (Synth.Flow.summary result);
+        print_newline ();
+        print_string result.Synth.Flow.structure
+      end;
       if emit_artifacts then begin
         (try Unix.mkdir out_dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
         List.iter
@@ -33,9 +42,10 @@ let synthesize name flow_name out_dir emit_artifacts no_fold layout cec =
             let oc = open_out path in
             output_string oc text;
             close_out oc;
-            Printf.printf "wrote %s (%d bytes)\n" path (String.length text))
+            Obs.Log.infof "wrote %s (%d bytes)" path (String.length text))
           result.Synth.Flow.intermediate
       end;
+      Obs_cli.finish obs ~run:"osss_synth";
       0
 
 let design_arg =
@@ -73,12 +83,19 @@ let list_arg =
   let doc = "List the available designs." in
   Arg.(value & flag & info [ "list" ] ~doc)
 
-let main design flow out emit no_fold layout cec list =
+let json_arg =
+  let doc =
+    "Print the flow result (final area/timing plus the per-pass table) as \
+     JSON on stdout instead of the text summary."
+  in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let main design flow out emit no_fold layout cec list json obs =
   if list then begin
     List.iter print_endline (Designs.list_lines ());
     0
   end
-  else synthesize design flow out emit no_fold layout cec
+  else synthesize design flow out emit no_fold layout cec json obs
 
 let cmd =
   let doc = "synthesize OSSS/RTL designs down to a gate netlist" in
@@ -86,6 +103,6 @@ let cmd =
     (Cmd.info "osss_synth" ~doc)
     Term.(
       const main $ design_arg $ flow_arg $ out_arg $ emit_arg $ nofold_arg
-      $ layout_arg $ cec_arg $ list_arg)
+      $ layout_arg $ cec_arg $ list_arg $ json_arg $ Obs_cli.term)
 
 let () = exit (Cmd.eval' cmd)

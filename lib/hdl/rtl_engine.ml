@@ -21,6 +21,7 @@ module Impl = struct
       ("settles", Rtl_sim.settles sim);
       ("comb_runs", Rtl_sim.comb_runs sim);
       ("comb_skips", Rtl_sim.comb_skips sim);
+      ("sync_runs", Rtl_sim.sync_runs sim);
     ]
 end
 

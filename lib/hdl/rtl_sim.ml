@@ -6,6 +6,11 @@ let ctr_runs = Perf.counter "rtl_sim.process_runs"
 let ctr_skips = Perf.counter "rtl_sim.process_skips"
 let ctr_sync_runs = Perf.counter "rtl_sim.sync_runs"
 
+(* Distributions per settle (see Obs.Hist; recording is off unless a
+   caller enables it). *)
+let hist_dirty = Obs.Hist.histogram "rtl_sim.dirty_vars_per_settle"
+let hist_runs_per_settle = Obs.Hist.histogram "rtl_sim.comb_runs_per_settle"
+
 type sync_proc = {
   s_name : string;
   s_body : Ir.stmt list;
@@ -14,6 +19,7 @@ type sync_proc = {
       (* vars whose pre-edge value the activation can observe: the body's
          entry reads plus every write target (an untaken write path must
          commit the old value back unchanged) *)
+  mutable s_runs : int;  (* activity profile: activations of this process *)
 }
 
 type comb_proc = {
@@ -22,6 +28,7 @@ type comb_proc = {
   c_writes : Ir.var list;
   c_inputs : int list;  (* ids of vars whose entry value the body observes *)
   c_self : bool;  (* reads one of its own write targets before writing it *)
+  mutable c_runs : int;  (* activity profile: evaluations of this process *)
 }
 
 type t = {
@@ -38,6 +45,7 @@ type t = {
   mutable n_settles : int;
   mutable n_comb_runs : int;
   mutable n_comb_skips : int;
+  mutable n_sync_runs : int;
 }
 
 let dedup_vars vars =
@@ -146,6 +154,7 @@ let create m =
                 c_writes = writes;
                 c_inputs = List.map (fun (v : Ir.var) -> v.Ir.id) input_vars;
                 c_self;
+                c_runs = 0;
               }
               :: cs,
               ss )
@@ -157,6 +166,7 @@ let create m =
                 s_body = body;
                 s_writes = writes;
                 s_snap = dedup_vars (Ir.body_inputs body @ writes);
+                s_runs = 0;
               }
               :: ss ))
       ([], []) flat.processes
@@ -185,6 +195,7 @@ let create m =
     n_settles = 0;
     n_comb_runs = 0;
     n_comb_skips = 0;
+    n_sync_runs = 0;
   }
 
 let find_port t name =
@@ -225,6 +236,7 @@ let run_comb t (cp : comb_proc) =
   let before = List.map (fun v -> Eval.get t.env v) cp.c_writes in
   Eval.run_body t.env cp.c_body;
   t.n_comb_runs <- t.n_comb_runs + 1;
+  cp.c_runs <- cp.c_runs + 1;
   Perf.incr ctr_runs;
   let changed = ref false in
   List.iter2
@@ -251,12 +263,14 @@ let run_comb_converge t cp =
   in
   go 1
 
-let settle t =
+let settle_inner t =
   (match t.comb_cycle with
   | Some msg -> raise (Combinational_loop msg)
   | None -> ());
   t.n_settles <- t.n_settles + 1;
   Perf.incr ctr_settles;
+  Obs.Hist.observe_int hist_dirty (Hashtbl.length t.dirty);
+  let runs_before = t.n_comb_runs in
   let force = t.full_settle in
   Array.iter
     (fun cp ->
@@ -270,11 +284,17 @@ let settle t =
       end)
     t.combs;
   t.full_settle <- false;
+  Obs.Hist.observe_int hist_runs_per_settle (t.n_comb_runs - runs_before);
   (* Processes run in dependency order, so every change was seen by all
      downstream readers; the whole dirty set is consumed. *)
   Hashtbl.reset t.dirty
 
-let step t =
+let settle t =
+  if Obs.Span.enabled () then
+    Obs.Span.with_ ~name:"rtl_sim.settle" (fun () -> settle_inner t)
+  else settle_inner t
+
+let step_inner t =
   settle t;
   (* All synchronous processes observe the same pre-edge state.  Each
      gets a private snapshot of just the vars it can read (plus its
@@ -286,6 +306,8 @@ let step t =
       (fun sp ->
         let local = Eval.snapshot t.env sp.s_snap in
         Eval.run_body local sp.s_body;
+        sp.s_runs <- sp.s_runs + 1;
+        t.n_sync_runs <- t.n_sync_runs + 1;
         Perf.incr ctr_sync_runs;
         (sp, local))
       t.syncs
@@ -319,6 +341,11 @@ let step t =
   t.n_cycles <- t.n_cycles + 1;
   settle t
 
+let step t =
+  if Obs.Span.enabled () then
+    Obs.Span.with_ ~name:"rtl_sim.step" (fun () -> step_inner t)
+  else step_inner t
+
 let run t n =
   for _ = 1 to n do
     step t
@@ -329,3 +356,12 @@ let design t = t.flat
 let settles t = t.n_settles
 let comb_runs t = t.n_comb_runs
 let comb_skips t = t.n_comb_skips
+let sync_runs t = t.n_sync_runs
+
+(* Activity profile: activations per process since creation, in
+   hierarchical name order ("instance.process" after flattening), so
+   the ranking attributes simulation work to ExpoCU module instances. *)
+let process_activity t =
+  let combs = Array.to_list (Array.map (fun cp -> (cp.c_name, cp.c_runs)) t.combs) in
+  let syncs = List.map (fun sp -> (sp.s_name, sp.s_runs)) t.syncs in
+  List.sort (fun (a, _) (b, _) -> compare a b) (combs @ syncs)

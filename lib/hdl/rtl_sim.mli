@@ -60,3 +60,11 @@ val comb_runs : t -> int
 val comb_skips : t -> int
 (** Combinational process activations skipped because no input of the
     process had changed since its last run. *)
+
+val sync_runs : t -> int
+(** Synchronous process activations executed so far. *)
+
+val process_activity : t -> (string * int) list
+(** Activations per process (combinational evaluations plus synchronous
+    runs), sorted by hierarchical process name — the raw material of the
+    "hot processes" profile. *)

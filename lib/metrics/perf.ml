@@ -19,3 +19,22 @@ let reset_all () = Hashtbl.iter (fun _ c -> c.count <- 0) registry
 let all () =
   Hashtbl.fold (fun name c acc -> (name, c.count) :: acc) registry []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(* Scoped observation: counters are process-global, so concurrent
+   engine runs (e.g. the lockstep phases of Backend.Equiv) cannot
+   reset them mid-run without clobbering each other.  A snapshot
+   captures every registered counter; diffing two snapshots (or a
+   snapshot against the live registry) attributes the delta to the
+   phase between them. *)
+type snapshot = (string * int) list
+
+let snapshot () = all ()
+
+let diff ~before ~after =
+  List.filter_map
+    (fun (name, v_after) ->
+      let v_before = Option.value ~default:0 (List.assoc_opt name before) in
+      if v_after <> v_before then Some (name, v_after - v_before) else None)
+    after
+
+let since before = diff ~before ~after:(snapshot ())

@@ -26,3 +26,23 @@ val reset_all : unit -> unit
 
 val all : unit -> (string * int) list
 (** Every registered counter with its current value, sorted by name. *)
+
+(** {1 Scoped observation}
+
+    Counters are process-global; phases that run concurrently with
+    other instrumented work (the search/shrink/replay phases of
+    [Backend.Equiv], a pass inside a longer flow) must not reset them
+    mid-run.  Instead, snapshot before and diff after. *)
+
+type snapshot
+
+val snapshot : unit -> snapshot
+(** Capture every registered counter's current value. *)
+
+val diff : before:snapshot -> after:snapshot -> (string * int) list
+(** Per-counter delta between two snapshots, sorted by name; zero
+    deltas are dropped.  Counters registered after [before] count from
+    zero. *)
+
+val since : snapshot -> (string * int) list
+(** [diff ~before ~after:(snapshot ())]. *)

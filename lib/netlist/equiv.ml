@@ -1,3 +1,7 @@
+(* Global activity counters (see Metrics.Perf). *)
+let ctr_rounds = Perf.counter "equiv.rounds"
+let ctr_replays = Perf.counter "equiv.shrink_replays"
+
 type mismatch = {
   at_cycle : int;
   port : string;
@@ -37,6 +41,7 @@ let random_bv rng width = Bitvec.init width (fun _ -> Random.State.bool rng)
    then compare every output of every non-reference engine against the
    reference.  Returns the first mismatch, if any. *)
 let drive_and_compare engines outs cycle assignment =
+  Perf.incr ctr_rounds;
   List.iter
     (fun (name, value) ->
       List.iter (fun e -> Engine.set_input e name value) engines)
@@ -67,34 +72,54 @@ let drive_and_compare engines outs cycle assignment =
   in
   scan (List.tl engines)
 
+(* Phase span carrying the Perf counter deltas the phase caused, so a
+   trace shows which phase spent which gate evaluations. *)
+let with_phase_span name attrs f =
+  if Obs.Span.enabled () then
+    Obs.Span.with_ ~name ~attrs (fun () ->
+        let before = Perf.snapshot () in
+        let r = f () in
+        List.iter (fun (k, d) -> Obs.Span.add_attr_int k d) (Perf.since before);
+        r)
+  else f ()
+
 (* Replay a stimulus slice against fresh engines; first mismatch, if
    any.  [observe] is called after every cycle (used for tracing). *)
 let replay_window ?(observe = fun _ -> ()) factories outs window =
-  let engines = List.map (fun f -> f ()) factories in
-  let n = Array.length window in
-  let rec cycle i =
-    if i >= n then None
-    else begin
-      let result = drive_and_compare engines outs i window.(i) in
+  Perf.incr ctr_replays;
+  with_phase_span "equiv.replay"
+    [ ("window", string_of_int (Array.length window)) ]
+    (fun () ->
+      let engines = List.map (fun f -> f ()) factories in
+      let n = Array.length window in
+      let rec cycle i =
+        if i >= n then None
+        else begin
+          let result = drive_and_compare engines outs i window.(i) in
+          observe engines;
+          match result with Some m -> Some m | None -> cycle (i + 1)
+        end
+      in
       observe engines;
-      match result with Some m -> Some m | None -> cycle (i + 1)
-    end
-  in
-  observe engines;
-  cycle 0
+      cycle 0)
 
 let shrink_window factories outs stim =
-  let total = Array.length stim in
-  let suffix len = Array.sub stim (total - len) len in
-  let diverges len = replay_window factories outs (suffix len) <> None in
-  (* The full recording reproduces by determinism; binary-search the
-     shortest suffix that still diverges when replayed from reset. *)
-  let lo = ref 1 and hi = ref total in
-  while !lo < !hi do
-    let mid = (!lo + !hi) / 2 in
-    if diverges mid then hi := mid else lo := mid + 1
-  done;
-  if diverges !lo then !lo else total
+  with_phase_span "equiv.shrink"
+    [ ("recorded", string_of_int (Array.length stim)) ]
+    (fun () ->
+      let total = Array.length stim in
+      let suffix len = Array.sub stim (total - len) len in
+      let diverges len = replay_window factories outs (suffix len) <> None in
+      (* The full recording reproduces by determinism; binary-search the
+         shortest suffix that still diverges when replayed from reset. *)
+      let lo = ref 1 and hi = ref total in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if diverges mid then hi := mid else lo := mid + 1
+      done;
+      let len = if diverges !lo then !lo else total in
+      Obs.Span.add_attr_int "shrunk_to" len;
+      len)
 
 let differential ?(cycles = 500) ?(seed = 42) ?(drive = fun _ (_, r) -> r)
     ?(shrink = true) ?(dump_vcd = false) factories =
@@ -106,6 +131,13 @@ let differential ?(cycles = 500) ?(seed = 42) ?(drive = fun _ (_, r) -> r)
   let outs = Engine.outputs reference in
   let rng = Random.State.make [| seed |] in
   let stim = Array.make cycles [] in
+  with_phase_span "equiv.differential"
+    [
+      ("cycles", string_of_int cycles);
+      ("seed", string_of_int seed);
+      ("engines", string_of_int (List.length factories));
+    ]
+  @@ fun () ->
   let rec cycle n =
     if n >= cycles then Ok cycles
     else begin
@@ -146,7 +178,10 @@ let differential ?(cycles = 500) ?(seed = 42) ?(drive = fun _ (_, r) -> r)
           Error { first; window_start = n + 1 - len; window; replay; vcd }
     end
   in
-  cycle 0
+  let result = cycle 0 in
+  Obs.Span.add_attr "result"
+    (match result with Ok _ -> "ok" | Error _ -> "diverged");
+  result
 
 let ir_vs_netlist ?cycles ?seed ?drive design nl =
   differential ?cycles ?seed ?drive

@@ -36,6 +36,8 @@ let make_impl sim_kind =
         ("cells_skipped", Nl_sim.cells_skipped t.sim);
         ("comb_cells", Nl_sim.comb_cells t.sim);
         ("dff_cells", Nl_sim.dff_cells t.sim);
+        ("full_settles", Nl_sim.full_settles t.sim);
+        ("toggles", Nl_sim.toggle_total t.sim);
       ]
   end : Engine.S
     with type t = state)

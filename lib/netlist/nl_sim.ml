@@ -3,6 +3,10 @@ let ctr_evals = Perf.counter "nl_sim.gate_evals"
 let ctr_skipped = Perf.counter "nl_sim.cells_skipped"
 let ctr_full = Perf.counter "nl_sim.full_settles"
 
+(* Distributions per settle/step (see Obs.Hist; off unless enabled). *)
+let hist_evals = Obs.Hist.histogram "nl_sim.evals_per_settle"
+let hist_touched = Obs.Hist.histogram "nl_sim.nets_touched_per_step"
+
 type mode = Event_driven | Full_eval
 
 exception Combinational_loop of { module_name : string; net : int }
@@ -44,6 +48,11 @@ type t = {
   mutable n_cycles : int;
   mutable n_evals : int;
   mutable n_skipped : int;
+  mutable n_full_settles : int;
+  (* Optional per-cell evaluation profile (indexed like [order]);
+     [ [||] ] until [enable_profile] allocates it. *)
+  mutable profiling : bool;
+  mutable eval_counts : int array;
 }
 
 let topo_order nl =
@@ -136,6 +145,9 @@ let create ?(mode = Event_driven) nl =
     n_cycles = 0;
     n_evals = 0;
     n_skipped = 0;
+    n_full_settles = 0;
+    profiling = false;
+    eval_counts = [||];
   }
 
 let schedule t ci =
@@ -206,9 +218,17 @@ let eval_kind t (c : Netlist.cell) =
 let eval_cell t (c : Netlist.cell) = t.values.(c.out) <- eval_kind t c
 
 let settle_full t =
-  Array.iter (eval_cell t) t.order;
+  if t.profiling then
+    Array.iteri
+      (fun ci c ->
+        eval_cell t c;
+        t.eval_counts.(ci) <- t.eval_counts.(ci) + 1)
+      t.order
+  else Array.iter (eval_cell t) t.order;
   t.n_evals <- t.n_evals + Array.length t.order;
-  Perf.incr ~by:(Array.length t.order) ctr_evals
+  t.n_full_settles <- t.n_full_settles + 1;
+  Perf.incr ~by:(Array.length t.order) ctr_evals;
+  Obs.Hist.observe_int hist_evals (Array.length t.order)
 
 (* One settle in event mode: either a forced full pass (first settle, in
    topological order, epoch recording preserved) or an ascending-level
@@ -217,17 +237,20 @@ let settle_full t =
 let settle_event t =
   if t.need_full then begin
     t.need_full <- false;
-    Array.iter
-      (fun (c : Netlist.cell) ->
+    Array.iteri
+      (fun ci (c : Netlist.cell) ->
         let r = eval_kind t c in
+        if t.profiling then t.eval_counts.(ci) <- t.eval_counts.(ci) + 1;
         if t.values.(c.out) <> r then begin
           record_epoch t c.out;
           t.values.(c.out) <- r
         end)
       t.order;
     t.n_evals <- t.n_evals + Array.length t.order;
+    t.n_full_settles <- t.n_full_settles + 1;
     Perf.incr ~by:(Array.length t.order) ctr_evals;
     Perf.incr ctr_full;
+    Obs.Hist.observe_int hist_evals (Array.length t.order);
     (* Anything scheduled beforehand was just evaluated. *)
     Array.iteri
       (fun l b ->
@@ -247,6 +270,7 @@ let settle_event t =
             let c = t.order.(ci) in
             let r = eval_kind t c in
             incr evals;
+            if t.profiling then t.eval_counts.(ci) <- t.eval_counts.(ci) + 1;
             if t.values.(c.out) <> r then begin
               record_epoch t c.out;
               t.values.(c.out) <- r;
@@ -258,13 +282,22 @@ let settle_event t =
     done;
     t.n_evals <- t.n_evals + !evals;
     Perf.incr ~by:!evals ctr_evals;
+    Obs.Hist.observe_int hist_evals !evals;
     let skipped = Array.length t.order - !evals in
     t.n_skipped <- t.n_skipped + skipped;
     Perf.incr ~by:skipped ctr_skipped
   end
 
-let settle t =
+let settle_inner t =
   match t.mode with Full_eval -> settle_full t | Event_driven -> settle_event t
+
+let settle t =
+  if Obs.Span.enabled () then
+    Obs.Span.with_ ~name:"nl_sim.settle" (fun () ->
+        let e0 = t.n_evals in
+        settle_inner t;
+        Obs.Span.add_attr_int "evals" (t.n_evals - e0))
+  else settle_inner t
 
 let step_full t =
   settle_full t;
@@ -294,6 +327,8 @@ let step_event t =
   Perf.incr ~by:(Array.length t.dffs) ctr_evals;
   t.n_cycles <- t.n_cycles + 1;
   settle_event t;
+  if Obs.Hist.enabled () then
+    Obs.Hist.observe_int hist_touched (List.length t.epoch_touched);
   List.iter
     (fun n ->
       if t.values.(n) <> t.epoch_pre.(n) then
@@ -303,8 +338,18 @@ let step_event t =
   t.epoch_touched <- [];
   t.in_epoch <- false
 
-let step t =
+let step_inner t =
   match t.mode with Full_eval -> step_full t | Event_driven -> step_event t
+
+let step t =
+  if Obs.Span.enabled () then
+    Obs.Span.with_ ~name:"nl_sim.step"
+      ~attrs:[ ("cycle", string_of_int t.n_cycles) ]
+      (fun () ->
+        let e0 = t.n_evals in
+        step_inner t;
+        Obs.Span.add_attr_int "evals" (t.n_evals - e0))
+  else step_inner t
 
 let run t n =
   for _ = 1 to n do
@@ -318,3 +363,63 @@ let comb_cells t = Array.length t.order
 let dff_cells t = Array.length t.dffs
 
 let net_toggles t n = t.toggles.(n)
+let full_settles t = t.n_full_settles
+let toggle_total t = Array.fold_left ( + ) 0 t.toggles
+
+let enable_profile t =
+  if not t.profiling then begin
+    t.profiling <- true;
+    t.eval_counts <- Array.make (Array.length t.order) 0
+  end
+
+let profiling t = t.profiling
+
+(* Human-readable net labels: port bits by name ("bus[i]", or the bare
+   name for width-1 buses), anonymous internal nets as "n<id>". *)
+let net_labels t =
+  let n_nets = Array.length t.values in
+  let labels = Array.make n_nets "" in
+  let fill tbl =
+    Hashtbl.iter
+      (fun name nets ->
+        if Array.length nets = 1 then labels.(nets.(0)) <- name
+        else
+          Array.iteri
+            (fun i n -> labels.(n) <- Printf.sprintf "%s[%d]" name i)
+            nets)
+      tbl
+  in
+  fill t.in_nets;
+  fill t.out_nets;
+  Array.mapi (fun n l -> if l = "" then "n" ^ string_of_int n else l) labels
+
+let by_count_desc (la, a) (lb, b) =
+  if a <> b then compare b a else compare la lb
+
+let net_activity t =
+  let labels = net_labels t in
+  let acc = ref [] in
+  Array.iteri
+    (fun n c -> if c > 0 then acc := (labels.(n), c) :: !acc)
+    t.toggles;
+  List.sort by_count_desc !acc
+
+let cell_activity t =
+  if not t.profiling then []
+  else begin
+    let labels = net_labels t in
+    let acc = ref [] in
+    Array.iteri
+      (fun ci c ->
+        if c > 0 then begin
+          let cell = t.order.(ci) in
+          acc :=
+            ( Printf.sprintf "%s:%s"
+                labels.(cell.Netlist.out)
+                (Cell.name cell.Netlist.kind),
+              c )
+            :: !acc
+        end)
+      t.eval_counts;
+    List.sort by_count_desc !acc
+  end

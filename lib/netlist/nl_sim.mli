@@ -58,3 +58,33 @@ val dff_cells : t -> int
 val net_toggles : t -> Netlist.net -> int
 (** Value transitions observed on a net across clock cycles — the
     switching activity behind dynamic-power estimation. *)
+
+val toggle_total : t -> int
+(** Sum of {!net_toggles} over every net. *)
+
+val full_settles : t -> int
+(** Settles that evaluated every combinational cell: all of them in
+    {!Full_eval} mode, only the forced initial pass in
+    {!Event_driven} mode. *)
+
+(** {1 Activity profiling}
+
+    Per-net toggle ranking is always available (the toggle counters
+    exist for power estimation anyway); per-cell evaluation counts
+    cost one increment per gate evaluation and are therefore off
+    until {!enable_profile}. *)
+
+val enable_profile : t -> unit
+(** Start counting evaluations per combinational cell. *)
+
+val profiling : t -> bool
+
+val net_activity : t -> (string * int) list
+(** Nets with at least one toggle, most active first.  Port bits are
+    labelled by name ("bus[3]", or the bare name for 1-bit ports);
+    internal nets as ["n<id>"]. *)
+
+val cell_activity : t -> (string * int) list
+(** Evaluations per combinational cell, most evaluated first,
+    labelled ["<out-net>:<kind>"].  Empty unless {!enable_profile}
+    was called before simulation. *)

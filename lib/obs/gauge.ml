@@ -1,0 +1,25 @@
+type t = { gname : string; mutable value : float }
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 16
+
+let gauge name =
+  match Hashtbl.find_opt registry name with
+  | Some g -> g
+  | None ->
+      let g = { gname = name; value = 0.0 } in
+      Hashtbl.replace registry name g;
+      g
+
+let set g v = g.value <- v
+let set_int g v = g.value <- float_of_int v
+let add g v = g.value <- g.value +. v
+let value g = g.value
+let name g = g.gname
+
+let reset_all () = Hashtbl.iter (fun _ g -> g.value <- 0.0) registry
+
+let all () =
+  Hashtbl.fold (fun name g acc -> (name, g.value) :: acc) registry []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let all_to_json () = Json.Obj (List.map (fun (n, v) -> (n, Json.Float v)) (all ()))

@@ -1,0 +1,16 @@
+(** Registered gauges: last-write-wins instantaneous values (sizes,
+    ratios, configuration), registered by name like Perf counters.
+    Unlike {!Hist}, gauges are always recorded — a [set] is one store,
+    so there is nothing to switch off. *)
+
+type t
+
+val gauge : string -> t
+val set : t -> float -> unit
+val set_int : t -> int -> unit
+val add : t -> float -> unit
+val value : t -> float
+val name : t -> string
+val reset_all : unit -> unit
+val all : unit -> (string * float) list
+val all_to_json : unit -> Json.t

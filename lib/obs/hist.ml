@@ -1,0 +1,105 @@
+(* Power-of-two bucket boundaries: bucket [i] counts observations with
+   [2^(i-1) <= v < 2^i] (bucket 0 takes v < 1).  32 buckets cover every
+   count the simulators produce. *)
+let n_buckets = 32
+
+type t = {
+  hname : string;
+  mutable count : int;
+  mutable sum : float;
+  mutable vmin : float;
+  mutable vmax : float;
+  buckets : int array;
+}
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 16
+
+(* Like Span, recording is off by default so that instrumented hot
+   paths cost one branch per observation in unobserved runs. *)
+let flag = ref false
+
+let enable () = flag := true
+let disable () = flag := false
+let enabled () = !flag
+
+let histogram name =
+  match Hashtbl.find_opt registry name with
+  | Some h -> h
+  | None ->
+      let h =
+        {
+          hname = name;
+          count = 0;
+          sum = 0.0;
+          vmin = infinity;
+          vmax = neg_infinity;
+          buckets = Array.make n_buckets 0;
+        }
+      in
+      Hashtbl.replace registry name h;
+      h
+
+let bucket_index v =
+  if v < 1.0 then 0
+  else min (n_buckets - 1) (1 + int_of_float (Float.log2 v))
+
+let bucket_upper i = if i >= n_buckets - 1 then infinity else Float.pow 2.0 (float_of_int i)
+
+let observe h v =
+  if !flag then begin
+    h.count <- h.count + 1;
+    h.sum <- h.sum +. v;
+    if v < h.vmin then h.vmin <- v;
+    if v > h.vmax then h.vmax <- v;
+    let i = bucket_index v in
+    h.buckets.(i) <- h.buckets.(i) + 1
+  end
+
+let observe_int h v = observe h (float_of_int v)
+
+let name h = h.hname
+let count h = h.count
+let sum h = h.sum
+let mean h = if h.count = 0 then 0.0 else h.sum /. float_of_int h.count
+let min_value h = if h.count = 0 then 0.0 else h.vmin
+let max_value h = if h.count = 0 then 0.0 else h.vmax
+
+let reset h =
+  h.count <- 0;
+  h.sum <- 0.0;
+  h.vmin <- infinity;
+  h.vmax <- neg_infinity;
+  Array.fill h.buckets 0 n_buckets 0
+
+let reset_all () = Hashtbl.iter (fun _ h -> reset h) registry
+
+let all () =
+  Hashtbl.fold (fun _ h acc -> h :: acc) registry []
+  |> List.sort (fun a b -> compare a.hname b.hname)
+
+let to_json h =
+  let buckets =
+    Array.to_list h.buckets
+    |> List.mapi (fun i c -> (i, c))
+    |> List.filter (fun (_, c) -> c > 0)
+    |> List.map (fun (i, c) ->
+           Json.Obj
+             [
+               ( "le",
+                 if i >= n_buckets - 1 then Json.String "inf"
+                 else Json.Float (bucket_upper i) );
+               ("count", Json.Int c);
+             ])
+  in
+  Json.Obj
+    [
+      ("count", Json.Int h.count);
+      ("sum", Json.Float h.sum);
+      ("mean", Json.Float (mean h));
+      ("min", Json.Float (min_value h));
+      ("max", Json.Float (max_value h));
+      ("buckets", Json.List buckets);
+    ]
+
+let all_to_json () =
+  Json.Obj (List.map (fun h -> (h.hname, to_json h)) (all ()))

@@ -1,0 +1,40 @@
+(** Registered histograms with power-of-two buckets.
+
+    Complements the flat [Metrics.Perf] counters: a counter answers
+    "how many", a histogram answers "how were they distributed" —
+    settle iterations per step, dirty-set sizes, queue depths, per-pass
+    deltas.  Histograms register by name on first use, like Perf
+    counters.  Recording is disabled by default ({!enable} switches it
+    on); an [observe] while disabled is one branch. *)
+
+type t
+
+val enable : unit -> unit
+val disable : unit -> unit
+val enabled : unit -> bool
+
+val histogram : string -> t
+(** The histogram registered under this name, created empty on first
+    use. *)
+
+val observe : t -> float -> unit
+val observe_int : t -> int -> unit
+
+val name : t -> string
+val count : t -> int
+val sum : t -> float
+val mean : t -> float
+val min_value : t -> float
+val max_value : t -> float
+
+val reset : t -> unit
+val reset_all : unit -> unit
+
+val all : unit -> t list
+(** Every registered histogram, sorted by name. *)
+
+val to_json : t -> Json.t
+(** Count/sum/mean/min/max plus the non-empty buckets (upper bound and
+    count each). *)
+
+val all_to_json : unit -> Json.t

@@ -1,0 +1,34 @@
+type level = Debug | Info | Warn | Error
+
+let level_rank = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+let level_name = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+(* Narrative output goes to stderr so that machine-readable stdout
+   (--json modes) stays clean; tests can redirect it. *)
+let out = ref stderr
+let threshold = ref Info
+
+let set_out oc = out := oc
+let set_level l = threshold := l
+let level () = !threshold
+let enabled l = level_rank l >= level_rank !threshold
+
+let log l msg =
+  if enabled l then begin
+    output_string !out (Printf.sprintf "[%s] %s\n" (level_name l) msg);
+    flush !out
+  end
+
+let debug msg = log Debug msg
+let info msg = log Info msg
+let warn msg = log Warn msg
+let error msg = log Error msg
+
+let debugf fmt = Printf.ksprintf debug fmt
+let infof fmt = Printf.ksprintf info fmt
+let warnf fmt = Printf.ksprintf warn fmt
+let errorf fmt = Printf.ksprintf error fmt

@@ -1,0 +1,25 @@
+(** Tiny level-filtered logger.
+
+    Narrative lines (bench progress, smoke-check summaries, "wrote
+    file" notices) go through here to stderr, keeping stdout clean for
+    machine-readable output in [--json] modes.  Default level is
+    [Info]. *)
+
+type level = Debug | Info | Warn | Error
+
+val set_level : level -> unit
+val level : unit -> level
+val enabled : level -> bool
+
+val set_out : out_channel -> unit
+(** Redirect output (default [stderr]). *)
+
+val debug : string -> unit
+val info : string -> unit
+val warn : string -> unit
+val error : string -> unit
+
+val debugf : ('a, unit, string, unit) format4 -> 'a
+val infof : ('a, unit, string, unit) format4 -> 'a
+val warnf : ('a, unit, string, unit) format4 -> 'a
+val errorf : ('a, unit, string, unit) format4 -> 'a

@@ -1,0 +1,63 @@
+type entry = { label : string; count : int; share : float }
+
+let top ?(k = 10) pairs =
+  let total = List.fold_left (fun acc (_, c) -> acc + c) 0 pairs in
+  let sorted =
+    List.sort
+      (fun (la, ca) (lb, cb) ->
+        match compare cb ca with 0 -> compare la lb | c -> c)
+      pairs
+  in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: rest -> x :: take (n - 1) rest
+  in
+  List.map
+    (fun (label, count) ->
+      {
+        label;
+        count;
+        share = (if total = 0 then 0.0 else float_of_int count /. float_of_int total);
+      })
+    (take k sorted)
+
+(* Aggregate hierarchical names ("instance.proc", "u_histo.bin3") by
+   their first path component, attributing activity to the module
+   instance that owns it. *)
+let by_module pairs =
+  let tally = Hashtbl.create 16 in
+  List.iter
+    (fun (name, count) ->
+      let key =
+        match String.index_opt name '.' with
+        | Some i -> String.sub name 0 i
+        | None -> name
+      in
+      let prev = Option.value ~default:0 (Hashtbl.find_opt tally key) in
+      Hashtbl.replace tally key (prev + count))
+    pairs;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tally []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let table ~title ?(unit_name = "count") entries =
+  let buf = Buffer.create 256 in
+  let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  p "  %s\n" title;
+  p "  %-40s %12s %7s\n" "name" unit_name "share";
+  List.iter
+    (fun e -> p "  %-40s %12d %6.1f%%\n" e.label e.count (100.0 *. e.share))
+    entries;
+  Buffer.contents buf
+
+let to_json entries =
+  Json.List
+    (List.map
+       (fun e ->
+         Json.Obj
+           [
+             ("name", Json.String e.label);
+             ("count", Json.Int e.count);
+             ("share", Json.Float e.share);
+           ])
+       entries)

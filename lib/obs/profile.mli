@@ -1,0 +1,22 @@
+(** Activity profiles: top-K rankings of named counts.
+
+    The simulators expose raw activity ((name, count) lists — per-net
+    toggles, per-cell evaluations, per-process runs/wakes); this module
+    ranks them, renders the "hot nets / hot processes" tables and
+    serializes them for the run report. *)
+
+type entry = { label : string; count : int; share : float }
+(** [share] is the fraction of the total activity (over the full input
+    list, not just the retained top-K). *)
+
+val top : ?k:int -> (string * int) list -> entry list
+(** Top [k] (default 10) by descending count, ties by name. *)
+
+val by_module : (string * int) list -> (string * int) list
+(** Aggregate hierarchical names by their first ['.']-separated
+    component, attributing activity per module instance. *)
+
+val table : title:string -> ?unit_name:string -> entry list -> string
+(** Aligned text rendering. *)
+
+val to_json : entry list -> Json.t

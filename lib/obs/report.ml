@@ -1,0 +1,96 @@
+let schema_version = "osss.run-report/v1"
+
+let make ?(profiles = []) ?(extra = []) ~run () =
+  Json.Obj
+    ([
+       ("schema", Json.String schema_version);
+       ("run", Json.String run);
+       ( "counters",
+         Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) (Perf.all ())) );
+       ("histograms", Hist.all_to_json ());
+       ("gauges", Gauge.all_to_json ());
+       ("spans", Span.to_json ());
+       ( "profiles",
+         Json.Obj (List.map (fun (n, entries) -> (n, Profile.to_json entries)) profiles)
+       );
+     ]
+    @ extra)
+
+(* Structural schema check for [schema_version].  Every producer and
+   the CI validation step go through this single definition, so the
+   schema cannot silently drift from its checker. *)
+let validate json =
+  let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e in
+  let field name =
+    match Json.member name json with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "missing field %S" name)
+  in
+  let* schema = field "schema" in
+  let* () =
+    match Json.string_value schema with
+    | Some s when s = schema_version -> Ok ()
+    | Some s ->
+        Error (Printf.sprintf "schema %S, expected %S" s schema_version)
+    | None -> Error "field \"schema\" is not a string"
+  in
+  let* _run = field "run" in
+  let obj_of name =
+    let* v = field name in
+    match v with
+    | Json.Obj fields -> Ok fields
+    | _ -> Error (Printf.sprintf "field %S is not an object" name)
+  in
+  let* counters = obj_of "counters" in
+  let* () =
+    match
+      List.find_opt (fun (_, v) -> match v with Json.Int _ -> false | _ -> true) counters
+    with
+    | Some (n, _) -> Error (Printf.sprintf "counter %S is not an integer" n)
+    | None -> Ok ()
+  in
+  let* histograms = obj_of "histograms" in
+  let* () =
+    match
+      List.find_opt
+        (fun (_, h) ->
+          match (Json.member "count" h, Json.member "buckets" h) with
+          | Some (Json.Int _), Some (Json.List _) -> false
+          | _ -> true)
+        histograms
+    with
+    | Some (n, _) -> Error (Printf.sprintf "histogram %S lacks count/buckets" n)
+    | None -> Ok ()
+  in
+  let* _gauges = obj_of "gauges" in
+  let* spans = field "spans" in
+  let* () =
+    match spans with
+    | Json.List _ -> Ok ()
+    | _ -> Error "field \"spans\" is not a list"
+  in
+  let* profiles = obj_of "profiles" in
+  let* () =
+    match
+      List.find_opt
+        (fun (_, p) -> match p with Json.List _ -> false | _ -> true)
+        profiles
+    with
+    | Some (n, _) -> Error (Printf.sprintf "profile %S is not a list" n)
+    | None -> Ok ()
+  in
+  Ok ()
+
+let validate_string text =
+  match Json.of_string text with
+  | exception Json.Parse_error msg -> Error ("not valid JSON: " ^ msg)
+  | json -> validate json
+
+let validate_file path =
+  let ic = open_in path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  validate_string text

@@ -1,0 +1,29 @@
+(** Consolidated, schema-versioned run reports.
+
+    One JSON document per run gathering every observability dimension:
+    Perf counters, histograms, gauges, the span tree and activity
+    profiles, plus caller-supplied sections (pass tables, benchmark
+    results).  CI diffs these between commits; {!validate} is the
+    single schema definition both producers and the CI check use. *)
+
+val schema_version : string
+(** Currently ["osss.run-report/v1"]. *)
+
+val make :
+  ?profiles:(string * Profile.entry list) list ->
+  ?extra:(string * Json.t) list ->
+  run:string ->
+  unit ->
+  Json.t
+(** Snapshot the global registries ([Perf], [Hist], [Gauge], [Span])
+    into a report labeled [run].  [extra] fields are appended at the
+    top level (keys must not collide with the schema's own). *)
+
+val validate : Json.t -> (unit, string) result
+(** Check a document against [schema_version]: exact schema string,
+    integer counters, histograms with count/buckets, object-shaped
+    gauges/profiles, list-shaped spans. *)
+
+val validate_string : string -> (unit, string) result
+
+val validate_file : string -> (unit, string) result

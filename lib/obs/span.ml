@@ -1,0 +1,165 @@
+type span = {
+  sp_name : string;
+  sp_start : float;  (* seconds since the trace epoch *)
+  mutable sp_stop : float;  (* negative while still open *)
+  mutable sp_attrs : (string * string) list;  (* reverse insertion order *)
+  mutable sp_children : span list;  (* reverse order *)
+}
+
+(* Single-threaded global tracer state.  Disabled by default: the hot
+   paths guard their instrumentation on [enabled ()], so a simulation
+   run without --trace-out pays one branch per candidate span. *)
+let flag = ref false
+let epoch = ref 0.0
+let roots : span list ref = ref []  (* reverse order *)
+let stack : span list ref = ref []  (* innermost open span first *)
+let total = ref 0
+
+let now () = Unix.gettimeofday ()
+
+let enabled () = !flag
+
+let reset () =
+  roots := [];
+  stack := [];
+  total := 0;
+  epoch := now ()
+
+let enable () =
+  flag := true;
+  if !epoch = 0.0 then epoch := now ()
+
+let disable () = flag := false
+
+let span_count () = !total
+
+let open_span name attrs =
+  let sp =
+    {
+      sp_name = name;
+      sp_start = now () -. !epoch;
+      sp_stop = -1.0;
+      sp_attrs = List.rev attrs;
+      sp_children = [];
+    }
+  in
+  (match !stack with
+  | parent :: _ -> parent.sp_children <- sp :: parent.sp_children
+  | [] -> roots := sp :: !roots);
+  stack := sp :: !stack;
+  incr total;
+  sp
+
+let close_span sp =
+  sp.sp_stop <- now () -. !epoch;
+  match !stack with
+  | top :: rest when top == sp -> stack := rest
+  | _ ->
+      (* An exception unwound past nested open spans: close everything
+         down to (and including) [sp] so the tree stays well-formed. *)
+      let rec pop () =
+        match !stack with
+        | [] -> ()
+        | top :: rest ->
+            stack := rest;
+            if top.sp_stop < 0.0 then top.sp_stop <- sp.sp_stop;
+            if top != sp then pop ()
+      in
+      pop ()
+
+let add_attr_to sp key value = sp.sp_attrs <- (key, value) :: sp.sp_attrs
+
+let with_ ?(attrs = []) ~name f =
+  if not !flag then f ()
+  else begin
+    let sp = open_span name attrs in
+    match f () with
+    | value ->
+        close_span sp;
+        value
+    | exception e ->
+        add_attr_to sp "exception" (Printexc.to_string e);
+        close_span sp;
+        raise e
+  end
+
+let add_attr key value =
+  if !flag then
+    match !stack with
+    | sp :: _ -> add_attr_to sp key value
+    | [] -> ()
+
+let add_attr_int key value = add_attr key (string_of_int value)
+
+let root_spans () = List.rev !roots
+
+let name sp = sp.sp_name
+let children sp = List.rev sp.sp_children
+let attrs sp = List.rev sp.sp_attrs
+let duration_ms sp = (max 0.0 (sp.sp_stop -. sp.sp_start)) *. 1000.0
+
+let rec find ~name sp =
+  if sp.sp_name = name then Some sp
+  else
+    List.fold_left
+      (fun acc child -> match acc with Some _ -> acc | None -> find ~name child)
+      None (children sp)
+
+let find_root ~name =
+  List.fold_left
+    (fun acc sp -> match acc with Some _ -> acc | None -> find ~name sp)
+    None (root_spans ())
+
+(* ------------------------------------------------------------------ *)
+(* Exporters                                                           *)
+
+let us seconds = Float.round (seconds *. 1e6)
+
+(* Chrome trace-event format: one complete ("ph":"X") event per span.
+   Nesting is implied by timestamp containment within a single thread,
+   which holds by construction for a stack-shaped span tree. *)
+let to_chrome_events () =
+  let events = ref [] in
+  let rec emit sp =
+    let stop = if sp.sp_stop < 0.0 then sp.sp_start else sp.sp_stop in
+    events :=
+      Json.Obj
+        [
+          ("name", Json.String sp.sp_name);
+          ("ph", Json.String "X");
+          ("ts", Json.Float (us sp.sp_start));
+          ("dur", Json.Float (us (stop -. sp.sp_start)));
+          ("pid", Json.Int 1);
+          ("tid", Json.Int 1);
+          ( "args",
+            Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) (attrs sp)) );
+        ]
+      :: !events;
+    List.iter emit (children sp)
+  in
+  List.iter emit (root_spans ());
+  Json.List (List.rev !events)
+
+let chrome_json () = Json.to_string (to_chrome_events ())
+
+let save_chrome path = Json.save (to_chrome_events ()) path
+
+(* Nested span tree for the consolidated run report. *)
+let rec span_to_json sp =
+  let stop = if sp.sp_stop < 0.0 then sp.sp_start else sp.sp_stop in
+  Json.Obj
+    ([
+       ("name", Json.String sp.sp_name);
+       ("start_ms", Json.Float (sp.sp_start *. 1000.0));
+       ("duration_ms", Json.Float ((stop -. sp.sp_start) *. 1000.0));
+     ]
+    @ (match attrs sp with
+      | [] -> []
+      | attrs ->
+          [ ("attrs", Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) attrs)) ])
+    @
+    match children sp with
+    | [] -> []
+    | kids -> [ ("children", Json.List (List.map span_to_json kids)) ])
+
+let to_json () = Json.List (List.map span_to_json (root_spans ()))

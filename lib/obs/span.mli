@@ -1,0 +1,60 @@
+(** Hierarchical span tracer.
+
+    A span is a named wall-clock interval with string attributes;
+    spans opened while another span is running nest under it, giving a
+    tree per top-level operation.  The tracer is process-global and
+    disabled by default: hot paths guard instrumentation on
+    {!enabled}, so tracing costs one branch per candidate span when
+    off.  Timing uses [Unix.gettimeofday] relative to the trace epoch
+    (set at {!enable}/{!reset}). *)
+
+type span
+
+val enable : unit -> unit
+val disable : unit -> unit
+val enabled : unit -> bool
+
+val reset : unit -> unit
+(** Drop all recorded spans and restart the trace epoch. *)
+
+val with_ : ?attrs:(string * string) list -> name:string -> (unit -> 'a) -> 'a
+(** [with_ ~name f] runs [f] inside a new span.  When the tracer is
+    disabled this is exactly [f ()].  If [f] raises, the span is closed
+    with an ["exception"] attribute and the exception re-raised. *)
+
+val add_attr : string -> string -> unit
+(** Attach an attribute to the innermost open span (no-op when the
+    tracer is disabled or no span is open). *)
+
+val add_attr_int : string -> int -> unit
+
+val span_count : unit -> int
+(** Total spans recorded since the last {!reset}. *)
+
+(** {1 Inspection} *)
+
+val root_spans : unit -> span list
+val name : span -> string
+val children : span -> span list
+val attrs : span -> (string * string) list
+val duration_ms : span -> float
+
+val find : name:string -> span -> span option
+(** Depth-first search by name in one subtree. *)
+
+val find_root : name:string -> span option
+(** Depth-first search by name across all recorded roots. *)
+
+(** {1 Exporters} *)
+
+val to_chrome_events : unit -> Json.t
+(** Chrome trace-event array (one complete ["ph":"X"] event per span),
+    loadable in Perfetto or [chrome://tracing]. *)
+
+val chrome_json : unit -> string
+
+val save_chrome : string -> unit
+
+val to_json : unit -> Json.t
+(** Nested span tree (name, start/duration in ms, attrs, children) as
+    embedded in the run report. *)

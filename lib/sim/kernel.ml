@@ -50,6 +50,8 @@ module Timed_queue = struct
 
   let min_time q = if q.size = 0 then None else Some q.heap.(0).at
 
+  let size q = q.size
+
   let pop q =
     assert (q.size > 0);
     let top = q.heap.(0) in
@@ -75,6 +77,13 @@ module Timed_queue = struct
     top
 end
 
+(* Global activity counters and distributions (see Metrics.Perf and
+   Obs.Hist); per-kernel totals live in [t] below. *)
+let ctr_deltas = Perf.counter "kernel.deltas"
+let ctr_runs = Perf.counter "kernel.process_runs"
+let hist_deltas_per_run = Obs.Hist.histogram "kernel.deltas_per_run"
+let hist_queue_depth = Obs.Hist.histogram "kernel.timed_queue_depth"
+
 type t = {
   mutable now : time;
   mutable deltas : int;
@@ -86,6 +95,8 @@ type t = {
   mutable startup : (unit -> unit) list;
   mutable started : bool;
   mutable stop_requested : bool;
+  wake_tally : (string, int ref) Hashtbl.t;
+      (* per-process wake counts, recorded by Process on activation *)
 }
 
 type event = {
@@ -107,11 +118,21 @@ let create () =
     startup = [];
     started = false;
     stop_requested = false;
+    wake_tally = Hashtbl.create 16;
   }
 
 let now k = k.now
 let delta_count k = k.deltas
 let process_runs k = k.runs
+
+let record_wake k name =
+  match Hashtbl.find_opt k.wake_tally name with
+  | Some r -> incr r
+  | None -> Hashtbl.replace k.wake_tally name (ref 1)
+
+let wake_counts k =
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) k.wake_tally []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let make_event kernel ev_name = { ev_name; kernel; static = []; dynamic = [] }
 let event_name e = e.ev_name
@@ -139,9 +160,11 @@ let stopped k = k.stop_requested
 (* One delta cycle: evaluation, then update, then wake. *)
 let run_delta k =
   k.deltas <- k.deltas + 1;
+  Perf.incr ctr_deltas;
   while not (Queue.is_empty k.runnable) do
     let p = Queue.pop k.runnable in
     k.runs <- k.runs + 1;
+    Perf.incr ctr_runs;
     p ()
   done;
   let commits = List.rev k.updates in
@@ -154,7 +177,7 @@ let run_delta k =
 let has_delta_work k =
   (not (Queue.is_empty k.runnable)) || k.updates <> [] || k.woken <> []
 
-let run_until k bound =
+let run_until_raw k bound =
   if not k.started then begin
     k.started <- true;
     List.iter (fun f -> Queue.push f k.runnable) (List.rev k.startup);
@@ -184,5 +207,22 @@ let run_until k bound =
           drain ()
   done;
   if k.now < bound && not k.stop_requested then k.now <- bound
+
+(* The observed wrapper costs one branch when tracing and histogram
+   recording are both off; each kernel step (run of the scheduler up to
+   a time bound) becomes one span with its delta/run consumption. *)
+let run_until k bound =
+  if Obs.Span.enabled () || Obs.Hist.enabled () then begin
+    let d0 = k.deltas and r0 = k.runs in
+    Obs.Hist.observe_int hist_queue_depth (Timed_queue.size k.timed);
+    Obs.Span.with_ ~name:"kernel.run"
+      ~attrs:[ ("until_ps", string_of_int bound) ]
+      (fun () ->
+        run_until_raw k bound;
+        Obs.Span.add_attr_int "deltas" (k.deltas - d0);
+        Obs.Span.add_attr_int "process_runs" (k.runs - r0));
+    Obs.Hist.observe_int hist_deltas_per_run (k.deltas - d0)
+  end
+  else run_until_raw k bound
 
 let run_for k d = run_until k (k.now + d)

@@ -35,6 +35,15 @@ val delta_count : t -> int
 val process_runs : t -> int
 (** Total number of process activations executed so far. *)
 
+val record_wake : t -> string -> unit
+(** Tally one wakeup against a named process (called by [Process] on
+    every activation; exposed for other front ends that schedule named
+    work on the kernel). *)
+
+val wake_counts : t -> (string * int) list
+(** Per-process wake counts, sorted by name — the kernel-level activity
+    profile. *)
+
 (** {1 Events} *)
 
 val make_event : t -> string -> event

@@ -84,6 +84,9 @@ module Impl = struct
     [
       ("delta_cycles", Kernel.delta_count t.kernel);
       ("process_runs", Kernel.process_runs t.kernel);
+      ( "process_wakes",
+        List.fold_left (fun acc (_, n) -> acc + n) 0 (Kernel.wake_counts t.kernel)
+      );
     ]
 end
 

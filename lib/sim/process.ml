@@ -31,6 +31,10 @@ let terminated = function Method _ -> false | Thread th -> th.state = Done
 let restarts = function Method _ -> 0 | Thread th -> th.restarts
 
 let method_ k ~name ~sensitive f =
+  let f () =
+    Kernel.record_wake k name;
+    f ()
+  in
   List.iter (fun ev -> Kernel.subscribe_static ev f) sensitive;
   Kernel.add_startup k f;
   Method name
@@ -39,6 +43,7 @@ let method_ k ~name ~sensitive f =
    handler.  The handler is deep, so a single installation covers every
    subsequent [Suspend] of this activation. *)
 let start th ctx =
+  Kernel.record_wake th.kernel th.t_name;
   th.state <- Ready;
   match_with th.body ctx
     {
@@ -62,6 +67,7 @@ let start th ctx =
 let resume th =
   match th.cont with
   | Some k ->
+      Kernel.record_wake th.kernel th.t_name;
       th.cont <- None;
       th.state <- Ready;
       continue k ()

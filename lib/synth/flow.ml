@@ -68,30 +68,59 @@ let perf_deltas name metrics =
   delta "area_ge" 1.0 "area_delta_ge";
   delta "critical_ns" 1000.0 "critical_delta_ps"
 
+(* Per-pass cell/area deltas feed a histogram each in addition to the
+   plain counters, so a run report shows the distribution across
+   passes, not just the final sum. *)
+let hist_cells_delta = Obs.Hist.histogram "flow.pass_cells_removed"
+let hist_elapsed = Obs.Hist.histogram "flow.pass_elapsed_us"
+
 let run_pass tr name ?(artifacts = fun _ -> []) ?invariant
     ?(metrics = fun _ -> []) f =
-  let t0 = Sys.time () in
-  let value = f () in
-  let elapsed_ms = (Sys.time () -. t0) *. 1000.0 in
-  let artifacts = artifacts value in
-  let metrics = metrics value in
-  let invariant = Option.map (fun check -> check value) invariant in
-  Perf.incr (Perf.counter (Printf.sprintf "flow.%s.runs" name));
-  perf_deltas name metrics;
-  tr.t_artifacts <- List.rev_append artifacts tr.t_artifacts;
-  tr.t_passes <-
-    {
-      pass_name = name;
-      elapsed_ms;
-      artifacts = List.map fst artifacts;
-      metrics;
-      invariant;
-    }
-    :: tr.t_passes;
-  value
+  let exec () =
+    let t0 = Sys.time () in
+    let value = f () in
+    let elapsed_ms = (Sys.time () -. t0) *. 1000.0 in
+    let artifacts = artifacts value in
+    let metrics = metrics value in
+    let invariant = Option.map (fun check -> check value) invariant in
+    Perf.incr (Perf.counter (Printf.sprintf "flow.%s.runs" name));
+    perf_deltas name metrics;
+    Obs.Hist.observe hist_elapsed (elapsed_ms *. 1000.0);
+    (match
+       ( List.assoc_opt "before_cells" metrics,
+         List.assoc_opt "after_cells" metrics )
+     with
+    | Some before, Some after when before >= after ->
+        Obs.Hist.observe hist_cells_delta (before -. after)
+    | _ -> ());
+    List.iter (fun (k, v) -> Obs.Span.add_attr k (Printf.sprintf "%g" v)) metrics;
+    (match invariant with
+    | Some v ->
+        Obs.Span.add_attr "invariant"
+          (Format.asprintf "%a" Backend.Cec.pp_verdict v)
+    | None -> ());
+    tr.t_artifacts <- List.rev_append artifacts tr.t_artifacts;
+    tr.t_passes <-
+      {
+        pass_name = name;
+        elapsed_ms;
+        artifacts = List.map fst artifacts;
+        metrics;
+        invariant;
+      }
+      :: tr.t_passes;
+    value
+  in
+  if Obs.Span.enabled () then Obs.Span.with_ ~name:("flow." ^ name) exec
+  else exec ()
 
 let run ?(fold = true) ?(check_invariants = false) ?(layout = false) flow_kind
     (design : Ir.module_def) =
+  (if Obs.Span.enabled () then
+     Obs.Span.with_ ~name:"flow.run"
+       ~attrs:[ ("kind", kind_name flow_kind); ("design", design.Ir.mod_name) ]
+   else fun f -> f ())
+  @@ fun () ->
   let tr = { t_passes = []; t_artifacts = [] } in
   let base = design.Ir.mod_name in
   run_pass tr "check" (fun () -> Ir.check_module design);
@@ -239,6 +268,56 @@ let pass_table r =
         pass.elapsed_ms cells area crit inv extra)
     r.passes;
   Buffer.contents buf
+
+let pass_json (p : pass) =
+  let open Obs.Json in
+  Obj
+    ([
+       ("name", String p.pass_name);
+       ("elapsed_ms", Float p.elapsed_ms);
+       ("artifacts", List (List.map (fun a -> String a) p.artifacts));
+       ("metrics", Obj (List.map (fun (k, v) -> (k, Float v)) p.metrics));
+     ]
+    @
+    match p.invariant with
+    | Some v ->
+        [
+          ("invariant", String (Format.asprintf "%a" Backend.Cec.pp_verdict v));
+        ]
+    | None -> [])
+
+let result_json r =
+  let open Obs.Json in
+  let layout =
+    match r.layout with
+    | None -> Null
+    | Some l ->
+        let w, h = l.grid in
+        Obj
+          [
+            ("luts", Int l.luts);
+            ("ffs", Int l.ffs);
+            ("depth", Int l.depth);
+            ("grid", List [ Int w; Int h ]);
+            ("utilization", Float l.utilization);
+            ("wirelength", Float l.wirelength);
+            ("post_fmax_mhz", Float l.post_fmax_mhz);
+          ]
+  in
+  Obj
+    [
+      ("flow", String (kind_name r.flow_kind));
+      ("design", String r.design.Ir.mod_name);
+      ("cells", Int (Backend.Netlist.cell_count r.netlist));
+      ("raw_cells", Int r.raw_cells);
+      ("area_ge", Float r.area.Backend.Area.total);
+      ("ffs", Int r.area.Backend.Area.n_ffs);
+      ("critical_ns", Float r.timing.Backend.Timing.critical_ns);
+      ("fmax_mhz", Float r.timing.Backend.Timing.fmax_mhz);
+      ("meets_66mhz", Bool (Backend.Timing.meets r.timing ~freq_mhz:66.0));
+      ("passes", List (List.map pass_json r.passes));
+      ("layout", layout);
+    ]
 
 let summary r =
   let buf = Buffer.create 256 in

@@ -82,5 +82,14 @@ val pass_table : result -> string
 (** One line per pass: name, time, cell/area/timing deltas, invariant
     verdict. *)
 
+val pass_json : pass -> Obs.Json.t
+(** One pass as JSON: name, elapsed_ms, artifacts, metrics, and the
+    invariant verdict when one was checked. *)
+
+val result_json : result -> Obs.Json.t
+(** The whole flow result as JSON — design, final area/timing, the
+    pass table ({!pass_json} per pass), and layout when present.
+    Machine-readable counterpart of {!summary}. *)
+
 val summary : result -> string
 (** Synthesis report: area, fmax, cell mix, then the pass table. *)

@@ -54,7 +54,20 @@ let emit_value buf id value =
   if id.vwidth = 1 then Buffer.add_string buf (value ^ id.vid ^ "\n")
   else Buffer.add_string buf (Printf.sprintf "b%s %s\n" value id.vid)
 
+exception Non_monotonic_time of { last : int; got : int }
+
+let () =
+  Printexc.register_printer (function
+    | Non_monotonic_time { last; got } ->
+        Some
+          (Printf.sprintf
+             "Vcd_writer.Non_monotonic_time: change at #%d after #%d was \
+              already emitted (timestamps must not decrease)"
+             got last)
+    | _ -> None)
+
 let change t ~time id value =
+  if time < t.last_time then raise (Non_monotonic_time { last = t.last_time; got = time });
   if time <> t.last_time then begin
     Buffer.add_string t.changes (Printf.sprintf "#%d\n" time);
     t.last_time <- time

@@ -13,6 +13,10 @@ type t
 type id
 (** Handle for a registered signal. *)
 
+exception Non_monotonic_time of { last : int; got : int }
+(** Raised by {!change} when a timestamp precedes one already emitted;
+    VCD change sections are strictly append-only in time. *)
+
 val create :
   ?date:string -> ?version:string -> ?timescale:string -> ?top:string ->
   unit -> t
@@ -28,7 +32,7 @@ val register : t -> ?scope:string -> ?initial:string -> name:string ->
 
 val change : t -> time:int -> id -> string -> unit
 (** Record a value change (binary string, no ["b"] prefix) at [time].
-    Timestamps must not decrease across calls. *)
+    Raises {!Non_monotonic_time} if [time] decreases across calls. *)
 
 val change_bv : t -> time:int -> id -> Bitvec.t -> unit
 

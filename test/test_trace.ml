@@ -144,9 +144,67 @@ let test_emit_trace_support () =
     (contains "ObjectName + \".count\"" text);
   Alcotest.(check bool) "friend note" true (contains "friend void sc_trace" text)
 
+(* ------------------------------------------------------------------ *)
+(* Vcd_writer: identifier allocation and timestamp discipline          *)
+
+(* The VCD identifier alphabet has 94 printable characters; designs
+   with more signals need multi-character ids, and every id must stay
+   unique or viewers silently merge waveforms. *)
+let test_vcd_many_signals () =
+  let w = Vcd_writer.create () in
+  let n = 200 in
+  let ids =
+    Array.init n (fun i ->
+        Vcd_writer.register w ~name:(Printf.sprintf "sig%03d" i) ~width:1 ())
+  in
+  Array.iteri
+    (fun i id -> Vcd_writer.change w ~time:i id (if i land 1 = 0 then "1" else "0"))
+    ids;
+  Alcotest.(check int) "all registered" n (Vcd_writer.signal_count w);
+  let doc = Vcd_writer.contents w in
+  (* Parse the $var declarations back out and check id uniqueness. *)
+  let var_ids =
+    List.filter_map
+      (fun line ->
+        match String.split_on_char ' ' (String.trim line) with
+        | "$var" :: "wire" :: _width :: id :: _rest -> Some id
+        | _ -> None)
+      (String.split_on_char '\n' doc)
+  in
+  Alcotest.(check int) "one $var per signal" n (List.length var_ids);
+  let sorted = List.sort_uniq compare var_ids in
+  Alcotest.(check int) "ids all distinct" n (List.length sorted);
+  Alcotest.(check bool) "multi-char ids appear past 94 signals" true
+    (List.exists (fun id -> String.length id > 1) var_ids)
+
+let test_vcd_non_monotonic_time () =
+  let w = Vcd_writer.create () in
+  let id = Vcd_writer.register w ~name:"s" ~width:1 () in
+  Vcd_writer.change w ~time:5 id "1";
+  Vcd_writer.change w ~time:5 id "0";
+  (* same timestamp is fine *)
+  Vcd_writer.change w ~time:9 id "1";
+  (match Vcd_writer.change w ~time:3 id "0" with
+  | () -> Alcotest.fail "rewinding time must raise"
+  | exception Vcd_writer.Non_monotonic_time { last; got } ->
+      Alcotest.(check int) "last emitted" 9 last;
+      Alcotest.(check int) "offending time" 3 got);
+  (* the error prints a clear message *)
+  Alcotest.(check bool) "printer registered" true
+    (contains "Non_monotonic_time"
+       (Printexc.to_string
+          (Vcd_writer.Non_monotonic_time { last = 9; got = 3 })));
+  (* document is still usable after the failed call *)
+  Vcd_writer.change w ~time:10 id "0";
+  Alcotest.(check bool) "later change accepted" true
+    (contains "#10" (Vcd_writer.contents w))
+
 let suite =
   [
     Alcotest.test_case "rtl trace vcd" `Quick test_rtl_trace_vcd;
+    Alcotest.test_case "vcd id allocation past 94" `Quick test_vcd_many_signals;
+    Alcotest.test_case "vcd non-monotonic time" `Quick
+      test_vcd_non_monotonic_time;
     Alcotest.test_case "object tracing" `Quick test_object_tracing;
     Alcotest.test_case "operator<< show" `Quick test_show;
     Alcotest.test_case "peek field" `Quick test_peek_field;
