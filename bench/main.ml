@@ -800,6 +800,72 @@ let timed f =
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
 
+(* Coverage-instrumented smoke frame: the RTL interpreter carries the
+   full model (toggle bits + FSMs + covergroups + protocol monitor),
+   and the event-driven netlist contributes its per-net toggle bits
+   under the "nl:" prefix, so one DB spans both abstraction levels. *)
+let smoke_cover_db ~pixels () =
+  let sim = Rtl_sim.create (Expocu.Expocu_top.rtl_top ()) in
+  Rtl_sim.enable_toggle_cover sim;
+  let cp = Expocu.Coverpoints.attach sim in
+  let mon = Expocu.Monitors.expocu_monitor sim in
+  drive_frame
+    ~set:(Rtl_sim.set_input_int sim)
+    ~step:(fun () -> Rtl_sim.step sim)
+    ~get:(Rtl_sim.get_int sim)
+    ~pixels ();
+  Expocu.Coverpoints.sample_frame cp sim;
+  Assert_mon.finish mon;
+  if not (Assert_mon.ok mon) then begin
+    List.iter
+      (fun v -> Format.eprintf "%a@." Assert_mon.pp_violation v)
+      (Assert_mon.violations mon);
+    failwith "smoke coverage run violated a protocol monitor"
+  end;
+  let nl =
+    Backend.Nl_sim.create ~mode:Backend.Nl_sim.Event_driven
+      (Lazy.force gate_netlist)
+  in
+  Backend.Nl_sim.enable_toggle_cover nl;
+  drive_frame
+    ~set:(Backend.Nl_sim.set_input_int nl)
+    ~step:(fun () -> Backend.Nl_sim.step nl)
+    ~get:(Backend.Nl_sim.get_output_int nl)
+    ~pixels ();
+  let tg = function Some tg -> tg | None -> assert false in
+  Cover.Db.make
+    ~toggles:
+      (Cover.Db.toggle_entries ~prefix:"rtl:" (tg (Rtl_sim.toggle_cover sim))
+      @ Cover.Db.toggle_entries ~prefix:"nl:"
+          (tg (Backend.Nl_sim.toggle_cover nl)))
+    ~fsms:(Expocu.Coverpoints.fsms cp)
+    ~groups:(Expocu.Coverpoints.groups cp)
+    ~monitors:(Assert_mon.db_monitors mon)
+    ~run:"bench-smoke" ()
+
+(* Coverage gate: the freshly collected DB must not regress against the
+   checked-in baseline — every item the baseline covered must still be
+   covered (totals may grow, never shrink item-wise). *)
+let cover_gate ~baseline db =
+  match Cover.Db.load baseline with
+  | Error e ->
+      Obs.Log.errorf "cover-gate: %s" e;
+      exit 1
+  | Ok base -> (
+      match Cover.Db.diff base db with
+      | [] ->
+          Obs.Log.infof
+            "cover-gate: ok — baseline %s held (%.1f%% toggle coverage now)"
+            baseline
+            (100.0 *. Cover.Db.toggle_coverage db)
+      | lost ->
+          Obs.Log.errorf "cover-gate: %d items covered in %s are now uncovered:"
+            (List.length lost) baseline;
+          List.iter
+            (fun (kind, item) -> Obs.Log.errorf "  %-9s %s" kind item)
+            lost;
+          exit 1)
+
 (* Emit BENCH_sim.json: cycles/sec and evals/cycle for the ExpoCU frame
    workload — netlist simulator in both modes, plus the RTL
    interpreter's process-run rate — with the per-settle histograms and
@@ -879,6 +945,15 @@ let bench_json ~profile () =
   in
   Obs.Json.save doc "BENCH_sim.json";
   print_endline (to_string ~pretty:true doc);
+  List.iter
+    (fun h ->
+      if Obs.Hist.count h > 0 then
+        Obs.Log.infof "%-30s p50 %10.1f  p95 %10.1f  max %10.0f"
+          (Obs.Hist.name h)
+          (Obs.Hist.percentile h 50.0)
+          (Obs.Hist.percentile h 95.0)
+          (Obs.Hist.max_value h))
+    (Obs.Hist.all ());
   if profile then begin
     Obs.Log.info "hot nets (event-driven netlist):";
     prerr_string
@@ -1003,13 +1078,19 @@ type opts = {
   mutable trace_out : string option;
   mutable stats_json : string option;
   mutable check_report : string option;
+  mutable cover_out : string option;
+  mutable cover_summary : bool;
+  mutable cover_merge : (string * string) option;
+  mutable cover_gate : string option;
   mutable ids : string list;  (* reverse order *)
 }
 
 let usage () =
   Obs.Log.error
     "usage: bench [--smoke] [--json] [--profile] [--trace-out FILE] \
-     [--stats-json FILE] [--check-report FILE] [experiment ids...]";
+     [--stats-json FILE] [--check-report FILE] [--cover-out FILE] \
+     [--cover-summary] [--cover-merge A B] [--cover-gate BASELINE] \
+     [experiment ids...]";
   exit 2
 
 let () =
@@ -1021,6 +1102,10 @@ let () =
       trace_out = None;
       stats_json = None;
       check_report = None;
+      cover_out = None;
+      cover_summary = false;
+      cover_merge = None;
+      cover_gate = None;
       ids = [];
     }
   in
@@ -1044,6 +1129,18 @@ let () =
     | "--check-report" :: file :: rest ->
         o.check_report <- Some file;
         parse rest
+    | "--cover-out" :: file :: rest ->
+        o.cover_out <- Some file;
+        parse rest
+    | "--cover-summary" :: rest ->
+        o.cover_summary <- true;
+        parse rest
+    | "--cover-merge" :: a :: b :: rest ->
+        o.cover_merge <- Some (a, b);
+        parse rest
+    | "--cover-gate" :: file :: rest ->
+        o.cover_gate <- Some file;
+        parse rest
     | arg :: _ when String.length arg > 1 && arg.[0] = '-' ->
         Obs.Log.errorf "unknown or incomplete option %s" arg;
         usage ()
@@ -1052,30 +1149,93 @@ let () =
         parse rest
   in
   parse (List.tl (Array.to_list Sys.argv));
+  (* --cover-merge unions two coverage DBs and exits: CI merges the
+     per-seed databases into the uploaded artifact with this. *)
+  (match o.cover_merge with
+  | Some (a, b) -> (
+      match (Cover.Db.load a, Cover.Db.load b) with
+      | Ok da, Ok db ->
+          let merged = Cover.Db.merge da db in
+          (match o.cover_out with
+          | Some path ->
+              Cover.Db.save merged path;
+              Obs.Log.infof "merged coverage written to %s" path
+          | None -> ());
+          if o.cover_summary || o.cover_out = None then
+            print_string (Cover.Db.summary merged);
+          exit 0
+      | (Error e, _ | _, Error e) ->
+          Obs.Log.errorf "cover-merge: %s" e;
+          exit 1)
+  | None -> ());
   (* --check-report validates and exits: the in-repo schema check CI
-     runs against a report produced moments earlier. *)
+     runs against a report produced moments earlier.  A coverage
+     section must not merely look like a coverage DB — it has to parse
+     back as one. *)
   (match o.check_report with
   | Some file -> (
       match Obs.Report.validate_file file with
-      | Ok () ->
-          Printf.printf "%s: valid %s\n" file Obs.Report.schema_version;
-          exit 0
       | Error e ->
           Obs.Log.errorf "%s: invalid run report: %s" file e;
-          exit 1)
+          exit 1
+      | Ok () -> (
+          let doc =
+            let ic = open_in_bin file in
+            let s = really_input_string ic (in_channel_length ic) in
+            close_in ic;
+            Obs.Json.of_string s
+          in
+          match Obs.Json.member "coverage" doc with
+          | None ->
+              Printf.printf "%s: valid (no coverage section)\n" file;
+              exit 0
+          | Some c -> (
+              match Cover.Db.of_json c with
+              | Ok db ->
+                  Printf.printf "%s: valid, coverage %d/%d toggle bits\n" file
+                    (Cover.Db.totals db).Cover.Db.toggle_covered
+                    (Cover.Db.totals db).Cover.Db.toggle_bits;
+                  exit 0
+              | Error e ->
+                  Obs.Log.errorf "%s: coverage section: %s" file e;
+                  exit 1)))
   | None -> ());
   let tracing = o.trace_out <> None || o.stats_json <> None in
   if tracing then begin
     Obs.Span.enable ();
     Obs.Hist.enable ()
   end;
+  let covering =
+    o.cover_out <> None || o.cover_summary || o.cover_gate <> None
+  in
+  if covering && not o.smoke then begin
+    Obs.Log.error
+      "coverage collection is attached to the smoke workload; add --smoke";
+    exit 2
+  end;
+  let collected = ref None in
   if o.smoke then begin
     let extra, profiles = bench_smoke ~profile:(o.profile || o.json) () in
+    if covering then begin
+      let db = smoke_cover_db ~pixels:32 () in
+      collected := Some db;
+      (match o.cover_out with
+      | Some path ->
+          Cover.Db.save db path;
+          Obs.Log.infof "coverage database written to %s" path
+      | None -> ());
+      if o.cover_summary then print_string (Cover.Db.summary db);
+      match o.cover_gate with
+      | Some baseline -> cover_gate ~baseline db
+      | None -> ()
+    end;
     if tracing then cover_traced_layers ();
     if o.json then
       print_endline
         (Obs.Json.to_string ~pretty:true
-           (Obs.Report.make ~profiles ~extra ~run:"bench-smoke" ()))
+           (Obs.Report.make
+              ?coverage:(Option.map Cover.Db.to_json !collected)
+              ~profiles ~extra ~run:"bench-smoke" ()))
   end
   else if o.json then bench_json ~profile:o.profile ()
   else begin
@@ -1100,7 +1260,11 @@ let () =
   (match o.stats_json with
   | Some path ->
       let run = if o.smoke then "bench-smoke" else "bench" in
-      Obs.Json.save (Obs.Report.make ~run ()) path;
+      Obs.Json.save
+        (Obs.Report.make
+           ?coverage:(Option.map Cover.Db.to_json !collected)
+           ~run ())
+        path;
       Obs.Log.infof "run report written to %s" path
   | None -> ());
   match o.trace_out with

@@ -3,7 +3,8 @@
 
 open Cmdliner
 
-let report name show_metrics show_systemc show_passes flow_name json obs =
+let report name show_metrics show_systemc show_passes flow_name json coverage
+    obs =
   match Designs.find name with
   | None ->
       Printf.eprintf "unknown design %s; available:\n%s\n" name
@@ -44,7 +45,17 @@ let report name show_metrics show_systemc show_passes flow_name json obs =
           Printf.printf "\n-- %s flow pass trace --\n"
             (Synth.Flow.kind_name (flow_kind ()));
           print_string (Synth.Flow.pass_table result)
-        end
+        end;
+        match coverage with
+        | Some path -> (
+            match Cover.Db.load path with
+            | Ok db ->
+                print_newline ();
+                print_string (Cover.Db.summary db)
+            | Error e ->
+                Printf.eprintf "coverage: %s\n" e;
+                exit 1)
+        | None -> ()
       end;
       Obs_cli.finish obs ~run:"design_report";
       0
@@ -79,12 +90,19 @@ let json_arg =
   in
   Arg.(value & flag & info [ "json" ] ~doc)
 
+let coverage_arg =
+  let doc =
+    "Print the coverage summary table from a coverage database written by \
+     expocu_sim/bench --cover-out (not available with --json)."
+  in
+  Arg.(value & opt (some string) None & info [ "coverage" ] ~docv:"FILE" ~doc)
+
 let cmd =
   let doc = "design structure and metrics report (the ODETTE analyzer)" in
   Cmd.v
     (Cmd.info "design_report" ~doc)
     Term.(
       const report $ design_arg $ metrics_arg $ systemc_arg $ passes_arg
-      $ flow_arg $ json_arg $ Obs_cli.term)
+      $ flow_arg $ json_arg $ coverage_arg $ Obs_cli.term)
 
 let () = exit (Cmd.eval' cmd)

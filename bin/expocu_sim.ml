@@ -4,7 +4,7 @@
 open Cmdliner
 open Hdl
 
-let run_rtl style frames illumination target vcd_path obs =
+let run_rtl style frames illumination target seed vcd_path obs =
   let design =
     match style with
     | "osss" -> Expocu.Expocu_top.osss_top ()
@@ -13,7 +13,9 @@ let run_rtl style frames illumination target vcd_path obs =
         Printf.eprintf "unknown style %s (osss|rtl)\n" other;
         exit 1
   in
-  let camera = Expocu.Camera.create ~width:64 ~height:4 ~illumination () in
+  let camera =
+    Expocu.Camera.create ~width:64 ~height:4 ~illumination ?seed ()
+  in
   let sim = Rtl_sim.create design in
   let tracer =
     match vcd_path with
@@ -25,6 +27,19 @@ let run_rtl style frames illumination target vcd_path obs =
             "exposure"; "median_bin"; "frame_done" ];
         Some tr
     in
+  (* Coverage instrumentation: toggle bits on every register and wire,
+     the declared FSMs, the functional covergroups and the protocol
+     monitor — all attached before reset so the power-on sequence is
+     covered too. *)
+  let coverage =
+    if Obs_cli.covering obs then begin
+      Rtl_sim.enable_toggle_cover sim;
+      let cp = Expocu.Coverpoints.attach sim in
+      let mon = Expocu.Monitors.expocu_monitor sim in
+      Some (cp, mon)
+    end
+    else None
+  in
   Rtl_sim.set_input_int sim "ext_reset" 0;
   Rtl_sim.set_input_int sim "target_bin" target;
   Rtl_sim.set_input_int sim "sda_in" 0;
@@ -53,6 +68,9 @@ let run_rtl style frames illumination target vcd_path obs =
       Option.iter Rtl_trace.sample tracer;
       incr guard
     done;
+    (match coverage with
+    | Some (cp, _) -> Expocu.Coverpoints.sample_frame cp sim
+    | None -> ());
     Printf.printf "%5d %8d %10.3f %10.3f\n" _frame
       (Rtl_sim.get_int sim "median_bin")
       (float_of_int (Rtl_sim.get_int sim "exposure")
@@ -67,14 +85,41 @@ let run_rtl style frames illumination target vcd_path obs =
       Rtl_trace.save tr path;
       Printf.printf "waveform written to %s\n" path
   | _, _ -> ());
+  let mon_ok = ref true in
+  let cover_db =
+    match coverage with
+    | None -> None
+    | Some (cp, mon) ->
+        Assert_mon.finish mon;
+        mon_ok := Assert_mon.ok mon;
+        if not !mon_ok then
+          List.iter
+            (fun v -> Format.eprintf "%a@." Assert_mon.pp_violation v)
+            (Assert_mon.violations mon);
+        let tg =
+          match Rtl_sim.toggle_cover sim with
+          | Some tg -> tg
+          | None -> assert false
+        in
+        Some
+          (Cover.Db.make
+             ~toggles:(Cover.Db.toggle_entries tg)
+             ~fsms:(Expocu.Coverpoints.fsms cp)
+             ~groups:(Expocu.Coverpoints.groups cp)
+             ~monitors:(Assert_mon.db_monitors mon)
+             ~run:
+               (Printf.sprintf "expocu_sim:%s:seed%d" style
+                  (Option.value seed ~default:0))
+             ())
+  in
   let activity = Rtl_sim.process_activity sim in
-  Obs_cli.finish obs ~run:"expocu_sim"
+  Obs_cli.finish obs ~run:"expocu_sim" ?cover:cover_db
     ~profiles:
       [
         ("hot processes", activity);
         ("hot modules", Obs.Profile.by_module activity);
       ];
-  0
+  if !mon_ok then 0 else 1
 
 let run_behavioural frames illumination target =
   let r =
@@ -88,17 +133,23 @@ let run_behavioural frames illumination target =
     r.Expocu.Behave_model.sim_cycles r.Expocu.Behave_model.kernel_runs;
   0
 
-let main level style frames illumination target vcd obs =
-  Obs_cli.setup obs;
-  match level with
-  | "rtl" -> run_rtl style frames illumination target vcd obs
-  | "behavioural" | "behavioral" ->
-      let rc = run_behavioural frames illumination target in
-      Obs_cli.finish obs ~run:"expocu_sim";
-      rc
-  | other ->
-      Printf.eprintf "unknown level %s (rtl|behavioural)\n" other;
-      1
+let main level style frames illumination target seed vcd obs =
+  match Obs_cli.merge_requested obs with
+  | Some pair -> Obs_cli.run_merge obs pair
+  | None -> (
+      Obs_cli.setup obs;
+      match level with
+      | "rtl" -> run_rtl style frames illumination target seed vcd obs
+      | "behavioural" | "behavioral" ->
+          if Obs_cli.covering obs then
+            Obs.Log.infof
+              "coverage collection needs the RTL level; ignoring cover flags";
+          let rc = run_behavioural frames illumination target in
+          Obs_cli.finish obs ~run:"expocu_sim";
+          rc
+      | other ->
+          Printf.eprintf "unknown level %s (rtl|behavioural)\n" other;
+          1)
 
 let level_arg =
   let doc = "Abstraction level: rtl or behavioural." in
@@ -120,6 +171,13 @@ let target_arg =
   let doc = "Target brightness bin (0..15)." in
   Arg.(value & opt int 7 & info [ "target" ] ~docv:"BIN" ~doc)
 
+let seed_arg =
+  let doc =
+    "Camera noise seed — distinct seeds give distinct stimulus, so their \
+     coverage databases are worth merging."
+  in
+  Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"N" ~doc)
+
 let vcd_arg =
   let doc = "Dump a VCD waveform of the bus-level signals (RTL level only)." in
   Arg.(value & opt (some string) None & info [ "vcd" ] ~docv:"FILE" ~doc)
@@ -130,6 +188,6 @@ let cmd =
     (Cmd.info "expocu_sim" ~doc)
     Term.(
       const main $ level_arg $ style_arg $ frames_arg $ illum_arg $ target_arg
-      $ vcd_arg $ Obs_cli.term)
+      $ seed_arg $ vcd_arg $ Obs_cli.term)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,6 +1,7 @@
 (* Shared observability plumbing for the command-line tools: the
-   --trace-out / --stats-json / --profile flags, switching the
-   collectors on up front and exporting when the run finishes. *)
+   --trace-out / --stats-json / --profile flags plus the coverage
+   family (--cover-out / --cover-summary / --cover-merge), switching
+   the collectors on up front and exporting when the run finishes. *)
 
 open Cmdliner
 
@@ -8,6 +9,9 @@ type t = {
   trace_out : string option;
   stats_json : string option;
   profile : bool;
+  cover_out : string option;
+  cover_summary : bool;
+  cover_merge : (string * string) option;
 }
 
 let trace_arg =
@@ -20,7 +24,7 @@ let trace_arg =
 let stats_arg =
   let doc =
     "Write a machine-readable run report (Perf counters, histograms, span \
-     tree, activity profiles) to $(docv)."
+     tree, activity profiles, coverage when collected) to $(docv)."
   in
   Arg.(value & opt (some string) None & info [ "stats-json" ] ~docv:"FILE" ~doc)
 
@@ -31,11 +35,60 @@ let profile_arg =
   in
   Arg.(value & flag & info [ "profile" ] ~doc)
 
+let cover_out_arg =
+  let doc =
+    "Collect coverage (toggle, FSM, covergroups, protocol monitors) and \
+     write the coverage database to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "cover-out" ] ~docv:"FILE" ~doc)
+
+let cover_summary_arg =
+  let doc =
+    "Collect coverage and print the human-readable coverage summary table."
+  in
+  Arg.(value & flag & info [ "cover-summary" ] ~doc)
+
+let cover_merge_arg =
+  let doc =
+    "Merge two coverage databases written by --cover-out (union; counts are \
+     summed) instead of simulating.  Writes the result to --cover-out if \
+     given, otherwise prints the merged summary."
+  in
+  Arg.(
+    value
+    & opt (some (pair string string)) None
+    & info [ "cover-merge" ] ~docv:"A,B" ~doc)
+
 let term =
-  let make trace_out stats_json profile = { trace_out; stats_json; profile } in
-  Term.(const make $ trace_arg $ stats_arg $ profile_arg)
+  let make trace_out stats_json profile cover_out cover_summary cover_merge =
+    { trace_out; stats_json; profile; cover_out; cover_summary; cover_merge }
+  in
+  Term.(
+    const make $ trace_arg $ stats_arg $ profile_arg $ cover_out_arg
+    $ cover_summary_arg $ cover_merge_arg)
 
 let profiling t = t.profile
+
+(* Coverage flags imply collection; --stats-json alone does not (the
+   report simply carries no coverage section then). *)
+let covering t = t.cover_out <> None || t.cover_summary
+let merge_requested t = t.cover_merge
+
+let run_merge t (a, b) =
+  match (Cover.Db.load a, Cover.Db.load b) with
+  | Ok da, Ok db ->
+      let merged = Cover.Db.merge da db in
+      (match t.cover_out with
+      | Some path ->
+          Cover.Db.save merged path;
+          Obs.Log.infof "merged coverage written to %s" path
+      | None -> ());
+      if t.cover_summary || t.cover_out = None then
+        print_string (Cover.Db.summary merged);
+      0
+  | (Error e, _ | _, Error e) ->
+      Printf.eprintf "cover-merge: %s\n" e;
+      1
 
 let setup t =
   if t.trace_out <> None || t.stats_json <> None then begin
@@ -44,8 +97,10 @@ let setup t =
   end
 
 (* [profiles] are raw (name, count) activity lists; ranking and
-   serialization happen here. *)
-let finish ?(profiles = []) ~run t =
+   serialization happen here.  [cover] is the run's coverage database:
+   written to --cover-out, printed on --cover-summary and embedded in
+   the --stats-json report (schema v2). *)
+let finish ?(profiles = []) ?cover ~run t =
   let ranked =
     List.map (fun (title, raw) -> (title, Obs.Profile.top raw)) profiles
   in
@@ -55,9 +110,22 @@ let finish ?(profiles = []) ~run t =
         print_newline ();
         print_string (Obs.Profile.table ~title entries))
       ranked;
+  (match cover with
+  | Some db ->
+      (match t.cover_out with
+      | Some path ->
+          Cover.Db.save db path;
+          Obs.Log.infof "coverage database written to %s" path
+      | None -> ());
+      if t.cover_summary then begin
+        print_newline ();
+        print_string (Cover.Db.summary db)
+      end
+  | None -> ());
   (match t.stats_json with
   | Some path ->
-      Obs.Json.save (Obs.Report.make ~profiles:ranked ~run ()) path;
+      let coverage = Option.map Cover.Db.to_json cover in
+      Obs.Json.save (Obs.Report.make ?coverage ~profiles:ranked ~run ()) path;
       Obs.Log.infof "run report written to %s" path
   | None -> ());
   match t.trace_out with

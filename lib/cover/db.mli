@@ -1,0 +1,97 @@
+(** Serializable coverage database.
+
+    [Db.t] is the plain-data snapshot of every collector a run owned —
+    toggle bits, FSMs, covergroups and protocol-monitor verdicts —
+    detached from the live simulator so it can be written to disk,
+    merged across runs/seeds (counts are summed, so coverage is
+    monotone under {!merge}) and diffed.  Serialization goes through
+    [Obs.Json]; the document is stamped with {!schema_version}. *)
+
+val schema_version : string
+
+type toggle = { t_name : string; t_rise : int; t_fall : int }
+
+type fsm_state = { fs_name : string; fs_hits : int }
+type fsm_arc = { fa_from : string; fa_to : string; fa_hits : int; fa_declared : bool }
+
+type fsm = {
+  f_name : string;
+  f_states : fsm_state list;
+  f_arcs : fsm_arc list;
+  f_unknown : int;
+}
+
+type bin = { b_name : string; b_hits : int; b_goal : int; b_illegal : bool }
+type group = { g_name : string; g_bins : bin list; g_other : int }
+
+type monitor = { m_name : string; m_pass : int; m_vacuous : int; m_fail : int }
+
+type t = {
+  runs : string list;  (** provenance labels of the merged runs *)
+  toggles : toggle list;
+  fsms : fsm list;
+  groups : group list;
+  monitors : monitor list;
+}
+
+(** Expand a live {!Toggle.t} into DB entries (every bit, covered or
+    not, so the denominator survives merging).  [prefix] namespaces the
+    bit names, e.g. ["rtl:"] vs ["nl:"] when one run owns both. *)
+val toggle_entries : ?prefix:string -> Toggle.t -> toggle list
+
+val fsm_entry : Fsm.t -> fsm
+val group_entry : Group.t -> group
+val monitor : name:string -> pass:int -> vacuous:int -> fail:int -> monitor
+
+val make :
+  ?toggles:toggle list ->
+  ?fsms:Fsm.t list ->
+  ?groups:Group.t list ->
+  ?monitors:monitor list ->
+  run:string ->
+  unit ->
+  t
+
+(** Union: items are matched by name (toggles by bit name, FSM
+    states/arcs by label, bins by name, monitors by name) and their
+    counts summed; items present on only one side are kept.  Coverage
+    of the result is therefore >= coverage of either input. *)
+val merge : t -> t -> t
+
+(** [(kind, item)] pairs covered in the first DB but not the second —
+    kinds ["toggle"], ["fsm-state"], ["fsm-arc"], ["bin"]. *)
+val diff : t -> t -> (string * string) list
+
+type totals = {
+  toggle_bits : int;
+  toggle_covered : int;
+  fsm_states : int;
+  fsm_states_hit : int;
+  fsm_arcs : int;  (** declared arcs only *)
+  fsm_arcs_hit : int;
+  group_bins : int;  (** legal bins only *)
+  group_bins_hit : int;  (** legal bins with hits >= goal *)
+  illegal_hits : int;
+  monitor_passes : int;
+  monitor_vacuous : int;
+  monitor_fails : int;
+}
+
+val totals : t -> totals
+
+(** Covered / total toggle bits; 1.0 when the DB tracks no bits. *)
+val toggle_coverage : t -> float
+
+(** FSMs whose declared states and arcs are all hit with no unknowns. *)
+val fully_covered_fsms : t -> string list
+
+(** Multi-line human-readable table. *)
+val summary : t -> string
+
+val to_json : t -> Obs.Json.t
+
+(** Structural parse; [Error msg] on schema mismatch. *)
+val of_json : Obs.Json.t -> (t, string) result
+
+val save : t -> string -> unit
+val load : string -> (t, string) result

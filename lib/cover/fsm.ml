@@ -1,0 +1,121 @@
+type state = { st_value : int; st_name : string; st_hits : int }
+type arc = { a_from : int; a_to : int; a_hits : int; a_declared : bool }
+
+type t = {
+  fsm_name : string;
+  order : int list;                       (* declared values, declaration order *)
+  names : (int, string) Hashtbl.t;
+  hits : (int, int) Hashtbl.t;            (* declared-state visit counts *)
+  arc_hits : (int * int, int) Hashtbl.t;  (* observed arcs *)
+  declared_arcs : (int * int) list;
+  mutable unknown : int;
+  mutable last : int option;
+}
+
+let create ?(arcs = []) ~name ~states () =
+  let names = Hashtbl.create 16 in
+  let hits = Hashtbl.create 16 in
+  let order =
+    List.filter_map
+      (fun (v, n) ->
+        if Hashtbl.mem names v then None
+        else begin
+          Hashtbl.replace names v n;
+          Hashtbl.replace hits v 0;
+          Some v
+        end)
+      states
+  in
+  let declared_arcs =
+    List.filter (fun (a, b) -> Hashtbl.mem names a && Hashtbl.mem names b) arcs
+  in
+  {
+    fsm_name = name;
+    order;
+    names;
+    hits;
+    arc_hits = Hashtbl.create 32;
+    declared_arcs;
+    unknown = 0;
+    last = None;
+  }
+
+let name t = t.fsm_name
+
+let sample t v =
+  (match Hashtbl.find_opt t.hits v with
+  | Some n -> Hashtbl.replace t.hits v (n + 1)
+  | None -> t.unknown <- t.unknown + 1);
+  (* Record every change of state; record a self-loop only when the
+     graph declares it, so an FSM parked in idle does not drown the
+     arc table. *)
+  (match t.last with
+  | Some prev when prev <> v || List.mem (v, v) t.declared_arcs ->
+      let key = (prev, v) in
+      let n = try Hashtbl.find t.arc_hits key with Not_found -> 0 in
+      Hashtbl.replace t.arc_hits key (n + 1)
+  | _ -> ());
+  t.last <- Some v
+
+let state_label t v =
+  match Hashtbl.find_opt t.names v with
+  | Some n -> n
+  | None -> Printf.sprintf "<%d>" v
+
+let states t =
+  List.map
+    (fun v ->
+      {
+        st_value = v;
+        st_name = Hashtbl.find t.names v;
+        st_hits = (try Hashtbl.find t.hits v with Not_found -> 0);
+      })
+    t.order
+
+let arcs t =
+  let declared =
+    List.map
+      (fun (a, b) ->
+        {
+          a_from = a;
+          a_to = b;
+          a_hits = (try Hashtbl.find t.arc_hits (a, b) with Not_found -> 0);
+          a_declared = true;
+        })
+      t.declared_arcs
+  in
+  let extra =
+    Hashtbl.fold
+      (fun (a, b) n acc ->
+        if List.mem (a, b) t.declared_arcs then acc
+        else { a_from = a; a_to = b; a_hits = n; a_declared = false } :: acc)
+      t.arc_hits []
+  in
+  let extra =
+    List.sort (fun x y -> compare (x.a_from, x.a_to) (y.a_from, y.a_to)) extra
+  in
+  declared @ extra
+
+let unknown_hits t = t.unknown
+
+let state_coverage t =
+  match t.order with
+  | [] -> 1.0
+  | l ->
+      let hit =
+        List.length (List.filter (fun v -> Hashtbl.find t.hits v > 0) l)
+      in
+      float_of_int hit /. float_of_int (List.length l)
+
+let arc_coverage t =
+  match t.declared_arcs with
+  | [] -> 1.0
+  | l ->
+      let hit =
+        List.length
+          (List.filter (fun a -> Hashtbl.mem t.arc_hits a) l)
+      in
+      float_of_int hit /. float_of_int (List.length l)
+
+let fully_covered t =
+  t.unknown = 0 && state_coverage t = 1.0 && arc_coverage t = 1.0

@@ -1,0 +1,48 @@
+(** FSM state and transition (arc) coverage.
+
+    The caller registers a state signal with its declared encoding (and
+    optionally the legal arcs of the state graph) and then feeds the
+    sampled register value once per clock.  The collector counts visits
+    per declared state, traversals per arc (declared or not — an
+    undeclared arc that fires is itself a finding), and samples whose
+    value matches no declared state. *)
+
+type t
+
+(** [create ~name ~states ?arcs ()] declares an FSM.  [states] maps
+    encoded values to display names; duplicate values keep the first
+    name.  [arcs] lists the legal (from, to) value pairs; arcs between
+    undeclared states are ignored.  Self-loops must be declared
+    explicitly if staying in a state is part of the graph to cover. *)
+val create : ?arcs:(int * int) list -> name:string -> states:(int * string) list -> unit -> t
+
+val name : t -> string
+
+(** [sample t v] records one observation of state value [v].  The first
+    sample sets the current state; later samples also record the arc
+    from the previous sample's value (including self-loops). *)
+val sample : t -> int -> unit
+
+type state = { st_value : int; st_name : string; st_hits : int }
+type arc = { a_from : int; a_to : int; a_hits : int; a_declared : bool }
+
+(** Declared states in declaration order, with visit counts. *)
+val states : t -> state list
+
+(** Declared arcs (hit or not) followed by observed undeclared arcs. *)
+val arcs : t -> arc list
+
+(** Samples whose value matched no declared state. *)
+val unknown_hits : t -> int
+
+(** Display name for a state value: the declared name or ["<v>"]. *)
+val state_label : t -> int -> string
+
+val state_coverage : t -> float
+
+(** Hit fraction over declared arcs; 1.0 when no arcs were declared. *)
+val arc_coverage : t -> float
+
+(** All declared states and all declared arcs hit, and no unknown
+    states observed. *)
+val fully_covered : t -> bool

@@ -1,0 +1,73 @@
+type spec =
+  | Value of int
+  | Span of int * int
+  | Illegal_value of int
+  | Illegal_span of int * int
+
+type bin = { bin_name : string; spec : spec; hits : int; goal : int }
+
+type t = {
+  grp_name : string;
+  goal : int;
+  names : string array;
+  specs : spec array;
+  hits : int array;
+  mutable other : int;
+}
+
+let create ?(goal = 1) ~name bins =
+  let n = List.length bins in
+  let names = Array.make n "" in
+  let specs = Array.make n (Value 0) in
+  List.iteri
+    (fun i (bn, sp) ->
+      names.(i) <- bn;
+      specs.(i) <- sp)
+    bins;
+  { grp_name = name; goal; names; specs; hits = Array.make n 0; other = 0 }
+
+let name t = t.grp_name
+
+let matches spec v =
+  match spec with
+  | Value x | Illegal_value x -> v = x
+  | Span (lo, hi) | Illegal_span (lo, hi) -> v >= lo && v <= hi
+
+let is_illegal = function
+  | Illegal_value _ | Illegal_span _ -> true
+  | Value _ | Span _ -> false
+
+let sample t v =
+  let hit = ref false in
+  for i = 0 to Array.length t.specs - 1 do
+    if matches t.specs.(i) v then begin
+      t.hits.(i) <- t.hits.(i) + 1;
+      hit := true
+    end
+  done;
+  if not !hit then t.other <- t.other + 1
+
+let bins t =
+  Array.to_list
+    (Array.mapi
+       (fun i n ->
+         { bin_name = n; spec = t.specs.(i); hits = t.hits.(i); goal = t.goal })
+       t.names)
+
+let other_hits t = t.other
+
+let illegal_hits t =
+  let n = ref 0 in
+  Array.iteri (fun i sp -> if is_illegal sp then n := !n + t.hits.(i)) t.specs;
+  !n
+
+let coverage t =
+  let legal = ref 0 and at_goal = ref 0 in
+  Array.iteri
+    (fun i sp ->
+      if not (is_illegal sp) then begin
+        incr legal;
+        if t.hits.(i) >= t.goal then incr at_goal
+      end)
+    t.specs;
+  if !legal = 0 then 1.0 else float_of_int !at_goal /. float_of_int !legal

@@ -1,0 +1,42 @@
+(** OSVVM-style functional covergroups.
+
+    A covergroup names the interesting partitions of one sampled value:
+    singleton bins, inclusive ranges, and *illegal* bins whose hits are
+    violations rather than progress.  Coverage is the fraction of legal
+    bins that reached their hit goal (OSVVM's [AtLeast], default 1).
+    Sampling is explicit from testbench code — the group knows nothing
+    about simulators. *)
+
+type spec =
+  | Value of int                (** exactly this value *)
+  | Span of int * int           (** inclusive range [lo, hi] *)
+  | Illegal_value of int
+  | Illegal_span of int * int
+
+type bin = { bin_name : string; spec : spec; hits : int; goal : int }
+
+type t
+
+(** [create ~name ?goal bins] — [goal] (default 1) is the per-bin hit
+    count required for a legal bin to count as covered. *)
+val create : ?goal:int -> name:string -> (string * spec) list -> t
+
+val name : t -> string
+
+(** [sample t v] increments every bin matching [v] (a value may fall in
+    overlapping bins); a value matching no bin increments the "other"
+    count instead. *)
+val sample : t -> int -> unit
+
+val bins : t -> bin list
+
+(** Samples that matched no bin at all. *)
+val other_hits : t -> int
+
+(** Total hits on illegal bins. *)
+val illegal_hits : t -> int
+
+val is_illegal : spec -> bool
+
+(** Legal bins at goal / legal bins; 1.0 when there are none. *)
+val coverage : t -> float

@@ -1,0 +1,50 @@
+type t = {
+  names : string array;
+  rises : int array;
+  falls : int array;
+}
+
+let create ~names =
+  let n = Array.length names in
+  { names; rises = Array.make n 0; falls = Array.make n 0 }
+
+let record t i ~rising =
+  if rising then t.rises.(i) <- t.rises.(i) + 1
+  else t.falls.(i) <- t.falls.(i) + 1
+
+let bits t = Array.length t.names
+let name t i = t.names.(i)
+let rises t i = t.rises.(i)
+let falls t i = t.falls.(i)
+
+let covered t =
+  let n = ref 0 in
+  for i = 0 to bits t - 1 do
+    if t.rises.(i) > 0 && t.falls.(i) > 0 then incr n
+  done;
+  !n
+
+let touched t =
+  let n = ref 0 in
+  for i = 0 to bits t - 1 do
+    if t.rises.(i) > 0 || t.falls.(i) > 0 then incr n
+  done;
+  !n
+
+let coverage t =
+  let b = bits t in
+  if b = 0 then 1.0 else float_of_int (covered t) /. float_of_int b
+
+let uncovered ?(k = 10) t =
+  let out = ref [] in
+  let left = ref k in
+  (try
+     for i = 0 to bits t - 1 do
+       if !left = 0 then raise Exit;
+       if not (t.rises.(i) > 0 && t.falls.(i) > 0) then begin
+         out := t.names.(i) :: !out;
+         decr left
+       end
+     done
+   with Exit -> ());
+  List.rev !out

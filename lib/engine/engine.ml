@@ -10,6 +10,8 @@ module type S = sig
   val step : t -> unit
   val cycles : t -> int
   val stats : t -> (string * int) list
+  val enable_cover : t -> unit
+  val cover : t -> Cover.Toggle.t option
 end
 
 type t = Pack : (module S with type t = 'a) * 'a * string -> t
@@ -28,6 +30,8 @@ let settle (Pack ((module M), e, _)) = M.settle e
 let step (Pack ((module M), e, _)) = M.step e
 let cycles (Pack ((module M), e, _)) = M.cycles e
 let stats (Pack ((module M), e, _)) = M.stats e
+let enable_cover (Pack ((module M), e, _)) = M.enable_cover e
+let cover (Pack ((module M), e, _)) = M.cover e
 
 let run e n =
   for _ = 1 to n do
@@ -67,6 +71,8 @@ module Faulty = struct
   let step f = step f.inner
   let cycles f = cycles f.inner
   let stats f = stats f.inner
+  let enable_cover f = enable_cover f.inner
+  let cover f = cover f.inner
 end
 
 let inject_fault ?(from_cycle = 0) ~port e =

@@ -35,6 +35,14 @@ module type S = sig
   val stats : t -> (string * int) list
   (** Engine-specific activity counters (same figures the global
       [Perf] registry accumulates), e.g. gate evaluations. *)
+
+  val enable_cover : t -> unit
+  (** Start per-bit toggle coverage (a no-op for backends without
+      coverage support). *)
+
+  val cover : t -> Cover.Toggle.t option
+  (** The live toggle collector once {!enable_cover} was called;
+      [None] before, or always for unsupported backends. *)
 end
 
 type t = Pack : (module S with type t = 'a) * 'a * string -> t
@@ -59,6 +67,8 @@ val step : t -> unit
 val run : t -> int -> unit
 val cycles : t -> int
 val stats : t -> (string * int) list
+val enable_cover : t -> unit
+val cover : t -> Cover.Toggle.t option
 
 val inject_fault : ?from_cycle:int -> port:string -> t -> t
 (** A wrapper engine that behaves exactly like the inner one except

@@ -1,0 +1,176 @@
+type t = {
+  cp_fsms : Cover.Fsm.t list;
+  cp_groups : Cover.Group.t list;
+  cp_frame : (Rtl_sim.t -> unit) list;
+}
+
+(* The same coverage model serves both design styles; registers are
+   located by candidate names (the OSSS I2C master keeps its slot
+   counter in "slot", the VHDL-style one in "slot_r"; the sync module
+   packs its shift register into the SyncRegister object state in the
+   OSSS style). *)
+let find_first sim candidates = List.find_map (Rtl_sim.find_var sim) candidates
+
+let seq_arcs first last =
+  List.init (last - first) (fun i -> (first + i, first + i + 1))
+
+let top_fsm () =
+  Cover.Fsm.create ~name:"top_sequencer"
+    ~states:
+      [
+        (Expocu_top.st_acquire, "acquire");
+        (Expocu_top.st_scan_settle, "scan_settle");
+        (Expocu_top.st_scan, "scan");
+        (Expocu_top.st_update, "update");
+        (Expocu_top.st_param_settle, "param_settle");
+        (Expocu_top.st_wait_param, "wait_param");
+        (Expocu_top.st_send, "send");
+        (Expocu_top.st_i2c_settle, "i2c_settle");
+        (Expocu_top.st_wait_i2c, "wait_i2c");
+      ]
+    ~arcs:
+      (seq_arcs 0 8
+      @ [
+          (Expocu_top.st_wait_i2c, Expocu_top.st_acquire);
+          (* waiting states hold their value; declare the self-loops so
+             the dwell is part of the graph to cover *)
+          (Expocu_top.st_acquire, Expocu_top.st_acquire);
+          (Expocu_top.st_scan, Expocu_top.st_scan);
+          (Expocu_top.st_wait_param, Expocu_top.st_wait_param);
+          (Expocu_top.st_wait_i2c, Expocu_top.st_wait_i2c);
+        ])
+    ()
+
+let slot_name s =
+  if s = I2c.slot_start then "start"
+  else if s = I2c.slot_stop_write then "stop_write"
+  else if s = I2c.slot_stop_read then "stop_read"
+  else if s = I2c.slot_restart then "restart"
+  else if s = I2c.slot_mnack then "mnack"
+  else Printf.sprintf "s%02d" s
+
+let i2c_fsm () =
+  (* All 39 slots of the write+read sequence.  A write-only stimulus
+     legitimately leaves the read tail (restart onwards on the read
+     path, slots 29..38) unhit — that hole is the point of reporting
+     it. *)
+  Cover.Fsm.create ~name:"i2c_slot"
+    ~states:(List.init I2c.n_slots_read (fun s -> (s, slot_name s)))
+    ~arcs:
+      (seq_arcs 0 (I2c.n_slots_read - 1)
+      @ [ (I2c.slot_stop_write, 0); (I2c.slot_stop_read, 0) ])
+    ()
+
+let reset_fsm () =
+  Cover.Fsm.create ~name:"por_counter"
+    ~states:
+      (List.init (Reset_ctrl.por_cycles + 1) (fun i ->
+           (i, Printf.sprintf "por%d" i)))
+    ~arcs:
+      (seq_arcs 0 Reset_ctrl.por_cycles
+      @ [ (Reset_ctrl.por_cycles, Reset_ctrl.por_cycles) ])
+    ()
+
+let sync_fsm () =
+  (* The 4-bit synchronizer shift register: any of the 16 patterns can
+     occur depending on pulse widths, so declare them all and no arcs. *)
+  Cover.Fsm.create ~name:"sync_shift"
+    ~states:(List.init 16 (fun v -> (v, Printf.sprintf "v%d" v)))
+    ()
+
+let groups () =
+  let median =
+    Cover.Group.create ~name:"median_bin"
+      (List.init Expocu_top.default_config.Expocu_top.bins (fun i ->
+           (Printf.sprintf "bin%d" i, Cover.Group.Value i))
+      @ [ ("out_of_range", Cover.Group.Illegal_span (16, 255)) ])
+  in
+  let exposure =
+    Cover.Group.create ~name:"exposure_gain"
+      [
+        ("at_min", Cover.Group.Value Param_calc.gain_min);
+        ("low", Cover.Group.Span (Param_calc.gain_min + 1, Param_calc.gain_unity - 1));
+        ("unity", Cover.Group.Value Param_calc.gain_unity);
+        ("above_unity", Cover.Group.Span (Param_calc.gain_unity + 1, 16383));
+        ("high", Cover.Group.Span (16384, Param_calc.gain_max));
+        ("below_min", Cover.Group.Illegal_span (0, Param_calc.gain_min - 1));
+      ]
+  in
+  let verdict =
+    Cover.Group.create ~name:"threshold_verdict"
+      [
+        ("ok", Cover.Group.Value 0);
+        ("underexposed", Cover.Group.Value 1);
+        ("overexposed", Cover.Group.Value 2);
+        ("both_flags", Cover.Group.Illegal_value 3);
+      ]
+  in
+  let kind =
+    Cover.Group.create ~name:"i2c_kind"
+      [ ("write", Cover.Group.Value 0); ("read", Cover.Group.Value 1) ]
+  in
+  let occupancy =
+    Cover.Group.create ~name:"hist_occupancy"
+      [
+        ("empty", Cover.Group.Value 0);
+        ("partial", Cover.Group.Span (1, 255));
+        ("full_line", Cover.Group.Value 256);
+        ("multi_line", Cover.Group.Span (257, 65535));
+      ]
+  in
+  (median, exposure, verdict, kind, occupancy)
+
+let attach sim =
+  let fsm_defs =
+    [
+      ([ "top_state" ], top_fsm ());
+      ([ "u_i2c.slot"; "u_i2c.slot_r" ], i2c_fsm ());
+      ([ "u_reset.por_cnt" ], reset_fsm ());
+      ([ "u_sync.shift_reg"; "u_sync.data_sync_reg" ], sync_fsm ());
+    ]
+  in
+  let resolved =
+    List.filter_map
+      (fun (candidates, fsm) ->
+        match find_first sim candidates with
+        | Some var -> Some (fsm, var)
+        | None -> None)
+      fsm_defs
+  in
+  Rtl_sim.on_step sim (fun s ->
+      List.iter
+        (fun (fsm, var) ->
+          Cover.Fsm.sample fsm (Bitvec.to_int (Rtl_sim.peek_var s var)))
+        resolved);
+  let median, exposure, verdict, kind, occupancy = groups () in
+  let peek_int name =
+    match find_first sim [ name ] with
+    | Some var -> Some (fun s -> Bitvec.to_int (Rtl_sim.peek_var s var))
+    | None -> None
+  in
+  let frame_samplers =
+    List.filter_map Fun.id
+      [
+        Some (fun s -> Cover.Group.sample median (Rtl_sim.get_int s "median_bin"));
+        Some (fun s -> Cover.Group.sample exposure (Rtl_sim.get_int s "exposure"));
+        (match (peek_int "under", peek_int "over") with
+        | Some u, Some o ->
+            Some (fun s -> Cover.Group.sample verdict (u s lor (o s lsl 1)))
+        | _ -> None);
+        (match peek_int "i2c_rw" with
+        | Some rw -> Some (fun s -> Cover.Group.sample kind (rw s))
+        | None -> None);
+        (match peek_int "hist_total" with
+        | Some total -> Some (fun s -> Cover.Group.sample occupancy (total s))
+        | None -> None);
+      ]
+  in
+  {
+    cp_fsms = List.map (fun (f, _) -> f) resolved;
+    cp_groups = [ median; exposure; verdict; kind; occupancy ];
+    cp_frame = frame_samplers;
+  }
+
+let sample_frame t sim = List.iter (fun f -> f sim) t.cp_frame
+let fsms t = t.cp_fsms
+let groups t = t.cp_groups

@@ -1,0 +1,24 @@
+(** ExpoCU-specific coverage model: FSM registration and functional
+    covergroups over the flattened top-level design.
+
+    {!attach} registers the known state machines (top sequencer, I²C
+    slot counter, power-on-reset counter, sync shift register) with a
+    per-cycle sampler; {!sample_frame} feeds the functional covergroups
+    (median bin, exposure range, threshold verdict, I²C transaction
+    kind, histogram occupancy) and is meant to be called by the
+    testbench once per completed frame.  Both the OSSS and the VHDL-RTL
+    style tops are supported — internal state is located by candidate
+    hierarchical names, and FSMs whose register does not exist in the
+    simulated variant are skipped. *)
+
+type t
+
+val attach : Rtl_sim.t -> t
+(** Resolve coverpoints against the simulator's flattened design and
+    register the per-cycle FSM sampler (via [Rtl_sim.on_step]). *)
+
+val sample_frame : t -> Rtl_sim.t -> unit
+(** Sample every functional covergroup once (call per frame). *)
+
+val fsms : t -> Cover.Fsm.t list
+val groups : t -> Cover.Group.t list

@@ -27,3 +27,18 @@ val rtl_top : ?config:config -> unit -> Ir.module_def
 
 val i2c_dev_addr : int
 val i2c_reg_addr : int
+
+(** {1 Sequencer state encoding}
+
+    Values of the 4-bit [top_state] register, exposed for coverage
+    registration (see [Coverpoints]). *)
+
+val st_acquire : int
+val st_scan_settle : int
+val st_scan : int
+val st_update : int
+val st_param_settle : int
+val st_wait_param : int
+val st_send : int
+val st_i2c_settle : int
+val st_wait_i2c : int

@@ -39,6 +39,15 @@ val n_slots : int
 val n_slots_read : int
 (** Bit slots per read transaction (39). *)
 
+(** Distinguished positions in the slot sequence, exposed for coverage
+    registration (see [Coverpoints]). *)
+
+val slot_start : int
+val slot_stop_write : int
+val slot_restart : int
+val slot_stop_read : int
+val slot_mnack : int
+
 val transaction_cycles : divider:int -> int
 (** Clock cycles from [go] to [done] for a write. *)
 

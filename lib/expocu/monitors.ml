@@ -1,0 +1,72 @@
+module A = Assert_mon
+
+(* Bus-level SDA framing: SDA may change while SCL is high only as a
+   START (fall, opening a transaction) or a STOP (rise, closing it);
+   any other scl-high change is a protocol violation.  Stateful, so
+   each call builds a fresh property. *)
+let sda_framing () =
+  let prev_scl = ref 1 and prev_sda = ref 1 and phase = ref 0 in
+  let bus_sda s =
+    (* open-drain: the bus floats high unless the master drives it *)
+    if Rtl_sim.get_int s "sda_oe" = 1 then Rtl_sim.get_int s "sda_out" else 1
+  in
+  A.always ~label:"i2c.sda_framing" (fun s ->
+      let scl = Rtl_sim.get_int s "scl" in
+      let sda = bus_sda s in
+      let legal =
+        if scl = 1 && !prev_scl = 1 && sda <> !prev_sda then
+          if !prev_sda = 1 && sda = 0 && !phase = 0 then begin
+            phase := 1;
+            true (* START *)
+          end
+          else if !prev_sda = 0 && sda = 1 && !phase = 1 then begin
+            phase := 0;
+            true (* STOP *)
+          end
+          else false
+        else true
+      in
+      prev_scl := scl;
+      prev_sda := sda;
+      legal)
+
+let add_i2c_props mon =
+  A.add mon (sda_framing ());
+  A.add mon
+    (A.never ~label:"i2c.busy_done_exclusive"
+       (A.( &&& ) (A.port "busy") (A.port "done")));
+  A.add mon
+    (A.implies_same ~label:"i2c.idle_bus_released" (A.neg (A.port "busy"))
+       (A.( ||| ) (A.neg (A.port "sda_oe")) (A.port "sda_out")));
+  A.add mon
+    (A.eventually_within ~label:"i2c.go_leads_to_done" (A.port "go")
+       (I2c.read_transaction_cycles ~divider:4 + 32)
+       (A.port "done"))
+
+let expocu_monitor sim =
+  let mon = A.create sim in
+  A.add mon (sda_framing ());
+  A.add mon (A.never ~label:"i2c.ack_error" (A.port "ack_error"));
+  A.add mon
+    (A.implies_next ~label:"top.frame_done_pulse" (A.port "frame_done")
+       (A.neg (A.port "frame_done")));
+  (* Sync-handshake invariants over the conditioned frame_sync nets
+     (internal wires, reached by name in the flattened design). *)
+  (match
+     ( Rtl_sim.find_var sim "fs_rising",
+       Rtl_sim.find_var sim "fs_falling",
+       Rtl_sim.find_var sim "fs_stable",
+       Rtl_sim.find_var sim "fs_value" )
+   with
+  | Some rising, Some falling, Some stable, Some value ->
+      let bit var s = Bitvec.to_int (Rtl_sim.peek_var s var) = 1 in
+      A.add mon
+        (A.never ~label:"sync.edge_exclusive"
+           (A.( &&& ) (bit rising) (bit falling)));
+      A.add mon
+        (A.implies_same ~label:"sync.stable_extremes" (bit stable) (fun s ->
+             let x = Bitvec.to_int (Rtl_sim.peek_var s value) in
+             x = 0 || x = 15))
+  | _ -> ());
+  A.attach mon;
+  mon

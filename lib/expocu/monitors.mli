@@ -1,0 +1,25 @@
+(** Protocol monitors for the ExpoCU designs, built on [Assert_mon].
+
+    Two bundles of temporal properties:
+
+    - {!add_i2c_props} checks the bus master at its module boundary
+      (start/stop framing on the SDA/SCL pins, busy/done exclusivity,
+      released idle bus, bounded completion) — the same contract for
+      all three implementation styles;
+    - {!expocu_monitor} wraps a simulated *top* with the pin-level I²C
+      framing checks plus top-level invariants (single-cycle
+      [frame_done] pulse, no ACK errors, sync-handshake edge
+      exclusivity and stable-value consistency) and attaches itself to
+      the simulator's step hook, so the caller keeps driving
+      [Rtl_sim.step] directly.
+
+    Pass/vacuous/fail counts land in the coverage report via
+    [Assert_mon.db_monitors]. *)
+
+val add_i2c_props : Assert_mon.t -> unit
+(** Add the bus-master boundary properties to a monitor wrapping a
+    standalone I²C module simulation ([I2c.osss_module] etc.). *)
+
+val expocu_monitor : Rtl_sim.t -> Assert_mon.t
+(** Build, populate and attach the top-level monitor.  Call
+    [Assert_mon.finish] at end of stimulus before reading results. *)

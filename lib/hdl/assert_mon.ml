@@ -2,18 +2,28 @@ type signal = Rtl_sim.t -> bool
 
 type violation = { at_cycle : int; label : string }
 
+(* Per-cycle verdict of one property.  Distinguishing [Vacuous] from
+   [Pass] is what makes the counts meaningful as *coverage*: an
+   implication whose antecedent never fired has proven nothing, however
+   many cycles it "held". *)
+type outcome = Pass | Vacuous | Fail of string
+
 (* A property is a stateful checker: called once per cycle with the
-   simulator, reporting violations through the callback; [finalize]
-   flushes open obligations. *)
+   simulator, reporting the cycle's outcome(s) through the callback;
+   [finalize] flushes open obligations.  The counters accumulate over
+   the monitor's lifetime, so a [prop] value belongs to one monitor. *)
 type prop = {
   label : string;
-  check : Rtl_sim.t -> int -> (string -> unit) -> unit;
-  finalize : int -> (string -> unit) -> unit;
+  check : Rtl_sim.t -> int -> (outcome -> unit) -> unit;
+  finalize : int -> (outcome -> unit) -> unit;
+  mutable n_pass : int;
+  mutable n_vacuous : int;
+  mutable n_fail : int;
 }
 
 type t = {
   sim : Rtl_sim.t;
-  mutable props : prop list;
+  mutable props : prop list;  (* reverse add order *)
   mutable faults : violation list;  (* reverse order *)
   mutable finished : bool;
 }
@@ -32,80 +42,109 @@ let rose s prev sim =
   prev := now;
   now && not before
 
-let stateless label check = { label; check; finalize = (fun _ _ -> ()) }
+let make label check finalize =
+  { label; check; finalize; n_pass = 0; n_vacuous = 0; n_fail = 0 }
+
+let stateless label check = make label check (fun _ _ -> ())
 
 let always ?(label = "always") s =
-  stateless label (fun sim _ fail -> if not (s sim) then fail label)
+  stateless label (fun sim _ emit ->
+      emit (if s sim then Pass else Fail label))
 
 let never ?(label = "never") s =
-  stateless label (fun sim _ fail -> if s sim then fail label)
+  stateless label (fun sim _ emit ->
+      emit (if s sim then Fail label else Pass))
 
 let implies_same ?(label = "implication") a c =
-  stateless label (fun sim _ fail -> if a sim && not (c sim) then fail label)
+  stateless label (fun sim _ emit ->
+      if a sim then emit (if c sim then Pass else Fail label)
+      else emit Vacuous)
 
 let implies_next ?(label = "next-cycle implication") a c =
   let pending = ref false in
-  {
-    label;
-    check =
-      (fun sim _ fail ->
-        if !pending && not (c sim) then fail label;
-        pending := a sim);
-    finalize = (fun _ _ -> ());
-  }
+  make label
+    (fun sim _ emit ->
+      if !pending then emit (if c sim then Pass else Fail label)
+      else emit Vacuous;
+      pending := a sim)
+    (fun _ _ -> ())
 
 let eventually_within ?(label = "bounded eventuality") trigger n ok =
   let open_obligations : int Queue.t = Queue.create () in
-  {
-    label;
-    check =
-      (fun sim cycle fail ->
-        if ok sim then Queue.clear open_obligations
-        else
-          while
-            (not (Queue.is_empty open_obligations))
-            && cycle - Queue.peek open_obligations > n
-          do
-            ignore (Queue.pop open_obligations);
-            fail label
-          done;
-        if trigger sim && not (ok sim) then Queue.push cycle open_obligations);
-    finalize =
-      (fun _ fail ->
-        if not (Queue.is_empty open_obligations) then begin
-          Queue.clear open_obligations;
-          fail (label ^ " (still open at finish)")
-        end);
-  }
+  make label
+    (fun sim cycle emit ->
+      let okay = ok sim in
+      let emitted = ref false in
+      if okay then begin
+        let closed = Queue.length open_obligations in
+        Queue.clear open_obligations;
+        for _ = 1 to closed do
+          emit Pass
+        done;
+        if closed > 0 then emitted := true
+      end
+      else
+        while
+          (not (Queue.is_empty open_obligations))
+          && cycle - Queue.peek open_obligations > n
+        do
+          ignore (Queue.pop open_obligations);
+          emit (Fail label);
+          emitted := true
+        done;
+      if trigger sim then
+        if okay then begin
+          (* Satisfied in the very cycle it was requested. *)
+          emit Pass;
+          emitted := true
+        end
+        else begin
+          Queue.push cycle open_obligations;
+          emitted := true
+        end;
+      (* Cycles spent waiting on an open obligation are neither passes
+         nor vacuous — the verdict comes when it closes or expires. *)
+      if (not !emitted) && Queue.is_empty open_obligations then emit Vacuous)
+    (fun _ emit ->
+      if not (Queue.is_empty open_obligations) then begin
+        Queue.clear open_obligations;
+        emit (Fail (label ^ " (still open at finish)"))
+      end)
 
 let stable_unless ?label port_name allow =
   let label =
     Option.value ~default:(port_name ^ " stable unless allowed") label
   in
   let previous = ref None in
-  {
-    label;
-    check =
-      (fun sim _ fail ->
-        let current = Rtl_sim.get sim port_name in
-        (match !previous with
-        | Some before
-          when (not (Bitvec.equal before current)) && not (allow sim) ->
-            fail label
-        | Some _ | None -> ());
-        previous := Some current);
-    finalize = (fun _ _ -> ());
-  }
+  make label
+    (fun sim _ emit ->
+      let current = Rtl_sim.get sim port_name in
+      (match !previous with
+      | None -> emit Vacuous
+      | Some before ->
+          let changed = not (Bitvec.equal before current) in
+          let allowed = allow sim in
+          if changed then emit (if allowed then Pass else Fail label)
+          else
+            (* No change: holding trivially, unless a change was
+               permitted and simply didn't happen. *)
+            emit (if allowed then Vacuous else Pass));
+      previous := Some current)
+    (fun _ _ -> ())
 
 let add t prop = t.props <- prop :: t.props
 
+let record t cycle p outcome =
+  match outcome with
+  | Pass -> p.n_pass <- p.n_pass + 1
+  | Vacuous -> p.n_vacuous <- p.n_vacuous + 1
+  | Fail label ->
+      p.n_fail <- p.n_fail + 1;
+      t.faults <- { at_cycle = cycle; label } :: t.faults
+
 let check_all t =
   let cycle = Rtl_sim.cycles t.sim in
-  List.iter
-    (fun p ->
-      p.check t.sim cycle (fun label ->
-          t.faults <- { at_cycle = cycle; label } :: t.faults))
-    (List.rev t.props)
+  List.iter (fun p -> p.check t.sim cycle (record t cycle p)) (List.rev t.props)
 
 let step t =
   Rtl_sim.step t.sim;
@@ -116,19 +155,60 @@ let run t n =
     step t
   done
 
+let attach t = Rtl_sim.on_step t.sim (fun _ -> check_all t)
+
 let finish t =
   if not t.finished then begin
     t.finished <- true;
     let cycle = Rtl_sim.cycles t.sim in
-    List.iter
-      (fun p ->
-        p.finalize cycle (fun label ->
-            t.faults <- { at_cycle = cycle; label } :: t.faults))
-      (List.rev t.props)
+    List.iter (fun p -> p.finalize cycle (record t cycle p)) (List.rev t.props)
   end
 
 let violations t = List.rev t.faults
 let ok t = t.faults = []
+
+type summary = { s_label : string; passes : int; vacuous : int; fails : int }
+
+let summaries t =
+  List.rev_map
+    (fun p ->
+      { s_label = p.label; passes = p.n_pass; vacuous = p.n_vacuous; fails = p.n_fail })
+    t.props
+
+let db_monitors t =
+  List.map
+    (fun s ->
+      Cover.Db.monitor ~name:s.s_label ~pass:s.passes ~vacuous:s.vacuous
+        ~fail:s.fails)
+    (summaries t)
+
+let to_json t =
+  Obs.Json.Obj
+    [
+      ( "props",
+        Obs.Json.List
+          (List.map
+             (fun s ->
+               Obs.Json.Obj
+                 [
+                   ("label", Obs.Json.String s.s_label);
+                   ("pass", Obs.Json.Int s.passes);
+                   ("vacuous", Obs.Json.Int s.vacuous);
+                   ("fail", Obs.Json.Int s.fails);
+                 ])
+             (summaries t)) );
+      ( "violations",
+        Obs.Json.List
+          (List.map
+             (fun v ->
+               Obs.Json.Obj
+                 [
+                   ("cycle", Obs.Json.Int v.at_cycle);
+                   ("label", Obs.Json.String v.label);
+                 ])
+             (violations t)) );
+      ("ok", Obs.Json.Bool (ok t));
+    ]
 
 let pp_violation fmt v =
   Format.fprintf fmt "cycle %d: %s" v.at_cycle v.label

@@ -8,7 +8,15 @@
     when {!finish} is called are reported as violations too.
 
     Typical use: wrap a simulator, add properties, drive the design
-    through {!step}/{!run}, then {!finish} and inspect {!violations}. *)
+    through {!step}/{!run} (or {!attach} the monitor when other code
+    owns the stepping loop), then {!finish} and inspect {!violations}.
+
+    Each property also counts its per-cycle verdicts — real passes,
+    *vacuous* passes (an implication whose antecedent did not fire, a
+    stability check with nothing changing) and failures — so assertion
+    activity can feed coverage reports: a property that only ever
+    passed vacuously has proven nothing.  A [prop] value accumulates
+    these counters and therefore belongs to a single monitor. *)
 
 type t
 type prop
@@ -67,6 +75,11 @@ val step : t -> unit
 
 val run : t -> int -> unit
 
+val attach : t -> unit
+(** Register the property check as an [Rtl_sim.on_step] watcher, so the
+    monitor rides along when the caller drives the simulator directly
+    instead of through {!step}. *)
+
 val finish : t -> unit
 (** Close the books: open [eventually_within] obligations become
     violations. *)
@@ -78,3 +91,18 @@ val violations : t -> violation list
 
 val ok : t -> bool
 val pp_violation : Format.formatter -> violation -> unit
+
+(** {1 Outcome counts} *)
+
+type summary = { s_label : string; passes : int; vacuous : int; fails : int }
+
+val summaries : t -> summary list
+(** Per-property verdict counts, in add order.  [passes] are real
+    (non-vacuous) passes only. *)
+
+val db_monitors : t -> Cover.Db.monitor list
+(** The summaries as coverage-db monitor entries. *)
+
+val to_json : t -> Obs.Json.t
+(** Per-property counts plus the chronological violation list and the
+    overall verdict. *)

@@ -23,6 +23,9 @@ module Impl = struct
       ("comb_skips", Rtl_sim.comb_skips sim);
       ("sync_runs", Rtl_sim.sync_runs sim);
     ]
+
+  let enable_cover = Rtl_sim.enable_toggle_cover
+  let cover = Rtl_sim.toggle_cover
 end
 
 let of_sim ?label sim = Engine.pack ?label (module Impl) sim

@@ -31,6 +31,22 @@ type comb_proc = {
   mutable c_runs : int;  (* activity profile: evaluations of this process *)
 }
 
+(* Toggle-coverage state, allocated only by [enable_toggle_cover].
+   Change detection rides the existing dirty-marking: a var that never
+   gets marked dirty cannot have changed, so a coverage epoch (one
+   clock cycle) only re-examines the vars the scheduler already knew
+   about.  [cov_prev] holds each tracked var's value at the previous
+   epoch close, giving per-bit edge directions without any per-delta
+   sampling. *)
+type cover_state = {
+  cov : Cover.Toggle.t;
+  cov_index : (int, int) Hashtbl.t;  (* var id -> tracked index *)
+  cov_vars : Ir.var array;
+  cov_base : int array;  (* first toggle slot per tracked var *)
+  cov_prev : Bitvec.t array;
+  cov_dirty : (int, unit) Hashtbl.t;  (* tracked indices touched this epoch *)
+}
+
 type t = {
   flat : Ir.module_def;
   env : Eval.env;
@@ -46,6 +62,8 @@ type t = {
   mutable n_comb_runs : int;
   mutable n_comb_skips : int;
   mutable n_sync_runs : int;
+  mutable cover : cover_state option;
+  mutable watchers : (t -> unit) list;  (* run after each step, in order *)
 }
 
 let dedup_vars vars =
@@ -196,6 +214,8 @@ let create m =
     n_comb_runs = 0;
     n_comb_skips = 0;
     n_sync_runs = 0;
+    cover = None;
+    watchers = [];
   }
 
 let find_port t name =
@@ -206,7 +226,15 @@ let find_port t name =
       | Some v -> v
       | None -> raise Not_found)
 
-let mark_dirty t id = Hashtbl.replace t.dirty id ()
+let mark_dirty t id =
+  Hashtbl.replace t.dirty id ();
+  (* One branch when coverage is off — same discipline as Obs.Span. *)
+  match t.cover with
+  | None -> ()
+  | Some cs -> (
+      match Hashtbl.find_opt cs.cov_index id with
+      | Some k -> Hashtbl.replace cs.cov_dirty k ()
+      | None -> ())
 
 let set_input t name bv =
   match Hashtbl.find_opt t.inputs name with
@@ -294,6 +322,32 @@ let settle t =
     Obs.Span.with_ ~name:"rtl_sim.settle" (fun () -> settle_inner t)
   else settle_inner t
 
+(* Close one coverage epoch: compare each touched tracked var against
+   its value at the previous epoch close and record per-bit edges.
+   Bits that glitched within the cycle but ended where they started do
+   not count — toggle coverage is about committed cycle-to-cycle
+   transitions, matching what the netlist simulator's toggle counters
+   see. *)
+let close_cover_epoch t cs =
+  if Hashtbl.length cs.cov_dirty > 0 then begin
+    Hashtbl.iter
+      (fun k () ->
+        let v = cs.cov_vars.(k) in
+        let cur = Eval.get t.env v in
+        let old = cs.cov_prev.(k) in
+        if not (Bitvec.equal old cur) then begin
+          let b0 = cs.cov_base.(k) in
+          for b = 0 to v.Ir.width - 1 do
+            let nb = Bitvec.get cur b in
+            if Bitvec.get old b <> nb then
+              Cover.Toggle.record cs.cov (b0 + b) ~rising:nb
+          done;
+          cs.cov_prev.(k) <- cur
+        end)
+      cs.cov_dirty;
+    Hashtbl.reset cs.cov_dirty
+  end
+
 let step_inner t =
   settle t;
   (* All synchronous processes observe the same pre-edge state.  Each
@@ -339,7 +393,9 @@ let step_inner t =
         sp.s_writes)
     commits;
   t.n_cycles <- t.n_cycles + 1;
-  settle t
+  settle t;
+  (match t.cover with None -> () | Some cs -> close_cover_epoch t cs);
+  match t.watchers with [] -> () | ws -> List.iter (fun f -> f t) ws
 
 let step t =
   if Obs.Span.enabled () then
@@ -365,3 +421,62 @@ let process_activity t =
   let combs = Array.to_list (Array.map (fun cp -> (cp.c_name, cp.c_runs)) t.combs) in
   let syncs = List.map (fun sp -> (sp.s_name, sp.s_runs)) t.syncs in
   List.sort (fun (a, _) (b, _) -> compare a b) (combs @ syncs)
+
+(* Look up any scalar or port variable of the flattened design by its
+   hierarchical name ("u_i2c.slot"); the hook monitors and FSM
+   registration use to reach internal state. *)
+let find_var t name =
+  let matches (v : Ir.var) = v.Ir.var_name = name in
+  match
+    List.find_opt (fun (p : Ir.port) -> matches p.port_var) t.flat.Ir.ports
+  with
+  | Some p -> Some p.port_var
+  | None -> List.find_opt matches t.flat.Ir.locals
+
+let on_step t f = t.watchers <- t.watchers @ [ f ]
+
+let enable_toggle_cover t =
+  match t.cover with
+  | Some _ -> ()
+  | None ->
+      let scalars =
+        dedup_vars
+          (List.filter
+             (fun v -> not (Ir.is_array v))
+             (List.map (fun (p : Ir.port) -> p.Ir.port_var) t.flat.Ir.ports
+             @ t.flat.Ir.locals))
+      in
+      let vars = Array.of_list scalars in
+      let n = Array.length vars in
+      let base = Array.make n 0 in
+      let total = ref 0 in
+      Array.iteri
+        (fun i (v : Ir.var) ->
+          base.(i) <- !total;
+          total := !total + v.Ir.width)
+        vars;
+      let names = Array.make !total "" in
+      Array.iteri
+        (fun i (v : Ir.var) ->
+          if v.Ir.width = 1 then names.(base.(i)) <- v.Ir.var_name
+          else
+            for b = 0 to v.Ir.width - 1 do
+              names.(base.(i) + b) <- Printf.sprintf "%s[%d]" v.Ir.var_name b
+            done)
+        vars;
+      let index = Hashtbl.create (2 * n) in
+      Array.iteri (fun i (v : Ir.var) -> Hashtbl.replace index v.Ir.id i) vars;
+      let prev = Array.map (fun v -> Eval.get t.env v) vars in
+      t.cover <-
+        Some
+          {
+            cov = Cover.Toggle.create ~names;
+            cov_index = index;
+            cov_vars = vars;
+            cov_base = base;
+            cov_prev = prev;
+            cov_dirty = Hashtbl.create 64;
+          }
+
+let toggle_cover t =
+  match t.cover with None -> None | Some cs -> Some cs.cov

@@ -68,3 +68,27 @@ val process_activity : t -> (string * int) list
 (** Activations per process (combinational evaluations plus synchronous
     runs), sorted by hierarchical process name — the raw material of the
     "hot processes" profile. *)
+
+(** {1 Coverage and observation hooks} *)
+
+val find_var : t -> string -> Ir.var option
+(** Look up a port or local of the flattened design by hierarchical
+    name ([u_i2c.slot]); use with {!peek_var}.  Arrays are found too —
+    peek those with {!peek_array}. *)
+
+val on_step : t -> (t -> unit) -> unit
+(** Register a watcher called after every completed {!step} (post
+    settle), in registration order — the hook FSM coverage sampling and
+    attached assertion monitors use.  Costs one branch per step while
+    no watcher is registered. *)
+
+val enable_toggle_cover : t -> unit
+(** Start per-bit toggle coverage over every scalar port and local of
+    the flattened design (arrays/memories are not tracked).  Bits are
+    named [var] or [var[i]] with hierarchical var names.  Edges are
+    committed cycle-to-cycle transitions observed at each step's close;
+    change detection rides the scheduler's dirty marking, so a disabled
+    run pays one branch per dirty-marking.  Idempotent. *)
+
+val toggle_cover : t -> Cover.Toggle.t option
+(** The live collector, once {!enable_toggle_cover} has been called. *)

@@ -39,6 +39,9 @@ let make_impl sim_kind =
         ("full_settles", Nl_sim.full_settles t.sim);
         ("toggles", Nl_sim.toggle_total t.sim);
       ]
+
+    let enable_cover t = Nl_sim.enable_toggle_cover t.sim
+    let cover t = Nl_sim.toggle_cover t.sim
   end : Engine.S
     with type t = state)
 

@@ -53,6 +53,10 @@ type t = {
      [ [||] ] until [enable_profile] allocates it. *)
   mutable profiling : bool;
   mutable eval_counts : int array;
+  (* Per-bit toggle coverage; [None] until [enable_toggle_cover].
+     Recording piggybacks on the per-cycle toggle accounting that runs
+     anyway, so a disabled run pays one branch per changed net. *)
+  mutable cover : Cover.Toggle.t option;
 }
 
 let topo_order nl =
@@ -148,6 +152,7 @@ let create ?(mode = Event_driven) nl =
     n_full_settles = 0;
     profiling = false;
     eval_counts = [||];
+    cover = None;
   }
 
 let schedule t ci =
@@ -312,7 +317,12 @@ let step_full t =
   t.n_cycles <- t.n_cycles + 1;
   settle_full t;
   for n = 0 to Array.length t.values - 1 do
-    if t.values.(n) <> snapshot.(n) then t.toggles.(n) <- t.toggles.(n) + 1
+    if t.values.(n) <> snapshot.(n) then begin
+      t.toggles.(n) <- t.toggles.(n) + 1;
+      match t.cover with
+      | None -> ()
+      | Some cov -> Cover.Toggle.record cov n ~rising:t.values.(n)
+    end
   done
 
 let step_event t =
@@ -331,8 +341,12 @@ let step_event t =
     Obs.Hist.observe_int hist_touched (List.length t.epoch_touched);
   List.iter
     (fun n ->
-      if t.values.(n) <> t.epoch_pre.(n) then
+      if t.values.(n) <> t.epoch_pre.(n) then begin
         t.toggles.(n) <- t.toggles.(n) + 1;
+        match t.cover with
+        | None -> ()
+        | Some cov -> Cover.Toggle.record cov n ~rising:t.values.(n)
+      end;
       t.epoch_seen.(n) <- false)
     t.epoch_touched;
   t.epoch_touched <- [];
@@ -392,6 +406,13 @@ let net_labels t =
   fill t.in_nets;
   fill t.out_nets;
   Array.mapi (fun n l -> if l = "" then "n" ^ string_of_int n else l) labels
+
+let enable_toggle_cover t =
+  match t.cover with
+  | Some _ -> ()
+  | None -> t.cover <- Some (Cover.Toggle.create ~names:(net_labels t))
+
+let toggle_cover t = t.cover
 
 let by_count_desc (la, a) (lb, b) =
   if a <> b then compare b a else compare la lb

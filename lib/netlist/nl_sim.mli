@@ -88,3 +88,14 @@ val cell_activity : t -> (string * int) list
 (** Evaluations per combinational cell, most evaluated first,
     labelled ["<out-net>:<kind>"].  Empty unless {!enable_profile}
     was called before simulation. *)
+
+(** {1 Toggle coverage} *)
+
+val enable_toggle_cover : t -> unit
+(** Start per-net toggle *coverage* (directional 0->1 / 1->0 edges, as
+    opposed to the always-on undirected toggle counters above).  Bits
+    are named like {!net_activity} labels.  Recording piggybacks on the
+    per-cycle toggle accounting in both modes, so a disabled run pays
+    one branch per changed net.  Idempotent. *)
+
+val toggle_cover : t -> Cover.Toggle.t option

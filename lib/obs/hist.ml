@@ -45,6 +45,33 @@ let bucket_index v =
 
 let bucket_upper i = if i >= n_buckets - 1 then infinity else Float.pow 2.0 (float_of_int i)
 
+let bucket_lower i =
+  if i = 0 then neg_infinity else Float.pow 2.0 (float_of_int (i - 1))
+
+(* Bucket-interpolated percentile: walk buckets to the one holding the
+   q-th observation, then interpolate linearly inside its bounds
+   (clamped to the observed min/max, which makes single-valued
+   histograms exact). *)
+let percentile h q =
+  if h.count = 0 then 0.0
+  else begin
+    let q = Float.min 100.0 (Float.max 0.0 q) in
+    let target = q /. 100.0 *. float_of_int h.count in
+    let rec go i cum =
+      if i >= n_buckets then h.vmax
+      else
+        let c = h.buckets.(i) in
+        if c = 0 || float_of_int (cum + c) < target then go (i + 1) (cum + c)
+        else begin
+          let lo = Float.max (bucket_lower i) h.vmin in
+          let hi = Float.min (bucket_upper i) h.vmax in
+          let frac = (target -. float_of_int cum) /. float_of_int c in
+          lo +. ((hi -. lo) *. frac)
+        end
+    in
+    Float.max h.vmin (Float.min h.vmax (go 0 0))
+  end
+
 let observe h v =
   if !flag then begin
     h.count <- h.count + 1;

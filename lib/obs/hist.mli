@@ -27,6 +27,14 @@ val mean : t -> float
 val min_value : t -> float
 val max_value : t -> float
 
+val percentile : t -> float -> float
+(** [percentile h q] for [q] in [0..100] (clamped): walks the buckets
+    to the one containing the q-th observation and interpolates
+    linearly within its bounds, clamped to the observed min/max.  The
+    result is exact when all observations in the selected bucket share
+    one value (e.g. [q = 0] is the min, [q = 100] the max); otherwise
+    it is the bucket-resolution estimate.  0.0 on an empty histogram. *)
+
 val reset : t -> unit
 val reset_all : unit -> unit
 

@@ -30,9 +30,12 @@ let by_module pairs =
   List.iter
     (fun (name, count) ->
       let key =
+        (* A leading '.' would make the first component "" — treat such
+           names (and names with no separator at all, e.g. top-level
+           nets) as their own module. *)
         match String.index_opt name '.' with
-        | Some i -> String.sub name 0 i
-        | None -> name
+        | Some i when i > 0 -> String.sub name 0 i
+        | Some _ | None -> name
       in
       let prev = Option.value ~default:0 (Hashtbl.find_opt tally key) in
       Hashtbl.replace tally key (prev + count))

@@ -1,6 +1,7 @@
-let schema_version = "osss.run-report/v1"
+let schema_version = "osss.run-report/v2"
+let schema_v1 = "osss.run-report/v1"
 
-let make ?(profiles = []) ?(extra = []) ~run () =
+let make ?(profiles = []) ?coverage ?(extra = []) ~run () =
   Json.Obj
     ([
        ("schema", Json.String schema_version);
@@ -14,11 +15,14 @@ let make ?(profiles = []) ?(extra = []) ~run () =
          Json.Obj (List.map (fun (n, entries) -> (n, Profile.to_json entries)) profiles)
        );
      ]
+    @ (match coverage with Some c -> [ ("coverage", c) ] | None -> [])
     @ extra)
 
-(* Structural schema check for [schema_version].  Every producer and
-   the CI validation step go through this single definition, so the
-   schema cannot silently drift from its checker. *)
+(* Structural schema check.  Every producer and the CI validation step
+   go through this single definition, so the schema cannot silently
+   drift from its checker.  v1 documents (no coverage section) stay
+   valid; v2 adds an optional "coverage" object which, when present,
+   must carry a coverage-db schema stamp and list-shaped sections. *)
 let validate json =
   let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e in
   let field name =
@@ -27,11 +31,14 @@ let validate json =
     | None -> Error (Printf.sprintf "missing field %S" name)
   in
   let* schema = field "schema" in
-  let* () =
+  let* version =
     match Json.string_value schema with
-    | Some s when s = schema_version -> Ok ()
+    | Some s when s = schema_version -> Ok 2
+    | Some s when s = schema_v1 -> Ok 1
     | Some s ->
-        Error (Printf.sprintf "schema %S, expected %S" s schema_version)
+        Error
+          (Printf.sprintf "schema %S, expected %S or %S" s schema_version
+             schema_v1)
     | None -> Error "field \"schema\" is not a string"
   in
   let* _run = field "run" in
@@ -79,7 +86,34 @@ let validate json =
     | Some (n, _) -> Error (Printf.sprintf "profile %S is not a list" n)
     | None -> Ok ()
   in
-  Ok ()
+  match (version, Json.member "coverage" json) with
+  | 1, Some _ -> Error "v1 report carries a \"coverage\" section"
+  | _, None -> Ok ()
+  | _, Some cov ->
+      let* () =
+        match cov with
+        | Json.Obj _ -> Ok ()
+        | _ -> Error "field \"coverage\" is not an object"
+      in
+      let* () =
+        match Json.member "schema" cov with
+        | Some (Json.String s)
+          when String.length s >= 17
+               && String.sub s 0 17 = "osss.coverage-db/" ->
+            Ok ()
+        | Some _ -> Error "coverage schema is not a coverage-db stamp"
+        | None -> Error "coverage section lacks a schema stamp"
+      in
+      let section name =
+        match Json.member name cov with
+        | Some (Json.List _) -> Ok ()
+        | Some _ -> Error (Printf.sprintf "coverage %S is not a list" name)
+        | None -> Error (Printf.sprintf "coverage section lacks %S" name)
+      in
+      let* () = section "toggles" in
+      let* () = section "fsms" in
+      let* () = section "groups" in
+      section "monitors"
 
 let validate_string text =
   match Json.of_string text with

@@ -88,6 +88,10 @@ module Impl = struct
         List.fold_left (fun acc (_, n) -> acc + n) 0 (Kernel.wake_counts t.kernel)
       );
     ]
+
+  (* Behavioural processes have no netlist to toggle-cover. *)
+  let enable_cover _ = ()
+  let cover _ = None
 end
 
 let engine ?label t = Engine.pack ?label (module Impl) t

@@ -99,56 +99,16 @@ let test_open_obligation_at_finish () =
   Alcotest.(check bool) "open obligation reported" false (A.ok mon)
 
 (* ------------------------------------------------------------------ *)
-(* I2C protocol assertions on the real bus master                      *)
-
-let i2c_properties mon =
-  (* Bus-level legality: SDA may change while SCL is high only as a
-     START (fall, opening a transaction) or a STOP (rise, closing it);
-     every other scl-high change is a protocol violation. *)
-  let prev_scl = ref 1 and prev_sda = ref 1 and phase = ref 0 in
-  let bus_sda s =
-    if Rtl_sim.get_int s "sda_oe" = 1 then Rtl_sim.get_int s "sda_out" else 1
-  in
-  A.add mon
-    (A.always ~label:"sda changes on high scl are only start/stop" (fun s ->
-         let scl = Rtl_sim.get_int s "scl" in
-         let sda = bus_sda s in
-         let legal =
-           if scl = 1 && !prev_scl = 1 && sda <> !prev_sda then
-             if !prev_sda = 1 && sda = 0 && !phase = 0 then begin
-               phase := 1;
-               true (* START *)
-             end
-             else if !prev_sda = 0 && sda = 1 && !phase = 1 then begin
-               phase := 0;
-               true (* STOP *)
-             end
-             else false
-           else true
-         in
-         prev_scl := scl;
-         prev_sda := sda;
-         legal));
-  (* busy and done are never high together *)
-  A.add mon
-    (A.never ~label:"busy and done exclusive"
-       (A.( &&& ) (A.port "busy") (A.port "done")));
-  (* bus idles released and high *)
-  A.add mon
-    (A.implies_same ~label:"idle bus released" (A.neg (A.port "busy"))
-       (A.( ||| ) (A.neg (A.port "sda_oe")) (A.port "sda_out")));
-  (* a transaction completes *)
-  A.add mon
-    (A.eventually_within ~label:"go leads to done" (A.port "go")
-       (Expocu.I2c.transaction_cycles ~divider:4 + 32)
-       (A.port "done"))
+(* I2C protocol assertions on the real bus master — the property
+   bundle now lives in the library (Expocu.Monitors) so simulations
+   and coverage reports share it with this test. *)
 
 let test_i2c_protocol_assertions () =
   List.iter
     (fun make ->
       let sim = Rtl_sim.create (make ()) in
       let mon = A.create sim in
-      i2c_properties mon;
+      Expocu.Monitors.add_i2c_props mon;
       Rtl_sim.set_input_int sim "reset" 1;
       A.step mon;
       Rtl_sim.set_input_int sim "reset" 0;
@@ -177,12 +137,95 @@ let test_i2c_assertion_catches_violation () =
      reset is held. *)
   let sim = Rtl_sim.create (Expocu.I2c.osss_module ()) in
   let mon = A.create sim in
-  i2c_properties mon;
+  Expocu.Monitors.add_i2c_props mon;
   Rtl_sim.set_input_int sim "reset" 1;
   Rtl_sim.set_input_int sim "go" 1;
   A.run mon 40;
   A.finish mon;
   Alcotest.(check bool) "missing done detected" false (A.ok mon)
+
+(* ------------------------------------------------------------------ *)
+(* Outcome counting: real vs vacuous passes                            *)
+
+let test_outcome_counts () =
+  let sim = Rtl_sim.create (counter_design ()) in
+  let mon = A.create sim in
+  (* count=3 happens exactly once in 10 cycles; every other cycle the
+     implication holds only vacuously *)
+  A.add mon (A.implies_same ~label:"imp" (A.port_eq "count" 3) (A.port "odd"));
+  Rtl_sim.set_input_int sim "reset" 1;
+  A.step mon;
+  Rtl_sim.set_input_int sim "reset" 0;
+  A.run mon 9;
+  A.finish mon;
+  match A.summaries mon with
+  | [ s ] ->
+      Alcotest.(check string) "label" "imp" s.A.s_label;
+      Alcotest.(check int) "one real pass" 1 s.A.passes;
+      Alcotest.(check int) "rest vacuous" 9 s.A.vacuous;
+      Alcotest.(check int) "no fails" 0 s.A.fails
+  | l -> Alcotest.failf "expected one summary, got %d" (List.length l)
+
+let test_db_monitors_and_json () =
+  let sim = Rtl_sim.create (counter_design ()) in
+  let mon = A.create sim in
+  A.add mon (A.always ~label:"tauto" (fun _ -> true));
+  A.add mon (A.never ~label:"hits five" (A.port_eq "count" 5));
+  Rtl_sim.set_input_int sim "reset" 1;
+  A.step mon;
+  Rtl_sim.set_input_int sim "reset" 0;
+  A.run mon 10;
+  A.finish mon;
+  (match A.db_monitors mon with
+  | [ t; h ] ->
+      Alcotest.(check string) "add order kept" "tauto" t.Cover.Db.m_name;
+      Alcotest.(check int) "tauto passes every cycle" 11 t.Cover.Db.m_pass;
+      Alcotest.(check int) "never records the hit" 1 h.Cover.Db.m_fail;
+      Alcotest.(check int) "and passes the rest" 10 h.Cover.Db.m_pass
+  | l -> Alcotest.failf "expected two monitors, got %d" (List.length l));
+  let j = A.to_json mon in
+  (match Obs.Json.member "ok" j with
+  | Some (Obs.Json.Bool false) -> ()
+  | _ -> Alcotest.fail "ok flag should be false");
+  (match Obs.Json.member "props" j with
+  | Some (Obs.Json.List l) ->
+      Alcotest.(check int) "two props serialized" 2 (List.length l)
+  | _ -> Alcotest.fail "no props list");
+  match Obs.Json.member "violations" j with
+  | Some (Obs.Json.List [ _ ]) -> ()
+  | _ -> Alcotest.fail "expected exactly one serialized violation"
+
+let test_expocu_monitor_clean () =
+  (* The self-attaching top-level monitor stays clean over reset plus
+     one small frame of the real ExpoCU, and its checks actually ran. *)
+  let sim = Rtl_sim.create (Expocu.Expocu_top.rtl_top ()) in
+  let mon = Expocu.Monitors.expocu_monitor sim in
+  Rtl_sim.set_input_int sim "ext_reset" 0;
+  Rtl_sim.set_input_int sim "target_bin" 7;
+  Rtl_sim.set_input_int sim "sda_in" 0;
+  Rtl_sim.run sim 15;
+  Rtl_sim.set_input_int sim "frame_sync" 1;
+  Rtl_sim.run sim 4;
+  Rtl_sim.set_input_int sim "line_valid" 1;
+  for px = 0 to 31 do
+    Rtl_sim.set_input_int sim "pixel" (px * 8 mod 256);
+    Rtl_sim.step sim
+  done;
+  Rtl_sim.set_input_int sim "line_valid" 0;
+  Rtl_sim.set_input_int sim "frame_sync" 0;
+  let guard = ref 0 in
+  while Rtl_sim.get_int sim "frame_done" = 0 && !guard < 4000 do
+    Rtl_sim.step sim;
+    incr guard
+  done;
+  A.finish mon;
+  List.iter (fun v -> Format.printf "%a@." A.pp_violation v) (A.violations mon);
+  Alcotest.(check bool) "monitor clean on the real top" true (A.ok mon);
+  let framing =
+    List.find (fun s -> s.A.s_label = "i2c.sda_framing") (A.summaries mon)
+  in
+  Alcotest.(check bool) "framing checked non-vacuously" true
+    (framing.A.passes > 0)
 
 let test_rose_helper () =
   let sim = Rtl_sim.create (counter_design ()) in
@@ -213,6 +256,10 @@ let suite =
       test_i2c_protocol_assertions;
     Alcotest.test_case "i2c assertion catches violation" `Quick
       test_i2c_assertion_catches_violation;
+    Alcotest.test_case "outcome counts" `Quick test_outcome_counts;
+    Alcotest.test_case "db monitors and json" `Quick
+      test_db_monitors_and_json;
+    Alcotest.test_case "expocu monitor clean" `Quick test_expocu_monitor_clean;
     Alcotest.test_case "rose helper" `Quick test_rose_helper;
   ]
 

@@ -1,0 +1,317 @@
+(* Tests for the osss.cover coverage library — toggle, FSM and
+   covergroup collectors, the serializable coverage DB (merge
+   monotonicity, diff, JSON round-trip) — and for the collection
+   plumbing in the simulators and engines. *)
+
+open Hdl
+
+(* ------------------------------------------------------------------ *)
+(* Toggle                                                              *)
+
+let test_toggle () =
+  let t = Cover.Toggle.create ~names:[| "a"; "b"; "c" |] in
+  Alcotest.(check int) "bits" 3 (Cover.Toggle.bits t);
+  Alcotest.(check (float 1e-9)) "empty coverage" 0.0 (Cover.Toggle.coverage t);
+  Cover.Toggle.record t 0 ~rising:true;
+  Cover.Toggle.record t 0 ~rising:false;
+  Cover.Toggle.record t 1 ~rising:true;
+  Alcotest.(check int) "covered needs both edges" 1 (Cover.Toggle.covered t);
+  Alcotest.(check int) "touched counts one edge" 2 (Cover.Toggle.touched t);
+  Alcotest.(check int) "rises" 1 (Cover.Toggle.rises t 0);
+  Alcotest.(check int) "falls" 1 (Cover.Toggle.falls t 0);
+  Alcotest.(check (float 1e-9)) "coverage" (1.0 /. 3.0)
+    (Cover.Toggle.coverage t);
+  Alcotest.(check (list string)) "uncovered in slot order" [ "b"; "c" ]
+    (Cover.Toggle.uncovered t);
+  Alcotest.(check (list string)) "uncovered bounded" [ "b" ]
+    (Cover.Toggle.uncovered ~k:1 t);
+  let empty = Cover.Toggle.create ~names:[||] in
+  Alcotest.(check (float 1e-9)) "no bits = full" 1.0
+    (Cover.Toggle.coverage empty)
+
+(* ------------------------------------------------------------------ *)
+(* Fsm                                                                 *)
+
+let test_fsm () =
+  let f =
+    Cover.Fsm.create ~name:"m"
+      ~states:[ (0, "idle"); (1, "run"); (2, "done") ]
+      ~arcs:[ (0, 1); (1, 2); (2, 0); (1, 1) ]
+      ()
+  in
+  Alcotest.(check bool) "nothing covered yet" false (Cover.Fsm.fully_covered f);
+  List.iter (Cover.Fsm.sample f) [ 0; 1; 1; 2; 0 ];
+  Alcotest.(check (float 1e-9)) "all states seen" 1.0
+    (Cover.Fsm.state_coverage f);
+  Alcotest.(check (float 1e-9)) "all declared arcs traversed" 1.0
+    (Cover.Fsm.arc_coverage f);
+  Alcotest.(check bool) "fully covered" true (Cover.Fsm.fully_covered f);
+  Alcotest.(check int) "no unknowns" 0 (Cover.Fsm.unknown_hits f);
+  (* an undeclared transition is recorded as an undeclared arc *)
+  List.iter (Cover.Fsm.sample f) [ 2; 1 ];
+  let undeclared =
+    List.filter (fun a -> not a.Cover.Fsm.a_declared) (Cover.Fsm.arcs f)
+  in
+  Alcotest.(check int) "undeclared arc 0->2 and 2->1" 2
+    (List.length undeclared);
+  (* undeclared self-loops (a parked register) are not recorded *)
+  Cover.Fsm.sample f 0 (* arrive in idle: records the undeclared 1->0 arc *);
+  let before = List.length (Cover.Fsm.arcs f) in
+  List.iter (Cover.Fsm.sample f) [ 0; 0; 0 ];
+  Alcotest.(check int) "idle dwell adds no arc" before
+    (List.length (Cover.Fsm.arcs f));
+  (* a value outside the declared encoding counts as unknown *)
+  Cover.Fsm.sample f 7;
+  Alcotest.(check int) "unknown sample" 1 (Cover.Fsm.unknown_hits f);
+  Alcotest.(check bool) "unknowns break full coverage" false
+    (Cover.Fsm.fully_covered f);
+  Alcotest.(check string) "label falls back to value" "<7>"
+    (Cover.Fsm.state_label f 7);
+  Alcotest.(check string) "declared label" "run" (Cover.Fsm.state_label f 1)
+
+(* ------------------------------------------------------------------ *)
+(* Group                                                               *)
+
+let test_group () =
+  let g =
+    Cover.Group.create ~name:"g" ~goal:2
+      [
+        ("zero", Cover.Group.Value 0);
+        ("small", Cover.Group.Span (1, 9));
+        ("bad", Cover.Group.Illegal_value 99);
+      ]
+  in
+  List.iter (Cover.Group.sample g) [ 0; 0; 5; 42 ];
+  let hits name =
+    let b =
+      List.find (fun b -> b.Cover.Group.bin_name = name) (Cover.Group.bins g)
+    in
+    b.Cover.Group.hits
+  in
+  Alcotest.(check int) "zero hit twice" 2 (hits "zero");
+  Alcotest.(check int) "span hit once" 1 (hits "small");
+  Alcotest.(check int) "unmatched goes to other" 1 (Cover.Group.other_hits g);
+  (* goal=2: "zero" is at goal, "small" is not, "bad" is illegal and
+     excluded from the denominator *)
+  Alcotest.(check (float 1e-9)) "coverage counts goal-reaching legal bins"
+    0.5 (Cover.Group.coverage g);
+  Alcotest.(check int) "no illegal hits yet" 0 (Cover.Group.illegal_hits g);
+  Cover.Group.sample g 99;
+  Alcotest.(check int) "illegal hit recorded" 1 (Cover.Group.illegal_hits g)
+
+(* ------------------------------------------------------------------ *)
+(* Db: construction, merge, diff, serialization                        *)
+
+let sample_db ?(run = "run-a") ?(extra_samples = []) () =
+  let tg = Cover.Toggle.create ~names:[| "x"; "y" |] in
+  Cover.Toggle.record tg 0 ~rising:true;
+  Cover.Toggle.record tg 0 ~rising:false;
+  let fsm =
+    Cover.Fsm.create ~name:"m" ~states:[ (0, "a"); (1, "b") ] ~arcs:[ (0, 1) ]
+      ()
+  in
+  List.iter (Cover.Fsm.sample fsm) ([ 0; 1 ] @ extra_samples);
+  let g =
+    Cover.Group.create ~name:"g"
+      [ ("lo", Cover.Group.Span (0, 7)); ("hi", Cover.Group.Span (8, 15)) ]
+  in
+  List.iter (Cover.Group.sample g) (3 :: extra_samples);
+  Cover.Db.make
+    ~toggles:(Cover.Db.toggle_entries tg)
+    ~fsms:[ fsm ] ~groups:[ g ]
+    ~monitors:[ Cover.Db.monitor ~name:"p" ~pass:5 ~vacuous:2 ~fail:0 ]
+    ~run ()
+
+let test_db_totals () =
+  let db = sample_db () in
+  let t = Cover.Db.totals db in
+  Alcotest.(check int) "toggle bits keep denominator" 2
+    t.Cover.Db.toggle_bits;
+  Alcotest.(check int) "toggle covered" 1 t.Cover.Db.toggle_covered;
+  Alcotest.(check int) "fsm states" 2 t.Cover.Db.fsm_states;
+  Alcotest.(check int) "fsm states hit" 2 t.Cover.Db.fsm_states_hit;
+  Alcotest.(check int) "group bins hit" 1 t.Cover.Db.group_bins_hit;
+  Alcotest.(check int) "monitor passes" 5 t.Cover.Db.monitor_passes;
+  Alcotest.(check (list string)) "fully covered fsm list" [ "m" ]
+    (Cover.Db.fully_covered_fsms db)
+
+let test_db_merge_monotone () =
+  let a = sample_db ~run:"run-a" () in
+  (* run-b additionally hits the "hi" bin (value 9 also revisits fsm
+     state 1... 9 is unknown to the fsm, making b strictly different) *)
+  let b = sample_db ~run:"run-b" ~extra_samples:[ 9 ] () in
+  let m = Cover.Db.merge a b in
+  let cov db =
+    let t = Cover.Db.totals db in
+    ( t.Cover.Db.toggle_covered,
+      t.Cover.Db.fsm_states_hit,
+      t.Cover.Db.group_bins_hit )
+  in
+  let ta, _, ba = cov a in
+  let tm, _, bm = cov m in
+  let _, _, bb = cov b in
+  Alcotest.(check bool) "merged toggle >= a" true (tm >= ta);
+  Alcotest.(check bool) "merged bins >= either input" true
+    (bm >= ba && bm >= bb);
+  Alcotest.(check (list string)) "runs concatenated" [ "run-a"; "run-b" ]
+    m.Cover.Db.runs;
+  (* merging a DB with itself dedups provenance and doubles counts *)
+  let self = Cover.Db.merge a a in
+  Alcotest.(check (list string)) "self-merge dedups runs" [ "run-a" ]
+    self.Cover.Db.runs;
+  let hits db =
+    match db.Cover.Db.toggles with e :: _ -> e.Cover.Db.t_rise | [] -> 0
+  in
+  Alcotest.(check int) "self-merge sums counts" (2 * hits a) (hits self)
+
+let test_db_diff () =
+  let a = sample_db ~extra_samples:[ 9 ] () in
+  let b = sample_db () in
+  let lost = Cover.Db.diff a b in
+  Alcotest.(check bool) "bin hi covered only in a" true
+    (List.mem ("bin", "g.hi") lost
+    || List.exists (fun (k, i) -> k = "bin" && String.length i > 0) lost);
+  Alcotest.(check (list (pair string string))) "diff of equal DBs is empty" []
+    (Cover.Db.diff b b)
+
+let test_db_json_roundtrip () =
+  let db = sample_db ~extra_samples:[ 9 ] () in
+  (match Cover.Db.of_json (Cover.Db.to_json db) with
+  | Ok back ->
+      Alcotest.(check bool) "round-trip preserves the DB" true (back = db)
+  | Error e -> Alcotest.failf "round-trip failed: %s" e);
+  (match Cover.Db.of_json (Obs.Json.Obj [ ("schema", Obs.Json.Int 3) ]) with
+  | Ok _ -> Alcotest.fail "bad schema accepted"
+  | Error _ -> ());
+  let path = Filename.temp_file "cover" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Cover.Db.save db path;
+      match Cover.Db.load path with
+      | Ok back ->
+          Alcotest.(check bool) "save/load round-trip" true (back = db)
+      | Error e -> Alcotest.failf "load failed: %s" e);
+  match Cover.Db.load "/nonexistent/cover.json" with
+  | Ok _ -> Alcotest.fail "missing file loaded"
+  | Error _ -> ()
+
+let test_db_summary () =
+  let s = Cover.Db.summary (sample_db ()) in
+  let contains needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i =
+      i + nl <= hl && (String.sub hay i nl = needle || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "mentions toggle line" true
+    (contains "toggle bits" s);
+  Alcotest.(check bool) "marks full fsm" true (contains "[FULL]" s)
+
+(* ------------------------------------------------------------------ *)
+(* Collection in the simulators and engines                            *)
+
+let small_design () =
+  let open Builder.Dsl in
+  let b = Builder.create "cov_demo" in
+  let a = Builder.input b "a" 2 in
+  let y = Builder.output b "y" 2 in
+  Builder.sync b "reg" [ y <-- v a ];
+  Builder.finish b
+
+let drive_int set step =
+  List.iter
+    (fun v ->
+      set "a" v;
+      step ())
+    [ 0; 3; 0; 2; 1 ]
+
+let test_rtl_sim_toggle_cover () =
+  let sim = Rtl_sim.create (small_design ()) in
+  Rtl_sim.set_input_int sim "a" 0;
+  Rtl_sim.step sim;
+  Alcotest.(check bool) "off by default" true
+    (Rtl_sim.toggle_cover sim = None);
+  Rtl_sim.enable_toggle_cover sim;
+  Rtl_sim.enable_toggle_cover sim (* idempotent *);
+  drive_int (Rtl_sim.set_input_int sim) (fun () -> Rtl_sim.step sim);
+  let tg =
+    match Rtl_sim.toggle_cover sim with
+    | Some tg -> tg
+    | None -> Alcotest.fail "no collector after enable"
+  in
+  Alcotest.(check bool) "some bits covered" true (Cover.Toggle.covered tg > 0);
+  (* y follows a through 0->3->0: both bits rose and fell *)
+  let both = Cover.Toggle.covered tg in
+  Alcotest.(check bool) "output bits move both ways" true (both >= 2)
+
+let test_nl_sim_modes_agree () =
+  let nl = Backend.Lower.lower (small_design ()) in
+  let run mode =
+    let sim = Backend.Nl_sim.create ~mode nl in
+    Backend.Nl_sim.enable_toggle_cover sim;
+    Backend.Nl_sim.set_input_int sim "a" 0;
+    drive_int
+      (Backend.Nl_sim.set_input_int sim)
+      (fun () -> Backend.Nl_sim.step sim);
+    match Backend.Nl_sim.toggle_cover sim with
+    | Some tg -> tg
+    | None -> Alcotest.fail "no collector after enable"
+  in
+  let ev = run Backend.Nl_sim.Event_driven in
+  let fl = run Backend.Nl_sim.Full_eval in
+  Alcotest.(check int) "same universe" (Cover.Toggle.bits fl)
+    (Cover.Toggle.bits ev);
+  for i = 0 to Cover.Toggle.bits ev - 1 do
+    if
+      Cover.Toggle.rises ev i <> Cover.Toggle.rises fl i
+      || Cover.Toggle.falls ev i <> Cover.Toggle.falls fl i
+    then
+      Alcotest.failf "mode disagreement on %s" (Cover.Toggle.name ev i)
+  done;
+  Alcotest.(check bool) "netlist covered something" true
+    (Cover.Toggle.covered ev > 0)
+
+let test_engine_cover_threading () =
+  let design = small_design () in
+  let exercise eng =
+    Alcotest.(check bool)
+      (Engine.label eng ^ " cover off by default")
+      true
+      (Engine.cover eng = None);
+    Engine.enable_cover eng;
+    Engine.set_input_int eng "a" 3;
+    Engine.step eng;
+    Engine.set_input_int eng "a" 0;
+    Engine.step eng;
+    match Engine.cover eng with
+    | Some tg ->
+        Alcotest.(check bool)
+          (Engine.label eng ^ " recorded toggles")
+          true
+          (Cover.Toggle.touched tg > 0)
+    | None -> Alcotest.failf "%s lost its collector" (Engine.label eng)
+  in
+  exercise (Rtl_engine.create ~label:"rtl" design);
+  exercise (Backend.Nl_engine.create ~label:"nl" (Backend.Lower.lower design));
+  (* the Faulty wrapper must delegate both operations *)
+  exercise (Engine.inject_fault ~port:"y" (Rtl_engine.create ~label:"faulty" design))
+
+let suite =
+  [
+    Alcotest.test_case "toggle collector" `Quick test_toggle;
+    Alcotest.test_case "fsm collector" `Quick test_fsm;
+    Alcotest.test_case "covergroup" `Quick test_group;
+    Alcotest.test_case "db totals" `Quick test_db_totals;
+    Alcotest.test_case "db merge monotone" `Quick test_db_merge_monotone;
+    Alcotest.test_case "db diff" `Quick test_db_diff;
+    Alcotest.test_case "db json round-trip" `Quick test_db_json_roundtrip;
+    Alcotest.test_case "db summary" `Quick test_db_summary;
+    Alcotest.test_case "rtl_sim toggle cover" `Quick test_rtl_sim_toggle_cover;
+    Alcotest.test_case "nl_sim modes agree" `Quick test_nl_sim_modes_agree;
+    Alcotest.test_case "engine cover threading" `Quick
+      test_engine_cover_threading;
+  ]
+
+let () = Alcotest.run "cover" [ ("cover", suite) ]

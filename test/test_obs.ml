@@ -150,6 +150,27 @@ let test_hist () =
   Alcotest.(check bool) "json has buckets" true
     (Obs.Json.member "buckets" j <> None)
 
+let test_hist_percentile () =
+  Obs.Hist.enable ();
+  let h = Obs.Hist.histogram "test.pct" in
+  List.iter (Obs.Hist.observe_int h) [ 1; 2; 4; 8 ];
+  (* power-of-two buckets hold exactly one observation each, so the
+     interpolated percentiles are exact *)
+  Alcotest.(check (float 1e-9)) "p0 is the min" 1.0 (Obs.Hist.percentile h 0.0);
+  Alcotest.(check (float 1e-9)) "p50" 4.0 (Obs.Hist.percentile h 50.0);
+  Alcotest.(check (float 1e-9)) "p100 is the max" 8.0
+    (Obs.Hist.percentile h 100.0);
+  Alcotest.(check bool) "monotone in q" true
+    (Obs.Hist.percentile h 25.0 <= Obs.Hist.percentile h 75.0);
+  let single = Obs.Hist.histogram "test.pct.single" in
+  List.iter (Obs.Hist.observe_int single) [ 5; 5; 5 ];
+  Alcotest.(check (float 1e-9)) "single-valued bucket exact" 5.0
+    (Obs.Hist.percentile single 50.0);
+  Alcotest.(check (float 1e-9)) "clamped above" 5.0
+    (Obs.Hist.percentile single 400.0);
+  Alcotest.(check (float 1e-9)) "empty histogram" 0.0
+    (Obs.Hist.percentile (Obs.Hist.histogram "test.pct.empty") 50.0)
+
 let test_gauge () =
   let g = Obs.Gauge.gauge "test.gauge" in
   Obs.Gauge.set_int g 7;
@@ -198,6 +219,23 @@ let test_profile_by_module () =
   Alcotest.(check (option int)) "no-dot name kept" (Some 1)
     (List.assoc_opt "top" agg)
 
+let test_profile_by_module_degenerate () =
+  (* Names without a hierarchy separator, or with a leading one, must
+     stay whole — nothing may land in an invisible ""-module bucket. *)
+  let agg =
+    Obs.Profile.by_module [ ("plain", 3); (".leading", 2); ("a.b", 1) ]
+  in
+  Alcotest.(check (option int)) "no empty-string bucket" None
+    (List.assoc_opt "" agg);
+  Alcotest.(check (option int)) "separator-free name is its own module"
+    (Some 3) (List.assoc_opt "plain" agg);
+  Alcotest.(check (option int)) "leading-dot name kept whole" (Some 2)
+    (List.assoc_opt ".leading" agg);
+  Alcotest.(check (option int)) "normal name still split" (Some 1)
+    (List.assoc_opt "a" agg);
+  Alcotest.(check int) "every count lands somewhere" 6
+    (List.fold_left (fun acc (_, n) -> acc + n) 0 agg)
+
 (* ------------------------------------------------------------------ *)
 (* Run report                                                          *)
 
@@ -244,6 +282,61 @@ let test_report_rejects_corrupt () =
     (match Obs.Report.validate_string "]]" with
     | Ok () -> false
     | Error _ -> true)
+
+(* A report as PR-3-era tooling wrote it (schema v1, no coverage
+   section), frozen as text: old artifacts must keep validating. *)
+let v1_fixture =
+  {|{
+  "schema": "osss.run-report/v1",
+  "run": "pr3-era",
+  "counters": {"rtl_sim.steps": 10},
+  "histograms": {"h": {"count": 1, "sum": 2.0, "buckets": [[2.0, 1]]}},
+  "gauges": {},
+  "spans": [],
+  "profiles": {"hot_nets": []}
+}|}
+
+let test_report_v1_regression () =
+  (match Obs.Report.validate_string v1_fixture with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "v1 report rejected: %s" e);
+  (* ...but a v1 stamp cannot carry the v2 coverage section *)
+  let with_coverage =
+    match Obs.Json.of_string v1_fixture with
+    | Obs.Json.Obj kvs ->
+        Obs.Json.Obj (kvs @ [ ("coverage", Obs.Json.Obj []) ])
+    | _ -> Alcotest.fail "fixture is not an object"
+  in
+  Alcotest.(check bool) "v1 with coverage rejected" true
+    (match Obs.Report.validate with_coverage with
+    | Ok () -> false
+    | Error _ -> true)
+
+let test_report_v2_coverage () =
+  let db = Cover.Db.make ~run:"unit" () in
+  let report =
+    Obs.Report.make ~coverage:(Cover.Db.to_json db) ~run:"test" ()
+  in
+  (match Obs.Report.validate report with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "v2 report with coverage invalid: %s" e);
+  let patched value =
+    match report with
+    | Obs.Json.Obj kvs ->
+        Obs.Json.Obj
+          (List.map (fun (k, v) -> if k = "coverage" then (k, value) else (k, v)) kvs)
+    | _ -> Alcotest.fail "report is not an object"
+  in
+  let rejected doc =
+    match Obs.Report.validate doc with Ok () -> false | Error _ -> true
+  in
+  Alcotest.(check bool) "coverage must be an object" true
+    (rejected (patched (Obs.Json.Int 3)));
+  Alcotest.(check bool) "coverage needs a schema stamp" true
+    (rejected (patched (Obs.Json.Obj [ ("toggles", Obs.Json.List []) ])));
+  Alcotest.(check bool) "stamp must be a coverage-db stamp" true
+    (rejected
+       (patched (Obs.Json.Obj [ ("schema", Obs.Json.String "osss.run-report/v2") ])))
 
 (* ------------------------------------------------------------------ *)
 (* Span coverage of the instrumented layers                            *)
@@ -340,14 +433,22 @@ let suite =
     Alcotest.test_case "span chrome export" `Quick
       (pristine test_span_chrome_export);
     Alcotest.test_case "histogram" `Quick (pristine test_hist);
+    Alcotest.test_case "histogram percentile" `Quick
+      (pristine test_hist_percentile);
     Alcotest.test_case "gauge" `Quick (pristine test_gauge);
     Alcotest.test_case "perf snapshot" `Quick (pristine test_perf_snapshot);
     Alcotest.test_case "profile top" `Quick (pristine test_profile_top);
     Alcotest.test_case "profile by module" `Quick
       (pristine test_profile_by_module);
+    Alcotest.test_case "profile by module degenerate names" `Quick
+      (pristine test_profile_by_module_degenerate);
     Alcotest.test_case "report round-trip" `Quick (pristine test_report_roundtrip);
     Alcotest.test_case "report rejects corrupt" `Quick
       (pristine test_report_rejects_corrupt);
+    Alcotest.test_case "report v1 regression" `Quick
+      (pristine test_report_v1_regression);
+    Alcotest.test_case "report v2 coverage" `Quick
+      (pristine test_report_v2_coverage);
     Alcotest.test_case "flow span coverage" `Quick
       (pristine test_flow_span_coverage);
     Alcotest.test_case "sim span coverage" `Quick
