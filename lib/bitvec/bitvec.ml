@@ -228,6 +228,19 @@ let repeat v n =
   if n < 1 then raise (Invalid_bitvec "repeat: count must be >= 1");
   init (v.width * n) (fun i -> get v (i mod v.width))
 
+let transpose rows =
+  let n = Array.length rows in
+  if n = 0 then raise (Invalid_bitvec "transpose: empty array");
+  let w = rows.(0).width in
+  Array.iter
+    (fun r ->
+      if r.width <> w then
+        raise
+          (Width_mismatch
+             (Printf.sprintf "transpose: row widths %d and %d" w r.width)))
+    rows;
+  Array.init w (fun i -> init n (fun j -> get rows.(j) i))
+
 let set_slice v ~lo field =
   if lo < 0 || lo + field.width > v.width then
     invalid_arg

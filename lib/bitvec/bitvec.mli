@@ -95,6 +95,14 @@ val concat_list : t list -> t
 val repeat : t -> int -> t
 (** [repeat v n] concatenates [n] copies of [v]; [n >= 1]. *)
 
+val transpose : t array -> t array
+(** [transpose rows] turns [n] vectors of equal width [w] into [w]
+    vectors of width [n], with bit [j] of result [i] equal to bit [i]
+    of [rows.(j)] — the lane-packing helper of the word-parallel
+    netlist simulator ([transpose (transpose rows) = rows]).  Raises
+    [Invalid_bitvec] on an empty array and [Width_mismatch] on ragged
+    rows. *)
+
 val set_bit : t -> int -> bool -> t
 (** Functional single-bit update. *)
 

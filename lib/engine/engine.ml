@@ -9,6 +9,9 @@ module type S = sig
   val settle : t -> unit
   val step : t -> unit
   val cycles : t -> int
+  val lanes : t -> int
+  val set_input_lane : t -> lane:int -> string -> Bitvec.t -> unit
+  val get_lane : t -> lane:int -> string -> Bitvec.t
   val stats : t -> (string * int) list
   val enable_cover : t -> unit
   val cover : t -> Cover.Toggle.t option
@@ -29,6 +32,12 @@ let get (Pack ((module M), e, _)) name = M.get e name
 let settle (Pack ((module M), e, _)) = M.settle e
 let step (Pack ((module M), e, _)) = M.step e
 let cycles (Pack ((module M), e, _)) = M.cycles e
+let lanes (Pack ((module M), e, _)) = M.lanes e
+
+let set_input_lane (Pack ((module M), e, _)) ~lane name bv =
+  M.set_input_lane e ~lane name bv
+
+let get_lane (Pack ((module M), e, _)) ~lane name = M.get_lane e ~lane name
 let stats (Pack ((module M), e, _)) = M.stats e
 let enable_cover (Pack ((module M), e, _)) = M.enable_cover e
 let cover (Pack ((module M), e, _)) = M.cover e
@@ -51,7 +60,12 @@ let get_int e name = Bitvec.to_int (get e name)
 (* ------------------------------------------------------------------ *)
 (* Fault injection: a transparent wrapper corrupting one output.       *)
 
-type fault = { inner : t; fault_port : string; from_cycle : int }
+type fault = {
+  inner : t;
+  fault_port : string;
+  from_cycle : int;
+  fault_lane : int option;  (* [None]: every lane (and the plain view) *)
+}
 
 module Faulty = struct
   type t = fault
@@ -61,28 +75,53 @@ module Faulty = struct
   let outputs f = outputs f.inner
   let set_input f name bv = set_input f.inner name bv
 
+  let flip v = Bitvec.set_bit v 0 (not (Bitvec.get v 0))
+  let armed f = cycles f.inner >= f.from_cycle
+
   let get f name =
     let v = get f.inner name in
-    if name = f.fault_port && cycles f.inner >= f.from_cycle then
-      Bitvec.set_bit v 0 (not (Bitvec.get v 0))
+    if
+      name = f.fault_port && armed f
+      && (match f.fault_lane with None | Some 0 -> true | Some _ -> false)
+    then flip v
     else v
 
   let settle f = settle f.inner
   let step f = step f.inner
   let cycles f = cycles f.inner
+  let lanes f = lanes f.inner
+  let set_input_lane f ~lane name bv = set_input_lane f.inner ~lane name bv
+
+  let get_lane f ~lane name =
+    let v = get_lane f.inner ~lane name in
+    if
+      name = f.fault_port && armed f
+      && (match f.fault_lane with None -> true | Some l -> l = lane)
+    then flip v
+    else v
+
   let stats f = stats f.inner
   let enable_cover f = enable_cover f.inner
   let cover f = cover f.inner
 end
 
-let inject_fault ?(from_cycle = 0) ~port e =
+let inject_fault ?(from_cycle = 0) ?lane ~port e =
   (match List.assoc_opt port (outputs e) with
   | Some _ -> ()
   | None -> invalid_arg ("Engine.inject_fault: no output port " ^ port));
+  (match lane with
+  | Some l when l < 0 || l >= lanes e ->
+      invalid_arg
+        (Printf.sprintf "Engine.inject_fault: lane %d out of range (%d lanes)"
+           l (lanes e))
+  | Some _ | None -> ());
+  let suffix =
+    match lane with Some l -> Printf.sprintf "@%d" l | None -> ""
+  in
   pack
-    ~label:(label e ^ "+fault:" ^ port)
+    ~label:(label e ^ "+fault:" ^ port ^ suffix)
     (module Faulty)
-    { inner = e; fault_port = port; from_cycle }
+    { inner = e; fault_port = port; from_cycle; fault_lane = lane }
 
 (* ------------------------------------------------------------------ *)
 (* Consolidated tracing over any engine set.                           *)

@@ -32,6 +32,20 @@ module type S = sig
   (** One full clock cycle. *)
 
   val cycles : t -> int
+
+  val lanes : t -> int
+  (** Independent stimulus lanes the backend advances per step: 1 for
+      the scalar backends, the lane count of a word-parallel netlist
+      engine.  All lanes share the clock — {!step} advances every
+      lane. *)
+
+  val set_input_lane : t -> lane:int -> string -> Bitvec.t -> unit
+  (** Drive one lane only.  Lane 0 of a scalar backend is
+      {!set_input}; any other lane raises [Invalid_argument]. *)
+
+  val get_lane : t -> lane:int -> string -> Bitvec.t
+  (** The port value seen by [lane] (lane 0 is {!get}). *)
+
   val stats : t -> (string * int) list
   (** Engine-specific activity counters (same figures the global
       [Perf] registry accumulates), e.g. gate evaluations. *)
@@ -66,16 +80,24 @@ val settle : t -> unit
 val step : t -> unit
 val run : t -> int -> unit
 val cycles : t -> int
+val lanes : t -> int
+val set_input_lane : t -> lane:int -> string -> Bitvec.t -> unit
+val get_lane : t -> lane:int -> string -> Bitvec.t
 val stats : t -> (string * int) list
 val enable_cover : t -> unit
 val cover : t -> Cover.Toggle.t option
 
-val inject_fault : ?from_cycle:int -> port:string -> t -> t
+val inject_fault : ?from_cycle:int -> ?lane:int -> port:string -> t -> t
 (** A wrapper engine that behaves exactly like the inner one except
     that reads of output [port] come back with the least significant
     bit flipped once the engine has stepped at least [from_cycle]
-    (default [0]) cycles.  Used to validate that the differential
-    harness detects, localizes and shrinks a divergence. *)
+    (default [0]) cycles.  Without [lane] the fault corrupts every
+    lane's view (and {!get}); with [lane l] only {!get_lane}[ ~lane:l]
+    — and {!get} iff [l = 0] — is corrupted, pinning one fault to one
+    lane of a multi-lane engine.  Used to validate that the
+    differential harness detects, localizes and shrinks a divergence,
+    and by the lane-parallel fault campaigns.  Raises
+    [Invalid_argument] for an unknown port or an out-of-range lane. *)
 
 (** {1 Consolidated tracing}
 

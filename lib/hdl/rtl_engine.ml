@@ -15,6 +15,15 @@ module Impl = struct
   let settle = Rtl_sim.settle
   let step = Rtl_sim.step
   let cycles = Rtl_sim.cycles
+  let lanes _ = 1
+
+  let set_input_lane sim ~lane name bv =
+    if lane <> 0 then invalid_arg "Rtl_engine: scalar backend has a single lane";
+    Rtl_sim.set_input sim name bv
+
+  let get_lane sim ~lane name =
+    if lane <> 0 then invalid_arg "Rtl_engine: scalar backend has a single lane";
+    Rtl_sim.get sim name
 
   let stats sim =
     [

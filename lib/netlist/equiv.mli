@@ -61,6 +61,59 @@ val differential :
     [Ok n] reports the number of compared cycles.  Raises
     [Invalid_argument] with fewer than two factories. *)
 
+(** {1 Lane-parallel fault campaign}
+
+    Stuck-at fault simulation on the word-parallel backend
+    ({!Nl_wsim}): one simulation carries the fault-free golden design in
+    lane 0 and one faulty machine per extra lane, so every gate
+    evaluation advances the golden run {e and} every fault candidate at
+    once.  Detection is a packed xor against lane 0 per output port per
+    cycle ({!Nl_wsim.diverging_lanes}); a detected fault is then handed
+    to the scalar {!differential} harness (golden scalar engine vs a
+    single-lane faulty word engine, same seed) for the usual
+    shrink-and-replay minimal reproducer. *)
+
+type lane_fault = { fault_net : Netlist.net; stuck_at : bool }
+
+type fault_result = {
+  fault : lane_fault;
+  lane : int;  (** lane that carried the fault (1-based; 0 is golden) *)
+  detected_at : int option;
+      (** first cycle an output diverged from lane 0, if any *)
+  detect_port : string option;
+  shrunk : divergence option;
+      (** minimal reproducer from the scalar differential replay *)
+}
+
+type campaign = {
+  faults_total : int;
+  faults_detected : int;
+  campaign_cycles : int;  (** cycles simulated (stops once all detected) *)
+  campaign_gate_evals : int;
+      (** word-parallel gate evaluations spent on the whole campaign *)
+  fault_results : fault_result list;
+}
+
+val pp_fault_result : Format.formatter -> fault_result -> unit
+
+val fault_campaign :
+  ?cycles:int ->
+  ?seed:int ->
+  ?drive:(int -> string * Bitvec.t -> Bitvec.t) ->
+  ?mode:Nl_wsim.mode ->
+  ?shrink:bool ->
+  Netlist.t ->
+  lane_fault list ->
+  campaign
+(** [fault_campaign nl faults] runs one [1 + length faults]-lane
+    simulation under broadcast random stimulus (same protocol, default
+    [seed] and [drive] override semantics as {!differential} — use
+    [drive] e.g. to hold a reset released so faults propagate) for up to
+    [cycles] (default [500]) cycles, stopping early once every fault has
+    been observed at an output.  [shrink] (default [true]) replays each
+    detected fault through {!differential} under the same [drive] for a
+    shrunk stimulus window. *)
+
 val ir_vs_netlist :
   ?cycles:int ->
   ?seed:int ->

@@ -29,6 +29,17 @@ let make_impl sim_kind =
     let settle t = Nl_sim.settle t.sim
     let step t = Nl_sim.step t.sim
     let cycles t = Nl_sim.cycles t.sim
+    let lanes _ = 1
+
+    let set_input_lane t ~lane name bv =
+      if lane <> 0 then
+        invalid_arg "Nl_engine: scalar backend has a single lane";
+      set_input t name bv
+
+    let get_lane t ~lane name =
+      if lane <> 0 then
+        invalid_arg "Nl_engine: scalar backend has a single lane";
+      get t name
 
     let stats t =
       [
@@ -44,6 +55,84 @@ let make_impl sim_kind =
     let cover t = Nl_sim.toggle_cover t.sim
   end : Engine.S
     with type t = state)
+
+(* ------------------------------------------------------------------ *)
+(* Word-parallel backend: an Nl_wsim behind the same Engine face.      *)
+
+type wstate = {
+  wsim : Nl_wsim.t;
+  w_inputs : (string * int) list;
+  w_outputs : (string * int) list;
+  wdriven : (string, Bitvec.t) Hashtbl.t;  (* broadcast echo per input *)
+}
+
+module Wimpl = struct
+  type t = wstate
+
+  let kind = "netlist-word"
+  let inputs t = t.w_inputs
+  let outputs t = t.w_outputs
+
+  let set_input t name bv =
+    Nl_wsim.set_input t.wsim name bv;
+    Hashtbl.replace t.wdriven name bv
+
+  let get t name =
+    match List.assoc_opt name t.w_outputs with
+    | Some _ -> Nl_wsim.get_output t.wsim name
+    | None -> (
+        match Hashtbl.find_opt t.wdriven name with
+        | Some bv -> bv
+        | None -> Bitvec.zero (List.assoc name t.w_inputs))
+
+  let settle t = Nl_wsim.settle t.wsim
+  let step t = Nl_wsim.step t.wsim
+  let cycles t = Nl_wsim.cycles t.wsim
+  let lanes t = Nl_wsim.lanes t.wsim
+
+  let set_input_lane t ~lane name bv =
+    Nl_wsim.set_input_lane t.wsim ~lane name bv
+
+  let get_lane t ~lane name =
+    match List.assoc_opt name t.w_outputs with
+    | Some _ -> Nl_wsim.get_output ~lane t.wsim name
+    | None ->
+        (* Inputs echo the last broadcast value; per-lane input history
+           is not retained. *)
+        if lane < 0 || lane >= Nl_wsim.lanes t.wsim then
+          invalid_arg (Printf.sprintf "Nl_engine.get_lane: lane %d" lane);
+        get t name
+
+  let stats t =
+    [
+      ("gate_evals", Nl_wsim.gate_evals t.wsim);
+      ("cells_skipped", Nl_wsim.cells_skipped t.wsim);
+      ("comb_cells", Nl_wsim.comb_cells t.wsim);
+      ("dff_cells", Nl_wsim.dff_cells t.wsim);
+      ("full_settles", Nl_wsim.full_settles t.wsim);
+      ("toggles", Nl_wsim.toggle_total t.wsim);
+      ("lanes", Nl_wsim.lanes t.wsim);
+      ("faults", Nl_wsim.faults t.wsim);
+    ]
+
+  let enable_cover t = Nl_wsim.enable_toggle_cover t.wsim
+  let cover t = Nl_wsim.lane_cover t.wsim 0
+end
+
+let pack_word ?label wsim =
+  let nl = Nl_wsim.netlist wsim in
+  let widths ports = List.map (fun (n, nets) -> (n, Array.length nets)) ports in
+  Engine.pack ?label
+    (module Wimpl)
+    {
+      wsim;
+      w_inputs = widths (Netlist.inputs nl);
+      w_outputs = widths (Netlist.outputs nl);
+      wdriven = Hashtbl.create 8;
+    }
+
+let create_word ?label ?(mode = Nl_wsim.Event_driven) ~lanes nl =
+  pack_word ?label (Nl_wsim.create ~mode ~lanes nl)
 
 let create ?label ?(mode = Nl_sim.Event_driven) nl =
   let sim_kind =

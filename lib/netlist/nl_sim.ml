@@ -84,63 +84,104 @@ let topo_order nl =
   List.iter visit comb;
   Array.of_list (List.rev !order)
 
+(* Static scheduling structure, shared with the word-parallel simulator
+   ([Nl_wsim]): both walk the same topological order, levels and fanout
+   lists, so their activity-based scheduling is identical by
+   construction. *)
+module Sched = struct
+  type t = {
+    order : Netlist.cell array;
+    dffs : Netlist.cell array;
+    level : int array;
+    fanout : int array array;
+    n_levels : int;
+    in_nets : (string, Netlist.net array) Hashtbl.t;
+    out_nets : (string, Netlist.net array) Hashtbl.t;
+  }
+
+  let build nl =
+    Netlist.check nl;
+    let in_nets = Hashtbl.create 8 and out_nets = Hashtbl.create 8 in
+    List.iter
+      (fun (n, nets) -> Hashtbl.replace in_nets n nets)
+      (Netlist.inputs nl);
+    List.iter
+      (fun (n, nets) -> Hashtbl.replace out_nets n nets)
+      (Netlist.outputs nl);
+    let dffs =
+      List.filter (fun c -> c.Netlist.kind = Cell.Dff) (Netlist.cells nl)
+      |> Array.of_list
+    in
+    let order = topo_order nl in
+    let n_comb = Array.length order in
+    let n_nets = Netlist.net_count nl in
+    (* Levelization: primary inputs, constants-free nets and flip-flop
+       outputs sit at depth 0; each cell one past its deepest input. *)
+    let net_level = Array.make n_nets 0 in
+    let level = Array.make n_comb 0 in
+    let n_levels = ref 1 in
+    Array.iteri
+      (fun ci (c : Netlist.cell) ->
+        let l =
+          Array.fold_left (fun acc n -> max acc (net_level.(n) + 1)) 0 c.ins
+        in
+        level.(ci) <- l;
+        net_level.(c.out) <- l;
+        if l + 1 > !n_levels then n_levels := l + 1)
+      order;
+    (* Per-net fanout lists (combinational readers only), count-then-fill. *)
+    let fan_count = Array.make n_nets 0 in
+    Array.iter
+      (fun (c : Netlist.cell) ->
+        Array.iter (fun n -> fan_count.(n) <- fan_count.(n) + 1) c.ins)
+      order;
+    let fanout = Array.init n_nets (fun n -> Array.make fan_count.(n) 0) in
+    let cursor = Array.make n_nets 0 in
+    Array.iteri
+      (fun ci (c : Netlist.cell) ->
+        Array.iter
+          (fun n ->
+            fanout.(n).(cursor.(n)) <- ci;
+            cursor.(n) <- cursor.(n) + 1)
+          c.ins)
+      order;
+    { order; dffs; level; fanout; n_levels = !n_levels; in_nets; out_nets }
+
+  (* Human-readable net labels: port bits by name ("bus[i]", or the bare
+     name for width-1 buses), anonymous internal nets as "n<id>". *)
+  let net_labels nl =
+    let labels = Array.make (Netlist.net_count nl) "" in
+    let fill ports =
+      List.iter
+        (fun (name, nets) ->
+          if Array.length nets = 1 then labels.(nets.(0)) <- name
+          else
+            Array.iteri
+              (fun i n -> labels.(n) <- Printf.sprintf "%s[%d]" name i)
+              nets)
+        ports
+    in
+    fill (Netlist.inputs nl);
+    fill (Netlist.outputs nl);
+    Array.mapi (fun n l -> if l = "" then "n" ^ string_of_int n else l) labels
+end
+
 let create ?(mode = Event_driven) nl =
-  Netlist.check nl;
-  let in_nets = Hashtbl.create 8 and out_nets = Hashtbl.create 8 in
-  List.iter (fun (n, nets) -> Hashtbl.replace in_nets n nets) (Netlist.inputs nl);
-  List.iter
-    (fun (n, nets) -> Hashtbl.replace out_nets n nets)
-    (Netlist.outputs nl);
-  let dffs =
-    List.filter (fun c -> c.Netlist.kind = Cell.Dff) (Netlist.cells nl)
-    |> Array.of_list
-  in
-  let order = topo_order nl in
-  let n_comb = Array.length order in
+  let s = Sched.build nl in
   let n_nets = Netlist.net_count nl in
-  (* Levelization: primary inputs, constants-free nets and flip-flop
-     outputs sit at depth 0; each cell one past its deepest input. *)
-  let net_level = Array.make n_nets 0 in
-  let level = Array.make n_comb 0 in
-  let n_levels = ref 1 in
-  Array.iteri
-    (fun ci (c : Netlist.cell) ->
-      let l =
-        Array.fold_left (fun acc n -> max acc (net_level.(n) + 1)) 0 c.ins
-      in
-      level.(ci) <- l;
-      net_level.(c.out) <- l;
-      if l + 1 > !n_levels then n_levels := l + 1)
-    order;
-  (* Per-net fanout lists (combinational readers only), count-then-fill. *)
-  let fan_count = Array.make n_nets 0 in
-  Array.iter
-    (fun (c : Netlist.cell) ->
-      Array.iter (fun n -> fan_count.(n) <- fan_count.(n) + 1) c.ins)
-    order;
-  let fanout = Array.init n_nets (fun n -> Array.make fan_count.(n) 0) in
-  let cursor = Array.make n_nets 0 in
-  Array.iteri
-    (fun ci (c : Netlist.cell) ->
-      Array.iter
-        (fun n ->
-          fanout.(n).(cursor.(n)) <- ci;
-          cursor.(n) <- cursor.(n) + 1)
-        c.ins)
-    order;
   {
     nl;
     mode;
     values = Array.make n_nets false;
     toggles = Array.make n_nets 0;
-    order;
-    dffs;
-    in_nets;
-    out_nets;
-    level;
-    fanout;
-    buckets = Array.make !n_levels [];
-    pending = Array.make n_comb false;
+    order = s.Sched.order;
+    dffs = s.Sched.dffs;
+    in_nets = s.Sched.in_nets;
+    out_nets = s.Sched.out_nets;
+    level = s.Sched.level;
+    fanout = s.Sched.fanout;
+    buckets = Array.make s.Sched.n_levels [];
+    pending = Array.make (Array.length s.Sched.order) false;
     need_full = true;
     epoch_pre = Array.make n_nets false;
     epoch_seen = Array.make n_nets false;
@@ -177,23 +218,47 @@ let drive t n v =
     Array.iter (fun ci -> schedule t ci) t.fanout.(n)
   end
 
-let set_input t name bv =
-  match Hashtbl.find_opt t.in_nets name with
-  | None -> raise Not_found
-  | Some nets ->
-      if Bitvec.width bv <> Array.length nets then
-        invalid_arg
-          (Printf.sprintf "Nl_sim.set_input %s: width %d expected %d" name
-             (Bitvec.width bv) (Array.length nets));
-      (match t.mode with
-      | Full_eval ->
-          Array.iteri (fun i n -> t.values.(n) <- Bitvec.get bv i) nets
-      | Event_driven ->
-          Array.iteri (fun i n -> drive t n (Bitvec.get bv i)) nets)
+(* Prebound input-port handles: the stimulus hot path pays the name
+   lookup once, then drives bits straight out of a machine word (no
+   per-bit [Bitvec.get] limb arithmetic for ports up to 62 bits). *)
+type port = { p_name : string; p_nets : Netlist.net array }
 
-let set_input_int t name n =
-  let nets = Hashtbl.find t.in_nets name in
-  set_input t name (Bitvec.of_int ~width:(Array.length nets) n)
+let in_port t name =
+  match Hashtbl.find_opt t.in_nets name with
+  | Some nets -> { p_name = name; p_nets = nets }
+  | None -> raise Not_found
+
+(* Bit [i] of the two's-complement int [v] ([asr] caps at the sign). *)
+let int_bit v i = (v asr min i 62) land 1 = 1
+
+let drive_port_int t p v =
+  let nets = p.p_nets in
+  match t.mode with
+  | Full_eval ->
+      for i = 0 to Array.length nets - 1 do
+        t.values.(Array.unsafe_get nets i) <- int_bit v i
+      done
+  | Event_driven ->
+      for i = 0 to Array.length nets - 1 do
+        drive t (Array.unsafe_get nets i) (int_bit v i)
+      done
+
+let drive_port t p bv =
+  let w = Array.length p.p_nets in
+  if Bitvec.width bv <> w then
+    invalid_arg
+      (Printf.sprintf "Nl_sim.set_input %s: width %d expected %d" p.p_name
+         (Bitvec.width bv) w);
+  if w <= 62 then drive_port_int t p (Bitvec.to_int bv)
+  else
+    match t.mode with
+    | Full_eval ->
+        Array.iteri (fun i n -> t.values.(n) <- Bitvec.get bv i) p.p_nets
+    | Event_driven ->
+        Array.iteri (fun i n -> drive t n (Bitvec.get bv i)) p.p_nets
+
+let set_input t name bv = drive_port t (in_port t name) bv
+let set_input_int t name v = drive_port_int t (in_port t name) v
 
 let read_bus t nets =
   Bitvec.init (Array.length nets) (fun i -> t.values.(nets.(i)))
@@ -388,24 +453,7 @@ let enable_profile t =
 
 let profiling t = t.profiling
 
-(* Human-readable net labels: port bits by name ("bus[i]", or the bare
-   name for width-1 buses), anonymous internal nets as "n<id>". *)
-let net_labels t =
-  let n_nets = Array.length t.values in
-  let labels = Array.make n_nets "" in
-  let fill tbl =
-    Hashtbl.iter
-      (fun name nets ->
-        if Array.length nets = 1 then labels.(nets.(0)) <- name
-        else
-          Array.iteri
-            (fun i n -> labels.(n) <- Printf.sprintf "%s[%d]" name i)
-            nets)
-      tbl
-  in
-  fill t.in_nets;
-  fill t.out_nets;
-  Array.mapi (fun n l -> if l = "" then "n" ^ string_of_int n else l) labels
+let net_labels t = Sched.net_labels t.nl
 
 let enable_toggle_cover t =
   match t.cover with

@@ -28,10 +28,53 @@ val topo_order : Netlist.t -> Netlist.cell array
 (** Combinational cells in topological (inputs-before-readers) order;
     raises {!Combinational_loop} on a cycle. *)
 
+(** The static scheduling structure behind both gate-level simulators
+    (this one and the word-parallel {!Nl_wsim}): topological order,
+    levels, per-net combinational fanout and the port-name tables.
+    Building it checks the netlist and raises {!Combinational_loop} on
+    a combinational cycle. *)
+module Sched : sig
+  type t = {
+    order : Netlist.cell array;  (** combinational cells, topological *)
+    dffs : Netlist.cell array;
+    level : int array;  (** logic depth per index into [order] *)
+    fanout : int array array;  (** net -> indices into [order] reading it *)
+    n_levels : int;
+    in_nets : (string, Netlist.net array) Hashtbl.t;
+    out_nets : (string, Netlist.net array) Hashtbl.t;
+  }
+
+  val build : Netlist.t -> t
+
+  val net_labels : Netlist.t -> string array
+  (** Human-readable per-net labels: port bits as ["bus[i]"] (bare name
+      for width-1 ports), anonymous internal nets as ["n<id>"]. *)
+end
+
 val set_input : t -> string -> Bitvec.t -> unit
 val set_input_int : t -> string -> int -> unit
 val get_output : t -> string -> Bitvec.t
 val get_output_int : t -> string -> int
+
+(** {1 Prebound input ports}
+
+    {!set_input} pays a hash lookup per call; stimulus loops driving the
+    same port every cycle bind it once and drive through the handle.
+    Handles carry only netlist structure, so one is valid for any
+    simulator instance over the same netlist. *)
+
+type port
+
+val in_port : t -> string -> port
+(** Raises [Not_found] for an unknown input port. *)
+
+val drive_port : t -> port -> Bitvec.t -> unit
+(** Like {!set_input} but without the name lookup; bits of vectors up
+    to 62 wide are extracted word-at-once rather than per-bit. *)
+
+val drive_port_int : t -> port -> int -> unit
+(** Drive the low bits of a two's-complement int (no [Bitvec]
+    allocation at all). *)
 
 val settle : t -> unit
 (** Propagate combinational logic only. *)

@@ -1,0 +1,129 @@
+(** Word-parallel gate-level simulator: [lanes] independent two-valued
+    simulations advance together, packed bitwise into native ints (one
+    word op per gate per {!Sys.int_size} lanes).  Flip-flops power up
+    at 0 in every lane.
+
+    Lane 0 is bit-identical to the scalar {!Nl_sim} under the same
+    broadcast stimulus — same output values, same per-net toggle counts
+    ({!net_toggles}), cycle for cycle, in both scheduling modes.  The
+    extra lanes carry independent stimulus streams ({!set_input_lane},
+    {!set_input_packed}), per-lane stuck-at faults
+    ({!inject_stuck_at}) for lane-parallel fault campaigns, and
+    per-lane toggle coverage so one run yields one {!Cover.Toggle.t}
+    per seed.
+
+    Scheduling (topological order, levels, fanout, dirty buckets) is
+    shared with {!Nl_sim} through {!Nl_sim.Sched}; in event-driven mode
+    a cell re-evaluates when {e any} lane of an input moved. *)
+
+type t
+
+type mode =
+  | Event_driven  (** dirty-set propagation (default) *)
+  | Full_eval  (** every combinational cell, every settle (reference) *)
+
+val lane_bits : int
+(** Lanes packed per machine word ([Sys.int_size]: 63 on 64-bit). *)
+
+val create : ?mode:mode -> lanes:int -> Netlist.t -> t
+(** Checks and levelizes the netlist; raises
+    {!Nl_sim.Combinational_loop} on a combinational cycle and
+    [Invalid_argument] when [lanes < 1]. *)
+
+val lanes : t -> int
+
+val netlist : t -> Netlist.t
+(** The simulated netlist. *)
+
+(** {1 Stimulus}
+
+    All drive calls follow {!Nl_sim} semantics: in event-driven mode a
+    changed net wakes its readers, in full-eval mode the value is just
+    written.  Lane arguments are validated against [lanes]. *)
+
+val set_input : t -> string -> Bitvec.t -> unit
+(** Broadcast: every lane sees the same port value. *)
+
+val set_input_int : t -> string -> int -> unit
+
+val set_input_lane : t -> lane:int -> string -> Bitvec.t -> unit
+(** Drive one lane only; other lanes keep their values. *)
+
+val set_input_packed : t -> string -> Bitvec.t array -> unit
+(** Distinct per-lane stimulus in one call: element [i] of the array
+    holds bit [i] of the port for every lane (width [lanes]) — i.e.
+    [set_input_packed t p (Bitvec.transpose per_lane_values)]. *)
+
+(** {1 Observation} *)
+
+val get_output : ?lane:int -> t -> string -> Bitvec.t
+(** The port value seen by [lane] (default 0, the golden lane). *)
+
+val get_output_int : ?lane:int -> t -> string -> int
+
+val get_output_packed : t -> string -> Bitvec.t array
+(** Inverse of {!set_input_packed}: bit [i] of the port across all
+    lanes, per port bit ([Bitvec.transpose] recovers per-lane values). *)
+
+val diverging_lanes : t -> string -> int list
+(** Lanes whose current value of output [port] differs from lane 0, in
+    ascending order — the per-cycle detection primitive of the
+    lane-parallel fault campaign ([Equiv.fault_campaign]).  Computed on
+    the packed words (one xor per word per port bit), never unpacking
+    lanes. *)
+
+(** {1 Execution} *)
+
+val settle : t -> unit
+(** Propagate combinational logic only. *)
+
+val step : t -> unit
+(** One clock cycle in every lane: settle, commit flip-flops, settle. *)
+
+val run : t -> int -> unit
+
+(** {1 Fault injection}
+
+    Per-lane stuck-at forces: any value written to [net] in [lane] is
+    overridden, which models a stuck-at fault at the driver output.
+    Lane 0 is conventionally kept fault-free as the golden reference,
+    but nothing enforces that. *)
+
+val inject_stuck_at : t -> lane:int -> net:Netlist.net -> value:bool -> unit
+(** Takes effect immediately (also on input and flip-flop nets) and
+    persists for the rest of the run. *)
+
+val faults : t -> int
+(** Number of injected faults. *)
+
+(** {1 Counters} *)
+
+val cycles : t -> int
+
+val gate_evals : t -> int
+(** Cell evaluations (each one advances all lanes). *)
+
+val cells_skipped : t -> int
+val comb_cells : t -> int
+val dff_cells : t -> int
+val full_settles : t -> int
+
+val net_toggles : t -> Netlist.net -> int
+(** Lane-0 transitions per net — comparable 1:1 with
+    {!Nl_sim.net_toggles} under broadcast stimulus. *)
+
+val toggle_total : t -> int
+
+(** {1 Per-lane toggle coverage}
+
+    One collector per lane, so a 64-lane run with per-lane seeds
+    produces 64 seeds' worth of coverage in one simulation; merge them
+    via [Cover.Db.merge] (or sum the per-lane entries) for the
+    multi-seed union. *)
+
+val enable_toggle_cover : t -> unit
+(** Allocates one {!Cover.Toggle.t} per lane (names as in
+    {!Nl_sim.Sched.net_labels}).  Idempotent. *)
+
+val lane_cover : t -> int -> Cover.Toggle.t option
+(** The given lane's collector; [None] before {!enable_toggle_cover}. *)

@@ -79,6 +79,17 @@ module Impl = struct
     t.n_cycles <- t.n_cycles + 1
 
   let cycles t = t.n_cycles
+  let lanes _ = 1
+
+  let set_input_lane t ~lane name bv =
+    if lane <> 0 then
+      invalid_arg "Kernel_engine: scalar backend has a single lane";
+    set_input t name bv
+
+  let get_lane t ~lane name =
+    if lane <> 0 then
+      invalid_arg "Kernel_engine: scalar backend has a single lane";
+    get t name
 
   let stats t =
     [

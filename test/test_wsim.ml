@@ -1,0 +1,355 @@
+(* Word-parallel netlist simulation: lane-0 identity with the scalar
+   simulator (both scheduling modes, several seeds), per-lane stimulus
+   through the packed/transpose API, per-lane stuck-at faults with
+   packed divergence detection, the lane-parallel fault campaign, the
+   Engine word backend with lane-pinned fault injection, and per-lane
+   toggle coverage. *)
+
+open Hdl
+open Builder.Dsl
+module N = Backend.Netlist
+module Ws = Backend.Nl_wsim
+
+let alu_design () =
+  let b = Builder.create "mini_alu" in
+  let op = Builder.input b "op" 2 in
+  let a = Builder.input b "a" 8 in
+  let x = Builder.input b "x" 8 in
+  let y = Builder.output b "y" 8 in
+  Builder.comb b "alu"
+    [
+      case (v op)
+        [
+          (0, [ y <-- (v a +: v x) ]);
+          (1, [ y <-- (v a -: v x) ]);
+          (2, [ y <-- (v a &: v x) ]);
+        ]
+        [ y <-- (v a ^: v x) ];
+    ];
+  Builder.finish b
+
+let counter_design () =
+  let b = Builder.create "counter" in
+  let reset = Builder.input b "reset" 1 in
+  let count = Builder.output b "count" 8 in
+  Builder.sync b "tick"
+    [
+      if_ (v reset)
+        [ count <-- c ~width:8 0 ]
+        [ count <-- (v count +: c ~width:8 1) ];
+    ];
+  Builder.finish b
+
+let random_bv rng width = Bitvec.init width (fun _ -> Random.State.bool rng)
+
+(* Drive identical random stimulus into the scalar simulator (both
+   modes) and the word simulator (both modes) and require identical
+   outputs every cycle and identical toggle accounting at the end —
+   lane 0 of the word simulator must be indistinguishable from the
+   scalar reference. *)
+let check_lane0_identity ~lanes ~cycles ~seed nl =
+  let s_ev = Backend.Nl_sim.create ~mode:Backend.Nl_sim.Event_driven nl in
+  let s_fl = Backend.Nl_sim.create ~mode:Backend.Nl_sim.Full_eval nl in
+  let w_ev = Ws.create ~mode:Ws.Event_driven ~lanes nl in
+  let w_fl = Ws.create ~mode:Ws.Full_eval ~lanes nl in
+  let ins = List.map (fun (n, nets) -> (n, Array.length nets)) (N.inputs nl) in
+  let outs = List.map fst (N.outputs nl) in
+  let rng = Random.State.make [| seed |] in
+  for cycle = 1 to cycles do
+    List.iter
+      (fun (name, width) ->
+        let bv = random_bv rng width in
+        Backend.Nl_sim.set_input s_ev name bv;
+        Backend.Nl_sim.set_input s_fl name bv;
+        Ws.set_input w_ev name bv;
+        Ws.set_input w_fl name bv)
+      ins;
+    Backend.Nl_sim.step s_ev;
+    Backend.Nl_sim.step s_fl;
+    Ws.step w_ev;
+    Ws.step w_fl;
+    List.iter
+      (fun port ->
+        let expect = Backend.Nl_sim.get_output s_ev port in
+        List.iter
+          (fun (who, got) ->
+            if not (Bitvec.equal expect got) then
+              Alcotest.failf
+                "seed %#x lanes %d cycle %d port %s: %s=%a, scalar-event=%a"
+                seed lanes cycle port who Bitvec.pp got Bitvec.pp expect)
+          [
+            ("scalar-full", Backend.Nl_sim.get_output s_fl port);
+            ("word-event", Ws.get_output w_ev port);
+            ("word-full", Ws.get_output w_fl port);
+          ])
+      outs
+  done;
+  Alcotest.(check int)
+    (Printf.sprintf "toggle totals agree (event, seed %#x)" seed)
+    (Backend.Nl_sim.toggle_total s_ev)
+    (Ws.toggle_total w_ev);
+  Alcotest.(check int)
+    (Printf.sprintf "toggle totals agree (full, seed %#x)" seed)
+    (Backend.Nl_sim.toggle_total s_fl)
+    (Ws.toggle_total w_fl)
+
+let test_lane0_identity_seeds () =
+  let designs =
+    [
+      Backend.Lower.lower (alu_design ());
+      Backend.Lower.lower (counter_design ());
+    ]
+  in
+  (* Lane counts straddle the word boundaries: a single lane, a partial
+     word, and a multi-word configuration. *)
+  List.iter
+    (fun (seed, lanes) ->
+      List.iter (check_lane0_identity ~lanes ~cycles:150 ~seed) designs)
+    [ (0xA1, 1); (0xB2, 63); (0xC3, 70) ]
+
+let test_lane0_identity_expocu () =
+  let nl = Backend.Lower.lower (Expocu.Expocu_top.rtl_top ()) in
+  check_lane0_identity ~lanes:64 ~cycles:150 ~seed:0xE5C1 nl
+
+let test_wsim_loop_detection () =
+  let nl = N.create ~fold:false ~name:"ring" () in
+  let a = N.add_input nl "a" 1 in
+  let g1 = N.and2 nl a.(0) a.(0) in
+  let g2 = N.or2 nl g1 a.(0) in
+  let cell_of out = List.find (fun (c : N.cell) -> c.out = out) (N.cells nl) in
+  (cell_of g1).ins.(1) <- g2;
+  Alcotest.check_raises "loop raises"
+    (Backend.Nl_sim.Combinational_loop { module_name = "ring"; net = g1 })
+    (fun () -> ignore (Ws.create ~lanes:2 nl));
+  let sane = Backend.Lower.lower (counter_design ()) in
+  Alcotest.(check bool)
+    "lanes < 1 rejected" true
+    (try
+       ignore (Ws.create ~lanes:0 sane);
+       false
+     with Invalid_argument _ -> true)
+
+let test_per_lane_stimulus () =
+  let nl = Backend.Lower.lower (alu_design ()) in
+  let cases =
+    [|
+      (0, 200, 100);
+      (1, 100, 30);
+      (2, 0xCC, 0xAA);
+      (3, 0xCC, 0xAA);
+      (0, 1, 2);
+      (1, 5, 9);
+      (2, 0xF0, 0x3C);
+    |]
+  in
+  let lanes = Array.length cases in
+  let scalar = Backend.Nl_sim.create nl in
+  let expected =
+    Array.map
+      (fun (op, a, x) ->
+        Backend.Nl_sim.set_input_int scalar "op" op;
+        Backend.Nl_sim.set_input_int scalar "a" a;
+        Backend.Nl_sim.set_input_int scalar "x" x;
+        Backend.Nl_sim.settle scalar;
+        Backend.Nl_sim.get_output scalar "y")
+      cases
+  in
+  (* Lane at a time. *)
+  let w = Ws.create ~lanes nl in
+  Array.iteri
+    (fun l (op, a, x) ->
+      Ws.set_input_lane w ~lane:l "op" (Bitvec.of_int ~width:2 op);
+      Ws.set_input_lane w ~lane:l "a" (Bitvec.of_int ~width:8 a);
+      Ws.set_input_lane w ~lane:l "x" (Bitvec.of_int ~width:8 x))
+    cases;
+  Ws.settle w;
+  Array.iteri
+    (fun l _ ->
+      Alcotest.(check bool)
+        (Printf.sprintf "lane %d matches scalar" l)
+        true
+        (Bitvec.equal expected.(l) (Ws.get_output ~lane:l w "y")))
+    cases;
+  (* All lanes in one packed call, recovered through transpose. *)
+  let w2 = Ws.create ~lanes nl in
+  let column f width =
+    Bitvec.transpose
+      (Array.map (fun case -> Bitvec.of_int ~width (f case)) cases)
+  in
+  Ws.set_input_packed w2 "op" (column (fun (op, _, _) -> op) 2);
+  Ws.set_input_packed w2 "a" (column (fun (_, a, _) -> a) 8);
+  Ws.set_input_packed w2 "x" (column (fun (_, _, x) -> x) 8);
+  Ws.settle w2;
+  let per_lane_y = Bitvec.transpose (Ws.get_output_packed w2 "y") in
+  Array.iteri
+    (fun l _ ->
+      Alcotest.(check bool)
+        (Printf.sprintf "packed lane %d matches scalar" l)
+        true
+        (Bitvec.equal expected.(l) per_lane_y.(l)))
+    cases
+
+let test_stuck_at_lanes () =
+  let nl = Backend.Lower.lower (counter_design ()) in
+  let count = List.assoc "count" (N.outputs nl) in
+  let w = Ws.create ~lanes:4 nl in
+  Ws.set_input_int w "reset" 1;
+  Ws.step w;
+  Ws.set_input_int w "reset" 0;
+  Ws.inject_stuck_at w ~lane:1 ~net:count.(0) ~value:true;
+  Ws.inject_stuck_at w ~lane:2 ~net:count.(1) ~value:false;
+  Alcotest.(check int) "two faults live" 2 (Ws.faults w);
+  Ws.run w 4;
+  Alcotest.(check int) "golden lane counts" 4 (Ws.get_output_int w "count");
+  Alcotest.(check int) "clean lane matches golden" 4
+    (Ws.get_output_int ~lane:3 w "count");
+  Alcotest.(check (list int))
+    "faulty lanes detected" [ 1; 2 ]
+    (Ws.diverging_lanes w "count")
+
+let test_stuck_at_multiword () =
+  (* Faults in lanes beyond the first machine word must inject and
+     detect exactly like word-0 lanes. *)
+  let nl = Backend.Lower.lower (counter_design ()) in
+  let count = List.assoc "count" (N.outputs nl) in
+  let w = Ws.create ~lanes:70 nl in
+  Ws.set_input_int w "reset" 1;
+  Ws.step w;
+  Ws.set_input_int w "reset" 0;
+  List.iter
+    (fun lane -> Ws.inject_stuck_at w ~lane ~net:count.(0) ~value:true)
+    [ 1; 64; 68 ];
+  Ws.run w 4;
+  Alcotest.(check (list int))
+    "faulty lanes across words detected" [ 1; 64; 68 ]
+    (Ws.diverging_lanes w "count")
+
+let test_fault_campaign () =
+  let nl = Backend.Lower.lower (counter_design ()) in
+  let count = List.assoc "count" (N.outputs nl) in
+  let faults =
+    [
+      { Backend.Equiv.fault_net = count.(0); stuck_at = true };
+      { Backend.Equiv.fault_net = count.(2); stuck_at = false };
+    ]
+  in
+  let c = Backend.Equiv.fault_campaign ~cycles:300 ~seed:7 nl faults in
+  Alcotest.(check int) "faults simulated" 2 c.Backend.Equiv.faults_total;
+  Alcotest.(check int) "all faults detected" 2 c.Backend.Equiv.faults_detected;
+  Alcotest.(check bool)
+    "campaign stops early" true
+    (c.Backend.Equiv.campaign_cycles <= 300);
+  List.iter
+    (fun (r : Backend.Equiv.fault_result) ->
+      (match r.detected_at with
+      | None -> Alcotest.failf "%a" Backend.Equiv.pp_fault_result r
+      | Some cyc ->
+          Alcotest.(check bool)
+            "detected within the campaign" true
+            (cyc < c.Backend.Equiv.campaign_cycles));
+      match r.shrunk with
+      | None -> Alcotest.fail "detected fault has no shrunk reproducer"
+      | Some d ->
+          Alcotest.(check bool)
+            "shrunk window non-empty" true
+            (Array.length d.Backend.Equiv.window > 0);
+          Alcotest.(check bool)
+            "shrunk window replays" true
+            (d.Backend.Equiv.replay <> None))
+    c.Backend.Equiv.fault_results
+
+let test_word_engine () =
+  let nl = Backend.Lower.lower (counter_design ()) in
+  let e = Backend.Nl_engine.create_word ~lanes:8 nl in
+  Alcotest.(check string) "word kind" "netlist-word" (Engine.kind e);
+  Alcotest.(check int) "word lanes" 8 (Engine.lanes e);
+  let s = Backend.Nl_engine.create nl in
+  Alcotest.(check int) "scalar lanes" 1 (Engine.lanes s);
+  Alcotest.check_raises "scalar rejects lane 1"
+    (Invalid_argument "Nl_engine: scalar backend has a single lane")
+    (fun () -> Engine.set_input_lane s ~lane:1 "reset" (Bitvec.of_bool true));
+  Engine.set_input_int e "reset" 1;
+  Engine.step e;
+  Engine.set_input_int e "reset" 0;
+  Engine.run e 3;
+  Alcotest.(check int) "broadcast counts" 3 (Engine.get_int e "count");
+  Alcotest.(check int) "last lane counts too" 3
+    (Bitvec.to_int (Engine.get_lane e ~lane:7 "count"));
+  Alcotest.check_raises "fault lane range checked"
+    (Invalid_argument "Engine.inject_fault: lane 9 out of range (8 lanes)")
+    (fun () -> ignore (Engine.inject_fault ~lane:9 ~port:"count" e));
+  let f = Engine.inject_fault ~lane:5 ~port:"count" e in
+  Alcotest.(check bool)
+    "label names the lane" true
+    (String.length (Engine.label f) > 2
+    && String.sub (Engine.label f)
+         (String.length (Engine.label f) - 2)
+         2
+       = "@5");
+  Alcotest.(check int) "pinned lane sees the flip" (3 lxor 1)
+    (Bitvec.to_int (Engine.get_lane f ~lane:5 "count"));
+  Alcotest.(check int) "other lanes are clean" 3
+    (Bitvec.to_int (Engine.get_lane f ~lane:4 "count"));
+  Alcotest.(check int) "plain view (lane 0) is clean" 3 (Engine.get_int f "count")
+
+let test_lane_cover () =
+  let nl = Backend.Lower.lower (counter_design ()) in
+  let w = Ws.create ~lanes:3 nl in
+  Alcotest.(check bool) "no cover before enable" true (Ws.lane_cover w 0 = None);
+  Ws.enable_toggle_cover w;
+  Ws.set_input_int w "reset" 1;
+  Ws.step w;
+  Ws.set_input_int w "reset" 0;
+  for _ = 1 to 8 do
+    (* Hold lane 2 in reset while lanes 0 and 1 count. *)
+    Ws.set_input_lane w ~lane:2 "reset" (Bitvec.of_bool true);
+    Ws.step w
+  done;
+  let cov l =
+    match Ws.lane_cover w l with
+    | Some c -> c
+    | None -> Alcotest.failf "lane %d has no collector" l
+  in
+  Alcotest.(check int) "identical stimulus, identical coverage"
+    (Cover.Toggle.covered (cov 0))
+    (Cover.Toggle.covered (cov 1));
+  Alcotest.(check bool)
+    "held lane covers strictly less" true
+    (Cover.Toggle.covered (cov 2) < Cover.Toggle.covered (cov 0))
+
+(* Bitvec.transpose is an involution on rectangular arrays. *)
+let prop_transpose =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:200 ~name:"transpose involution"
+       QCheck2.Gen.(
+         int_range 1 24 >>= fun w ->
+         int_range 1 40 >>= fun n ->
+         array_size (return n) (array_size (return w) bool))
+       (fun rows ->
+         let bvs =
+           Array.map
+             (fun bits -> Bitvec.init (Array.length bits) (fun i -> bits.(i)))
+             rows
+         in
+         let tt = Bitvec.transpose (Bitvec.transpose bvs) in
+         Array.length tt = Array.length bvs
+         && Array.for_all2 Bitvec.equal tt bvs))
+
+let suite =
+  [
+    Alcotest.test_case "lane0 identity (3 seeds, 2 designs)" `Quick
+      test_lane0_identity_seeds;
+    Alcotest.test_case "lane0 identity (expocu)" `Quick
+      test_lane0_identity_expocu;
+    Alcotest.test_case "loop detection" `Quick test_wsim_loop_detection;
+    Alcotest.test_case "per-lane stimulus" `Quick test_per_lane_stimulus;
+    Alcotest.test_case "stuck-at lanes" `Quick test_stuck_at_lanes;
+    Alcotest.test_case "stuck-at lanes (multi-word)" `Quick
+      test_stuck_at_multiword;
+    Alcotest.test_case "fault campaign" `Quick test_fault_campaign;
+    Alcotest.test_case "word engine" `Quick test_word_engine;
+    Alcotest.test_case "per-lane cover" `Quick test_lane_cover;
+    prop_transpose;
+  ]
+
+let () = Alcotest.run "wsim" [ ("wsim", suite) ]
