@@ -901,6 +901,46 @@ let measure_perf_gate () =
   in
   (ratio, speedup, detail)
 
+(* Hierarchy & memo-cache measurements: run the OSSS flow over the full
+   ExpoCU top twice from a cleared module cache.  The warm run must hit
+   the lowering cache for every module and therefore finish no slower
+   than the cold run (modulo timer noise — see the gate tolerance). *)
+let measure_hierarchy () =
+  Backend.Lower.clear_cache ();
+  let design = Expocu.Expocu_top.osss_top () in
+  let lower_metric (r : Synth.Flow.result) key =
+    match
+      List.find_opt
+        (fun (p : Synth.Flow.pass) -> p.Synth.Flow.pass_name = "lower")
+        r.Synth.Flow.passes
+    with
+    | Some p -> Option.value ~default:0.0 (Synth.Flow.pass_metric p key)
+    | None -> 0.0
+  in
+  let cold, cold_s = timed (fun () -> Synth.Flow.run Synth.Flow.Osss design) in
+  let warm, warm_s = timed (fun () -> Synth.Flow.run Synth.Flow.Osss design) in
+  let warm_hits = int_of_float (lower_metric warm "cache_hits") in
+  let nl = warm.Synth.Flow.netlist in
+  let detail =
+    let open Obs.Json in
+    Obj
+      [
+        ("design", String design.Ir.mod_name);
+        ("cold_flow_ms", Float (cold_s *. 1000.0));
+        ("warm_flow_ms", Float (warm_s *. 1000.0));
+        ("cold_cache_hits", Float (lower_metric cold "cache_hits"));
+        ("cold_cache_misses", Float (lower_metric cold "cache_misses"));
+        ("warm_cache_hits", Float (lower_metric warm "cache_hits"));
+        ("warm_cache_misses", Float (lower_metric warm "cache_misses"));
+        ("region_nets", Int (Backend.Netlist.region_table_size nl));
+        ("hinted_nets", Int (Backend.Netlist.hint_table_size nl));
+        ( "modules",
+          List
+            (List.map (fun r -> String r) (Backend.Netlist.region_names nl)) );
+      ]
+  in
+  (cold_s, warm_s, warm_hits, detail)
+
 (* Coverage-instrumented smoke frame: the RTL interpreter carries the
    full model (toggle bits + FSMs + covergroups + protocol monitor),
    and the event-driven netlist contributes its per-net toggle bits
@@ -1016,6 +1056,7 @@ let bench_json ~profile ~lanes () =
       ]
   in
   let _, _, perf_gate_detail = measure_perf_gate () in
+  let _, _, _, hierarchy_detail = measure_hierarchy () in
   let open Obs.Json in
   let mode_obj sim seconds extras =
     Obj
@@ -1057,6 +1098,7 @@ let bench_json ~profile ~lanes () =
               ("sweep", List (List.map sweep_entry lane_sweep));
             ] );
         ("perf_gate", perf_gate_detail);
+        ("hierarchy", hierarchy_detail);
         ( "rtl",
           Obj
             [
@@ -1220,6 +1262,9 @@ let bench_smoke ~profile () =
   if List.exists (fun c -> union_covered < c) per_lane_covered then
     failwith "bench-smoke: multi-seed union covers less than a single seed";
   let ratio, speedup, perf_gate_detail = measure_perf_gate () in
+  let hier_cold_s, hier_warm_s, hier_warm_hits, hierarchy_detail =
+    measure_hierarchy ()
+  in
   let rtl = rtl_frame ~pixels () in
   if Rtl_sim.comb_skips rtl = 0 then
     failwith "bench-smoke: rtl scheduler never skipped a process";
@@ -1254,8 +1299,13 @@ let bench_smoke ~profile () =
               match campaign.Backend.Equiv.fault_results with
               | [ { Backend.Equiv.detected_at = Some c; _ } ] -> Int c
               | _ -> Null );
+            ( "campaign_site",
+              match campaign.Backend.Equiv.fault_results with
+              | [ { Backend.Equiv.site; _ } ] -> String site
+              | _ -> Null );
           ] );
       ("perf_gate", perf_gate_detail);
+      ("hierarchy", hierarchy_detail);
       ( "multi_seed_cover",
         Obj
           [
@@ -1274,7 +1324,7 @@ let bench_smoke ~profile () =
       ("hot_modules", Obs.Profile.top (Obs.Profile.by_module rtl_activity));
     ]
   in
-  (extra, profiles, (ratio, speedup))
+  (extra, profiles, (ratio, speedup), (hier_cold_s, hier_warm_s, hier_warm_hits))
 
 (* When the smoke run is being traced, pull the remaining instrumented
    layers (the sc_method kernel and the synthesis flow) into the same
@@ -1332,6 +1382,32 @@ let faults_exp () =
       row "  detection latency over %d detected: min %d  median %d  p90 %d  \
            max %d cycles\n"
         n (List.hd sorted) (nth 50) (nth 90) (nth 100));
+  (* Hierarchical fault sites: undetected faults grouped by the instance
+     that owns the faulted net — the per-component view of testability. *)
+  let undetected =
+    List.filter
+      (fun (r : Backend.Equiv.fault_result) -> r.detected_at = None)
+      c.Backend.Equiv.fault_results
+  in
+  if undetected <> [] then begin
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun (r : Backend.Equiv.fault_result) ->
+        let m =
+          match String.rindex_opt r.Backend.Equiv.site '.' with
+          | Some i -> String.sub r.Backend.Equiv.site 0 i
+          | None -> "<top>"
+        in
+        Hashtbl.replace tbl m
+          (1 + Option.value ~default:0 (Hashtbl.find_opt tbl m)))
+      undetected;
+    let per_module =
+      List.sort compare (Hashtbl.fold (fun m n acc -> (m, n) :: acc) tbl [])
+    in
+    row "  undetected sites by instance: %s\n"
+      (String.concat ", "
+         (List.map (fun (m, n) -> Printf.sprintf "%s (%d)" m n) per_module))
+  end;
   (* Hand one early-detected fault back to the scalar differential
      harness for a minimal reproducer. *)
   match
@@ -1347,10 +1423,10 @@ let faults_exp () =
           [ r.Backend.Equiv.fault ]
       in
       match c1.Backend.Equiv.fault_results with
-      | [ { Backend.Equiv.shrunk = Some d; fault; _ } ] ->
-          row "  shrunk reproducer for stuck-at-%d on n%d: %d-cycle window\n"
+      | [ { Backend.Equiv.shrunk = Some d; fault; site; _ } ] ->
+          row "  shrunk reproducer for stuck-at-%d on %s: %d-cycle window\n"
             (Bool.to_int fault.Backend.Equiv.stuck_at)
-            fault.Backend.Equiv.fault_net
+            site
             (Array.length d.Backend.Equiv.window)
       | _ -> row "  (no shrunk reproducer)\n")
 
@@ -1393,7 +1469,7 @@ let usage () =
    deterministic count and may not grow more than 20% over baseline; the
    64-lane per-pattern speedup is wall-clock and may not fall more than
    20% below baseline nor under the absolute 10x floor. *)
-let perf_gate_check ~baseline (ratio, speedup) =
+let perf_gate_check ~baseline (ratio, speedup) (hier_cold_s, hier_warm_s, hier_warm_hits) =
   let doc =
     try
       let ic = open_in_bin baseline in
@@ -1437,12 +1513,26 @@ let perf_gate_check ~baseline (ratio, speedup) =
                  floor"
                 speedup
               :: !failures;
+          (* Module-cache gate: the warm flow run re-lowers nothing, so
+             it must not be meaningfully slower than the cold run. *)
+          if hier_warm_hits = 0 then
+            failures :=
+              "warm flow run hit the lowering cache 0 times" :: !failures;
+          if hier_warm_s > hier_cold_s *. 1.2 then
+            failures :=
+              Printf.sprintf
+                "warm flow run took %.1f ms against %.1f ms cold (over the \
+                 1.2x tolerance)"
+                (hier_warm_s *. 1000.0) (hier_cold_s *. 1000.0)
+              :: !failures;
           (match !failures with
           | [] ->
               Obs.Log.infof
                 "perf-gate: ok — ratio %.4f (baseline %.4f), word64 speedup \
-                 %.1fx (baseline %.1fx)"
+                 %.1fx (baseline %.1fx), warm flow %.1f ms vs %.1f ms cold \
+                 (%d cache hits)"
                 ratio base_ratio speedup base_speedup
+                (hier_warm_s *. 1000.0) (hier_cold_s *. 1000.0) hier_warm_hits
           | fs ->
               List.iter (fun f -> Obs.Log.errorf "perf-gate: %s" f) fs;
               exit 1)
@@ -1590,11 +1680,11 @@ let () =
   end;
   let collected = ref None in
   if o.smoke then begin
-    let extra, profiles, gate_vals =
+    let extra, profiles, gate_vals, hier_vals =
       bench_smoke ~profile:(o.profile || o.json) ()
     in
     (match o.perf_gate with
-    | Some baseline -> perf_gate_check ~baseline gate_vals
+    | Some baseline -> perf_gate_check ~baseline gate_vals hier_vals
     | None -> ());
     if covering then begin
       let db = smoke_cover_db ~pixels:32 () in
@@ -1604,7 +1694,11 @@ let () =
           Cover.Db.save db path;
           Obs.Log.infof "coverage database written to %s" path
       | None -> ());
-      if o.cover_summary then print_string (Cover.Db.summary db);
+      (* In --json mode stdout must stay pure JSON (CI pipes it into
+         --check-report), so the human-readable summary goes to stderr. *)
+      if o.cover_summary then
+        (if o.json then prerr_string else print_string)
+          (Cover.Db.summary db);
       match o.cover_gate with
       | Some baseline -> cover_gate ~baseline db
       | None -> ()

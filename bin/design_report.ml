@@ -3,8 +3,104 @@
 
 open Cmdliner
 
+(* The registry names implementation pairs by suffix: <base>_osss is the
+   OSSS-methodology design, <base>_rtl (or _vhdl/_systemc) the
+   conventional one.  Given either half, find the other. *)
+let paired_name name =
+  let strip suffix =
+    if Filename.check_suffix name suffix then
+      Some (Filename.chop_suffix name suffix)
+    else None
+  in
+  let exists n = Designs.find n <> None in
+  let conventional base =
+    List.find_opt exists [ base ^ "_rtl"; base ^ "_vhdl"; base ^ "_systemc" ]
+  in
+  match strip "_osss" with
+  | Some base -> Option.map (fun p -> (name, p)) (conventional base)
+  | None -> (
+      match
+        List.find_map strip [ "_rtl"; "_vhdl"; "_systemc" ]
+      with
+      | Some base when exists (base ^ "_osss") -> Some (base ^ "_osss", name)
+      | Some _ | None -> None)
+
+(* Instance tree with per-module cells/FFs/area for both flows side by
+   side, joined on the hierarchical instance path. *)
+let hierarchy_table osss_result vhdl_result =
+  let buf = Buffer.create 512 in
+  let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let rows (r : Synth.Flow.result) =
+    List.map
+      (fun (bm : Synth.Flow.module_breakdown) -> (bm.Synth.Flow.bm_path, bm))
+      r.Synth.Flow.by_module
+  in
+  let o_rows = rows osss_result and v_rows = rows vhdl_result in
+  let paths =
+    List.sort_uniq compare (List.map fst o_rows @ List.map fst v_rows)
+  in
+  let label path =
+    if path = "" then "<top>"
+    else
+      let depth =
+        String.fold_left (fun n c -> if c = '.' then n + 1 else n) 0 path
+      in
+      let leaf =
+        match String.rindex_opt path '.' with
+        | Some i -> String.sub path (i + 1) (String.length path - i - 1)
+        | None -> path
+      in
+      String.make (2 * depth) ' ' ^ leaf
+  in
+  let side = function
+    | Some (bm : Synth.Flow.module_breakdown) ->
+        Printf.sprintf "%6d %5d %9.1f" bm.Synth.Flow.bm_cells
+          bm.Synth.Flow.bm_ffs bm.Synth.Flow.bm_area
+    | None -> Printf.sprintf "%6s %5s %9s" "-" "-" "-"
+  in
+  p "  %-24s | %6s %5s %9s | %6s %5s %9s\n" "instance" "cells" "ffs" "area GE"
+    "cells" "ffs" "area GE";
+  p "  %-24s | %-22s | %-22s\n" "" "OSSS flow" "conventional flow";
+  List.iter
+    (fun path ->
+      p "  %-24s | %s | %s\n" (label path)
+        (side (List.assoc_opt path o_rows))
+        (side (List.assoc_opt path v_rows)))
+    paths;
+  Buffer.contents buf
+
+let hierarchy_report name =
+  match paired_name name with
+  | None ->
+      Printf.eprintf
+        "--hierarchy needs an <base>_osss / <base>_rtl design pair; %s has \
+         no counterpart\n"
+        name;
+      1
+  | Some (osss_name, conv_name) ->
+      let make n =
+        match Designs.find n with
+        | Some (_, make) -> make ()
+        | None -> assert false
+      in
+      let osss_result = Synth.Flow.run Synth.Flow.Osss (make osss_name) in
+      let vhdl_result = Synth.Flow.run Synth.Flow.Vhdl (make conv_name) in
+      Printf.printf "hierarchy: %s (OSSS flow) vs %s (conventional flow)\n\n"
+        osss_name conv_name;
+      print_string (hierarchy_table osss_result vhdl_result);
+      Printf.printf
+        "\ntotals: OSSS %.1f GE / %.2f ns critical — conventional %.1f GE / \
+         %.2f ns critical\n"
+        osss_result.Synth.Flow.area.Backend.Area.total
+        osss_result.Synth.Flow.timing.Backend.Timing.critical_ns
+        vhdl_result.Synth.Flow.area.Backend.Area.total
+        vhdl_result.Synth.Flow.timing.Backend.Timing.critical_ns;
+      0
+
 let report name show_metrics show_systemc show_passes flow_name json coverage
-    obs =
+    hierarchy obs =
+  if hierarchy then hierarchy_report name
+  else
   match Designs.find name with
   | None ->
       Printf.eprintf "unknown design %s; available:\n%s\n" name
@@ -97,12 +193,20 @@ let coverage_arg =
   in
   Arg.(value & opt (some string) None & info [ "coverage" ] ~docv:"FILE" ~doc)
 
+let hierarchy_arg =
+  let doc =
+    "Run both synthesis flows over the design pair (<base>_osss vs its \
+     conventional counterpart) and print the instance tree with per-module \
+     cells, flip-flops and area side by side."
+  in
+  Arg.(value & flag & info [ "hierarchy" ] ~doc)
+
 let cmd =
   let doc = "design structure and metrics report (the ODETTE analyzer)" in
   Cmd.v
     (Cmd.info "design_report" ~doc)
     Term.(
       const report $ design_arg $ metrics_arg $ systemc_arg $ passes_arg
-      $ flow_arg $ json_arg $ coverage_arg $ Obs_cli.term)
+      $ flow_arg $ json_arg $ coverage_arg $ hierarchy_arg $ Obs_cli.term)
 
 let () = exit (Cmd.eval' cmd)

@@ -13,6 +13,8 @@ module type S = sig
   val set_input_lane : t -> lane:int -> string -> Bitvec.t -> unit
   val get_lane : t -> lane:int -> string -> Bitvec.t
   val stats : t -> (string * int) list
+  val probes : t -> (string * int) list
+  val probe : t -> string -> Bitvec.t
   val enable_cover : t -> unit
   val cover : t -> Cover.Toggle.t option
 end
@@ -39,6 +41,8 @@ let set_input_lane (Pack ((module M), e, _)) ~lane name bv =
 
 let get_lane (Pack ((module M), e, _)) ~lane name = M.get_lane e ~lane name
 let stats (Pack ((module M), e, _)) = M.stats e
+let probes (Pack ((module M), e, _)) = M.probes e
+let probe (Pack ((module M), e, _)) name = M.probe e name
 let enable_cover (Pack ((module M), e, _)) = M.enable_cover e
 let cover (Pack ((module M), e, _)) = M.cover e
 
@@ -101,6 +105,8 @@ module Faulty = struct
     else v
 
   let stats f = stats f.inner
+  let probes f = probes f.inner
+  let probe f name = probe f.inner name
   let enable_cover f = enable_cover f.inner
   let cover f = cover f.inner
 end
@@ -130,7 +136,7 @@ module Trace = struct
   type channel = {
     ch_id : Vcd_writer.id;
     ch_engine : t;
-    ch_port : string;
+    ch_read : unit -> Bitvec.t;
     mutable ch_last : Bitvec.t option;
   }
 
@@ -145,16 +151,39 @@ module Trace = struct
       List.concat_map
         (fun e ->
           let scope = label e in
-          List.map
-            (fun (port, width) ->
-              {
-                ch_id =
-                  Vcd_writer.register doc ~scope ~name:port ~width ();
-                ch_engine = e;
-                ch_port = port;
-                ch_last = None;
-              })
-            (inputs e @ outputs e))
+          let ports =
+            List.map
+              (fun (port, width) ->
+                {
+                  ch_id = Vcd_writer.register doc ~scope ~name:port ~width ();
+                  ch_engine = e;
+                  ch_read = (fun () -> get e port);
+                  ch_last = None;
+                })
+              (inputs e @ outputs e)
+          in
+          (* Internal probes nest under the engine scope along their
+             hierarchical paths: "u_hist.count[3]" becomes signal
+             [count[3]] in scope <label>.u_hist. *)
+          let internal =
+            List.map
+              (fun (full, width) ->
+                let scope, name =
+                  match String.rindex_opt full '.' with
+                  | Some i ->
+                      ( scope ^ "." ^ String.sub full 0 i,
+                        String.sub full (i + 1) (String.length full - i - 1) )
+                  | None -> (scope, full)
+                in
+                {
+                  ch_id = Vcd_writer.register doc ~scope ~name ~width ();
+                  ch_engine = e;
+                  ch_read = (fun () -> probe e full);
+                  ch_last = None;
+                })
+              (probes e)
+          in
+          ports @ internal)
         engines
     in
     { doc; channels }
@@ -165,7 +194,7 @@ module Trace = struct
     in
     List.iter
       (fun ch ->
-        let v = get ch.ch_engine ch.ch_port in
+        let v = ch.ch_read () in
         match ch.ch_last with
         | Some previous when Bitvec.equal previous v -> ()
         | Some _ | None ->

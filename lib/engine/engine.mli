@@ -50,6 +50,16 @@ module type S = sig
   (** Engine-specific activity counters (same figures the global
       [Perf] registry accumulates), e.g. gate evaluations. *)
 
+  val probes : t -> (string * int) list
+  (** Named internal observation points with widths — hierarchical,
+      dot-separated names ("u_hist.count[3]") when the backend carries
+      hierarchy information; [[]] for backends without internal
+      visibility. *)
+
+  val probe : t -> string -> Bitvec.t
+  (** Current value of one {!probes} entry; raises [Not_found] for an
+      unknown probe name. *)
+
   val enable_cover : t -> unit
   (** Start per-bit toggle coverage (a no-op for backends without
       coverage support). *)
@@ -84,6 +94,8 @@ val lanes : t -> int
 val set_input_lane : t -> lane:int -> string -> Bitvec.t -> unit
 val get_lane : t -> lane:int -> string -> Bitvec.t
 val stats : t -> (string * int) list
+val probes : t -> (string * int) list
+val probe : t -> string -> Bitvec.t
 val enable_cover : t -> unit
 val cover : t -> Cover.Toggle.t option
 
@@ -103,7 +115,11 @@ val inject_fault : ?from_cycle:int -> ?lane:int -> port:string -> t -> t
 
     One VCD document for any set of engines: every port of every engine
     is declared (scoped per engine label) and sampled against the
-    engines' common cycle count. *)
+    engines' common cycle count.  Engines exposing {!probes} also get
+    their internal observation points declared, nested into VCD scopes
+    following the probes' dot-separated hierarchical paths (e.g. net
+    ["u_hist.count[3]"] of engine [nl] appears as signal [count[3]] in
+    scope [u_hist] inside scope [nl]). *)
 
 module Trace : sig
   type tracer

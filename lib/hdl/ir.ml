@@ -417,6 +417,154 @@ let rec pp_stmt fmt = function
 and pp_body fmt body =
   Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_stmt fmt body
 
+(* -------------------------------------------------------------------- *)
+(* Structural hashing                                                   *)
+
+(* A digest of the module body with variable ids canonically renumbered
+   by first occurrence: [fresh_var] hands out globally unique ids, so
+   two structurally identical modules built at different times would
+   never compare equal on raw ids.  The digest is the lowering
+   memo-cache key, so it must cover everything lowering looks at —
+   ports (names, directions, shapes), locals, process kinds/names and
+   bodies in order, and instances recursively. *)
+let rec structural_hash (m : module_def) =
+  let buf = Buffer.create 1024 in
+  let ids = Hashtbl.create 64 in
+  let canon (v : var) =
+    match Hashtbl.find_opt ids v.id with
+    | Some k -> k
+    | None ->
+        let k = Hashtbl.length ids in
+        Hashtbl.replace ids v.id k;
+        k
+  in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let add_var v = add "v%d:%s:%d:%d;" (canon v) v.var_name v.width v.depth in
+  let add_bv bv =
+    add "#%d'" (Bitvec.width bv);
+    for i = Bitvec.width bv - 1 downto 0 do
+      Buffer.add_char buf (if Bitvec.get bv i then '1' else '0')
+    done
+  in
+  let rec add_expr = function
+    | Const c ->
+        add "C(";
+        add_bv c;
+        add ")"
+    | Var v ->
+        add "V(";
+        add_var v;
+        add ")"
+    | Array_read (v, i) ->
+        add "AR(";
+        add_var v;
+        add_expr i;
+        add ")"
+    | Unop (op, e) ->
+        add "U%s(" (unop_str op);
+        add_expr e;
+        add ")"
+    | Binop (op, a, b) ->
+        add "B%s(" (binop_str op);
+        add_expr a;
+        add ",";
+        add_expr b;
+        add ")"
+    | Mux (s, a, b) ->
+        add "M(";
+        add_expr s;
+        add_expr a;
+        add_expr b;
+        add ")"
+    | Slice (e, hi, lo) ->
+        add "S%d:%d(" hi lo;
+        add_expr e;
+        add ")"
+    | Concat (a, b) ->
+        add "K(";
+        add_expr a;
+        add_expr b;
+        add ")"
+    | Resize (sg, e, w) ->
+        add "R%b%d(" sg w;
+        add_expr e;
+        add ")"
+  in
+  let rec add_stmt = function
+    | Assign (v, e) ->
+        add "=(";
+        add_var v;
+        add_expr e;
+        add ")"
+    | Assign_slice (v, lo, e) ->
+        add "=s%d(" lo;
+        add_var v;
+        add_expr e;
+        add ")"
+    | Array_write (v, i, e) ->
+        add "=a(";
+        add_var v;
+        add_expr i;
+        add_expr e;
+        add ")"
+    | If (c, t, e) ->
+        add "if(";
+        add_expr c;
+        add "){";
+        List.iter add_stmt t;
+        add "}{";
+        List.iter add_stmt e;
+        add "}"
+    | Case (s, arms, dflt) ->
+        add "case(";
+        add_expr s;
+        add ")";
+        List.iter
+          (fun (l, b) ->
+            add "[";
+            add_bv l;
+            add ":";
+            List.iter add_stmt b;
+            add "]")
+          arms;
+        add "[d:";
+        List.iter add_stmt dflt;
+        add "]"
+  in
+  add "module:%s{" m.mod_name;
+  List.iter
+    (fun p ->
+      add "port:%s:%s;" p.port_name
+        (match p.dir with Input -> "i" | Output -> "o");
+      add_var p.port_var)
+    m.ports;
+  List.iter add_var m.locals;
+  List.iter
+    (fun proc ->
+      (match proc with
+      | Comb { proc_name; body } ->
+          add "comb:%s{" proc_name;
+          List.iter add_stmt body
+      | Sync { proc_name; body } ->
+          add "sync:%s{" proc_name;
+          List.iter add_stmt body);
+      add "}")
+    m.processes;
+  List.iter
+    (fun inst ->
+      (* Each child hashes in its own canonical numbering; the port map
+         ties its formals back into this module's numbering. *)
+      add "inst:%s:%s{" inst.inst_name (structural_hash inst.inst_of);
+      List.iter
+        (fun (f, actual) ->
+          add "%s->" f;
+          add_var actual)
+        inst.port_map;
+      add "}")
+    m.instances;
+  add "}";
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
 let pp_module fmt m =
   Format.fprintf fmt "@[<v 2>module %s {@," m.mod_name;
   List.iter

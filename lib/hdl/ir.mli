@@ -149,6 +149,13 @@ type stats = {
 
 val module_stats : module_def -> stats
 
+val structural_hash : module_def -> string
+(** Hex digest of the module's structure — ports, locals, process
+    kinds/names/bodies, and instances recursively — with variable ids
+    canonically renumbered by first occurrence, so two structurally
+    identical modules hash equal even though {!fresh_var} ids are
+    globally unique.  Used as the lowering memo-cache key. *)
+
 val pp_expr : Format.formatter -> expr -> unit
 val pp_stmt : Format.formatter -> stmt -> unit
 val pp_module : Format.formatter -> module_def -> unit

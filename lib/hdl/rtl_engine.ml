@@ -33,6 +33,10 @@ module Impl = struct
       ("sync_runs", Rtl_sim.sync_runs sim);
     ]
 
+  (* The RTL interpreter works on named variables, not nets; it has no
+     sub-module hierarchy to probe after flattening. *)
+  let probes _ = []
+  let probe _ _ = raise Not_found
   let enable_cover = Rtl_sim.enable_toggle_cover
   let cover = Rtl_sim.toggle_cover
 end

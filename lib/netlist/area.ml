@@ -37,3 +37,31 @@ let pp_report fmt r =
   Format.fprintf fmt
     "area %.1f GE (%.1f comb + %.1f seq), %d cells, %d flip-flops" r.total
     r.combinational r.sequential r.n_cells r.n_ffs
+
+type module_row = {
+  path : string;
+  m_cells : int;
+  m_ffs : int;
+  m_area : float;
+}
+
+let by_module nl =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (c : Netlist.cell) ->
+      let r = Netlist.region_of nl c.out in
+      let cells, ffs, area =
+        match Hashtbl.find_opt tbl r with
+        | Some x -> x
+        | None -> (0, 0, 0.0)
+      in
+      Hashtbl.replace tbl r
+        ( cells + 1,
+          (if c.kind = Cell.Dff then ffs + 1 else ffs),
+          area +. Cell.area c.kind ))
+    (Netlist.cells nl);
+  List.sort compare
+    (Hashtbl.fold
+       (fun path (m_cells, m_ffs, m_area) acc ->
+         { path; m_cells; m_ffs; m_area } :: acc)
+       tbl [])

@@ -11,3 +11,16 @@ type report = {
 
 val analyze : Netlist.t -> report
 val pp_report : Format.formatter -> report -> unit
+
+type module_row = {
+  path : string;  (** instance path ({!Netlist.region_of}); [""] = top *)
+  m_cells : int;
+  m_ffs : int;
+  m_area : float;  (** gate equivalents *)
+}
+
+val by_module : Netlist.t -> module_row list
+(** Per-module area breakdown keyed on the netlist's region
+    annotations, sorted by path.  Cells without a region (top-level
+    glue, or a netlist from a flattening flow) fall into the [""]
+    row. *)

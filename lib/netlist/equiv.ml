@@ -192,6 +192,7 @@ type lane_fault = { fault_net : Netlist.net; stuck_at : bool }
 
 type fault_result = {
   fault : lane_fault;
+  site : string;  (* hierarchical description of the faulted net *)
   lane : int;
   detected_at : int option;
   detect_port : string option;
@@ -207,9 +208,9 @@ type campaign = {
 }
 
 let pp_fault_result fmt r =
-  Format.fprintf fmt "lane %d stuck-at-%d on n%d: " r.lane
+  Format.fprintf fmt "lane %d stuck-at-%d on %s: " r.lane
     (Bool.to_int r.fault.stuck_at)
-    r.fault.fault_net;
+    r.site;
   match (r.detected_at, r.detect_port) with
   | Some c, Some p -> Format.fprintf fmt "detected at cycle %d on %s" c p
   | _ -> Format.fprintf fmt "undetected"
@@ -285,10 +286,12 @@ let fault_campaign ?(cycles = 500) ?(seed = 42) ?(drive = fun _ (_, r) -> r)
     List.mapi
       (fun i f ->
         let lane = i + 1 in
+        let site = Netlist.describe_net nl f.fault_net in
         match detected.(lane) with
         | None ->
             {
               fault = f;
+              site;
               lane;
               detected_at = None;
               detect_port = None;
@@ -297,6 +300,7 @@ let fault_campaign ?(cycles = 500) ?(seed = 42) ?(drive = fun _ (_, r) -> r)
         | Some (cyc, port) ->
             {
               fault = f;
+              site;
               lane;
               detected_at = Some cyc;
               detect_port = Some port;

@@ -77,6 +77,9 @@ type lane_fault = { fault_net : Netlist.net; stuck_at : bool }
 
 type fault_result = {
   fault : lane_fault;
+  site : string;
+      (** hierarchical description of the faulted net
+          ({!Netlist.describe_net}, e.g. ["u_hist.count[3]"]) *)
   lane : int;  (** lane that carried the fault (1-based; 0 is golden) *)
   detected_at : int option;
       (** first cycle an output diverged from lane 0, if any *)

@@ -506,19 +506,207 @@ let topo_sort_combs combs =
   done;
   List.rev_map (fun i -> combs.(i)) !order
 
-let lower ?fold (m : Ir.module_def) =
-  let flat = Elaborate.flatten m in
-  Ir.check_module flat;
-  let nl = Netlist.create ?fold ~name:flat.Ir.mod_name () in
+(* ---------------- the lowering memo-cache ---------------- *)
+
+(* Lowered module segments are memoized on {!Ir.structural_hash} (plus
+   the fold flag): a netlist is read-only once built, so repeated flow
+   runs — and designs sharing leaf IP, like the OSSS/VHDL pair — reuse
+   the same segment instead of re-lowering it.  [Synth.Flow] reports
+   the hit/miss movement of a run as [flow.lower.cache_hits]. *)
+let cache : (string, Netlist.t) Hashtbl.t = Hashtbl.create 32
+let cache_hits = ref 0
+let cache_misses = ref 0
+let cache_stats () = (!cache_hits, !cache_misses)
+let clear_cache () = Hashtbl.reset cache
+
+(* ---------------- instance splicing ---------------- *)
+
+(* Replay one lowered child segment into the parent builder.
+
+   Child input-port bits become fresh {e placeholder} nets in the
+   parent — allocated but undriven, recorded in [pending_inputs] —
+   because the parent value feeding a port may itself only exist after
+   the splice (combinational glue, another instance's output).  Once
+   the parent has bound every variable, {!resolve_placeholders}
+   substitutes the real driver into everything that mentions a
+   placeholder.  Cells are replayed through the parent's own gate
+   builders (keeping parent-level folding and structural hashing
+   coherent), flip-flops first so q nets exist before any reader, and
+   every replayed net is tagged with the instance name as its region,
+   child regions nesting underneath. *)
+let splice ctx ~pending_inputs (inst : Ir.instance) (seg : Netlist.t) =
+  let nl = ctx.nl in
+  let map = Array.make (max 1 (Netlist.net_count seg)) (-1) in
+  List.iter
+    (fun (pname, nets) ->
+      match List.assoc_opt pname inst.Ir.port_map with
+      | None ->
+          lower_error "instance %s: port %s not connected" inst.Ir.inst_name
+            pname
+      | Some actual ->
+          Array.iteri
+            (fun i sn ->
+              let ph = Netlist.new_net nl in
+              map.(sn) <- ph;
+              pending_inputs := (ph, actual, i) :: !pending_inputs)
+            nets)
+    (Netlist.inputs seg);
+  let region_for sn =
+    match Netlist.region_of seg sn with
+    | "" -> inst.Ir.inst_name
+    | r -> inst.Ir.inst_name ^ "." ^ r
+  in
+  let tag sn out =
+    Netlist.set_region nl out (region_for sn);
+    match Netlist.hint_of seg sn with
+    | Some h -> Netlist.set_hint nl out h
+    | None -> ()
+  in
+  let seg_cells = Netlist.cells seg in
+  List.iter
+    (fun (c : Netlist.cell) ->
+      if c.kind = Cell.Dff then begin
+        let q = Netlist.dff_deferred nl in
+        map.(c.out) <- q;
+        tag c.out q
+      end)
+    seg_cells;
+  let arg c k =
+    let n = map.((c : Netlist.cell).ins.(k)) in
+    if n < 0 then
+      lower_error "instance %s: unmapped net in segment %s" inst.Ir.inst_name
+        (Netlist.name seg)
+    else n
+  in
+  List.iter
+    (fun (c : Netlist.cell) ->
+      match c.kind with
+      | Cell.Dff -> ()
+      | kind ->
+          let before = Netlist.net_count nl in
+          let out =
+            match kind with
+            | Cell.Const0 -> Netlist.const0 nl
+            | Cell.Const1 -> Netlist.const1 nl
+            | Cell.Buf -> arg c 0
+            | Cell.Not -> Netlist.not_ nl (arg c 0)
+            | Cell.And2 -> Netlist.and2 nl (arg c 0) (arg c 1)
+            | Cell.Or2 -> Netlist.or2 nl (arg c 0) (arg c 1)
+            | Cell.Xor2 -> Netlist.xor2 nl (arg c 0) (arg c 1)
+            | Cell.Nand2 -> Netlist.nand2 nl (arg c 0) (arg c 1)
+            | Cell.Nor2 -> Netlist.nor2 nl (arg c 0) (arg c 1)
+            | Cell.Mux2 -> Netlist.mux2 nl ~sel:(arg c 0) (arg c 1) (arg c 2)
+            | Cell.Dff -> assert false
+          in
+          map.(c.out) <- out;
+          if out >= before then tag c.out out)
+    seg_cells;
+  List.iter
+    (fun (c : Netlist.cell) ->
+      if c.kind = Cell.Dff then
+        Netlist.connect_dff nl ~q:map.(c.out) ~d:map.(c.ins.(0)))
+    seg_cells;
+  List.iter
+    (fun (pname, nets) ->
+      match List.assoc_opt pname inst.Ir.port_map with
+      | None ->
+          lower_error "instance %s: port %s not connected" inst.Ir.inst_name
+            pname
+      | Some actual ->
+          Hashtbl.replace ctx.env actual.Ir.id
+            (Vec (Array.map (fun sn -> map.(sn)) nets)))
+    (Netlist.outputs seg)
+
+(* Substitute the final parent driver for every child-input placeholder
+   — in every cell input and every output bus.  Substitution follows
+   chains (a feedthrough output of one instance can feed an input of
+   the next, so a placeholder can resolve to another placeholder) with
+   a step bound that turns cyclic port feedthrough into a clean error.
+   Returns the resolver so callers can normalize nets they kept around
+   (environment bindings used for name hints). *)
+let resolve_placeholders ctx pending_inputs =
+  if pending_inputs = [] then fun n -> n
+  else begin
+    let nl = ctx.nl in
+    let subst = Hashtbl.create (List.length pending_inputs) in
+    List.iter
+      (fun (ph, actual, i) ->
+        let nets = get_vec ctx actual in
+        Hashtbl.replace subst ph nets.(i))
+      pending_inputs;
+    let limit = Hashtbl.length subst + 1 in
+    let rec follow steps n =
+      match Hashtbl.find_opt subst n with
+      | None -> n
+      | Some n' ->
+          if steps > limit then
+            lower_error "%s: cyclic feedthrough through instance ports"
+              (Netlist.name nl);
+          follow (steps + 1) n'
+    in
+    let resolve n = follow 0 n in
+    List.iter
+      (fun (c : Netlist.cell) ->
+        Array.iteri
+          (fun k n ->
+            let n' = resolve n in
+            if n' <> n then c.ins.(k) <- n')
+          c.ins)
+      (Netlist.cells nl);
+    List.iter
+      (fun (_, nets) ->
+        Array.iteri
+          (fun k n ->
+            let n' = resolve n in
+            if n' <> n then nets.(k) <- n')
+          nets)
+      (Netlist.outputs nl);
+    resolve
+  end
+
+let rec lower ?(fold = true) (m : Ir.module_def) : Netlist.t =
+  let key = Ir.structural_hash m ^ if fold then ":f" else ":r" in
+  match Hashtbl.find_opt cache key with
+  | Some nl ->
+      incr cache_hits;
+      nl
+  | None ->
+      incr cache_misses;
+      let nl = lower_module ~fold m in
+      Hashtbl.replace cache key nl;
+      nl
+
+and lower_module ~fold (m0 : Ir.module_def) =
+  (* Leaf modules take the pre-existing flatten path (a no-op rename
+     for an instance-free module), so leaf netlists are built exactly
+     as before; hierarchical modules splice their memoized child
+     segments instead of flattening. *)
+  let m = if m0.Ir.instances = [] then Elaborate.flatten m0 else m0 in
+  Ir.check_module m;
+  let nl = Netlist.create ~fold ~name:m.Ir.mod_name () in
   let env : env = Hashtbl.create 64 in
   let never_written = Hashtbl.create 16 in
-  let kinds = Ir.classify_vars flat in
-  (* Mark variables with no driver at all (constant zero reads). *)
+  let kinds = Ir.classify_vars m in
+  (* Mark variables with no driver at all (constant zero reads): driven
+     means written by one of this module's processes, bound as a module
+     input, or connected to a child instance's output. *)
+  let driven = Hashtbl.create 64 in
+  Hashtbl.iter (fun id _ -> Hashtbl.replace driven id ()) kinds;
+  List.iter
+    (fun (inst : Ir.instance) ->
+      List.iter
+        (fun (p : Ir.port) ->
+          if p.dir = Ir.Output then
+            match List.assoc_opt p.port_name inst.Ir.port_map with
+            | Some actual -> Hashtbl.replace driven actual.Ir.id ()
+            | None -> ())
+        inst.Ir.inst_of.Ir.ports)
+    m.Ir.instances;
   List.iter
     (fun (v : Ir.var) ->
-      if not (Hashtbl.mem kinds v.Ir.id) then
+      if not (Hashtbl.mem driven v.Ir.id) then
         Hashtbl.replace never_written v.Ir.id ())
-    flat.locals;
+    m.locals;
   let ctx = { nl; env; never_written } in
   (* Inputs. *)
   List.iter
@@ -526,14 +714,24 @@ let lower ?fold (m : Ir.module_def) =
       if p.dir = Ir.Input then
         Hashtbl.replace env p.port_var.Ir.id
           (Vec (Netlist.add_input nl p.port_name p.port_var.Ir.width)))
-    flat.ports;
+    m.ports;
+  (* Child instances: lower each child once (memoized across instances
+     and runs) and splice the segment in.  Child outputs are bound into
+     the environment here; child inputs stay placeholders until every
+     parent value exists. *)
+  let pending_inputs = ref [] in
+  List.iter
+    (fun (inst : Ir.instance) ->
+      let seg = lower ~fold inst.Ir.inst_of in
+      splice ctx ~pending_inputs inst seg)
+    m.Ir.instances;
   (* Registers: allocate flip-flop outputs up front. *)
   let sync_bodies =
     List.filter_map
       (function
         | Ir.Sync { proc_name; body } -> Some (proc_name, body)
         | Ir.Comb _ -> None)
-      flat.processes
+      m.processes
   in
   let regs = Hashtbl.create 32 in
   List.iter
@@ -560,7 +758,7 @@ let lower ?fold (m : Ir.module_def) =
       (function
         | Ir.Comb { proc_name; body } -> Some (proc_name, body)
         | Ir.Sync _ -> None)
-      flat.processes
+      m.processes
     |> Array.of_list
   in
   let ordered = topo_sort_combs combs in
@@ -607,6 +805,35 @@ let lower ?fold (m : Ir.module_def) =
     (fun (p : Ir.port) ->
       if p.dir = Ir.Output then
         Netlist.add_output nl p.port_name (get_vec ctx p.port_var))
-    flat.ports;
+    m.ports;
+  (* Resolve child-input placeholders now that every parent value
+     exists, then record design-level name hints from the final
+     variable bindings (ports and locals; register q nets and comb
+     results alike). *)
+  let resolve = resolve_placeholders ctx !pending_inputs in
+  let hint_binding (v : Ir.var) =
+    match Hashtbl.find_opt env v.Ir.id with
+    | Some (Vec nets) ->
+        Array.iteri
+          (fun i n ->
+            let name =
+              if Array.length nets = 1 then v.Ir.var_name
+              else Printf.sprintf "%s[%d]" v.Ir.var_name i
+            in
+            Netlist.set_hint nl (resolve n) name)
+          nets
+    | Some (Mem rows) ->
+        Array.iteri
+          (fun r row ->
+            Array.iteri
+              (fun i n ->
+                Netlist.set_hint nl (resolve n)
+                  (Printf.sprintf "%s[%d][%d]" v.Ir.var_name r i))
+              row)
+          rows
+    | None -> ()
+  in
+  List.iter (fun (p : Ir.port) -> hint_binding p.Ir.port_var) m.ports;
+  List.iter hint_binding m.locals;
   Netlist.check nl;
   nl

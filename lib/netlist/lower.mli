@@ -1,12 +1,22 @@
 (** Synthesis proper: lowering a (hierarchical) IR module to a gate
     netlist.
 
-    The design is flattened, then each process body is symbolically
-    executed at bit level: every IR variable is bound to a vector of
-    nets, registers become flip-flops whose next-state nets come from
-    executing the synchronous processes, branches become multiplexer
-    merges, memories become flip-flop banks with decoded write enables
-    and read multiplexer trees.
+    Hierarchy is preserved rather than flattened eagerly: each module
+    is lowered {e once} into a module-local netlist segment (memoized
+    on {!Ir.structural_hash}) and spliced into its parent per instance,
+    with every spliced net tagged with its owning instance path as a
+    {!Netlist.region_of} region and design-level {!Netlist.hint_of}
+    name hints.  Child input ports splice as placeholder nets that are
+    substituted with the real parent drivers once the parent's own
+    lowering is complete, so instance order and combinational glue
+    direction never matter.
+
+    Within a module, each process body is symbolically executed at bit
+    level: every IR variable is bound to a vector of nets, registers
+    become flip-flops whose next-state nets come from executing the
+    synchronous processes, branches become multiplexer merges, memories
+    become flip-flop banks with decoded write enables and read
+    multiplexer trees.
 
     Arithmetic mapping: ripple-carry adders/subtractors/comparators,
     shift-and-add multipliers, barrel shifters. *)
@@ -14,8 +24,22 @@
 exception Lower_error of string
 
 val lower : ?fold:bool -> Ir.module_def -> Netlist.t
-(** [fold] is passed to the netlist constructor (constant folding and
-    structural hashing on construction). *)
+(** [fold] (default [true]) is passed to the netlist constructor
+    (constant folding and structural hashing on construction).
+
+    Results are memoized on [(structural hash, fold)]: an unchanged
+    module lowers once and every later call — another instance of the
+    same child, a repeated flow run, the other flow of a pair sharing
+    leaf IP — returns the same (read-only) netlist. *)
+
+val cache_stats : unit -> int * int
+(** Cumulative [(hits, misses)] of the lowering memo-cache.  Diff
+    around a phase to attribute movement to it (what [Synth.Flow]
+    reports as [flow.lower.cache_hits]). *)
+
+val clear_cache : unit -> unit
+(** Drop all memoized segments (the hit/miss counters keep counting).
+    Used by tests comparing cold against memoized lowering. *)
 
 val ceil_log2 : int -> int
 (** Smallest [k] with [2^k >= n]; [ceil_log2 1 = 0]. *)

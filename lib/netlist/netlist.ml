@@ -16,6 +16,15 @@ type t = {
   pending : (net, unit) Hashtbl.t;
   mutable c0 : net option;
   mutable c1 : net option;
+  (* Hierarchy annotations: which instance path owns each driven net
+     ("" = the top module, "u_x.u_y" = nested instances) and optional
+     human-readable name hints ("count[3]").  Both are advisory — no
+     structural code consults them — but they survive the rewriting
+     passes so reports, coverage and fault sites can speak in design
+     terms instead of raw net ids. *)
+  regions : (net, string) Hashtbl.t;
+  hints : (net, string) Hashtbl.t;
+  mutable cur_region : string;
 }
 
 let create ?(fold = true) ~name () =
@@ -33,6 +42,9 @@ let create ?(fold = true) ~name () =
     pending = Hashtbl.create 16;
     c0 = None;
     c1 = None;
+    regions = Hashtbl.create 64;
+    hints = Hashtbl.create 64;
+    cur_region = "";
   }
 
 let name t = t.nl_name
@@ -48,6 +60,8 @@ let record_cell t kind ins out =
   t.cell_list <- c :: t.cell_list;
   t.n_cells <- t.n_cells + 1;
   Hashtbl.replace t.drivers out c;
+  if t.cur_region <> "" && not (Hashtbl.mem t.regions out) then
+    Hashtbl.replace t.regions out t.cur_region;
   out
 
 let cse_key kind ins =
@@ -200,6 +214,48 @@ let cells t = List.rev t.cell_list
 let cell_count t = t.n_cells
 let net_count t = t.next_net
 let driver t n = Hashtbl.find_opt t.drivers n
+
+(* Hierarchy annotations. *)
+
+let set_current_region t path = t.cur_region <- path
+let current_region t = t.cur_region
+
+let region_of t n =
+  match Hashtbl.find_opt t.regions n with Some r -> r | None -> ""
+
+let set_region t n path =
+  if path = "" then Hashtbl.remove t.regions n
+  else Hashtbl.replace t.regions n path
+
+let hint_of t n = Hashtbl.find_opt t.hints n
+
+(* First hint wins: structural hashing can merge nets across instances,
+   and the first name a net got is the one reports should keep using. *)
+let set_hint t n name =
+  if not (Hashtbl.mem t.hints n) then Hashtbl.replace t.hints n name
+
+let copy_meta ~src ~dst src_net dst_net =
+  (match Hashtbl.find_opt src.regions src_net with
+  | Some r when not (Hashtbl.mem dst.regions dst_net) ->
+      Hashtbl.replace dst.regions dst_net r
+  | _ -> ());
+  match Hashtbl.find_opt src.hints src_net with
+  | Some h -> set_hint dst dst_net h
+  | None -> ()
+
+let describe_net t n =
+  let base =
+    match hint_of t n with Some h -> h | None -> Printf.sprintf "n%d" n
+  in
+  match region_of t n with "" -> base | r -> r ^ "." ^ base
+
+let region_table_size t = Hashtbl.length t.regions
+let hint_table_size t = Hashtbl.length t.hints
+
+let region_names t =
+  let seen = Hashtbl.create 16 in
+  Hashtbl.iter (fun _ r -> Hashtbl.replace seen r ()) t.regions;
+  List.sort compare (Hashtbl.fold (fun r () acc -> r :: acc) seen [])
 
 let check t =
   if Hashtbl.length t.pending > 0 then

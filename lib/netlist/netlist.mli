@@ -65,6 +65,46 @@ val driver : t -> net -> cell option
 (** The cell driving a net; [None] for primary inputs and unconnected
     nets. *)
 
+(** {1 Hierarchy annotations}
+
+    Advisory metadata carried alongside the structure: each driven net
+    can belong to a {e region} — the dot-separated instance path of the
+    module instance whose lowering produced it ([""] is the top module)
+    — and can carry a {e name hint}, the design-level name of the value
+    on the net (["count[3]"]).  The rewriting passes ({!Opt},
+    {!Techmap}, {!Pnr}) preserve both, so per-module area/timing/power
+    breakdowns, coverage names, profiles and fault sites all speak the
+    same hierarchical language. *)
+
+val set_current_region : t -> string -> unit
+(** Cells recorded while a region is set are tagged with it; [""]
+    (the initial state) turns tagging off. *)
+
+val current_region : t -> string
+val region_of : t -> net -> string
+(** Owning instance path of the cell driving [net]; [""] for the top
+    module, primary inputs and untagged nets. *)
+
+val set_region : t -> net -> string -> unit
+val hint_of : t -> net -> string option
+val set_hint : t -> net -> string -> unit
+(** First hint wins; later calls on an already-hinted net are no-ops
+    (structural hashing can merge nets across instances). *)
+
+val copy_meta : src:t -> dst:t -> net -> net -> unit
+(** [copy_meta ~src ~dst src_net dst_net] carries region and hint from
+    [src_net] over to [dst_net], keeping whatever [dst_net] already
+    has.  Used by the rewriting passes when they rebuild a netlist. *)
+
+val describe_net : t -> net -> string
+(** ["<region>.<hint>"], falling back to ["n<id>"] for the unnamed
+    parts — the stable cross-layer name used in reports. *)
+
+val region_table_size : t -> int
+val hint_table_size : t -> int
+val region_names : t -> string list
+(** Distinct non-top regions present, sorted. *)
+
 val check : t -> unit
 (** Verifies every non-input net has exactly one driver and every
     deferred flip-flop got connected.  Raises [Failure]. *)

@@ -4,6 +4,8 @@ type state = {
   nl_outputs : (string * int) list;
   driven : (string, Bitvec.t) Hashtbl.t;  (* last value per input port *)
   sim_kind : string;
+  mutable probe_tbl : (string, Netlist.net) Hashtbl.t option;
+      (* probe name -> net, built on first probe read *)
 }
 
 let make_impl sim_kind =
@@ -50,6 +52,24 @@ let make_impl sim_kind =
         ("full_settles", Nl_sim.full_settles t.sim);
         ("toggles", Nl_sim.toggle_total t.sim);
       ]
+
+    let probes t =
+      List.map (fun (name, _) -> (name, 1)) (Nl_sim.probes t.sim)
+
+    let probe t name =
+      let tbl =
+        match t.probe_tbl with
+        | Some tbl -> tbl
+        | None ->
+            let tbl = Hashtbl.create 64 in
+            List.iter
+              (fun (n, net) -> Hashtbl.replace tbl n net)
+              (Nl_sim.probes t.sim);
+            t.probe_tbl <- Some tbl;
+            tbl
+      in
+      let net = Hashtbl.find tbl name in
+      Bitvec.init 1 (fun _ -> Nl_sim.net_value t.sim net)
 
     let enable_cover t = Nl_sim.enable_toggle_cover t.sim
     let cover t = Nl_sim.toggle_cover t.sim
@@ -115,6 +135,8 @@ module Wimpl = struct
       ("faults", Nl_wsim.faults t.wsim);
     ]
 
+  let probes _ = []
+  let probe _ _ = raise Not_found
   let enable_cover t = Nl_wsim.enable_toggle_cover t.wsim
   let cover t = Nl_wsim.lane_cover t.wsim 0
 end
@@ -148,6 +170,7 @@ let create ?label ?(mode = Nl_sim.Event_driven) nl =
       nl_outputs = widths (Netlist.outputs nl);
       driven = Hashtbl.create 8;
       sim_kind;
+      probe_tbl = None;
     }
   in
   Engine.pack ?label (make_impl sim_kind) state

@@ -148,7 +148,9 @@ module Sched = struct
     { order; dffs; level; fanout; n_levels = !n_levels; in_nets; out_nets }
 
   (* Human-readable net labels: port bits by name ("bus[i]", or the bare
-     name for width-1 buses), anonymous internal nets as "n<id>". *)
+     name for width-1 buses), internal nets by their hierarchical
+     description from lowering ("u_hist.count[3]"), remaining anonymous
+     nets as "n<id>". *)
   let net_labels nl =
     let labels = Array.make (Netlist.net_count nl) "" in
     let fill ports =
@@ -163,7 +165,9 @@ module Sched = struct
     in
     fill (Netlist.inputs nl);
     fill (Netlist.outputs nl);
-    Array.mapi (fun n l -> if l = "" then "n" ^ string_of_int n else l) labels
+    Array.mapi
+      (fun n l -> if l = "" then Netlist.describe_net nl n else l)
+      labels
 end
 
 let create ?(mode = Event_driven) nl =
@@ -454,6 +458,21 @@ let enable_profile t =
 let profiling t = t.profiling
 
 let net_labels t = Sched.net_labels t.nl
+let net_value t n = t.values.(n)
+
+(* Hinted internal nets, for hierarchical waveform probes.  Port nets
+   are excluded — they are traced under their port names already. *)
+let probes t =
+  let port_net = Hashtbl.create 64 in
+  List.iter
+    (fun (_, nets) -> Array.iter (fun n -> Hashtbl.replace port_net n ()) nets)
+    (Netlist.inputs t.nl @ Netlist.outputs t.nl);
+  let acc = ref [] in
+  for n = Netlist.net_count t.nl - 1 downto 0 do
+    if (not (Hashtbl.mem port_net n)) && Netlist.hint_of t.nl n <> None then
+      acc := (Netlist.describe_net t.nl n, n) :: !acc
+  done;
+  List.sort compare !acc
 
 let enable_toggle_cover t =
   match t.cover with

@@ -48,7 +48,9 @@ module Sched : sig
 
   val net_labels : Netlist.t -> string array
   (** Human-readable per-net labels: port bits as ["bus[i]"] (bare name
-      for width-1 ports), anonymous internal nets as ["n<id>"]. *)
+      for width-1 ports), internal nets by their hierarchical
+      description from lowering ({!Netlist.describe_net}, e.g.
+      ["u_hist.count[3]"]), remaining anonymous nets as ["n<id>"]. *)
 end
 
 val set_input : t -> string -> Bitvec.t -> unit
@@ -102,6 +104,14 @@ val net_toggles : t -> Netlist.net -> int
 (** Value transitions observed on a net across clock cycles — the
     switching activity behind dynamic-power estimation. *)
 
+val net_value : t -> Netlist.net -> bool
+(** Current value of one net (read-only observation point). *)
+
+val probes : t -> (string * Netlist.net) list
+(** Hinted internal nets as hierarchical observation points, sorted by
+    name ({!Netlist.describe_net}, e.g. ["u_hist.count[3]"]).  Port
+    nets are excluded — they are observable under their port names. *)
+
 val toggle_total : t -> int
 (** Sum of {!net_toggles} over every net. *)
 
@@ -125,7 +135,8 @@ val profiling : t -> bool
 val net_activity : t -> (string * int) list
 (** Nets with at least one toggle, most active first.  Port bits are
     labelled by name ("bus[3]", or the bare name for 1-bit ports);
-    internal nets as ["n<id>"]. *)
+    hinted internal nets by their hierarchical description
+    (["u_hist.count[3]"]), remaining internal nets as ["n<id>"]. *)
 
 val cell_activity : t -> (string * int) list
 (** Evaluations per combinational cell, most evaluated first,

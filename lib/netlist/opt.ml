@@ -26,6 +26,14 @@ let optimize nl =
   let live = mark_live nl in
   let fresh = Netlist.create ~fold:true ~name:(Netlist.name nl) () in
   let net_map = Hashtbl.create 256 in
+  (* Regions and name hints ride along: whenever an old net gets a
+     fresh counterpart, its annotations are copied (first writer wins —
+     folding can merge several old nets onto one fresh net, and the
+     first name/owner is the one reports keep). *)
+  let bind old_net fresh_net =
+    Netlist.copy_meta ~src:nl ~dst:fresh old_net fresh_net;
+    Hashtbl.replace net_map old_net fresh_net
+  in
   let remap n =
     match Hashtbl.find_opt net_map n with
     | Some n' -> n'
@@ -37,7 +45,7 @@ let optimize nl =
   List.iter
     (fun (name, nets) ->
       let fresh_nets = Netlist.add_input fresh name (Array.length nets) in
-      Array.iteri (fun i n -> Hashtbl.replace net_map n fresh_nets.(i)) nets)
+      Array.iteri (fun i n -> bind n fresh_nets.(i)) nets)
     (Netlist.inputs nl);
   (* Live flip-flops first: their q nets are read by logic created
      before their d inputs exist. *)
@@ -48,8 +56,7 @@ let optimize nl =
       (Netlist.cells nl)
   in
   List.iter
-    (fun (c : Netlist.cell) ->
-      Hashtbl.replace net_map c.out (Netlist.dff_deferred fresh))
+    (fun (c : Netlist.cell) -> bind c.out (Netlist.dff_deferred fresh))
     live_dffs;
   (* Combinational survivors in creation order (which is topological). *)
   List.iter
@@ -70,7 +77,7 @@ let optimize nl =
           | Mux2 -> Netlist.mux2 fresh ~sel:(i 0) (i 1) (i 2)
           | Dff -> assert false
         in
-        Hashtbl.replace net_map c.out fresh_out
+        bind c.out fresh_out
       end)
     (Netlist.cells nl);
   List.iter

@@ -230,6 +230,21 @@ let place ?(seed = 17) ?(moves = 150_000) mapped =
     final_wl;
   }
 
+let by_module p =
+  let nl = Techmap.source p.mapped in
+  let tbl = Hashtbl.create 16 in
+  let bump r =
+    Hashtbl.replace tbl r
+      (1 + Option.value ~default:0 (Hashtbl.find_opt tbl r))
+  in
+  Array.iter
+    (function
+      | Lut l -> bump (Netlist.region_of nl l.Techmap.lut_out)
+      | Ff (_, q) -> bump (Netlist.region_of nl q)
+      | In_pad _ | Out_pad _ -> ())
+    p.elements;
+  List.sort compare (Hashtbl.fold (fun r n acc -> (r, n) :: acc) tbl [])
+
 let analyze p =
   let nl = Techmap.source p.mapped in
   (* arrival times per net with wire delays from the placement *)

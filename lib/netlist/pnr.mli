@@ -26,6 +26,11 @@ val place : ?seed:int -> ?moves:int -> Techmap.mapped -> placement
 
 val analyze : placement -> report
 
+val by_module : placement -> (string * int) list
+(** Placed core elements (LUTs + flip-flops) per module, keyed on the
+    source netlist's region annotations and sorted by path; pads are
+    not attributed. *)
+
 val lut_delay_ns : float
 val wire_base_ns : float
 (** Fixed switch cost per routed connection. *)

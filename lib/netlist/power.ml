@@ -59,3 +59,37 @@ let pp_report fmt r =
     "%.3f mW total (%.3f dynamic incl. %.3f clock, %.3f leakage), avg \
      activity %.3f over %d cycles"
     r.total_mw r.dynamic_mw r.clock_mw r.leakage_mw r.avg_activity r.cycles
+
+type module_row = {
+  path : string;
+  m_dynamic_mw : float;
+  m_toggles : int;
+}
+
+let by_module ?(freq_mhz = 66.0) ?(vdd = 1.8) nl sim =
+  let cycles = max 1 (Nl_sim.cycles sim) in
+  let f_hz = freq_mhz *. 1e6 in
+  let v2 = vdd *. vdd in
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (c : Netlist.cell) ->
+      let toggles = Nl_sim.net_toggles sim c.out in
+      let alpha = float_of_int toggles /. float_of_int cycles in
+      let dyn = alpha *. cap_ff c.kind *. 1e-15 *. v2 *. f_hz in
+      (* flip-flop clock pins charge twice a cycle, same as [estimate] *)
+      let dyn =
+        if c.kind = Cell.Dff then
+          dyn +. (2.0 *. clock_pin_cap_ff *. 1e-15 *. v2 *. f_hz)
+        else dyn
+      in
+      let r = Netlist.region_of nl c.out in
+      let d, t =
+        match Hashtbl.find_opt tbl r with Some x -> x | None -> (0.0, 0)
+      in
+      Hashtbl.replace tbl r (d +. dyn, t + toggles))
+    (Netlist.cells nl);
+  List.sort compare
+    (Hashtbl.fold
+       (fun path (d, m_toggles) acc ->
+         { path; m_dynamic_mw = d *. 1e3; m_toggles } :: acc)
+       tbl [])

@@ -22,3 +22,15 @@ val estimate :
     stimulus.  Defaults: 66 MHz, 1.8 V. *)
 
 val pp_report : Format.formatter -> report -> unit
+
+type module_row = {
+  path : string;  (** instance path ({!Netlist.region_of}); [""] = top *)
+  m_dynamic_mw : float;  (** incl. the module's flip-flop clock pins *)
+  m_toggles : int;
+}
+
+val by_module :
+  ?freq_mhz:float -> ?vdd:float -> Netlist.t -> Nl_sim.t -> module_row list
+(** Per-module dynamic-power breakdown keyed on the netlist's region
+    annotations, sorted by path; same model and defaults as
+    {!estimate}. *)

@@ -19,6 +19,21 @@ let ffs m = m.m_ffs
 let lut_count m = Hashtbl.length m.lut_tbl
 let ff_count m = List.length m.m_ffs
 
+(* The mapped design keeps its source netlist, so each LUT/FF can be
+   attributed to the instance whose lowering produced its output net. *)
+let by_module m =
+  let tbl = Hashtbl.create 16 in
+  let bump r dl df =
+    let l, f = Option.value ~default:(0, 0) (Hashtbl.find_opt tbl r) in
+    Hashtbl.replace tbl r (l + dl, f + df)
+  in
+  Hashtbl.iter
+    (fun net _ -> bump (Netlist.region_of m.source net) 1 0)
+    m.lut_tbl;
+  List.iter (fun (_, q) -> bump (Netlist.region_of m.source q) 0 1) m.m_ffs;
+  List.sort compare
+    (Hashtbl.fold (fun r (l, f) acc -> (r, l, f) :: acc) tbl [])
+
 (* Truth table of a single gate, input position i = bit i of the index. *)
 let seed_lut (c : Netlist.cell) =
   let tt =

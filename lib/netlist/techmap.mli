@@ -26,6 +26,11 @@ val ffs : mapped -> (Netlist.net * Netlist.net) list
 
 val lut_count : mapped -> int
 val ff_count : mapped -> int
+
+(** Per-module [(path, luts, ffs)] counts keyed on the source
+    netlist's region annotations ({!Netlist.region_of}), sorted by
+    path; [""] is the top module. *)
+val by_module : mapped -> (string * int * int) list
 val depth : mapped -> int
 (** Longest LUT chain between registers/IO. *)
 

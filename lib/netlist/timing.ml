@@ -5,7 +5,10 @@ type report = {
   levels : int;
 }
 
-let analyze nl =
+(* Arrival-time propagation shared by the whole-design report and the
+   per-module breakdown.  Returns the [arrive] forcing function plus
+   the arrival/depth tables it fills in. *)
+let propagate nl =
   let n = Netlist.net_count nl in
   let arrival = Array.make n 0.0 in
   let depth = Array.make n 0 in
@@ -44,6 +47,10 @@ let analyze nl =
             depth.(net) <- !lvl + (if c.kind = Cell.Const0 || c.kind = Cell.Const1 then 0 else 1);
             arrival.(net))
   in
+  (arrive, arrival, depth)
+
+let analyze nl =
+  let arrive, _, depth = propagate nl in
   let best = ref 0.0 and best_ep = ref "(none)" and best_lvl = ref 0 in
   let consider label net extra =
     let a = arrive net +. extra in
@@ -70,6 +77,25 @@ let analyze nl =
   { critical_ns; fmax_mhz; endpoint = !best_ep; levels = !best_lvl }
 
 let meets r ~freq_mhz = r.fmax_mhz >= freq_mhz
+
+type module_row = { path : string; m_worst_ns : float; m_levels : int }
+
+let by_module nl =
+  let arrive, _, depth = propagate nl in
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (c : Netlist.cell) ->
+      let a = arrive c.out in
+      let r = Netlist.region_of nl c.out in
+      match Hashtbl.find_opt tbl r with
+      | Some (worst, _) when worst >= a -> ()
+      | _ -> Hashtbl.replace tbl r (a, depth.(c.out)))
+    (Netlist.cells nl);
+  List.sort compare
+    (Hashtbl.fold
+       (fun path (m_worst_ns, m_levels) acc ->
+         { path; m_worst_ns; m_levels } :: acc)
+       tbl [])
 
 let pp_report fmt r =
   Format.fprintf fmt

@@ -19,4 +19,15 @@ val meets : report -> freq_mhz:float -> bool
 (** Does the netlist close timing at the given clock? (The ExpoCU
     requirement is 66 MHz.) *)
 
+type module_row = {
+  path : string;  (** instance path ({!Netlist.region_of}); [""] = top *)
+  m_worst_ns : float;  (** worst arrival over the nets the module drives *)
+  m_levels : int;  (** logic depth at that arrival *)
+}
+
+val by_module : Netlist.t -> module_row list
+(** Per-module worst arrival times keyed on the netlist's region
+    annotations, sorted by path — where the critical path spends its
+    time, module by module. *)
+
 val pp_report : Format.formatter -> report -> unit

@@ -100,6 +100,10 @@ module Impl = struct
       );
     ]
 
+  (* Behavioural processes expose ports only. *)
+  let probes _ = []
+  let probe _ _ = raise Not_found
+
   (* Behavioural processes have no netlist to toggle-cover. *)
   let enable_cover _ = ()
   let cover _ = None

@@ -22,6 +22,14 @@ type layout = {
   post_fmax_mhz : float;
 }
 
+type module_breakdown = {
+  bm_path : string;
+  bm_cells : int;
+  bm_ffs : int;
+  bm_area : float;
+  bm_worst_ns : float;
+}
+
 type result = {
   flow_kind : kind;
   design : Ir.module_def;
@@ -31,6 +39,7 @@ type result = {
   raw_cells : int;
   area : Backend.Area.report;
   timing : Backend.Timing.report;
+  by_module : module_breakdown list;
   structure : string;
   passes : pass list;
   layout : layout option;
@@ -155,13 +164,27 @@ let run ?(fold = true) ?(check_invariants = false) ?(layout = false) flow_kind
              (base ^ ".vhd", Vhdl.emit design)
              :: (base ^ "_flat.vhd", Vhdl.emit flat)
              :: common));
+  (* Lowering consumes the hierarchical design (the flatten pass above
+     still feeds the front-end artifacts): each module lowers once into
+     a memoized segment, so a repeat run — or the other flow of a pair
+     sharing leaf IP — hits the cache instead of re-lowering. *)
+  let cache_hits0, cache_misses0 = Backend.Lower.cache_stats () in
   let raw =
     run_pass tr "lower"
       ~artifacts:(fun raw ->
         [ (base ^ "_netlist_raw.v", Backend.Netlist.emit_verilog raw) ])
-      ~metrics:(nl_metrics "after_")
-      (fun () -> Backend.Lower.lower ~fold flat)
+      ~metrics:(fun raw ->
+        let hits, misses = Backend.Lower.cache_stats () in
+        nl_metrics "after_" raw
+        @ [
+            ("cache_hits", float_of_int (hits - cache_hits0));
+            ("cache_misses", float_of_int (misses - cache_misses0));
+          ])
+      (fun () -> Backend.Lower.lower ~fold design)
   in
+  let cache_hits1, _ = Backend.Lower.cache_stats () in
+  Perf.incr ~by:(cache_hits1 - cache_hits0)
+    (Perf.counter "flow.lower.cache_hits");
   let netlist =
     run_pass tr "opt"
       ~artifacts:(fun nl ->
@@ -209,17 +232,42 @@ let run ?(fold = true) ?(check_invariants = false) ?(layout = false) flow_kind
         }
     end
   in
-  let area, timing, structure =
+  let area, timing, by_module, structure =
     run_pass tr "analyze"
-      ~metrics:(fun (a, t, _) ->
+      ~metrics:(fun (a, t, bm, _) ->
         [
           ("after_area_ge", a.Backend.Area.total);
           ("after_critical_ns", t.Backend.Timing.critical_ns);
           ("after_fmax_mhz", t.Backend.Timing.fmax_mhz);
+          ("after_modules", float_of_int (List.length bm));
         ])
       (fun () ->
+        let timing_rows = Backend.Timing.by_module netlist in
+        let by_module =
+          List.map
+            (fun (r : Backend.Area.module_row) ->
+              let worst =
+                match
+                  List.find_opt
+                    (fun (t : Backend.Timing.module_row) ->
+                      t.Backend.Timing.path = r.Backend.Area.path)
+                    timing_rows
+                with
+                | Some t -> t.Backend.Timing.m_worst_ns
+                | None -> 0.0
+              in
+              {
+                bm_path = r.Backend.Area.path;
+                bm_cells = r.Backend.Area.m_cells;
+                bm_ffs = r.Backend.Area.m_ffs;
+                bm_area = r.Backend.Area.m_area;
+                bm_worst_ns = worst;
+              })
+            (Backend.Area.by_module netlist)
+        in
         ( Backend.Area.analyze netlist,
           Backend.Timing.analyze netlist,
+          by_module,
           Analyzer.report design ))
   in
   {
@@ -231,6 +279,7 @@ let run ?(fold = true) ?(check_invariants = false) ?(layout = false) flow_kind
     raw_cells = Backend.Netlist.cell_count raw;
     area;
     timing;
+    by_module;
     structure;
     passes = List.rev tr.t_passes;
     layout = layout_report;
@@ -315,6 +364,20 @@ let result_json r =
       ("critical_ns", Float r.timing.Backend.Timing.critical_ns);
       ("fmax_mhz", Float r.timing.Backend.Timing.fmax_mhz);
       ("meets_66mhz", Bool (Backend.Timing.meets r.timing ~freq_mhz:66.0));
+      ( "by_module",
+        List
+          (List.map
+             (fun bm ->
+               Obj
+                 [
+                   ( "path",
+                     String (if bm.bm_path = "" then "<top>" else bm.bm_path) );
+                   ("cells", Int bm.bm_cells);
+                   ("ffs", Int bm.bm_ffs);
+                   ("area_ge", Float bm.bm_area);
+                   ("worst_ns", Float bm.bm_worst_ns);
+                 ])
+             r.by_module) );
       ("passes", List (List.map pass_json r.passes));
       ("layout", layout);
     ]
@@ -332,6 +395,18 @@ let summary r =
     r.timing.Backend.Timing.critical_ns r.timing.Backend.Timing.fmax_mhz;
   p "  66 MHz target: %s\n"
     (if Backend.Timing.meets r.timing ~freq_mhz:66.0 then "met" else "missed");
+  (match r.by_module with
+  | [] | [ _ ] -> ()
+  | rows ->
+      p "  per-module:\n";
+      p "    %-24s %6s %5s %9s %9s\n" "instance" "cells" "ffs" "area GE"
+        "worst ns";
+      List.iter
+        (fun bm ->
+          p "    %-24s %6d %5d %9.1f %9.2f\n"
+            (if bm.bm_path = "" then "<top>" else bm.bm_path)
+            bm.bm_cells bm.bm_ffs bm.bm_area bm.bm_worst_ns)
+        rows);
   (match r.layout with
   | Some l ->
       let w, h = l.grid in

@@ -48,6 +48,15 @@ type layout = {
   post_fmax_mhz : float;
 }
 
+type module_breakdown = {
+  bm_path : string;
+      (** dot-separated instance path; [""] is the top module *)
+  bm_cells : int;
+  bm_ffs : int;
+  bm_area : float;  (** gate equivalents *)
+  bm_worst_ns : float;  (** worst arrival among the module's cells *)
+}
+
 type result = {
   flow_kind : kind;
   design : Ir.module_def;  (** as given, hierarchical *)
@@ -62,6 +71,10 @@ type result = {
   raw_cells : int;  (** cell count before optimization *)
   area : Backend.Area.report;
   timing : Backend.Timing.report;
+  by_module : module_breakdown list;
+      (** per-instance area/timing breakdown over the optimized netlist,
+          keyed on the region annotations hierarchy-preserving lowering
+          attached ({!Backend.Netlist.region_of}); sorted by path *)
   structure : string;  (** analyzer report *)
   passes : pass list;  (** the full pass trace, in execution order *)
   layout : layout option;  (** populated by [~layout:true] *)

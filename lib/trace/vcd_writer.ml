@@ -90,24 +90,46 @@ let contents t =
   Buffer.add_string b (Printf.sprintf "$timescale %s $end\n" t.timescale);
   Buffer.add_string b (Printf.sprintf "$scope module %s $end\n" t.top);
   let vars = List.rev t.vars in
-  (* Root-scope signals first, then one sub-scope per distinct scope
-     string, in first-registration order. *)
+  (* Root-scope signals first, then scope strings as dot-separated
+     hierarchical paths: "a.b" nests scope [b] inside scope [a].  Scopes
+     open in first-registration order at each level. *)
   List.iter (fun v -> if v.var_scope = None then declare b v) vars;
-  let scopes =
-    List.fold_left
-      (fun acc v ->
-        match v.var_scope with
-        | Some s when not (List.mem s acc) -> s :: acc
-        | _ -> acc)
-      [] vars
-    |> List.rev
+  let path v =
+    match v.var_scope with
+    | None -> []
+    | Some s -> String.split_on_char '.' s
   in
-  List.iter
-    (fun s ->
-      Buffer.add_string b (Printf.sprintf "$scope module %s $end\n" s);
-      List.iter (fun v -> if v.var_scope = Some s then declare b v) vars;
-      Buffer.add_string b "$upscope $end\n")
-    scopes;
+  let rec emit_level remaining =
+    let here, deeper =
+      List.partition (fun (p, _) -> p = []) remaining
+    in
+    List.iter (fun (_, v) -> declare b v) here;
+    let children =
+      List.fold_left
+        (fun acc (p, _) ->
+          match p with
+          | c :: _ when not (List.mem c acc) -> c :: acc
+          | _ -> acc)
+        [] deeper
+      |> List.rev
+    in
+    List.iter
+      (fun c ->
+        Buffer.add_string b (Printf.sprintf "$scope module %s $end\n" c);
+        emit_level
+          (List.filter_map
+             (fun (p, v) ->
+               match p with
+               | c' :: rest when c' = c -> Some (rest, v)
+               | _ -> None)
+             deeper);
+        Buffer.add_string b "$upscope $end\n")
+      children
+  in
+  emit_level
+    (List.filter_map
+       (fun v -> if v.var_scope = None then None else Some (path v, v))
+       vars);
   Buffer.add_string b "$upscope $end\n$enddefinitions $end\n";
   if List.exists (fun v -> v.var_initial <> None) vars then begin
     Buffer.add_string b "$dumpvars\n";

@@ -25,8 +25,10 @@ val create :
 
 val register : t -> ?scope:string -> ?initial:string -> name:string ->
   width:int -> unit -> id
-(** Declare a signal.  [scope] nests it in a sub-scope of the root
-    (signals sharing a [scope] string share the sub-scope); [initial]
+(** Declare a signal.  [scope] nests it in a sub-scope of the root;
+    dots in the scope string open nested scopes (["cpu.alu"] declares
+    the signal inside scope [alu] within scope [cpu]), and signals
+    sharing a [scope] string share the sub-scope.  [initial]
     is a binary value emitted in a [$dumpvars] section (the section is
     present iff at least one signal registered an initial value). *)
 
