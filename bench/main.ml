@@ -1453,6 +1453,7 @@ type opts = {
   mutable cover_merge : (string * string) option;
   mutable cover_gate : string option;
   mutable perf_gate : string option;
+  mutable append_history : string option;  (* date stamp for the entry *)
   mutable ids : string list;  (* reverse order *)
 }
 
@@ -1461,7 +1462,7 @@ let usage () =
     "usage: bench [--smoke] [--json] [--profile] [--lanes N] [--trace-out \
      FILE] [--stats-json FILE] [--check-report FILE] [--cover-out FILE] \
      [--cover-summary] [--cover-merge A B] [--cover-gate BASELINE] \
-     [--perf-gate BASELINE] [experiment ids...]";
+     [--perf-gate BASELINE] [--append-history DATE] [experiment ids...]";
   exit 2
 
 (* CI perf gate: compare the fresh smoke-workload measurements against
@@ -1541,6 +1542,58 @@ let perf_gate_check ~baseline (ratio, speedup) (hier_cold_s, hier_warm_s, hier_w
             baseline;
           exit 1)
 
+(* One-line performance ledger: append the headline figures of a
+   checked-in BENCH_sim.json to bench/history.jsonl, so trend questions
+   ("when did the event-driven ratio move?") are a grep, not an
+   archaeology dig through git history of the full report. *)
+let append_history ~date ~baseline ~history =
+  let doc =
+    try
+      let ic = open_in_bin baseline in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      Some (Obs.Json.of_string s)
+    with _ -> None
+  in
+  match doc with
+  | None ->
+      Obs.Log.errorf "append-history: cannot read %s" baseline;
+      exit 1
+  | Some doc -> (
+      let path keys =
+        List.fold_left
+          (fun acc k -> Option.bind acc (Obs.Json.member k))
+          (Some doc) keys
+        |> Fun.flip Option.bind Obs.Json.number_value
+      in
+      match
+        ( path [ "netlist"; "event_driven"; "evals_per_cycle" ],
+          path [ "perf_gate"; "word64_per_pattern_speedup" ],
+          path [ "hierarchy"; "cold_flow_ms" ] )
+      with
+      | Some evals, Some speedup, Some flow_ms ->
+          let line =
+            Obs.Json.to_string
+              (Obs.Json.Obj
+                 [
+                   ("date", Obs.Json.String date);
+                   ("evals_per_cycle", Obs.Json.Float evals);
+                   ("word64_speedup", Obs.Json.Float speedup);
+                   ("cold_flow_ms", Obs.Json.Float flow_ms);
+                 ])
+          in
+          let oc =
+            open_out_gen [ Open_append; Open_creat ] 0o644 history
+          in
+          output_string oc (line ^ "\n");
+          close_out oc;
+          Obs.Log.infof "append-history: %s >> %s" line history;
+          exit 0
+      | _ ->
+          Obs.Log.errorf
+            "append-history: %s is missing the expected sections" baseline;
+          exit 1)
+
 let () =
   let o =
     {
@@ -1556,6 +1609,7 @@ let () =
       cover_merge = None;
       cover_gate = None;
       perf_gate = None;
+      append_history = None;
       ids = [];
     }
   in
@@ -1580,6 +1634,9 @@ let () =
             usage ())
     | "--perf-gate" :: file :: rest ->
         o.perf_gate <- Some file;
+        parse rest
+    | "--append-history" :: date :: rest ->
+        o.append_history <- Some date;
         parse rest
     | "--trace-out" :: file :: rest ->
         o.trace_out <- Some file;
@@ -1610,6 +1667,14 @@ let () =
         parse rest
   in
   parse (List.tl (Array.to_list Sys.argv));
+  (* --append-history summarizes a checked-in baseline and exits; the
+     baseline defaults to BENCH_sim.json but follows --perf-gate. *)
+  (match o.append_history with
+  | Some date ->
+      append_history ~date
+        ~baseline:(Option.value o.perf_gate ~default:"BENCH_sim.json")
+        ~history:"bench/history.jsonl"
+  | None -> ());
   (* --cover-merge unions two coverage DBs and exits: CI merges the
      per-seed databases into the uploaded artifact with this. *)
   (match o.cover_merge with

@@ -8,6 +8,7 @@ open Cmdliner
 type t = {
   trace_out : string option;
   stats_json : string option;
+  flame_out : string option;
   profile : bool;
   cover_out : string option;
   cover_summary : bool;
@@ -27,6 +28,14 @@ let stats_arg =
      tree, activity profiles, coverage when collected) to $(docv)."
   in
   Arg.(value & opt (some string) None & info [ "stats-json" ] ~docv:"FILE" ~doc)
+
+let flame_arg =
+  let doc =
+    "Write the span tree in collapsed-stack format to $(docv) (one \
+     'a;b;c count' line per stack, self time in microseconds — feed to \
+     flamegraph.pl or speedscope)."
+  in
+  Arg.(value & opt (some string) None & info [ "flame-out" ] ~docv:"FILE" ~doc)
 
 let profile_arg =
   let doc =
@@ -60,12 +69,21 @@ let cover_merge_arg =
     & info [ "cover-merge" ] ~docv:"A,B" ~doc)
 
 let term =
-  let make trace_out stats_json profile cover_out cover_summary cover_merge =
-    { trace_out; stats_json; profile; cover_out; cover_summary; cover_merge }
+  let make trace_out stats_json flame_out profile cover_out cover_summary
+      cover_merge =
+    {
+      trace_out;
+      stats_json;
+      flame_out;
+      profile;
+      cover_out;
+      cover_summary;
+      cover_merge;
+    }
   in
   Term.(
-    const make $ trace_arg $ stats_arg $ profile_arg $ cover_out_arg
-    $ cover_summary_arg $ cover_merge_arg)
+    const make $ trace_arg $ stats_arg $ flame_arg $ profile_arg
+    $ cover_out_arg $ cover_summary_arg $ cover_merge_arg)
 
 let profiling t = t.profile
 
@@ -91,7 +109,8 @@ let run_merge t (a, b) =
       1
 
 let setup t =
-  if t.trace_out <> None || t.stats_json <> None then begin
+  if t.trace_out <> None || t.stats_json <> None || t.flame_out <> None
+  then begin
     Obs.Span.enable ();
     Obs.Hist.enable ()
   end
@@ -128,8 +147,13 @@ let finish ?(profiles = []) ?cover ~run t =
       Obs.Json.save (Obs.Report.make ?coverage ~profiles:ranked ~run ()) path;
       Obs.Log.infof "run report written to %s" path
   | None -> ());
-  match t.trace_out with
+  (match t.trace_out with
   | Some path ->
       Obs.Span.save_chrome path;
       Obs.Log.infof "chrome trace written to %s" path
+  | None -> ());
+  match t.flame_out with
+  | Some path ->
+      Obs.Span.save_collapsed path;
+      Obs.Log.infof "collapsed stacks written to %s" path
   | None -> ()

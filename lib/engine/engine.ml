@@ -17,6 +17,9 @@ module type S = sig
   val probe : t -> string -> Bitvec.t
   val enable_cover : t -> unit
   val cover : t -> Cover.Toggle.t option
+  val enable_events : t -> unit
+  val events : t -> Obs.Event.t list
+  val checkpoint : t -> (unit -> unit) option
 end
 
 type t = Pack : (module S with type t = 'a) * 'a * string -> t
@@ -45,6 +48,27 @@ let probes (Pack ((module M), e, _)) = M.probes e
 let probe (Pack ((module M), e, _)) name = M.probe e name
 let enable_cover (Pack ((module M), e, _)) = M.enable_cover e
 let cover (Pack ((module M), e, _)) = M.cover e
+let enable_events (Pack ((module M), e, _)) = M.enable_events e
+let events (Pack ((module M), e, _)) = M.events e
+let checkpoint_thunk (Pack ((module M), e, _)) = M.checkpoint e
+
+(* Engine-level checkpoints: the backend's restore closure stamped with
+   the cycle and instance label it was taken at. *)
+type checkpoint = {
+  ck_cycle : int;
+  ck_label : string;
+  ck_restore : unit -> unit;
+}
+
+let checkpoint (Pack ((module M), e, l)) =
+  match M.checkpoint e with
+  | None -> None
+  | Some restore ->
+      Some { ck_cycle = M.cycles e; ck_label = l; ck_restore = restore }
+
+let restore ck = ck.ck_restore ()
+let checkpoint_cycle ck = ck.ck_cycle
+let checkpoint_label ck = ck.ck_label
 
 let run e n =
   for _ = 1 to n do
@@ -69,6 +93,9 @@ type fault = {
   fault_port : string;
   from_cycle : int;
   fault_lane : int option;  (* [None]: every lane (and the plain view) *)
+  mutable last_fault_emit : int;
+      (* cycle of the last Fault event, so an armed cycle with many
+         reads records the corruption once *)
 }
 
 module Faulty = struct
@@ -82,12 +109,33 @@ module Faulty = struct
   let flip v = Bitvec.set_bit v 0 (not (Bitvec.get v 0))
   let armed f = cycles f.inner >= f.from_cycle
 
+  (* Insert the corruption into the causal record, once per armed
+     cycle: a [Fault] event on the port, caused by whatever last moved
+     it, so a [why] query over the corrupted value reaches the
+     injection instead of dead-ending at the healthy driver. *)
+  let ev_fault f v =
+    let cyc = cycles f.inner in
+    if Obs.Event.enabled () && f.last_fault_emit <> cyc then begin
+      f.last_fault_emit <- cyc;
+      let cause =
+        match Obs.Event.latest ~subject:f.fault_port () with
+        | Some e -> e.Obs.Event.seq
+        | None -> Obs.Event.no_cause
+      in
+      ignore
+        (Obs.Event.emit ~cycle:cyc
+           ?lane:f.fault_lane
+           ~value:(Bool.to_int (Bitvec.get v 0))
+           ~cause Obs.Event.Fault f.fault_port)
+    end;
+    v
+
   let get f name =
     let v = get f.inner name in
     if
       name = f.fault_port && armed f
       && (match f.fault_lane with None | Some 0 -> true | Some _ -> false)
-    then flip v
+    then ev_fault f (flip v)
     else v
 
   let settle f = settle f.inner
@@ -101,7 +149,7 @@ module Faulty = struct
     if
       name = f.fault_port && armed f
       && (match f.fault_lane with None -> true | Some l -> l = lane)
-    then flip v
+    then ev_fault f (flip v)
     else v
 
   let stats f = stats f.inner
@@ -109,6 +157,9 @@ module Faulty = struct
   let probe f name = probe f.inner name
   let enable_cover f = enable_cover f.inner
   let cover f = cover f.inner
+  let enable_events f = enable_events f.inner
+  let events f = events f.inner
+  let checkpoint f = checkpoint_thunk f.inner
 end
 
 let inject_fault ?(from_cycle = 0) ?lane ~port e =
@@ -127,7 +178,13 @@ let inject_fault ?(from_cycle = 0) ?lane ~port e =
   pack
     ~label:(label e ^ "+fault:" ^ port ^ suffix)
     (module Faulty)
-    { inner = e; fault_port = port; from_cycle; fault_lane = lane }
+    {
+      inner = e;
+      fault_port = port;
+      from_cycle;
+      fault_lane = lane;
+      last_fault_emit = -1;
+    }
 
 (* ------------------------------------------------------------------ *)
 (* Consolidated tracing over any engine set.                           *)

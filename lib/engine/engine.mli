@@ -67,6 +67,20 @@ module type S = sig
   val cover : t -> Cover.Toggle.t option
   (** The live toggle collector once {!enable_cover} was called;
       [None] before, or always for unsupported backends. *)
+
+  val enable_events : t -> unit
+  (** Start emitting causal events into the global [Obs.Event] log
+      (enabling the log if needed).  Backends without event support
+      still enable the global log so surrounding instrumentation
+      records. *)
+
+  val events : t -> Obs.Event.t list
+  (** The retained causal events, oldest first (currently the global
+      log — backends share one ring). *)
+
+  val checkpoint : t -> (unit -> unit) option
+  (** Capture the simulation state now and return the closure that
+      rewinds to it; [None] for backends without checkpoint support. *)
 end
 
 type t = Pack : (module S with type t = 'a) * 'a * string -> t
@@ -98,6 +112,30 @@ val probes : t -> (string * int) list
 val probe : t -> string -> Bitvec.t
 val enable_cover : t -> unit
 val cover : t -> Cover.Toggle.t option
+val enable_events : t -> unit
+val events : t -> Obs.Event.t list
+
+(** {1 Checkpoint / replay}
+
+    Record cheap, replay rich: take checkpoints during a fast
+    uninstrumented run, then {!restore} the one before a failure and
+    re-run the window with the event log (and any other observability)
+    switched on. *)
+
+type checkpoint = {
+  ck_cycle : int;  (** cycle count when the checkpoint was taken *)
+  ck_label : string;  (** engine instance label *)
+  ck_restore : unit -> unit;
+}
+
+val checkpoint : t -> checkpoint option
+(** Capture the engine's simulation state; [None] for backends without
+    checkpoint support (the behavioural kernel backend).  Restoring is
+    only meaningful on the engine the checkpoint was taken from. *)
+
+val restore : checkpoint -> unit
+val checkpoint_cycle : checkpoint -> int
+val checkpoint_label : checkpoint -> string
 
 val inject_fault : ?from_cycle:int -> ?lane:int -> port:string -> t -> t
 (** A wrapper engine that behaves exactly like the inner one except
@@ -108,8 +146,12 @@ val inject_fault : ?from_cycle:int -> ?lane:int -> port:string -> t -> t
     — and {!get} iff [l = 0] — is corrupted, pinning one fault to one
     lane of a multi-lane engine.  Used to validate that the
     differential harness detects, localizes and shrinks a divergence,
-    and by the lane-parallel fault campaigns.  Raises
-    [Invalid_argument] for an unknown port or an out-of-range lane. *)
+    and by the lane-parallel fault campaigns.  While the [Obs.Event]
+    log is enabled, the first corrupted read of each armed cycle also
+    records a [Fault] event on the port (caused by whatever last moved
+    it), so causality queries over the corrupted value reach the
+    injection.  Raises [Invalid_argument] for an unknown port or an
+    out-of-range lane. *)
 
 (** {1 Consolidated tracing}
 

@@ -51,6 +51,20 @@ let copy env =
     env;
   fresh
 
+let overwrite dst src =
+  (* In-place deep replacement: [dst] keeps its identity (simulator
+     structs hold the env by reference) but afterwards reads exactly
+     like [src], which stays untouched — restoring from the same
+     checkpoint twice works. *)
+  Hashtbl.reset dst;
+  Hashtbl.iter
+    (fun id value ->
+      let value' =
+        match value with Scalar bv -> Scalar bv | Arr a -> Arr (Array.copy a)
+      in
+      Hashtbl.replace dst id value')
+    src
+
 let bool_bv b = Bitvec.of_bool b
 
 let rec eval_expr env (e : Ir.expr) =

@@ -17,6 +17,11 @@ val get_array : env -> Ir.var -> Bitvec.t array
 val copy : env -> env
 (** Deep copy, arrays included. *)
 
+val overwrite : env -> env -> unit
+(** [overwrite dst src] replaces the contents of [dst] in place with a
+    deep copy of [src] (which is left untouched) — the restore half of
+    checkpointing: [dst] keeps its identity but reads like [src]. *)
+
 val snapshot : env -> Ir.var list -> env
 (** [snapshot env vars] is a fresh environment holding copies of just
     [vars] (arrays deep-copied).  Vars unbound in [env] stay unbound and

@@ -39,6 +39,12 @@ module Impl = struct
   let probe _ _ = raise Not_found
   let enable_cover = Rtl_sim.enable_toggle_cover
   let cover = Rtl_sim.toggle_cover
+  let enable_events = Rtl_sim.enable_events
+  let events _ = Obs.Event.events ()
+
+  let checkpoint sim =
+    let ck = Rtl_sim.checkpoint sim in
+    Some (fun () -> Rtl_sim.restore sim ck)
 end
 
 let of_sim ?label sim = Engine.pack ?label (module Impl) sim

@@ -64,6 +64,12 @@ type t = {
   mutable n_sync_runs : int;
   mutable cover : cover_state option;
   mutable watchers : (t -> unit) list;  (* run after each step, in order *)
+  (* Causal event log plumbing (see Obs.Event): [ev_last] maps a var id
+     to the seq of its latest change event, giving each process run and
+     each committed write a cause link.  Off by default: the hot paths
+     pay one [ev_on] branch. *)
+  mutable ev_on : bool;
+  ev_last : (int, int) Hashtbl.t;
 }
 
 let dedup_vars vars =
@@ -216,7 +222,38 @@ let create m =
     n_sync_runs = 0;
     cover = None;
     watchers = [];
+    ev_on = false;
+    ev_last = Hashtbl.create 16;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Causal event emission.                                              *)
+
+let enable_events t =
+  t.ev_on <- true;
+  if not (Obs.Event.enabled ()) then Obs.Event.enable ()
+
+let emitting t = t.ev_on && Obs.Event.enabled ()
+
+(* Low bits of a value, for the event record (wide vars truncate). *)
+let ev_value bv =
+  if Bitvec.width bv <= 62 then Bitvec.to_int bv
+  else Bitvec.to_int (Bitvec.slice bv ~hi:61 ~lo:0)
+
+(* Most recent change among a set of observed var ids — the cause of a
+   process activation they woke. *)
+let ev_cause_of t ids =
+  List.fold_left
+    (fun acc id ->
+      match Hashtbl.find_opt t.ev_last id with
+      | Some s when s > acc -> s
+      | _ -> acc)
+    Obs.Event.no_cause ids
+
+let ev_change t kind (v : Ir.var) cause =
+  let value = if Ir.is_array v then 0 else ev_value (Eval.get t.env v) in
+  let s = Obs.Event.emit ~cycle:t.n_cycles ~value ~cause kind v.Ir.var_name in
+  Hashtbl.replace t.ev_last v.Ir.id s
 
 let find_port t name =
   match Hashtbl.find_opt t.inputs name with
@@ -246,7 +283,8 @@ let set_input t name bv =
              (Bitvec.width bv) v.Ir.width);
       if not (Bitvec.equal bv (Eval.get t.env v)) then begin
         Eval.set t.env v bv;
-        mark_dirty t v.Ir.id
+        mark_dirty t v.Ir.id;
+        if emitting t then ev_change t Obs.Event.Stimulus v Obs.Event.no_cause
       end
 
 let set_input_int t name n =
@@ -262,6 +300,15 @@ let peek_array t v = Eval.get_array t.env v
    outputs changed, marking changed vars dirty for downstream readers. *)
 let run_comb t (cp : comb_proc) =
   let before = List.map (fun v -> Eval.get t.env v) cp.c_writes in
+  (* The activation's cause is the latest change among the vars it
+     observes — exactly the dirty-set propagation that scheduled it. *)
+  let run_seq =
+    if emitting t then
+      Obs.Event.emit ~cycle:t.n_cycles
+        ~cause:(ev_cause_of t cp.c_inputs)
+        Obs.Event.Process_run cp.c_name
+    else Obs.Event.no_cause
+  in
   Eval.run_body t.env cp.c_body;
   t.n_comb_runs <- t.n_comb_runs + 1;
   cp.c_runs <- cp.c_runs + 1;
@@ -271,7 +318,9 @@ let run_comb t (cp : comb_proc) =
     (fun (v : Ir.var) old ->
       if not (Bitvec.equal old (Eval.get t.env v)) then begin
         changed := true;
-        mark_dirty t v.Ir.id
+        mark_dirty t v.Ir.id;
+        if run_seq <> Obs.Event.no_cause then
+          ev_change t Obs.Event.Var_change v run_seq
       end)
     cp.c_writes before;
   !changed
@@ -366,8 +415,25 @@ let step_inner t =
         (sp, local))
       t.syncs
   in
-  List.iter
-    (fun ((sp : sync_proc), local) ->
+  (* Each activation observed the pre-edge state; its cause is the
+     latest pre-edge change among the vars it could read — sampled for
+     every process before any commit moves [ev_last] past the edge. *)
+  let ev_causes =
+    if emitting t then
+      List.map
+        (fun ((sp : sync_proc), _) ->
+          ev_cause_of t (List.map (fun (v : Ir.var) -> v.Ir.id) sp.s_snap))
+        commits
+    else []
+  in
+  List.iteri
+    (fun ci ((sp : sync_proc), local) ->
+      let run_seq =
+        if emitting t then
+          Obs.Event.emit ~cycle:t.n_cycles ~cause:(List.nth ev_causes ci)
+            Obs.Event.Process_run sp.s_name
+        else Obs.Event.no_cause
+      in
       List.iter
         (fun (v : Ir.var) ->
           if Ir.is_array v then begin
@@ -381,20 +447,33 @@ let step_inner t =
                   changed := true
                 end)
               src;
-            if !changed then mark_dirty t v.Ir.id
+            if !changed then begin
+              mark_dirty t v.Ir.id;
+              if run_seq <> Obs.Event.no_cause then
+                ev_change t Obs.Event.Var_change v run_seq
+            end
           end
           else begin
             let nv = Eval.get local v in
             if not (Bitvec.equal nv (Eval.get t.env v)) then begin
               Eval.set t.env v nv;
-              mark_dirty t v.Ir.id
+              mark_dirty t v.Ir.id;
+              if run_seq <> Obs.Event.no_cause then
+                ev_change t Obs.Event.Var_change v run_seq
             end
           end)
         sp.s_writes)
     commits;
   t.n_cycles <- t.n_cycles + 1;
   settle t;
-  (match t.cover with None -> () | Some cs -> close_cover_epoch t cs);
+  (match t.cover with
+  | None -> ()
+  | Some cs ->
+      close_cover_epoch t cs;
+      if emitting t then
+        ignore
+          (Obs.Event.emit ~cycle:t.n_cycles Obs.Event.Cover_epoch
+             t.flat.Ir.mod_name));
   match t.watchers with [] -> () | ws -> List.iter (fun f -> f t) ws
 
 let step t =
@@ -480,3 +559,40 @@ let enable_toggle_cover t =
 
 let toggle_cover t =
   match t.cover with None -> None | Some cs -> Some cs.cov
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint / restore: deep-copied env plus the scheduler state the
+   next settle depends on.  Coverage collectors and watcher hooks are
+   deliberately not captured — a restore rewinds simulation state, not
+   the observability accumulated about it. *)
+
+type checkpoint = {
+  ck_env : Eval.env;
+  ck_dirty : (int, unit) Hashtbl.t;
+  ck_full : bool;
+  ck_cycles : int;
+}
+
+let checkpoint t =
+  if emitting t then
+    ignore
+      (Obs.Event.emit ~cycle:t.n_cycles Obs.Event.Checkpoint
+         t.flat.Ir.mod_name);
+  {
+    ck_env = Eval.copy t.env;
+    ck_dirty = Hashtbl.copy t.dirty;
+    ck_full = t.full_settle;
+    ck_cycles = t.n_cycles;
+  }
+
+let restore t ck =
+  Eval.overwrite t.env ck.ck_env;
+  Hashtbl.reset t.dirty;
+  Hashtbl.iter (fun id () -> Hashtbl.replace t.dirty id ()) ck.ck_dirty;
+  t.full_settle <- ck.ck_full;
+  t.n_cycles <- ck.ck_cycles;
+  (* Cause links must not leap across the rewind: changes before the
+     restore point are no longer "the latest write" of anything. *)
+  Hashtbl.reset t.ev_last
+
+let checkpoint_cycle ck = ck.ck_cycles

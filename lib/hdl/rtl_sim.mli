@@ -92,3 +92,26 @@ val enable_toggle_cover : t -> unit
 
 val toggle_cover : t -> Cover.Toggle.t option
 (** The live collector, once {!enable_toggle_cover} has been called. *)
+
+(** {1 Causal events and checkpointing} *)
+
+val enable_events : t -> unit
+(** Start emitting causal events into the global [Obs.Event] log
+    (enabling it if needed): {!set_input} edges as [Stimulus], process
+    activations as [Process_run] caused by the latest change among the
+    variables the process observes (the dirty-set propagation), and
+    committed writes as [Var_change] caused by the activation.  Costs
+    one branch per candidate event while off. *)
+
+type checkpoint
+
+val checkpoint : t -> checkpoint
+(** Deep copy of the simulation state (environment, dirty set, cycle
+    count).  Coverage collectors and watchers are not captured. *)
+
+val restore : t -> checkpoint -> unit
+(** Rewind to a checkpoint taken on the same simulator; re-running the
+    original stimulus afterwards is bit-identical to the original
+    window. *)
+
+val checkpoint_cycle : checkpoint -> int

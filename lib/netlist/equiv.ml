@@ -11,12 +11,20 @@ type mismatch = {
   got_engine : string;
 }
 
+(* Everything needed to re-create the run a reproducer came from. *)
+type provenance = { seed : int; engines : string list; lanes : int }
+
 type divergence = {
   first : mismatch;
   window_start : int;
   window : (string * Bitvec.t) list array;
   replay : mismatch option;
   vcd : string option;
+  provenance : provenance;
+  causality : Obs.Event.t list;
+      (* effect-first causal chain behind the first mismatching output
+         of the events-on window replay; [] when the chain is empty or
+         the window did not re-diverge *)
 }
 
 let pp_mismatch fmt m =
@@ -31,6 +39,12 @@ let pp_divergence fmt d =
   | Some m ->
       Format.fprintf fmt " (replays as cycle %d, port %s)" m.at_cycle m.port
   | None -> ());
+  Format.fprintf fmt " [seed %d, %s, %d lane%s]" d.provenance.seed
+    (String.concat " vs " d.provenance.engines)
+    d.provenance.lanes
+    (if d.provenance.lanes = 1 then "" else "s");
+  if d.causality <> [] then
+    Format.fprintf fmt " [causality: %d events]" (List.length d.causality);
   match d.vcd with
   | Some text -> Format.fprintf fmt " [vcd: %d bytes]" (String.length text)
   | None -> ()
@@ -84,13 +98,17 @@ let with_phase_span name attrs f =
   else f ()
 
 (* Replay a stimulus slice against fresh engines; first mismatch, if
-   any.  [observe] is called after every cycle (used for tracing). *)
-let replay_window ?(observe = fun _ -> ()) factories outs window =
+   any.  [observe] is called after every cycle (used for tracing);
+   [events] switches the fresh engines' causal event emission on, for
+   the record-cheap / replay-rich pattern. *)
+let replay_window ?(observe = fun _ -> ()) ?(events = false) factories outs
+    window =
   Perf.incr ctr_replays;
   with_phase_span "equiv.replay"
     [ ("window", string_of_int (Array.length window)) ]
     (fun () ->
       let engines = List.map (fun f -> f ()) factories in
+      if events then List.iter Engine.enable_events engines;
       let n = Array.length window in
       let rec cycle i =
         if i >= n then None
@@ -155,7 +173,32 @@ let differential ?(cycles = 500) ?(seed = 42) ?(drive = fun _ (_, r) -> r)
             if shrink then shrink_window factories outs recorded else n + 1
           in
           let window = Array.sub recorded (n + 1 - len) len in
-          let replay = replay_window factories outs window in
+          (* Record cheap, replay rich: the shrunk window is re-run with
+             causal events on, which both confirms the reproducer and
+             yields the chain of events behind the first mismatching
+             output.  The global log's prior state is preserved. *)
+          let was_on = Obs.Event.enabled () in
+          if not was_on then Obs.Event.enable ();
+          let replay = replay_window ~events:true factories outs window in
+          let causality =
+            match replay with
+            | None -> []
+            | Some m -> (
+                match
+                  Obs.Causal.why ~subject:m.port ~cycle:(m.at_cycle + 1) ()
+                with
+                | Some node -> Obs.Causal.chain node
+                | None -> [])
+          in
+          if not was_on then Obs.Event.disable ();
+          let provenance =
+            {
+              seed;
+              engines = List.map Engine.label engines;
+              lanes =
+                List.fold_left (fun acc e -> max acc (Engine.lanes e)) 1 engines;
+            }
+          in
           let vcd =
             if not dump_vcd then None
             else begin
@@ -175,7 +218,16 @@ let differential ?(cycles = 500) ?(seed = 42) ?(drive = fun _ (_, r) -> r)
               Option.map Engine.Trace.contents !tracer
             end
           in
-          Error { first; window_start = n + 1 - len; window; replay; vcd }
+          Error
+            {
+              first;
+              window_start = n + 1 - len;
+              window;
+              replay;
+              vcd;
+              provenance;
+              causality;
+            }
     end
   in
   let result = cycle 0 in

@@ -20,6 +20,13 @@ type mismatch = {
   got_engine : string;  (** label of the diverging engine *)
 }
 
+type provenance = {
+  seed : int;  (** stimulus seed the run was driven from *)
+  engines : string list;  (** instance labels, reference first *)
+  lanes : int;  (** maximum lane count among the engines *)
+}
+(** Everything needed to re-create the run a reproducer came from. *)
+
 type divergence = {
   first : mismatch;  (** first mismatch of the full run *)
   window_start : int;
@@ -33,6 +40,13 @@ type divergence = {
   vcd : string option;
       (** waveforms of all engines over the replayed window, when
           requested *)
+  provenance : provenance;
+  causality : Obs.Event.t list;
+      (** causal chain (effect first) behind the first mismatching
+          output, from an automatic events-on replay of the shrunk
+          window — fault injections along the way appear as [Fault]
+          events.  [[]] when the window replay did not re-diverge.
+          Render with [Obs.Causal]. *)
 }
 
 val pp_mismatch : Format.formatter -> mismatch -> unit

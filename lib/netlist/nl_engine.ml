@@ -73,6 +73,12 @@ let make_impl sim_kind =
 
     let enable_cover t = Nl_sim.enable_toggle_cover t.sim
     let cover t = Nl_sim.toggle_cover t.sim
+    let enable_events t = Nl_sim.enable_events t.sim
+    let events _ = Obs.Event.events ()
+
+    let checkpoint t =
+      let ck = Nl_sim.checkpoint t.sim in
+      Some (fun () -> Nl_sim.restore t.sim ck)
   end : Engine.S
     with type t = state)
 
@@ -139,6 +145,12 @@ module Wimpl = struct
   let probe _ _ = raise Not_found
   let enable_cover t = Nl_wsim.enable_toggle_cover t.wsim
   let cover t = Nl_wsim.lane_cover t.wsim 0
+  let enable_events t = Nl_wsim.enable_events t.wsim
+  let events _ = Obs.Event.events ()
+
+  let checkpoint t =
+    let ck = Nl_wsim.checkpoint t.wsim in
+    Some (fun () -> Nl_wsim.restore t.wsim ck)
 end
 
 let pack_word ?label wsim =

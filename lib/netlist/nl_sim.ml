@@ -57,6 +57,18 @@ type t = {
      Recording piggybacks on the per-cycle toggle accounting that runs
      anyway, so a disabled run pays one branch per changed net. *)
   mutable cover : Cover.Toggle.t option;
+  (* Causal event log plumbing (see Obs.Event), allocated lazily by
+     [enable_events]: [ev_last.(n)] is the seq of net [n]'s latest
+     change event, so a cell evaluation that moves its output is caused
+     by the latest change among its input nets — the fanout propagation
+     made explicit.  [ev_ctx]/[ev_ctx_stim] carry the cause/kind for
+     the shared [drive] path (stimulus vs flip-flop commit).  Off by
+     default: the hot paths pay one [ev_on] branch per changed net. *)
+  mutable ev_on : bool;
+  mutable ev_last : int array;
+  mutable ev_labels : string array;
+  mutable ev_ctx : int;
+  mutable ev_ctx_stim : bool;
 }
 
 let topo_order nl =
@@ -198,7 +210,41 @@ let create ?(mode = Event_driven) nl =
     profiling = false;
     eval_counts = [||];
     cover = None;
+    ev_on = false;
+    ev_last = [||];
+    ev_labels = [||];
+    ev_ctx = Obs.Event.no_cause;
+    ev_ctx_stim = true;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Causal event emission (event-driven mode; [Full_eval] re-evaluates
+   everything every settle and carries no change causality).           *)
+
+let enable_events t =
+  if Array.length t.ev_last = 0 then begin
+    t.ev_last <- Array.make (Netlist.net_count t.nl) Obs.Event.no_cause;
+    t.ev_labels <- Sched.net_labels t.nl
+  end;
+  t.ev_on <- true;
+  if not (Obs.Event.enabled ()) then Obs.Event.enable ()
+
+let emitting t = t.ev_on && Obs.Event.enabled ()
+
+(* A cell evaluation is caused by the latest change among its inputs. *)
+let ev_cell_cause t (c : Netlist.cell) =
+  let best = ref Obs.Event.no_cause in
+  Array.iter
+    (fun n -> if t.ev_last.(n) > !best then best := t.ev_last.(n))
+    c.ins;
+  !best
+
+let ev_net t n v kind cause =
+  let s =
+    Obs.Event.emit ~cycle:t.n_cycles ~value:(Bool.to_int v) ~cause kind
+      t.ev_labels.(n)
+  in
+  t.ev_last.(n) <- s
 
 let schedule t ci =
   if not t.pending.(ci) then begin
@@ -214,12 +260,18 @@ let record_epoch t n =
     t.epoch_touched <- n :: t.epoch_touched
   end
 
-(* Write a net and wake its combinational readers if the value moved. *)
+(* Write a net and wake its combinational readers if the value moved.
+   Callers are stimulus ([ev_ctx_stim], no cause) and the flip-flop
+   commit of [step_event] ([ev_ctx] = the D input's latest change). *)
 let drive t n v =
   if t.values.(n) <> v then begin
     record_epoch t n;
     t.values.(n) <- v;
-    Array.iter (fun ci -> schedule t ci) t.fanout.(n)
+    Array.iter (fun ci -> schedule t ci) t.fanout.(n);
+    if emitting t then
+      ev_net t n v
+        (if t.ev_ctx_stim then Obs.Event.Stimulus else Obs.Event.Net_change)
+        t.ev_ctx
   end
 
 (* Prebound input-port handles: the stimulus hot path pays the name
@@ -317,7 +369,9 @@ let settle_event t =
         if t.profiling then t.eval_counts.(ci) <- t.eval_counts.(ci) + 1;
         if t.values.(c.out) <> r then begin
           record_epoch t c.out;
-          t.values.(c.out) <- r
+          t.values.(c.out) <- r;
+          if emitting t then
+            ev_net t c.out r Obs.Event.Net_change (ev_cell_cause t c)
         end)
       t.order;
     t.n_evals <- t.n_evals + Array.length t.order;
@@ -348,7 +402,9 @@ let settle_event t =
             if t.values.(c.out) <> r then begin
               record_epoch t c.out;
               t.values.(c.out) <- r;
-              Array.iter (fun cj -> schedule t cj) t.fanout.(c.out)
+              Array.iter (fun cj -> schedule t cj) t.fanout.(c.out);
+              if emitting t then
+                ev_net t c.out r Obs.Event.Net_change (ev_cell_cause t c)
             end;
             drain ()
       in
@@ -401,7 +457,24 @@ let step_event t =
   settle_event t;
   t.in_epoch <- true;
   let sampled = Array.map (fun c -> t.values.(c.Netlist.ins.(0))) t.dffs in
-  Array.iteri (fun i c -> drive t c.Netlist.out sampled.(i)) t.dffs;
+  if emitting t then begin
+    (* Causes sampled pre-commit: a flip-flop output change is caused
+       by the change that last moved its D input, not by commits of
+       other flip-flops this edge. *)
+    let causes =
+      Array.map (fun (c : Netlist.cell) -> t.ev_last.(c.ins.(0))) t.dffs
+    in
+    t.ev_ctx_stim <- false;
+    Array.iteri
+      (fun i (c : Netlist.cell) ->
+        t.ev_ctx <- causes.(i);
+        drive t c.out sampled.(i))
+      t.dffs;
+    t.ev_ctx_stim <- true;
+    t.ev_ctx <- Obs.Event.no_cause
+  end
+  else
+    Array.iteri (fun i c -> drive t c.Netlist.out sampled.(i)) t.dffs;
   t.n_evals <- t.n_evals + Array.length t.dffs;
   Perf.incr ~by:(Array.length t.dffs) ctr_evals;
   t.n_cycles <- t.n_cycles + 1;
@@ -419,7 +492,11 @@ let step_event t =
       t.epoch_seen.(n) <- false)
     t.epoch_touched;
   t.epoch_touched <- [];
-  t.in_epoch <- false
+  t.in_epoch <- false;
+  if t.cover <> None && emitting t then
+    ignore
+      (Obs.Event.emit ~cycle:t.n_cycles Obs.Event.Cover_epoch
+         (Netlist.name t.nl))
 
 let step_inner t =
   match t.mode with Full_eval -> step_full t | Event_driven -> step_event t
@@ -480,6 +557,51 @@ let enable_toggle_cover t =
   | None -> t.cover <- Some (Cover.Toggle.create ~names:(net_labels t))
 
 let toggle_cover t = t.cover
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint / restore: net values plus the event-driven scheduler
+   state (pending set and level buckets) and the cycle count.  Toggle
+   counters, coverage and activity profiles are deliberately not
+   captured — a restore rewinds simulation state, not the
+   observability accumulated about it. *)
+
+type checkpoint = {
+  ck_values : bool array;
+  ck_pending : bool array;
+  ck_buckets : int list array;
+  ck_need_full : bool;
+  ck_cycles : int;
+}
+
+let checkpoint t =
+  if emitting t then
+    ignore
+      (Obs.Event.emit ~cycle:t.n_cycles Obs.Event.Checkpoint
+         (Netlist.name t.nl));
+  {
+    ck_values = Array.copy t.values;
+    ck_pending = Array.copy t.pending;
+    ck_buckets = Array.copy t.buckets;
+    ck_need_full = t.need_full;
+    ck_cycles = t.n_cycles;
+  }
+
+let restore t ck =
+  Array.blit ck.ck_values 0 t.values 0 (Array.length t.values);
+  Array.blit ck.ck_pending 0 t.pending 0 (Array.length t.pending);
+  Array.iteri (fun i b -> t.buckets.(i) <- b) ck.ck_buckets;
+  t.need_full <- ck.ck_need_full;
+  t.n_cycles <- ck.ck_cycles;
+  (* Transient epoch state can only be non-empty mid-step; clear it so
+     a restore from inside an observer still leaves a clean epoch. *)
+  List.iter (fun n -> t.epoch_seen.(n) <- false) t.epoch_touched;
+  t.epoch_touched <- [];
+  t.in_epoch <- false;
+  (* Cause links must not leap across the rewind. *)
+  if Array.length t.ev_last > 0 then
+    Array.fill t.ev_last 0 (Array.length t.ev_last) Obs.Event.no_cause
+
+let checkpoint_cycle ck = ck.ck_cycles
 
 let by_count_desc (la, a) (lb, b) =
   if a <> b then compare b a else compare la lb

@@ -153,3 +153,29 @@ val enable_toggle_cover : t -> unit
     one branch per changed net.  Idempotent. *)
 
 val toggle_cover : t -> Cover.Toggle.t option
+
+(** {1 Causal events and checkpointing} *)
+
+val enable_events : t -> unit
+(** Start emitting causal events into the global [Obs.Event] log
+    (enabling it if needed): input edges as [Stimulus], net changes as
+    [Net_change] caused by the latest change among the evaluated
+    cell's input nets (fanout propagation made explicit), flip-flop
+    commits caused by the change that last moved the D input.  Net
+    subjects are the hierarchical {!net_labels}.  Fully supported in
+    [Event_driven] mode; [Full_eval] re-evaluates everything per settle
+    and records no change causality.  Costs one branch per changed net
+    while off. *)
+
+type checkpoint
+
+val checkpoint : t -> checkpoint
+(** Deep copy of net values, scheduler state and cycle count.  Toggle
+    counters, coverage and profiles are not captured. *)
+
+val restore : t -> checkpoint -> unit
+(** Rewind to a checkpoint taken on the same simulator; re-running the
+    original stimulus afterwards is bit-identical to the original
+    window. *)
+
+val checkpoint_cycle : checkpoint -> int

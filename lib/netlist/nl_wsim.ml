@@ -62,6 +62,17 @@ type t = {
   mutable n_faults : int;
   (* Per-lane toggle coverage; [ [||] ] until [enable_toggle_cover]. *)
   mutable cover : Cover.Toggle.t array;
+  (* Causal event emission (see Obs.Event); [ev_last.(n)] is the seq of
+     the newest change event on net [n], the cause fed to readers.
+     [ [||] ] until [enable_events], so silent runs pay one branch per
+     changed net.  [ev_ctx]/[ev_ctx_stim] classify drive_net_word
+     writes: stimulus by default, dff-commit with a pre-sampled cause
+     during the clock edge. *)
+  mutable ev_on : bool;
+  mutable ev_last : int array;
+  mutable ev_labels : string array;
+  mutable ev_ctx : int;
+  mutable ev_ctx_stim : bool;
 }
 
 let create ?(mode = Event_driven) ~lanes nl =
@@ -109,7 +120,42 @@ let create ?(mode = Event_driven) ~lanes nl =
     f_val = [||];
     n_faults = 0;
     cover = [||];
+    ev_on = false;
+    ev_last = [||];
+    ev_labels = [||];
+    ev_ctx = Obs.Event.no_cause;
+    ev_ctx_stim = true;
   }
+
+let enable_events t =
+  if not t.ev_on then begin
+    if Array.length t.ev_last = 0 then begin
+      t.ev_last <- Array.make (Netlist.net_count t.nl) Obs.Event.no_cause;
+      t.ev_labels <- Nl_sim.Sched.net_labels t.nl
+    end;
+    t.ev_on <- true;
+    if not (Obs.Event.enabled ()) then Obs.Event.enable ()
+  end
+
+let emitting t = t.ev_on && Obs.Event.enabled ()
+
+(* Newest change among a cell's input nets — the cause of its output
+   moving. *)
+let ev_cell_cause t (c : Netlist.cell) =
+  let best = ref Obs.Event.no_cause in
+  Array.iter
+    (fun n ->
+      let s = t.ev_last.(n) in
+      if s > !best then best := s)
+    c.ins;
+  !best
+
+(* Record a change event on net [n]; value is the lane-0 bit, lane -1
+   marks the event as an aggregate over all packed lanes. *)
+let ev_net t n kind cause =
+  let value = t.values.(n * t.nw) land 1 in
+  let seq = Obs.Event.emit ~cycle:t.n_cycles ~value ~cause kind t.ev_labels.(n) in
+  t.ev_last.(n) <- seq
 
 let schedule t ci =
   if not t.pending.(ci) then begin
@@ -163,6 +209,8 @@ let eval_cell_changed t (c : Netlist.cell) =
       v.(base + w) <- x
     end
   done;
+  if !changed && emitting t then
+    ev_net t c.out Obs.Event.Net_change (ev_cell_cause t c);
   !changed
 
 let settle_full t =
@@ -229,9 +277,13 @@ let drive_net_word t n w x =
   if t.values.(idx) <> x then begin
     record_epoch t n;
     t.values.(idx) <- x;
-    match t.mode with
+    (match t.mode with
     | Event_driven -> Array.iter (fun ci -> schedule t ci) t.fanout.(n)
-    | Full_eval -> ()
+    | Full_eval -> ());
+    if emitting t then
+      ev_net t n
+        (if t.ev_ctx_stim then Obs.Event.Stimulus else Obs.Event.Net_change)
+        t.ev_ctx
   end
 
 let port_nets tbl name =
@@ -406,12 +458,31 @@ let step_event t =
   t.in_epoch <- true;
   sample_dffs t;
   let nw = t.nw in
-  Array.iteri
-    (fun i (c : Netlist.cell) ->
-      for w = 0 to nw - 1 do
-        drive_net_word t c.out w t.dff_buf.((i * nw) + w)
-      done)
-    t.dffs;
+  if emitting t then begin
+    (* Causes pre-sampled before any commit so every flip-flop is
+       attributed to the change that moved its D input pre-edge, not to
+       a sibling's fresh commit. *)
+    let causes =
+      Array.map (fun (c : Netlist.cell) -> t.ev_last.(c.ins.(0))) t.dffs
+    in
+    t.ev_ctx_stim <- false;
+    Array.iteri
+      (fun i (c : Netlist.cell) ->
+        t.ev_ctx <- causes.(i);
+        for w = 0 to nw - 1 do
+          drive_net_word t c.out w t.dff_buf.((i * nw) + w)
+        done)
+      t.dffs;
+    t.ev_ctx_stim <- true;
+    t.ev_ctx <- Obs.Event.no_cause
+  end
+  else
+    Array.iteri
+      (fun i (c : Netlist.cell) ->
+        for w = 0 to nw - 1 do
+          drive_net_word t c.out w t.dff_buf.((i * nw) + w)
+        done)
+      t.dffs;
   t.n_evals <- t.n_evals + Array.length t.dffs;
   Perf.incr ~by:(Array.length t.dffs) ctr_evals;
   t.n_cycles <- t.n_cycles + 1;
@@ -422,7 +493,11 @@ let step_event t =
       t.epoch_seen.(n) <- false)
     t.epoch_touched;
   t.epoch_touched <- [];
-  t.in_epoch <- false
+  t.in_epoch <- false;
+  if Array.length t.cover > 0 && emitting t then
+    ignore
+      (Obs.Event.emit ~cycle:t.n_cycles Obs.Event.Cover_epoch
+         (Netlist.name t.nl))
 
 let step t =
   match t.mode with Full_eval -> step_full t | Event_driven -> step_event t
@@ -460,6 +535,13 @@ let inject_stuck_at t ~lane ~net ~value =
     match t.mode with
     | Event_driven -> Array.iter (fun ci -> schedule t ci) t.fanout.(net)
     | Full_eval -> ()
+  end;
+  if emitting t then begin
+    let seq =
+      Obs.Event.emit ~cycle:t.n_cycles ~lane ~value:(Bool.to_int value)
+        ~cause:t.ev_last.(net) Obs.Event.Fault t.ev_labels.(net)
+    in
+    t.ev_last.(net) <- seq
   end
 
 let faults t = t.n_faults
@@ -476,6 +558,48 @@ let enable_toggle_cover t =
 let lane_cover t lane =
   check_lane t lane;
   if Array.length t.cover = 0 then None else Some t.cover.(lane)
+
+(* ------------------------------------------------------------------ *)
+(* Checkpointing                                                       *)
+
+type checkpoint = {
+  ck_values : int array;
+  ck_pending : bool array;
+  ck_buckets : int list array;
+  ck_need_full : bool;
+  ck_cycles : int;
+}
+
+let checkpoint t =
+  if emitting t then
+    ignore
+      (Obs.Event.emit ~cycle:t.n_cycles Obs.Event.Checkpoint
+         (Netlist.name t.nl));
+  {
+    ck_values = Array.copy t.values;
+    ck_pending = Array.copy t.pending;
+    ck_buckets = Array.copy t.buckets;
+    ck_need_full = t.need_full;
+    ck_cycles = t.n_cycles;
+  }
+
+let restore t ck =
+  Array.blit ck.ck_values 0 t.values 0 (Array.length t.values);
+  Array.blit ck.ck_pending 0 t.pending 0 (Array.length t.pending);
+  Array.iteri (fun i b -> t.buckets.(i) <- b) ck.ck_buckets;
+  t.need_full <- ck.ck_need_full;
+  t.n_cycles <- ck.ck_cycles;
+  (* Mid-epoch transients never survive a step, so a rewind simply
+     clears them. *)
+  List.iter (fun n -> t.epoch_seen.(n) <- false) t.epoch_touched;
+  t.epoch_touched <- [];
+  t.in_epoch <- false;
+  (* Cause links must not leap across the rewind: events emitted after
+     the restore start a fresh causal history. *)
+  if Array.length t.ev_last > 0 then
+    Array.fill t.ev_last 0 (Array.length t.ev_last) Obs.Event.no_cause
+
+let checkpoint_cycle ck = ck.ck_cycles
 
 (* ------------------------------------------------------------------ *)
 (* Accessors                                                           *)

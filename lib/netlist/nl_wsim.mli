@@ -127,3 +127,29 @@ val enable_toggle_cover : t -> unit
 
 val lane_cover : t -> int -> Cover.Toggle.t option
 (** The given lane's collector; [None] before {!enable_toggle_cover}. *)
+
+(** {1 Causal events and checkpointing} *)
+
+val enable_events : t -> unit
+(** Start emitting causal events into the global [Obs.Event] log
+    (enabling it if needed).  Events describe the packed simulation as
+    a whole: net changes carry lane [-1] (aggregate over all lanes) and
+    the lane-0 bit as their value, caused by the latest change among
+    the evaluated cell's input nets; stimulus drives are [Stimulus];
+    {!inject_stuck_at} additionally records a [Fault] event on the
+    forced net carrying the real lane number.  Fully supported in
+    [Event_driven] mode; [Full_eval] records no change causality.
+    Costs one branch per changed net while off. *)
+
+type checkpoint
+
+val checkpoint : t -> checkpoint
+(** Deep copy of the packed net values, scheduler state and cycle
+    count.  Fault forces, toggle counters and coverage are not
+    captured — a restore keeps whatever faults are currently armed. *)
+
+val restore : t -> checkpoint -> unit
+(** Rewind to a checkpoint taken on the same simulator; re-running the
+    original stimulus afterwards is bit-identical in every lane. *)
+
+val checkpoint_cycle : checkpoint -> int

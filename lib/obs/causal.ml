@@ -1,0 +1,80 @@
+(* "Why" queries over the causal event log: resolve a subject to its
+   latest value-carrying event and walk cause links backward into a
+   bounded chain, rendered as an indented tree from effect down to the
+   root cause (a stimulus edge, fault injection, or the oldest retained
+   link when the ring has evicted the rest). *)
+
+type node = { event : Event.t; cause : node option; truncated : bool }
+
+let rec build ~max_depth (ev : Event.t) =
+  if max_depth <= 0 then { event = ev; cause = None; truncated = true }
+  else
+    match (if ev.Event.cause < 0 then None else Event.find ev.Event.cause) with
+    | None ->
+        (* Either a genuine root cause, or the link left the ring. *)
+        { event = ev; cause = None; truncated = ev.Event.cause >= 0 }
+    | Some c ->
+        { event = ev; cause = Some (build ~max_depth:(max_depth - 1) c);
+          truncated = false }
+
+let default_depth = 32
+
+let why ?(max_depth = default_depth) ~subject ~cycle () =
+  Option.map (build ~max_depth) (Event.latest ~cycle ~subject ())
+
+let of_event ?(max_depth = default_depth) ev = build ~max_depth ev
+
+let rec chain node =
+  node.event :: (match node.cause with None -> [] | Some c -> chain c)
+
+let rec depth node =
+  1 + (match node.cause with None -> 0 | Some c -> depth c)
+
+let rec root node = match node.cause with None -> node | Some c -> root c
+
+let reaches p node = List.exists p (chain node)
+
+let event_line (e : Event.t) =
+  let b = Buffer.create 64 in
+  Buffer.add_string b e.Event.subject;
+  (match e.Event.kind with
+  | Event.Stimulus | Net_change | Var_change | Fault ->
+      Buffer.add_string b (Printf.sprintf " = %d" e.Event.value)
+  | _ -> ());
+  Buffer.add_string b (Printf.sprintf " @ cycle %d" e.Event.cycle);
+  if e.Event.time > 0 then
+    Buffer.add_string b (Printf.sprintf " (t=%d)" e.Event.time);
+  if e.Event.lane >= 0 then
+    Buffer.add_string b (Printf.sprintf " lane %d" e.Event.lane);
+  Buffer.add_string b (Printf.sprintf "  [%s]" (Event.kind_name e.Event.kind));
+  Buffer.contents b
+
+let render node =
+  let b = Buffer.create 256 in
+  let rec go indent node =
+    if indent = 0 then
+      Buffer.add_string b (Printf.sprintf "%s\n" (event_line node.event))
+    else
+      Buffer.add_string b
+        (Printf.sprintf "%s└─ caused by: %s\n"
+           (String.make ((indent - 1) * 3) ' ')
+           (event_line node.event));
+    match node.cause with
+    | Some c -> go (indent + 1) c
+    | None ->
+        if node.truncated then
+          Buffer.add_string b
+            (Printf.sprintf "%s└─ (cause no longer retained)\n"
+               (String.make (indent * 3) ' '))
+  in
+  go 0 node;
+  Buffer.contents b
+
+let rec to_json node =
+  Json.Obj
+    ([ ("event", Event.to_json node.event) ]
+    @ (if node.truncated then [ ("truncated", Json.Bool true) ] else [])
+    @
+    match node.cause with
+    | Some c -> [ ("cause", to_json c) ]
+    | None -> [])

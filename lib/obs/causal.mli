@@ -1,0 +1,41 @@
+(** "Why" queries over the causal event log ({!Event}).
+
+    Given a net/variable and a cycle, resolve the latest value-carrying
+    event on that subject and walk the cause links backward into a
+    bounded causality chain, down to a stimulus edge or fault injection
+    (or until the ring buffer no longer retains the link).  This is the
+    query engine behind [osss_debug --why] and the causality chains the
+    differential harness attaches to divergence reproducers. *)
+
+type node = {
+  event : Event.t;
+  cause : node option;
+  truncated : bool;
+      (** the walk stopped early: depth bound hit, or the cause was
+          evicted from the ring *)
+}
+
+val why :
+  ?max_depth:int -> subject:string -> cycle:int -> unit -> node option
+(** [why ~subject ~cycle ()] — latest {!Event.latest} match for
+    [subject] at or before [cycle], with its cause chain walked to at
+    most [max_depth] (default 32) links.  [None] when no retained event
+    touches the subject. *)
+
+val of_event : ?max_depth:int -> Event.t -> node
+(** Walk the chain of a specific event. *)
+
+val chain : node -> Event.t list
+(** Effect first, root cause last. *)
+
+val depth : node -> int
+val root : node -> node
+
+val reaches : (Event.t -> bool) -> node -> bool
+(** Does any event of the chain satisfy the predicate?  (E.g. "does
+    the explanation reach the injected fault".) *)
+
+val render : node -> string
+(** Indented tree, one event per line, effect at the top. *)
+
+val to_json : node -> Json.t

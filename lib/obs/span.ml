@@ -163,3 +163,53 @@ let rec span_to_json sp =
     | kids -> [ ("children", Json.List (List.map span_to_json kids)) ])
 
 let to_json () = Json.List (List.map span_to_json (root_spans ()))
+
+(* Collapsed-stack (flamegraph) format: one "a;b;c <us>" line per
+   distinct stack, where the count is the stack's self time in
+   microseconds (duration minus the children's durations, clamped at
+   zero).  Identical stacks — the same span name sequence — are folded
+   into one line with summed self times, which is what flamegraph
+   renderers expect. *)
+let to_collapsed () =
+  let tally : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let stacks = ref [] in  (* first-seen order *)
+  let add stack self =
+    match Hashtbl.find_opt tally stack with
+    | Some prior -> Hashtbl.replace tally stack (prior + self)
+    | None ->
+        Hashtbl.replace tally stack self;
+        stacks := stack :: !stacks
+  in
+  let rec walk prefix sp =
+    let stack =
+      if prefix = "" then sp.sp_name else prefix ^ ";" ^ sp.sp_name
+    in
+    let stop = if sp.sp_stop < 0.0 then sp.sp_start else sp.sp_stop in
+    let kids = children sp in
+    let child_time =
+      List.fold_left
+        (fun acc c ->
+          let cstop = if c.sp_stop < 0.0 then c.sp_start else c.sp_stop in
+          acc +. (cstop -. c.sp_start))
+        0.0 kids
+    in
+    let self =
+      int_of_float (us (max 0.0 (stop -. sp.sp_start -. child_time)))
+    in
+    add stack self;
+    List.iter (walk stack) kids
+  in
+  List.iter (walk "") (root_spans ());
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun stack ->
+      Buffer.add_string b
+        (Printf.sprintf "%s %d\n" stack (Hashtbl.find tally stack)))
+    (List.rev !stacks);
+  Buffer.contents b
+
+let save_collapsed path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_collapsed ()))

@@ -58,3 +58,11 @@ val save_chrome : string -> unit
 val to_json : unit -> Json.t
 (** Nested span tree (name, start/duration in ms, attrs, children) as
     embedded in the run report. *)
+
+val to_collapsed : unit -> string
+(** Collapsed-stack (flamegraph) format: one ["root;child;leaf <us>"]
+    line per distinct span-name stack, counting the stack's {e self}
+    time in microseconds, folded across repeats — feed to any
+    flamegraph renderer. *)
+
+val save_collapsed : string -> unit

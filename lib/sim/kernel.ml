@@ -97,6 +97,12 @@ type t = {
   mutable stop_requested : bool;
   wake_tally : (string, int ref) Hashtbl.t;
       (* per-process wake counts, recorded by Process on activation *)
+  (* Causal events (see Obs.Event): seq of the current delta's open
+     event and of the latest process activation, the causes stamped on
+     process wakes.  Gated on the global [Obs.Event.enabled] flag only
+     — one branch each while the log is off. *)
+  mutable ev_delta : int;
+  mutable ev_cause : int;
 }
 
 type event = {
@@ -119,6 +125,8 @@ let create () =
     started = false;
     stop_requested = false;
     wake_tally = Hashtbl.create 16;
+    ev_delta = Obs.Event.no_cause;
+    ev_cause = Obs.Event.no_cause;
   }
 
 let now k = k.now
@@ -126,9 +134,13 @@ let delta_count k = k.deltas
 let process_runs k = k.runs
 
 let record_wake k name =
-  match Hashtbl.find_opt k.wake_tally name with
+  (match Hashtbl.find_opt k.wake_tally name with
   | Some r -> incr r
-  | None -> Hashtbl.replace k.wake_tally name (ref 1)
+  | None -> Hashtbl.replace k.wake_tally name (ref 1));
+  if Obs.Event.enabled () then
+    k.ev_cause <-
+      Obs.Event.emit ~time:k.now ~cycle:k.deltas ~cause:k.ev_delta
+        Obs.Event.Process_run name
 
 let wake_counts k =
   Hashtbl.fold (fun name r acc -> (name, !r) :: acc) k.wake_tally []
@@ -142,6 +154,10 @@ let subscribe_once e f = e.dynamic <- f :: e.dynamic
 
 let notify e =
   let k = e.kernel in
+  if Obs.Event.enabled () then
+    ignore
+      (Obs.Event.emit ~time:k.now ~cycle:k.deltas ~cause:k.ev_cause
+         Obs.Event.Process_wake e.ev_name);
   (* Static subscribers run at every notification; dynamic subscribers
      are consumed.  Subscription order is preserved for determinism. *)
   k.woken <- List.rev_append (List.rev e.dynamic) k.woken;
@@ -161,6 +177,14 @@ let stopped k = k.stop_requested
 let run_delta k =
   k.deltas <- k.deltas + 1;
   Perf.incr ctr_deltas;
+  if Obs.Event.enabled () then begin
+    (* Chain deltas to each other: each open is caused by the previous
+       one, giving [why] a spine to walk along between process events. *)
+    k.ev_delta <-
+      Obs.Event.emit ~time:k.now ~cycle:k.deltas ~cause:k.ev_delta
+        Obs.Event.Delta_open "delta";
+    k.ev_cause <- k.ev_delta
+  end;
   while not (Queue.is_empty k.runnable) do
     let p = Queue.pop k.runnable in
     k.runs <- k.runs + 1;
@@ -172,7 +196,11 @@ let run_delta k =
   List.iter (fun commit -> commit ()) commits;
   let woken = List.rev k.woken in
   k.woken <- [];
-  List.iter (fun f -> Queue.push f k.runnable) woken
+  List.iter (fun f -> Queue.push f k.runnable) woken;
+  if Obs.Event.enabled () then
+    ignore
+      (Obs.Event.emit ~time:k.now ~cycle:k.deltas ~cause:k.ev_delta
+         Obs.Event.Delta_close "delta")
 
 let has_delta_work k =
   (not (Queue.is_empty k.runnable)) || k.updates <> [] || k.woken <> []

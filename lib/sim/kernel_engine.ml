@@ -107,6 +107,14 @@ module Impl = struct
   (* Behavioural processes have no netlist to toggle-cover. *)
   let enable_cover _ = ()
   let cover _ = None
+
+  (* The kernel emits delta/process events whenever the global log is
+     on; there is no per-instance flag to raise. *)
+  let enable_events _ = if not (Obs.Event.enabled ()) then Obs.Event.enable ()
+  let events _ = Obs.Event.events ()
+
+  (* Rewinding suspended process continuations is not supported. *)
+  let checkpoint _ = None
 end
 
 let engine ?label t = Engine.pack ?label (module Impl) t

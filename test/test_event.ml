@@ -1,0 +1,313 @@
+(* Tests for the causal observability stack: the bounded event ring
+   (Obs.Event) and its schema-versioned JSONL codec, the "why" query
+   engine (Obs.Causal), checkpoint/replay bit-identity across the RTL
+   and netlist backends (scalar and word-parallel), the causality and
+   provenance attached to differential divergences, and the
+   collapsed-stack span exporter. *)
+
+open Hdl
+open Builder.Dsl
+module Ev = Obs.Event
+module E = Backend.Equiv
+
+(* The event log and span tracer are process-global; every test leaves
+   them off and empty. *)
+let pristine f () =
+  let finish () =
+    Ev.disable ();
+    Ev.reset ();
+    Obs.Span.disable ();
+    Obs.Span.reset ()
+  in
+  finish ();
+  Fun.protect ~finally:finish f
+
+(* An 8-bit accumulator: y <= y + x every cycle. *)
+let acc_design () =
+  let b = Builder.create "acc" in
+  let x = Builder.input b "x" 8 in
+  let y = Builder.output b "y" 8 in
+  Builder.sync b "accumulate" [ y <-- (v y +: v x) ];
+  Builder.finish b
+
+(* ------------------------------------------------------------------ *)
+(* Ring buffer                                                         *)
+
+let test_ring_wraparound () =
+  Ev.enable ~capacity:8 ();
+  let prev = ref Ev.no_cause in
+  for i = 0 to 19 do
+    prev := Ev.emit ~cycle:i ~value:i ~cause:!prev Ev.Net_change "n"
+  done;
+  Alcotest.(check int) "count" 8 (Ev.count ());
+  Alcotest.(check int) "dropped" 12 (Ev.dropped ());
+  let evs = Ev.events () in
+  Alcotest.(check (list int)) "retained seqs, oldest first"
+    [ 12; 13; 14; 15; 16; 17; 18; 19 ]
+    (List.map (fun (e : Ev.t) -> e.Ev.seq) evs);
+  (* Wraparound makes causes unresolvable, never wrong: a resolved
+     cause is exactly the referenced (older) event; an unresolvable one
+     must lie before the retained window. *)
+  List.iter
+    (fun (e : Ev.t) ->
+      match Ev.find e.Ev.cause with
+      | Some c ->
+          Alcotest.(check int) "cause resolves to its seq" e.Ev.cause c.Ev.seq;
+          Alcotest.(check bool) "cause is older" true (c.Ev.seq < e.Ev.seq)
+      | None ->
+          Alcotest.(check bool) "evicted cause predates the window" true
+            (e.Ev.cause < 12))
+    evs;
+  (* The causal walk over the wrapped ring is bounded and marks the
+     truncation where the chain falls off the retained window. *)
+  let newest = List.nth evs 7 in
+  let node = Obs.Causal.of_event newest in
+  Alcotest.(check int) "walk depth = retained chain" 8 (Obs.Causal.depth node);
+  Alcotest.(check bool) "root truncated by eviction" true
+    (Obs.Causal.root node).Obs.Causal.truncated
+
+(* ------------------------------------------------------------------ *)
+(* JSONL codec                                                         *)
+
+let test_jsonl_roundtrip () =
+  Ev.enable ~capacity:16 ();
+  let s0 = Ev.emit ~cycle:0 ~value:1 Ev.Stimulus "x[0]" in
+  let n0 = Ev.emit ~cycle:0 ~value:0 ~cause:s0 Ev.Net_change "u_m.q[2]" in
+  ignore (Ev.emit ~cycle:1 ~lane:3 ~value:1 ~cause:n0 Ev.Fault "y");
+  ignore (Ev.emit ~time:20 ~cycle:2 Ev.Delta_open "delta");
+  List.iter
+    (fun (e : Ev.t) ->
+      match Ev.of_json (Ev.to_json e) with
+      | Ok e' -> Alcotest.(check bool) "event round-trips" true (e = e')
+      | Error msg -> Alcotest.failf "of_json: %s" msg)
+    (Ev.events ());
+  let s = Ev.to_jsonl () in
+  (match Ev.validate_jsonl s with
+  | Ok n -> Alcotest.(check int) "validates all events" (Ev.count ()) n
+  | Error msg -> Alcotest.failf "validate_jsonl: %s" msg);
+  Alcotest.(check bool) "schema stamp present" true
+    (String.length s >= String.length Ev.schema_version);
+  (* Corruptions the validator must reject: missing header, reordered
+     sequence numbers. *)
+  let lines = String.split_on_char '\n' (String.trim s) in
+  let headerless = String.concat "\n" (List.tl lines) in
+  Alcotest.(check bool) "headerless rejected" true
+    (Result.is_error (Ev.validate_jsonl headerless));
+  let swapped =
+    match lines with
+    | h :: a :: b :: rest -> String.concat "\n" (h :: b :: a :: rest)
+    | _ -> Alcotest.fail "expected at least two event lines"
+  in
+  Alcotest.(check bool) "non-contiguous seqs rejected" true
+    (Result.is_error (Ev.validate_jsonl swapped))
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint / replay bit-identity                                    *)
+
+(* Stimulus as a pure function of (seed, cycle, port index), so any
+   window can be replayed verbatim. *)
+let stim e seed c =
+  List.iteri
+    (fun i (name, width) ->
+      let rng = Random.State.make [| seed; c; i |] in
+      Engine.set_input e name (Bitvec.init width (fun _ -> Random.State.bool rng)))
+    (Engine.inputs e)
+
+let window e seed a b =
+  let acc = ref [] in
+  for c = a to b - 1 do
+    stim e seed c;
+    Engine.step e;
+    acc := List.map (fun (p, _) -> Engine.get e p) (Engine.outputs e) :: !acc
+  done;
+  List.rev !acc
+
+let check_replay make =
+  let e = make () in
+  ignore (window e 7 0 20);
+  let ck =
+    match Engine.checkpoint e with
+    | Some ck -> ck
+    | None -> Alcotest.fail "backend reports no checkpoint support"
+  in
+  Alcotest.(check int) "checkpoint at cycle 20" 20 (Engine.checkpoint_cycle ck);
+  let first = window e 7 20 40 in
+  Engine.restore ck;
+  Alcotest.(check int) "rewound to cycle 20" 20 (Engine.cycles e);
+  let second = window e 7 20 40 in
+  List.iter2
+    (List.iter2 (fun a b ->
+         Alcotest.(check bool) "bit-identical replay" true (Bitvec.equal a b)))
+    first second
+
+let test_checkpoint_rtl () = check_replay (fun () -> Rtl_engine.create (acc_design ()))
+
+let test_checkpoint_netlist () =
+  let nl = Backend.Opt.optimize (Backend.Lower.lower (acc_design ())) in
+  check_replay (fun () -> Backend.Nl_engine.create nl)
+
+(* Word-parallel: distinct per-lane stimulus, per-lane comparison. *)
+let test_checkpoint_word () =
+  let nl = Backend.Opt.optimize (Backend.Lower.lower (acc_design ())) in
+  let e = Backend.Nl_engine.create_word ~lanes:3 nl in
+  let wstim c =
+    for lane = 0 to Engine.lanes e - 1 do
+      List.iteri
+        (fun i (name, width) ->
+          let rng = Random.State.make [| 11; c; i; lane |] in
+          Engine.set_input_lane e ~lane name
+            (Bitvec.init width (fun _ -> Random.State.bool rng)))
+        (Engine.inputs e)
+    done
+  in
+  let wwindow a b =
+    let acc = ref [] in
+    for c = a to b - 1 do
+      wstim c;
+      Engine.step e;
+      for lane = 0 to Engine.lanes e - 1 do
+        acc :=
+          List.map
+            (fun (p, _) -> Engine.get_lane e ~lane p)
+            (Engine.outputs e)
+          :: !acc
+      done
+    done;
+    List.rev !acc
+  in
+  ignore (wwindow 0 20);
+  let ck = Option.get (Engine.checkpoint e) in
+  let first = wwindow 20 40 in
+  Engine.restore ck;
+  let second = wwindow 20 40 in
+  List.iter2
+    (List.iter2 (fun a b ->
+         Alcotest.(check bool) "lane bit-identical replay" true
+           (Bitvec.equal a b)))
+    first second
+
+(* Checkpoint/replay must stay bit-identical with events switched on,
+   and a rewind must not leave stale cause links behind (every cause
+   resolves to an older event). *)
+let test_checkpoint_with_events () =
+  let nl = Backend.Opt.optimize (Backend.Lower.lower (acc_design ())) in
+  let e = Backend.Nl_engine.create nl in
+  Engine.enable_events e;
+  ignore (window e 5 0 10);
+  let ck = Option.get (Engine.checkpoint e) in
+  let first = window e 5 10 20 in
+  Engine.restore ck;
+  let second = window e 5 10 20 in
+  List.iter2
+    (List.iter2 (fun a b ->
+         Alcotest.(check bool) "events-on replay identical" true
+           (Bitvec.equal a b)))
+    first second;
+  List.iter
+    (fun (ev : Ev.t) ->
+      match Ev.find ev.Ev.cause with
+      | Some c ->
+          Alcotest.(check bool) "cause older after rewind" true
+            (c.Ev.seq < ev.Ev.seq)
+      | None -> ())
+    (Ev.events ())
+
+(* ------------------------------------------------------------------ *)
+(* Why queries                                                         *)
+
+let test_why_reaches_stimulus () =
+  let nl = Backend.Opt.optimize (Backend.Lower.lower (acc_design ())) in
+  let e = Backend.Nl_engine.create nl in
+  Engine.enable_events e;
+  Engine.set_input_int e "x" 1;
+  Engine.step e;
+  Engine.set_input_int e "x" 3;
+  Engine.step e;
+  match Obs.Causal.why ~subject:"y" ~cycle:(Engine.cycles e) () with
+  | None -> Alcotest.fail "no event retained on y"
+  | Some node ->
+      Alcotest.(check bool) "chain reaches a stimulus edge" true
+        (Obs.Causal.reaches (fun ev -> ev.Ev.kind = Ev.Stimulus) node);
+      let rendered = Obs.Causal.render node in
+      Alcotest.(check bool) "render mentions the subject" true
+        (String.length rendered > 0 && Obs.Causal.depth node >= 2)
+
+(* ------------------------------------------------------------------ *)
+(* Differential divergence: provenance and causality                   *)
+
+let test_divergence_causality () =
+  let design = acc_design () in
+  (match
+     E.differential ~cycles:60 ~seed:3
+       [
+         (fun () -> Rtl_engine.create ~label:"gold" design);
+         (fun () ->
+           Engine.inject_fault ~from_cycle:10 ~port:"y"
+             (Rtl_engine.create ~label:"victim" design));
+       ]
+   with
+  | Ok _ -> Alcotest.fail "seeded fault produced no divergence"
+  | Error d ->
+      Alcotest.(check int) "provenance seed" 3 d.E.provenance.E.seed;
+      Alcotest.(check int) "provenance lanes" 1 d.E.provenance.E.lanes;
+      Alcotest.(check (list string))
+        "provenance engines, reference first"
+        [ "gold"; "victim+fault:y" ]
+        d.E.provenance.E.engines;
+      Alcotest.(check bool) "causality attached" true (d.E.causality <> []);
+      Alcotest.(check bool) "causality reaches the injected fault" true
+        (List.exists (fun (ev : Ev.t) -> ev.Ev.kind = Ev.Fault) d.E.causality));
+  Alcotest.(check bool) "global event log left disabled" true
+    (not (Ev.enabled ()))
+
+(* ------------------------------------------------------------------ *)
+(* Collapsed stacks                                                    *)
+
+let test_collapsed_stacks () =
+  Obs.Span.enable ();
+  for _ = 1 to 3 do
+    Obs.Span.with_ ~name:"outer" (fun () ->
+        Obs.Span.with_ ~name:"inner" (fun () -> ignore (Sys.opaque_identity 1)))
+  done;
+  let s = Obs.Span.to_collapsed () in
+  let lines = String.split_on_char '\n' (String.trim s) in
+  Alcotest.(check int) "one line per distinct stack" 2 (List.length lines);
+  Alcotest.(check bool) "has folded outer;inner stack" true
+    (List.exists
+       (fun l -> String.length l > 11 && String.sub l 0 11 = "outer;inner")
+       lines);
+  List.iter
+    (fun l ->
+      match String.rindex_opt l ' ' with
+      | None -> Alcotest.failf "no count on %S" l
+      | Some i ->
+          let n = String.sub l (i + 1) (String.length l - i - 1) in
+          Alcotest.(check bool) "count is a number" true
+            (int_of_string_opt n <> None))
+    lines
+
+let () =
+  Alcotest.run "event"
+    [
+      ( "event",
+        [
+          Alcotest.test_case "ring wraparound" `Quick
+            (pristine test_ring_wraparound);
+          Alcotest.test_case "jsonl round-trip" `Quick
+            (pristine test_jsonl_roundtrip);
+          Alcotest.test_case "checkpoint rtl" `Quick
+            (pristine test_checkpoint_rtl);
+          Alcotest.test_case "checkpoint netlist" `Quick
+            (pristine test_checkpoint_netlist);
+          Alcotest.test_case "checkpoint word lanes" `Quick
+            (pristine test_checkpoint_word);
+          Alcotest.test_case "checkpoint with events" `Quick
+            (pristine test_checkpoint_with_events);
+          Alcotest.test_case "why reaches stimulus" `Quick
+            (pristine test_why_reaches_stimulus);
+          Alcotest.test_case "divergence causality" `Quick
+            (pristine test_divergence_causality);
+          Alcotest.test_case "collapsed stacks" `Quick
+            (pristine test_collapsed_stacks);
+        ] );
+    ]
