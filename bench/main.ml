@@ -941,6 +941,85 @@ let measure_hierarchy () =
   in
   (cold_s, warm_s, warm_hits, detail)
 
+(* Dynamic power on the synthesized ExpoCU, OSSS flow vs conventional
+   flow: [Power_dyn.measure] drives both optimized netlists with the
+   same deterministic seeded stimulus, so the energy totals are
+   reproducible figures the CI energy gate can diff against a
+   checked-in baseline. *)
+let power_cycles = 256
+
+let measure_power =
+  lazy
+    (let osss, vhdl = Lazy.force expocu_results in
+     let run (r : Synth.Flow.result) =
+       Synth.Power_dyn.measure ~cycles:power_cycles r.Synth.Flow.netlist
+     in
+     let po = run osss and pv = run vhdl in
+     let side (p : Synth.Power_dyn.report) =
+       let open Obs.Json in
+       Obj
+         [
+           ("total_energy_pj", Float p.Synth.Power_dyn.p_total_energy_pj);
+           ("avg_mw", Float p.Synth.Power_dyn.p_avg_mw);
+           ("peak_mw", Float p.Synth.Power_dyn.p_peak_mw);
+           ("leakage_mw", Float p.Synth.Power_dyn.p_leakage_mw);
+           ( "peak_why",
+             match p.Synth.Power_dyn.p_peak_why with
+             | Some s -> String s
+             | None -> Null );
+         ]
+     in
+     let module_rows ?limit (p : Synth.Power_dyn.report) =
+       let rows =
+         List.sort
+           (fun (a : Synth.Power_dyn.module_row) b ->
+             compare b.Synth.Power_dyn.pm_energy_pj
+               a.Synth.Power_dyn.pm_energy_pj)
+           p.Synth.Power_dyn.p_by_module
+       in
+       let rec take n = function
+         | x :: rest when n > 0 -> x :: take (n - 1) rest
+         | _ -> []
+       in
+       let rows = match limit with Some n -> take n rows | None -> rows in
+       let open Obs.Json in
+       List
+         (List.map
+            (fun (r : Synth.Power_dyn.module_row) ->
+              Obj
+                [
+                  ( "path",
+                    String
+                      (if r.Synth.Power_dyn.pm_path = "" then "<top>"
+                       else r.Synth.Power_dyn.pm_path) );
+                  ("energy_pj", Float r.Synth.Power_dyn.pm_energy_pj);
+                  ("avg_mw", Float r.Synth.Power_dyn.pm_avg_mw);
+                  ("toggles", Int r.Synth.Power_dyn.pm_toggles);
+                ])
+            rows)
+     in
+     let detail =
+       let open Obs.Json in
+       Obj
+         [
+           ("workload", String "expocu_seeded");
+           ("cycles", Int power_cycles);
+           ("lib", String po.Synth.Power_dyn.p_lib);
+           ("freq_mhz", Float po.Synth.Power_dyn.p_freq_mhz);
+           ("osss", side po);
+           ("conventional", side pv);
+           ( "energy_ratio",
+             Float
+               (if pv.Synth.Power_dyn.p_total_energy_pj > 0.0 then
+                  po.Synth.Power_dyn.p_total_energy_pj
+                  /. pv.Synth.Power_dyn.p_total_energy_pj
+                else 0.0) );
+           ("top_modules", module_rows ~limit:5 po);
+           ("osss_by_module", module_rows po);
+         ]
+     in
+     (po, pv, detail))
+
 (* Coverage-instrumented smoke frame: the RTL interpreter carries the
    full model (toggle bits + FSMs + covergroups + protocol monitor),
    and the event-driven netlist contributes its per-net toggle bits
@@ -1057,6 +1136,7 @@ let bench_json ~profile ~lanes () =
   in
   let _, _, perf_gate_detail = measure_perf_gate () in
   let _, _, _, hierarchy_detail = measure_hierarchy () in
+  let _, _, power_detail = Lazy.force measure_power in
   let open Obs.Json in
   let mode_obj sim seconds extras =
     Obj
@@ -1099,6 +1179,7 @@ let bench_json ~profile ~lanes () =
             ] );
         ("perf_gate", perf_gate_detail);
         ("hierarchy", hierarchy_detail);
+        ("power", power_detail);
         ( "rtl",
           Obj
             [
@@ -1265,6 +1346,7 @@ let bench_smoke ~profile () =
   let hier_cold_s, hier_warm_s, hier_warm_hits, hierarchy_detail =
     measure_hierarchy ()
   in
+  let power_osss, _, power_detail = Lazy.force measure_power in
   let rtl = rtl_frame ~pixels () in
   if Rtl_sim.comb_skips rtl = 0 then
     failwith "bench-smoke: rtl scheduler never skipped a process";
@@ -1306,6 +1388,10 @@ let bench_smoke ~profile () =
           ] );
       ("perf_gate", perf_gate_detail);
       ("hierarchy", hierarchy_detail);
+      (* The schema-shaped power section rides in the report's own
+         ?power slot; this extra carries the OSSS-vs-conventional
+         comparison the energy gate reads. *)
+      ("power_compare", power_detail);
       ( "multi_seed_cover",
         Obj
           [
@@ -1324,7 +1410,11 @@ let bench_smoke ~profile () =
       ("hot_modules", Obs.Profile.top (Obs.Profile.by_module rtl_activity));
     ]
   in
-  (extra, profiles, (ratio, speedup), (hier_cold_s, hier_warm_s, hier_warm_hits))
+  ( extra,
+    profiles,
+    (ratio, speedup),
+    (hier_cold_s, hier_warm_s, hier_warm_hits),
+    power_osss )
 
 (* When the smoke run is being traced, pull the remaining instrumented
    layers (the sc_method kernel and the synthesis flow) into the same
@@ -1454,6 +1544,9 @@ type opts = {
   mutable cover_gate : string option;
   mutable perf_gate : string option;
   mutable append_history : string option;  (* date stamp for the entry *)
+  mutable history_check : string option;
+  mutable power_out : string option;
+  mutable power_summary : bool;
   mutable ids : string list;  (* reverse order *)
 }
 
@@ -1462,15 +1555,21 @@ let usage () =
     "usage: bench [--smoke] [--json] [--profile] [--lanes N] [--trace-out \
      FILE] [--stats-json FILE] [--check-report FILE] [--cover-out FILE] \
      [--cover-summary] [--cover-merge A B] [--cover-gate BASELINE] \
-     [--perf-gate BASELINE] [--append-history DATE] [experiment ids...]";
+     [--perf-gate BASELINE] [--append-history DATE] [--history-check FILE] \
+     [--power-out FILE] [--power-summary] [experiment ids...]";
   exit 2
 
 (* CI perf gate: compare the fresh smoke-workload measurements against
    the checked-in BENCH_sim.json.  The evals-per-cycle ratio is a
    deterministic count and may not grow more than 20% over baseline; the
    64-lane per-pattern speedup is wall-clock and may not fall more than
-   20% below baseline nor under the absolute 10x floor. *)
-let perf_gate_check ~baseline (ratio, speedup) (hier_cold_s, hier_warm_s, hier_warm_hits) =
+   20% below baseline nor under the absolute 10x floor.  The OSSS
+   dynamic energy total on the seeded power workload is deterministic
+   and may not grow more than 20% — an optimization that trades area
+   for a hot, always-toggling structure trips this gate. *)
+let perf_gate_check ~baseline (ratio, speedup)
+    (hier_cold_s, hier_warm_s, hier_warm_hits)
+    (power_osss : Synth.Power_dyn.report) =
   let doc =
     try
       let ic = open_in_bin baseline in
@@ -1526,6 +1625,35 @@ let perf_gate_check ~baseline (ratio, speedup) (hier_cold_s, hier_warm_s, hier_w
                  1.2x tolerance)"
                 (hier_warm_s *. 1000.0) (hier_cold_s *. 1000.0)
               :: !failures;
+          (* Energy gate: deterministic seeded-stimulus total vs the
+             baseline's power section (older baselines without one skip
+             the check with a warning rather than failing). *)
+          let energy = power_osss.Synth.Power_dyn.p_total_energy_pj in
+          let base_energy =
+            List.fold_left
+              (fun acc k -> Option.bind acc (Obs.Json.member k))
+              (Some doc)
+              [ "power"; "osss"; "total_energy_pj" ]
+            |> Fun.flip Option.bind Obs.Json.number_value
+          in
+          (match base_energy with
+          | Some base when energy > base *. 1.2 ->
+              failures :=
+                Printf.sprintf
+                  "osss dynamic energy regressed: %.1f pJ, baseline %.1f pJ \
+                   (+20%% tolerance)"
+                  energy base
+                :: !failures
+          | Some base ->
+              Obs.Log.infof
+                "perf-gate: energy %.1f pJ within tolerance of baseline \
+                 %.1f pJ"
+                energy base
+          | None ->
+              Obs.Log.infof
+                "perf-gate: baseline %s has no power section; energy gate \
+                 skipped"
+                baseline);
           (match !failures with
           | [] ->
               Obs.Log.infof
@@ -1545,7 +1673,11 @@ let perf_gate_check ~baseline (ratio, speedup) (hier_cold_s, hier_warm_s, hier_w
 (* One-line performance ledger: append the headline figures of a
    checked-in BENCH_sim.json to bench/history.jsonl, so trend questions
    ("when did the event-driven ratio move?") are a grep, not an
-   archaeology dig through git history of the full report. *)
+   archaeology dig through git history of the full report.  Each line
+   is stamped osss.bench-history/v1; --history-check validates a whole
+   ledger against that schema. *)
+let history_schema = "osss.bench-history/v1"
+
 let append_history ~date ~baseline ~history =
   let doc =
     try
@@ -1566,21 +1698,45 @@ let append_history ~date ~baseline ~history =
           (Some doc) keys
         |> Fun.flip Option.bind Obs.Json.number_value
       in
+      let workload =
+        match
+          Option.bind (Obs.Json.member "workload" doc) Obs.Json.string_value
+        with
+        | Some w -> w
+        | None -> "expocu_frame"
+      in
       match
         ( path [ "netlist"; "event_driven"; "evals_per_cycle" ],
           path [ "perf_gate"; "word64_per_pattern_speedup" ],
           path [ "hierarchy"; "cold_flow_ms" ] )
       with
       | Some evals, Some speedup, Some flow_ms ->
+          (* Energy totals entered the report later; older baselines
+             simply omit the power keys. *)
+          let power_fields =
+            match
+              ( path [ "power"; "osss"; "total_energy_pj" ],
+                path [ "power"; "conventional"; "total_energy_pj" ] )
+            with
+            | Some osss_pj, Some conv_pj ->
+                [
+                  ("osss_energy_pj", Obs.Json.Float osss_pj);
+                  ("conventional_energy_pj", Obs.Json.Float conv_pj);
+                ]
+            | _ -> []
+          in
           let line =
             Obs.Json.to_string
               (Obs.Json.Obj
-                 [
-                   ("date", Obs.Json.String date);
-                   ("evals_per_cycle", Obs.Json.Float evals);
-                   ("word64_speedup", Obs.Json.Float speedup);
-                   ("cold_flow_ms", Obs.Json.Float flow_ms);
-                 ])
+                 ([
+                    ("schema", Obs.Json.String history_schema);
+                    ("date", Obs.Json.String date);
+                    ("workload", Obs.Json.String workload);
+                    ("evals_per_cycle", Obs.Json.Float evals);
+                    ("word64_speedup", Obs.Json.Float speedup);
+                    ("cold_flow_ms", Obs.Json.Float flow_ms);
+                  ]
+                 @ power_fields))
           in
           let oc =
             open_out_gen [ Open_append; Open_creat ] 0o644 history
@@ -1592,6 +1748,81 @@ let append_history ~date ~baseline ~history =
       | _ ->
           Obs.Log.errorf
             "append-history: %s is missing the expected sections" baseline;
+          exit 1)
+
+(* Validate every line of a bench-history ledger: parseable JSON,
+   the v1 stamp, a date, and numeric headline figures.  CI runs this
+   against the checked-in bench/history.jsonl so the ledger stays
+   greppable. *)
+let history_check ~history =
+  let lines =
+    try
+      let ic = open_in history in
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file ->
+            close_in ic;
+            List.rev acc
+      in
+      Some (go [])
+    with Sys_error _ -> None
+  in
+  match lines with
+  | None ->
+      Obs.Log.errorf "history-check: cannot read %s" history;
+      exit 1
+  | Some lines ->
+      let check_line i line =
+        if String.trim line = "" then None
+        else
+          match Obs.Json.of_string line with
+          | exception Obs.Json.Parse_error msg ->
+              Some (Printf.sprintf "line %d: not valid JSON: %s" i msg)
+          | json -> (
+              let str k =
+                Option.bind (Obs.Json.member k json) Obs.Json.string_value
+              in
+              let num k =
+                Option.bind (Obs.Json.member k json) Obs.Json.number_value
+              in
+              match str "schema" with
+              | Some s when s <> history_schema ->
+                  Some
+                    (Printf.sprintf "line %d: schema %S, expected %S" i s
+                       history_schema)
+              | None -> Some (Printf.sprintf "line %d: missing schema" i)
+              | Some _ ->
+                  if str "date" = None then
+                    Some (Printf.sprintf "line %d: missing date" i)
+                  else if str "workload" = None then
+                    Some (Printf.sprintf "line %d: missing workload" i)
+                  else
+                    List.find_map
+                      (fun k ->
+                        if num k = None then
+                          Some
+                            (Printf.sprintf "line %d: %S is not a number" i k)
+                        else None)
+                      [ "evals_per_cycle"; "word64_speedup"; "cold_flow_ms" ])
+      in
+      let errors =
+        List.concat
+          (List.mapi
+             (fun i line ->
+               Option.to_list (check_line (i + 1) line))
+             lines)
+      in
+      let entries =
+        List.length (List.filter (fun l -> String.trim l <> "") lines)
+      in
+      (match errors with
+      | [] ->
+          Printf.printf "%s: ok (%d entries, schema %s)\n" history entries
+            history_schema;
+          exit 0
+      | es ->
+          List.iter (fun e -> Obs.Log.errorf "history-check: %s" e) es;
           exit 1)
 
 let () =
@@ -1610,6 +1841,9 @@ let () =
       cover_gate = None;
       perf_gate = None;
       append_history = None;
+      history_check = None;
+      power_out = None;
+      power_summary = false;
       ids = [];
     }
   in
@@ -1637,6 +1871,15 @@ let () =
         parse rest
     | "--append-history" :: date :: rest ->
         o.append_history <- Some date;
+        parse rest
+    | "--history-check" :: file :: rest ->
+        o.history_check <- Some file;
+        parse rest
+    | "--power-out" :: file :: rest ->
+        o.power_out <- Some file;
+        parse rest
+    | "--power-summary" :: rest ->
+        o.power_summary <- true;
         parse rest
     | "--trace-out" :: file :: rest ->
         o.trace_out <- Some file;
@@ -1674,6 +1917,10 @@ let () =
       append_history ~date
         ~baseline:(Option.value o.perf_gate ~default:"BENCH_sim.json")
         ~history:"bench/history.jsonl"
+  | None -> ());
+  (* --history-check validates the ledger and exits. *)
+  (match o.history_check with
+  | Some file -> history_check ~history:file
   | None -> ());
   (* --cover-merge unions two coverage DBs and exits: CI merges the
      per-seed databases into the uploaded artifact with this. *)
@@ -1743,13 +1990,37 @@ let () =
     Obs.Log.error "--perf-gate is attached to the smoke workload; add --smoke";
     exit 2
   end;
+  let powering = o.power_out <> None || o.power_summary in
+  if powering && not (o.smoke || o.json) then begin
+    Obs.Log.error
+      "power collection is attached to the smoke/json workloads; add --smoke \
+       or --json";
+    exit 2
+  end;
+  (* Exports shared by the smoke and full-json paths: the OSSS power
+     report's VCD waveform and human summary.  In --json mode stdout
+     must stay pure JSON, so the summary goes to stderr. *)
+  let export_power (po : Synth.Power_dyn.report) =
+    (match o.power_out with
+    | Some path ->
+        Synth.Power_dyn.save_vcd po path;
+        Obs.Log.infof "power waveform written to %s" path
+    | None -> ());
+    if o.power_summary then
+      (if o.json then prerr_string else print_string)
+        (Synth.Power_dyn.summary po)
+  in
   let collected = ref None in
+  let power_report = ref None in
   if o.smoke then begin
-    let extra, profiles, gate_vals, hier_vals =
+    let extra, profiles, gate_vals, hier_vals, power_osss =
       bench_smoke ~profile:(o.profile || o.json) ()
     in
+    power_report := Some power_osss;
+    if powering then export_power power_osss;
     (match o.perf_gate with
-    | Some baseline -> perf_gate_check ~baseline gate_vals hier_vals
+    | Some baseline ->
+        perf_gate_check ~baseline gate_vals hier_vals power_osss
     | None -> ());
     if covering then begin
       let db = smoke_cover_db ~pixels:32 () in
@@ -1774,9 +2045,17 @@ let () =
         (Obs.Json.to_string ~pretty:true
            (Obs.Report.make
               ?coverage:(Option.map Cover.Db.to_json !collected)
+              ?power:(Option.map Synth.Power_dyn.to_json !power_report)
               ~profiles ~extra ~run:"bench-smoke" ()))
   end
-  else if o.json then bench_json ~profile:o.profile ~lanes:o.lanes ()
+  else if o.json then begin
+    bench_json ~profile:o.profile ~lanes:o.lanes ();
+    if powering then begin
+      let po, _, _ = Lazy.force measure_power in
+      power_report := Some po;
+      export_power po
+    end
+  end
   else begin
     let selected =
       match List.rev o.ids with
@@ -1802,6 +2081,7 @@ let () =
       Obs.Json.save
         (Obs.Report.make
            ?coverage:(Option.map Cover.Db.to_json !collected)
+           ?power:(Option.map Synth.Power_dyn.to_json !power_report)
            ~run ())
         path;
       Obs.Log.infof "run report written to %s" path

@@ -25,11 +25,16 @@ let paired_name name =
       | Some base when exists (base ^ "_osss") -> Some (base ^ "_osss", name)
       | Some _ | None -> None)
 
-(* Instance tree with per-module cells/FFs/area for both flows side by
-   side, joined on the hierarchical instance path. *)
+(* Instance tree with per-module cells/FFs/area — and dynamic power
+   when the power pass ran — for both flows side by side, joined on the
+   hierarchical instance path. *)
 let hierarchy_table osss_result vhdl_result =
   let buf = Buffer.create 512 in
   let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let with_power =
+    osss_result.Synth.Flow.power <> None
+    || vhdl_result.Synth.Flow.power <> None
+  in
   let rows (r : Synth.Flow.result) =
     List.map
       (fun (bm : Synth.Flow.module_breakdown) -> (bm.Synth.Flow.bm_path, bm))
@@ -52,15 +57,26 @@ let hierarchy_table osss_result vhdl_result =
       in
       String.make (2 * depth) ' ' ^ leaf
   in
-  let side = function
+  let power_cell = function
+    | Some { Synth.Flow.bm_power_mw = Some mw; _ } ->
+        Printf.sprintf " %8.4f" mw
+    | Some _ | None -> if with_power then Printf.sprintf " %8s" "-" else ""
+  in
+  let side bm =
+    (match bm with
     | Some (bm : Synth.Flow.module_breakdown) ->
         Printf.sprintf "%6d %5d %9.1f" bm.Synth.Flow.bm_cells
           bm.Synth.Flow.bm_ffs bm.Synth.Flow.bm_area
-    | None -> Printf.sprintf "%6s %5s %9s" "-" "-" "-"
+    | None -> Printf.sprintf "%6s %5s %9s" "-" "-" "-")
+    ^ power_cell bm
   in
-  p "  %-24s | %6s %5s %9s | %6s %5s %9s\n" "instance" "cells" "ffs" "area GE"
-    "cells" "ffs" "area GE";
-  p "  %-24s | %-22s | %-22s\n" "" "OSSS flow" "conventional flow";
+  let head =
+    Printf.sprintf "%6s %5s %9s%s" "cells" "ffs" "area GE"
+      (if with_power then Printf.sprintf " %8s" "dyn mW" else "")
+  in
+  let width = 22 + if with_power then 9 else 0 in
+  p "  %-24s | %s | %s\n" "instance" head head;
+  p "  %-24s | %-*s | %-*s\n" "" width "OSSS flow" width "conventional flow";
   List.iter
     (fun path ->
       p "  %-24s | %s | %s\n" (label path)
@@ -69,7 +85,7 @@ let hierarchy_table osss_result vhdl_result =
     paths;
   Buffer.contents buf
 
-let hierarchy_report name =
+let hierarchy_report name obs =
   match paired_name name with
   | None ->
       Printf.eprintf
@@ -83,8 +99,13 @@ let hierarchy_report name =
         | Some (_, make) -> make ()
         | None -> assert false
       in
-      let osss_result = Synth.Flow.run Synth.Flow.Osss (make osss_name) in
-      let vhdl_result = Synth.Flow.run Synth.Flow.Vhdl (make conv_name) in
+      let power_cycles = if Obs_cli.powering obs then Some 256 else None in
+      let osss_result =
+        Synth.Flow.run ?power_cycles Synth.Flow.Osss (make osss_name)
+      in
+      let vhdl_result =
+        Synth.Flow.run ?power_cycles Synth.Flow.Vhdl (make conv_name)
+      in
       Printf.printf "hierarchy: %s (OSSS flow) vs %s (conventional flow)\n\n"
         osss_name conv_name;
       print_string (hierarchy_table osss_result vhdl_result);
@@ -95,11 +116,25 @@ let hierarchy_report name =
         osss_result.Synth.Flow.timing.Backend.Timing.critical_ns
         vhdl_result.Synth.Flow.area.Backend.Area.total
         vhdl_result.Synth.Flow.timing.Backend.Timing.critical_ns;
+      (match (osss_result.Synth.Flow.power, vhdl_result.Synth.Flow.power) with
+      | Some op, Some vp ->
+          Printf.printf
+            "power:  OSSS %.3f pJ / %.4f mW avg — conventional %.3f pJ / \
+             %.4f mW avg\n"
+            op.Synth.Power_dyn.p_total_energy_pj op.Synth.Power_dyn.p_avg_mw
+            vp.Synth.Power_dyn.p_total_energy_pj vp.Synth.Power_dyn.p_avg_mw
+      | _ -> ());
+      (* The OSSS side's waveform/summary are the exported ones. *)
+      Obs_cli.finish obs ~run:"design_report"
+        ?power:osss_result.Synth.Flow.power;
       0
 
 let report name show_metrics show_systemc show_passes flow_name json coverage
     hierarchy obs =
-  if hierarchy then hierarchy_report name
+  if hierarchy then begin
+    Obs_cli.setup obs;
+    hierarchy_report name obs
+  end
   else
   match Designs.find name with
   | None ->
@@ -117,10 +152,15 @@ let report name show_metrics show_systemc show_passes flow_name json coverage
             Printf.eprintf "unknown flow %s (osss|vhdl)\n" other;
             exit 1
       in
+      let power_cycles = if Obs_cli.powering obs then Some 256 else None in
+      let flow_power = ref None in
       if json then begin
         (* Machine-readable mode: run the flow and print its result
-           (including the per-pass table) as the only stdout output. *)
-        let result = Synth.Flow.run (flow_kind ()) design in
+           (including the per-pass table) as the only stdout output.
+           With the power flags the result carries the dynamic power
+           table under the same by_module key layout as area. *)
+        let result = Synth.Flow.run ?power_cycles (flow_kind ()) design in
+        flow_power := result.Synth.Flow.power;
         print_endline
           (Obs.Json.to_string ~pretty:true (Synth.Flow.result_json result))
       end
@@ -136,11 +176,14 @@ let report name show_metrics show_systemc show_passes flow_name json coverage
           print_endline "\n-- resolved standard SystemC --";
           print_string (Osss.Resolve.emit_module (Hdl.Elaborate.flatten design))
         end;
-        if show_passes then begin
-          let result = Synth.Flow.run (flow_kind ()) design in
-          Printf.printf "\n-- %s flow pass trace --\n"
-            (Synth.Flow.kind_name (flow_kind ()));
-          print_string (Synth.Flow.pass_table result)
+        if show_passes || Obs_cli.powering obs then begin
+          let result = Synth.Flow.run ?power_cycles (flow_kind ()) design in
+          flow_power := result.Synth.Flow.power;
+          if show_passes then begin
+            Printf.printf "\n-- %s flow pass trace --\n"
+              (Synth.Flow.kind_name (flow_kind ()));
+            print_string (Synth.Flow.pass_table result)
+          end
         end;
         match coverage with
         | Some path -> (
@@ -153,7 +196,7 @@ let report name show_metrics show_systemc show_passes flow_name json coverage
                 exit 1)
         | None -> ()
       end;
-      Obs_cli.finish obs ~run:"design_report";
+      Obs_cli.finish obs ~run:"design_report" ?power:!flow_power;
       0
 
 let design_arg =

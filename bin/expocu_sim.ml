@@ -40,10 +40,47 @@ let run_rtl style frames illumination target seed vcd_path obs =
     end
     else None
   in
-  Rtl_sim.set_input_int sim "ext_reset" 0;
-  Rtl_sim.set_input_int sim "target_bin" target;
-  Rtl_sim.set_input_int sim "sda_in" 0;
-  Rtl_sim.run sim 15;
+  (* Power instrumentation: shadow-simulate the synthesized gate
+     netlist with exactly the stimulus driven into the RTL engine, so
+     the energy figures reflect this closed loop rather than random
+     vectors.  The shadow only consumes inputs — control decisions
+     (exposure feedback, frame_done polling) still come from the RTL
+     simulation. *)
+  let shadow =
+    if Obs_cli.powering obs then begin
+      let kind =
+        if style = "osss" then Synth.Flow.Osss else Synth.Flow.Vhdl
+      in
+      let result = Synth.Flow.run kind design in
+      let nl = result.Synth.Flow.netlist in
+      let nsim = Backend.Nl_sim.create nl in
+      Backend.Nl_sim.enable_power_sampler nsim;
+      Some (nl, nsim)
+    end
+    else None
+  in
+  let set_input name v =
+    Rtl_sim.set_input_int sim name v;
+    match shadow with
+    | Some (_, ns) -> Backend.Nl_sim.set_input_int ns name v
+    | None -> ()
+  in
+  let step () =
+    Rtl_sim.step sim;
+    match shadow with
+    | Some (_, ns) -> Backend.Nl_sim.step ns
+    | None -> ()
+  in
+  let run n =
+    Rtl_sim.run sim n;
+    match shadow with
+    | Some (_, ns) -> Backend.Nl_sim.run ns n
+    | None -> ()
+  in
+  set_input "ext_reset" 0;
+  set_input "target_bin" target;
+  set_input "sda_in" 0;
+  run 15;
   Printf.printf "%5s %8s %10s %10s\n" "frame" "median" "gain" "mean/255";
   for _frame = 1 to frames do
     let gain =
@@ -51,20 +88,20 @@ let run_rtl style frames illumination target seed vcd_path obs =
       /. float_of_int Expocu.Param_calc.gain_unity
     in
     let data = Expocu.Camera.frame camera ~exposure:gain in
-    Rtl_sim.set_input_int sim "frame_sync" 1;
-    Rtl_sim.run sim 4;
-    Rtl_sim.set_input_int sim "line_valid" 1;
+    set_input "frame_sync" 1;
+    run 4;
+    set_input "line_valid" 1;
     Array.iter
       (fun px ->
-        Rtl_sim.set_input_int sim "pixel" px;
-        Rtl_sim.step sim;
+        set_input "pixel" px;
+        step ();
         Option.iter Rtl_trace.sample tracer)
       data;
-    Rtl_sim.set_input_int sim "line_valid" 0;
-    Rtl_sim.set_input_int sim "frame_sync" 0;
+    set_input "line_valid" 0;
+    set_input "frame_sync" 0;
     let guard = ref 0 in
     while Rtl_sim.get_int sim "frame_done" = 0 && !guard < 4000 do
-      Rtl_sim.step sim;
+      step ();
       Option.iter Rtl_trace.sample tracer;
       incr guard
     done;
@@ -112,8 +149,16 @@ let run_rtl style frames illumination target seed vcd_path obs =
                   (Option.value seed ~default:0))
              ())
   in
+  let power =
+    match shadow with
+    | None -> None
+    | Some (nl, ns) ->
+        Option.map
+          (fun act -> Synth.Power_dyn.analyze nl act)
+          (Backend.Nl_sim.power_activity ns)
+  in
   let activity = Rtl_sim.process_activity sim in
-  Obs_cli.finish obs ~run:"expocu_sim" ?cover:cover_db
+  Obs_cli.finish obs ~run:"expocu_sim" ?cover:cover_db ?power
     ~profiles:
       [
         ("hot processes", activity);

@@ -1,7 +1,8 @@
 (* Shared observability plumbing for the command-line tools: the
    --trace-out / --stats-json / --profile flags plus the coverage
-   family (--cover-out / --cover-summary / --cover-merge), switching
-   the collectors on up front and exporting when the run finishes. *)
+   family (--cover-out / --cover-summary / --cover-merge) and the
+   power family (--power-out / --power-summary), switching the
+   collectors on up front and exporting when the run finishes. *)
 
 open Cmdliner
 
@@ -13,6 +14,8 @@ type t = {
   cover_out : string option;
   cover_summary : bool;
   cover_merge : (string * string) option;
+  power_out : string option;
+  power_summary : bool;
 }
 
 let trace_arg =
@@ -68,9 +71,24 @@ let cover_merge_arg =
     & opt (some (pair string string)) None
     & info [ "cover-merge" ] ~docv:"A,B" ~doc)
 
+let power_out_arg =
+  let doc =
+    "Collect windowed switching activity and write the dynamic power \
+     waveform (real-valued total plus one trace per module) as VCD to \
+     $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "power-out" ] ~docv:"FILE" ~doc)
+
+let power_summary_arg =
+  let doc =
+    "Collect windowed switching activity and print the dynamic power \
+     summary (total energy, average/peak power, per-module table)."
+  in
+  Arg.(value & flag & info [ "power-summary" ] ~doc)
+
 let term =
   let make trace_out stats_json flame_out profile cover_out cover_summary
-      cover_merge =
+      cover_merge power_out power_summary =
     {
       trace_out;
       stats_json;
@@ -79,11 +97,14 @@ let term =
       cover_out;
       cover_summary;
       cover_merge;
+      power_out;
+      power_summary;
     }
   in
   Term.(
     const make $ trace_arg $ stats_arg $ flame_arg $ profile_arg
-    $ cover_out_arg $ cover_summary_arg $ cover_merge_arg)
+    $ cover_out_arg $ cover_summary_arg $ cover_merge_arg $ power_out_arg
+    $ power_summary_arg)
 
 let profiling t = t.profile
 
@@ -91,6 +112,9 @@ let profiling t = t.profile
    report simply carries no coverage section then). *)
 let covering t = t.cover_out <> None || t.cover_summary
 let merge_requested t = t.cover_merge
+
+(* Power flags imply activity sampling, mirroring the coverage rule. *)
+let powering t = t.power_out <> None || t.power_summary
 
 let run_merge t (a, b) =
   match (Cover.Db.load a, Cover.Db.load b) with
@@ -118,8 +142,10 @@ let setup t =
 (* [profiles] are raw (name, count) activity lists; ranking and
    serialization happen here.  [cover] is the run's coverage database:
    written to --cover-out, printed on --cover-summary and embedded in
-   the --stats-json report (schema v2). *)
-let finish ?(profiles = []) ?cover ~run t =
+   the --stats-json report.  [power] is the run's dynamic power report:
+   its waveform goes to --power-out, its summary to --power-summary and
+   its JSON into the --stats-json report (schema v3). *)
+let finish ?(profiles = []) ?cover ?power ~run t =
   let ranked =
     List.map (fun (title, raw) -> (title, Obs.Profile.top raw)) profiles
   in
@@ -141,10 +167,25 @@ let finish ?(profiles = []) ?cover ~run t =
         print_string (Cover.Db.summary db)
       end
   | None -> ());
+  (match (power : Synth.Power_dyn.report option) with
+  | Some pr ->
+      (match t.power_out with
+      | Some path ->
+          Synth.Power_dyn.save_vcd pr path;
+          Obs.Log.infof "power waveform written to %s" path
+      | None -> ());
+      if t.power_summary then begin
+        print_newline ();
+        print_string (Synth.Power_dyn.summary pr)
+      end
+  | None -> ());
   (match t.stats_json with
   | Some path ->
       let coverage = Option.map Cover.Db.to_json cover in
-      Obs.Json.save (Obs.Report.make ?coverage ~profiles:ranked ~run ()) path;
+      let power = Option.map Synth.Power_dyn.to_json power in
+      Obs.Json.save
+        (Obs.Report.make ?coverage ?power ~profiles:ranked ~run ())
+        path;
       Obs.Log.infof "run report written to %s" path
   | None -> ());
   (match t.trace_out with

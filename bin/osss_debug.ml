@@ -28,24 +28,29 @@ let make_engine design engine_kind lanes fault =
       exit 2
   | Some (_, ctor) ->
       let m = ctor () in
-      let base =
+      let base, netlist =
         match engine_kind with
-        | "rtl" -> Rtl_engine.create ~label:("rtl:" ^ design) m
+        | "rtl" -> (Rtl_engine.create ~label:("rtl:" ^ design) m, None)
         | "netlist" ->
             let nl = Backend.Opt.optimize (Backend.Lower.lower m) in
-            Backend.Nl_engine.create ~label:("gates:" ^ design) nl
+            (Backend.Nl_engine.create ~label:("gates:" ^ design) nl, Some nl)
         | "word" ->
             let nl = Backend.Opt.optimize (Backend.Lower.lower m) in
-            Backend.Nl_engine.create_word ~label:("word:" ^ design) ~lanes nl
+            ( Backend.Nl_engine.create_word ~label:("word:" ^ design) ~lanes nl,
+              Some nl )
         | other ->
             Printf.eprintf "unknown engine %s (rtl|netlist|word)\n" other;
             exit 2
       in
-      (match fault with
-      | Some (port, from_cycle) ->
-          Engine.inject_fault ~from_cycle:(Option.value from_cycle ~default:0)
-            ~port base
-      | None -> base)
+      let e =
+        match fault with
+        | Some (port, from_cycle) ->
+            Engine.inject_fault
+              ~from_cycle:(Option.value from_cycle ~default:0)
+              ~port base
+        | None -> base
+      in
+      (e, netlist)
 
 (* Stimulus as a pure function of (seed, cycle): replaying any window
    of cycles reproduces the original run exactly, which is what makes
@@ -69,7 +74,14 @@ let read_outputs e =
 
 let simulate design engine_kind lanes cycles seed fault why_spec ckpt_every
     events_out obs =
-  let e = make_engine design engine_kind lanes fault in
+  let e, netlist = make_engine design engine_kind lanes fault in
+  if Obs_cli.powering obs then begin
+    if netlist = None then
+      Obs.Log.infof
+        "power sampling needs a netlist engine (--engine netlist|word); \
+         ignoring power flags";
+    Engine.enable_power_sampler e
+  end;
   (* Phase 1 — record: no events, checkpoints only.  Cheap. *)
   let cks = ref [] in
   let take_ck () =
@@ -87,6 +99,16 @@ let simulate design engine_kind lanes cycles seed fault why_spec ckpt_every
   Obs.Log.infof "recorded %d cycles, %d checkpoint%s" cycles
     (List.length !cks)
     (if List.length !cks = 1 then "" else "s");
+  (* Power is read off the recording run, before the replay re-executes
+     (and would double-count) the window under investigation. *)
+  let power =
+    match netlist with
+    | Some nl when Obs_cli.powering obs ->
+        Option.map
+          (fun act -> Synth.Power_dyn.analyze nl act)
+          (Engine.power_activity e)
+    | Some _ | None -> None
+  in
   (* Phase 2 — replay the window before the cycle under investigation
      with causal events on.  Rich. *)
   let target =
@@ -150,11 +172,40 @@ let simulate design engine_kind lanes cycles seed fault why_spec ckpt_every
               print_endline "=> chain reaches a fault injection";
             0)
   in
-  Obs_cli.finish obs ~run:"osss_debug";
+  Obs_cli.finish obs ~run:"osss_debug" ?power;
   rc
 
+(* --why-peak: pull the "net@cycle" hint a power report left behind
+   (peak_why — hottest net of the peak-power window) out of a JSON
+   document and use it as the --why spec.  Accepts both a run report
+   (power at top level, schema v3) and an osss_synth --json flow
+   result (same key). *)
+let peak_why_of_file path =
+  let text =
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match Obs.Json.of_string text with
+  | exception Obs.Json.Parse_error msg ->
+      Printf.eprintf "%s: not valid JSON: %s\n" path msg;
+      exit 2
+  | json -> (
+      match
+        Option.bind (Obs.Json.member "power" json) (fun p ->
+            Option.bind (Obs.Json.member "peak_why" p) Obs.Json.string_value)
+      with
+      | Some spec -> spec
+      | None ->
+          Printf.eprintf
+            "%s: no power.peak_why in this report (was it produced with \
+             --power-summary/--power-out?)\n"
+            path;
+          exit 2)
+
 let main list_designs check_events design engine_kind lanes cycles seed fault
-    why_spec ckpt_every events_out obs =
+    why_spec why_peak ckpt_every events_out obs =
   if list_designs then begin
     List.iter print_endline (Expocu.Registry.list_lines ());
     0
@@ -172,6 +223,12 @@ let main list_designs check_events design engine_kind lanes cycles seed fault
             1)
     | None ->
         Obs_cli.setup obs;
+        let why_spec =
+          match (why_spec, why_peak) with
+          | Some _, _ -> why_spec
+          | None, Some path -> Some (peak_why_of_file path)
+          | None, None -> None
+        in
         simulate design engine_kind lanes cycles seed
           (Option.map split_spec fault)
           (Option.map split_spec why_spec)
@@ -229,6 +286,16 @@ let why_arg =
   in
   Arg.(value & opt (some string) None & info [ "why" ] ~docv:"NET@N" ~doc)
 
+let why_peak_arg =
+  let doc =
+    "Explain the peak-power window: read $(i,power.peak_why) (the \
+     hottest net of the peak window, as NET@N) from a JSON report \
+     written with --stats-json or osss_synth --json under the power \
+     flags, and run --why on it.  An explicit --why wins."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "why-peak" ] ~docv:"FILE" ~doc)
+
 let ckpt_arg =
   let doc =
     "Take a checkpoint every $(docv) cycles during the recording run (0: \
@@ -251,7 +318,7 @@ let cmd =
     (Cmd.info "osss_debug" ~doc)
     Term.(
       const main $ list_arg $ check_events_arg $ design_arg $ engine_arg
-      $ lanes_arg $ cycles_arg $ seed_arg $ fault_arg $ why_arg $ ckpt_arg
-      $ events_out_arg $ Obs_cli.term)
+      $ lanes_arg $ cycles_arg $ seed_arg $ fault_arg $ why_arg
+      $ why_peak_arg $ ckpt_arg $ events_out_arg $ Obs_cli.term)
 
 let () = exit (Cmd.eval' cmd)

@@ -20,9 +20,12 @@ let synthesize name flow_name out_dir emit_artifacts no_fold layout cec json
             exit 1
       in
       Obs_cli.setup obs;
+      (* --power-out/--power-summary append the dynamic-power pass to
+         the flow (256 cycles of deterministic seeded stimulus). *)
+      let power_cycles = if Obs_cli.powering obs then Some 256 else None in
       let result =
-        Synth.Flow.run ~fold:(not no_fold) ~check_invariants:cec ~layout kind
-          (make ())
+        Synth.Flow.run ~fold:(not no_fold) ~check_invariants:cec ~layout
+          ?power_cycles kind (make ())
       in
       (* --json keeps stdout machine-readable; the narrative goes to
          stderr through the logger. *)
@@ -45,7 +48,7 @@ let synthesize name flow_name out_dir emit_artifacts no_fold layout cec json
             Obs.Log.infof "wrote %s (%d bytes)" path (String.length text))
           result.Synth.Flow.intermediate
       end;
-      Obs_cli.finish obs ~run:"osss_synth";
+      Obs_cli.finish obs ~run:"osss_synth" ?power:result.Synth.Flow.power;
       0
 
 let design_arg =

@@ -17,6 +17,8 @@ module type S = sig
   val probe : t -> string -> Bitvec.t
   val enable_cover : t -> unit
   val cover : t -> Cover.Toggle.t option
+  val enable_power_sampler : t -> unit
+  val power_activity : t -> Cover.Activity.t option
   val enable_events : t -> unit
   val events : t -> Obs.Event.t list
   val checkpoint : t -> (unit -> unit) option
@@ -48,6 +50,9 @@ let probes (Pack ((module M), e, _)) = M.probes e
 let probe (Pack ((module M), e, _)) name = M.probe e name
 let enable_cover (Pack ((module M), e, _)) = M.enable_cover e
 let cover (Pack ((module M), e, _)) = M.cover e
+
+let enable_power_sampler (Pack ((module M), e, _)) = M.enable_power_sampler e
+let power_activity (Pack ((module M), e, _)) = M.power_activity e
 let enable_events (Pack ((module M), e, _)) = M.enable_events e
 let events (Pack ((module M), e, _)) = M.events e
 let checkpoint_thunk (Pack ((module M), e, _)) = M.checkpoint e
@@ -157,6 +162,8 @@ module Faulty = struct
   let probe f name = probe f.inner name
   let enable_cover f = enable_cover f.inner
   let cover f = cover f.inner
+  let enable_power_sampler f = enable_power_sampler f.inner
+  let power_activity f = power_activity f.inner
   let enable_events f = enable_events f.inner
   let events f = events f.inner
   let checkpoint f = checkpoint_thunk f.inner

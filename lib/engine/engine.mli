@@ -68,6 +68,16 @@ module type S = sig
   (** The live toggle collector once {!enable_cover} was called;
       [None] before, or always for unsupported backends. *)
 
+  val enable_power_sampler : t -> unit
+  (** Start windowed switching-activity sampling for dynamic power
+      estimation (a no-op for backends without net-level activity;
+      lane 0 on word-parallel backends). *)
+
+  val power_activity : t -> Cover.Activity.t option
+  (** The live activity sampler once {!enable_power_sampler} was
+      called — feed it to [Synth.Power_dyn.analyze]; [None] before, or
+      always for unsupported backends. *)
+
   val enable_events : t -> unit
   (** Start emitting causal events into the global [Obs.Event] log
       (enabling the log if needed).  Backends without event support
@@ -112,6 +122,8 @@ val probes : t -> (string * int) list
 val probe : t -> string -> Bitvec.t
 val enable_cover : t -> unit
 val cover : t -> Cover.Toggle.t option
+val enable_power_sampler : t -> unit
+val power_activity : t -> Cover.Activity.t option
 val enable_events : t -> unit
 val events : t -> Obs.Event.t list
 

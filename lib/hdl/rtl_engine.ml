@@ -39,6 +39,11 @@ module Impl = struct
   let probe _ _ = raise Not_found
   let enable_cover = Rtl_sim.enable_toggle_cover
   let cover = Rtl_sim.toggle_cover
+
+  (* Power estimation needs gate-level switching activity; the RTL
+     interpreter has no cell capacitances to charge. *)
+  let enable_power_sampler _ = ()
+  let power_activity _ = None
   let enable_events = Rtl_sim.enable_events
   let events _ = Obs.Event.events ()
 

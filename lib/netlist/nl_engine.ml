@@ -73,6 +73,8 @@ let make_impl sim_kind =
 
     let enable_cover t = Nl_sim.enable_toggle_cover t.sim
     let cover t = Nl_sim.toggle_cover t.sim
+    let enable_power_sampler t = Nl_sim.enable_power_sampler t.sim
+    let power_activity t = Nl_sim.power_activity t.sim
     let enable_events t = Nl_sim.enable_events t.sim
     let events _ = Obs.Event.events ()
 
@@ -145,6 +147,10 @@ module Wimpl = struct
   let probe _ _ = raise Not_found
   let enable_cover t = Nl_wsim.enable_toggle_cover t.wsim
   let cover t = Nl_wsim.lane_cover t.wsim 0
+
+  (* Lane 0 is the canonical stimulus lane, matching [cover]. *)
+  let enable_power_sampler t = Nl_wsim.enable_power_sampler t.wsim
+  let power_activity t = Nl_wsim.lane_activity t.wsim 0
   let enable_events t = Nl_wsim.enable_events t.wsim
   let events _ = Obs.Event.events ()
 

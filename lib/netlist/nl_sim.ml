@@ -57,6 +57,11 @@ type t = {
      Recording piggybacks on the per-cycle toggle accounting that runs
      anyway, so a disabled run pays one branch per changed net. *)
   mutable cover : Cover.Toggle.t option;
+  (* Windowed switching-activity sampler for dynamic power estimation;
+     [None] until [enable_power_sampler].  Rides the same per-cycle
+     toggle accounting (snapshot compare in [Full_eval], epoch compare
+     in [Event_driven]), so both modes sample identical activity. *)
+  mutable activity : Cover.Activity.t option;
   (* Causal event log plumbing (see Obs.Event), allocated lazily by
      [enable_events]: [ev_last.(n)] is the seq of net [n]'s latest
      change event, so a cell evaluation that moves its output is caused
@@ -210,6 +215,7 @@ let create ?(mode = Event_driven) nl =
     profiling = false;
     eval_counts = [||];
     cover = None;
+    activity = None;
     ev_on = false;
     ev_last = [||];
     ev_labels = [||];
@@ -444,11 +450,17 @@ let step_full t =
   for n = 0 to Array.length t.values - 1 do
     if t.values.(n) <> snapshot.(n) then begin
       t.toggles.(n) <- t.toggles.(n) + 1;
+      (match t.activity with
+      | None -> ()
+      | Some act -> Cover.Activity.record act n);
       match t.cover with
       | None -> ()
       | Some cov -> Cover.Toggle.record cov n ~rising:t.values.(n)
     end
-  done
+  done;
+  match t.activity with
+  | None -> ()
+  | Some act -> Cover.Activity.end_cycle act
 
 let step_event t =
   (* Flush pending input changes first; the toggle epoch then covers
@@ -485,6 +497,9 @@ let step_event t =
     (fun n ->
       if t.values.(n) <> t.epoch_pre.(n) then begin
         t.toggles.(n) <- t.toggles.(n) + 1;
+        (match t.activity with
+        | None -> ()
+        | Some act -> Cover.Activity.record act n);
         match t.cover with
         | None -> ()
         | Some cov -> Cover.Toggle.record cov n ~rising:t.values.(n)
@@ -493,6 +508,9 @@ let step_event t =
     t.epoch_touched;
   t.epoch_touched <- [];
   t.in_epoch <- false;
+  (match t.activity with
+  | None -> ()
+  | Some act -> Cover.Activity.end_cycle act);
   if t.cover <> None && emitting t then
     ignore
       (Obs.Event.emit ~cycle:t.n_cycles Obs.Event.Cover_epoch
@@ -557,6 +575,15 @@ let enable_toggle_cover t =
   | None -> t.cover <- Some (Cover.Toggle.create ~names:(net_labels t))
 
 let toggle_cover t = t.cover
+
+let enable_power_sampler ?window t =
+  match t.activity with
+  | Some _ -> ()
+  | None ->
+      t.activity <-
+        Some (Cover.Activity.create ?window ~slots:(Netlist.net_count t.nl) ())
+
+let power_activity t = t.activity
 
 (* ------------------------------------------------------------------ *)
 (* Checkpoint / restore: net values plus the event-driven scheduler

@@ -154,6 +154,16 @@ val enable_toggle_cover : t -> unit
 
 val toggle_cover : t -> Cover.Toggle.t option
 
+(** Allocate a windowed switching-activity sampler over all nets
+    ([window] cycles per window, default {!Cover.Activity} size).
+    Idempotent; the first call wins.  Both evaluation modes ride the
+    same per-cycle toggle accounting, so their sampled activity is
+    bit-identical. *)
+val enable_power_sampler : ?window:int -> t -> unit
+
+(** The sampler allocated by {!enable_power_sampler}, if any. *)
+val power_activity : t -> Cover.Activity.t option
+
 (** {1 Causal events and checkpointing} *)
 
 val enable_events : t -> unit

@@ -62,6 +62,10 @@ type t = {
   mutable n_faults : int;
   (* Per-lane toggle coverage; [ [||] ] until [enable_toggle_cover]. *)
   mutable cover : Cover.Toggle.t array;
+  (* Per-lane windowed activity samplers for dynamic power; [ [||] ]
+     until [enable_power_sampler].  Lane 0 samples bit-identically to
+     the scalar simulator's sampler (same epoch accounting). *)
+  mutable activity : Cover.Activity.t array;
   (* Causal event emission (see Obs.Event); [ev_last.(n)] is the seq of
      the newest change event on net [n], the cause fed to readers.
      [ [||] ] until [enable_events], so silent runs pay one branch per
@@ -120,6 +124,7 @@ let create ?(mode = Event_driven) ~lanes nl =
     f_val = [||];
     n_faults = 0;
     cover = [||];
+    activity = [||];
     ev_on = false;
     ev_last = [||];
     ev_labels = [||];
@@ -405,24 +410,33 @@ let diverging_lanes t name =
   !acc
 
 (* Per-cycle toggle accounting for net [n] against its pre-edge words:
-   the lane-0 counter always, per-lane coverage when enabled. *)
+   the lane-0 counter always, per-lane coverage and activity sampling
+   when enabled. *)
 let account_toggles t n pre =
   let base = n * t.nw in
   if (pre 0 lxor t.values.(base)) land 1 <> 0 then
     t.toggles0.(n) <- t.toggles0.(n) + 1;
-  if Array.length t.cover > 0 then
+  if Array.length t.cover > 0 || Array.length t.activity > 0 then
     for w = 0 to t.nw - 1 do
       let now = t.values.(base + w) in
       let ch = (pre w lxor now) land t.word_mask.(w) in
       if ch <> 0 then
         for b = 0 to min lane_bits (t.lanes - (w * lane_bits)) - 1 do
-          if (ch lsr b) land 1 = 1 then
-            Cover.Toggle.record
-              t.cover.((w * lane_bits) + b)
-              n
-              ~rising:((now lsr b) land 1 = 1)
+          if (ch lsr b) land 1 = 1 then begin
+            let lane = (w * lane_bits) + b in
+            if Array.length t.cover > 0 then
+              Cover.Toggle.record t.cover.(lane) n
+                ~rising:((now lsr b) land 1 = 1);
+            if Array.length t.activity > 0 then
+              Cover.Activity.record t.activity.(lane) n
+          end
         done
     done
+
+(* Advance every lane's activity window once per clock cycle. *)
+let end_activity_cycle t =
+  if Array.length t.activity > 0 then
+    Array.iter Cover.Activity.end_cycle t.activity
 
 let sample_dffs t =
   let nw = t.nw in
@@ -451,7 +465,8 @@ let step_full t =
   settle_full t;
   for n = 0 to Netlist.net_count t.nl - 1 do
     account_toggles t n (fun w -> t.snapshot.((n * nw) + w))
-  done
+  done;
+  end_activity_cycle t
 
 let step_event t =
   settle_event t;
@@ -494,6 +509,7 @@ let step_event t =
     t.epoch_touched;
   t.epoch_touched <- [];
   t.in_epoch <- false;
+  end_activity_cycle t;
   if Array.length t.cover > 0 && emitting t then
     ignore
       (Obs.Event.emit ~cycle:t.n_cycles Obs.Event.Cover_epoch
@@ -558,6 +574,17 @@ let enable_toggle_cover t =
 let lane_cover t lane =
   check_lane t lane;
   if Array.length t.cover = 0 then None else Some t.cover.(lane)
+
+let enable_power_sampler ?window t =
+  if Array.length t.activity = 0 then begin
+    let slots = Netlist.net_count t.nl in
+    t.activity <-
+      Array.init t.lanes (fun _ -> Cover.Activity.create ?window ~slots ())
+  end
+
+let lane_activity t lane =
+  check_lane t lane;
+  if Array.length t.activity = 0 then None else Some t.activity.(lane)
 
 (* ------------------------------------------------------------------ *)
 (* Checkpointing                                                       *)

@@ -126,6 +126,14 @@ val enable_toggle_cover : t -> unit
     {!Nl_sim.Sched.net_labels}).  Idempotent. *)
 
 val lane_cover : t -> int -> Cover.Toggle.t option
+
+(** Allocate one windowed switching-activity sampler per lane (see
+    {!Cover.Activity}); idempotent.  Lane 0 samples bit-identically to
+    the scalar {!Nl_sim} sampler under the same stimulus. *)
+val enable_power_sampler : ?window:int -> t -> unit
+
+(** The sampler of one lane, or [None] before {!enable_power_sampler}. *)
+val lane_activity : t -> int -> Cover.Activity.t option
 (** The given lane's collector; [None] before {!enable_toggle_cover}. *)
 
 (** {1 Causal events and checkpointing} *)

@@ -104,9 +104,12 @@ module Impl = struct
   let probes _ = []
   let probe _ _ = raise Not_found
 
-  (* Behavioural processes have no netlist to toggle-cover. *)
+  (* Behavioural processes have no netlist to toggle-cover — nor any
+     gate capacitances for power sampling. *)
   let enable_cover _ = ()
   let cover _ = None
+  let enable_power_sampler _ = ()
+  let power_activity _ = None
 
   (* The kernel emits delta/process events whenever the global log is
      on; there is no per-instance flag to raise. *)

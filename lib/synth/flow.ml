@@ -28,6 +28,7 @@ type module_breakdown = {
   bm_ffs : int;
   bm_area : float;
   bm_worst_ns : float;
+  bm_power_mw : float option;  (* joined from the power pass, when run *)
 }
 
 type result = {
@@ -43,6 +44,7 @@ type result = {
   structure : string;
   passes : pass list;
   layout : layout option;
+  power : Power_dyn.report option;
 }
 
 (* Cell/area/timing snapshot of a netlist, prefixed "before_"/"after_". *)
@@ -123,8 +125,8 @@ let run_pass tr name ?(artifacts = fun _ -> []) ?invariant
   if Obs.Span.enabled () then Obs.Span.with_ ~name:("flow." ^ name) exec
   else exec ()
 
-let run ?(fold = true) ?(check_invariants = false) ?(layout = false) flow_kind
-    (design : Ir.module_def) =
+let run ?(fold = true) ?(check_invariants = false) ?(layout = false)
+    ?power_cycles flow_kind (design : Ir.module_def) =
   (if Obs.Span.enabled () then
      Obs.Span.with_ ~name:"flow.run"
        ~attrs:[ ("kind", kind_name flow_kind); ("design", design.Ir.mod_name) ]
@@ -262,6 +264,7 @@ let run ?(fold = true) ?(check_invariants = false) ?(layout = false) flow_kind
                 bm_ffs = r.Backend.Area.m_ffs;
                 bm_area = r.Backend.Area.m_area;
                 bm_worst_ns = worst;
+                bm_power_mw = None;
               })
             (Backend.Area.by_module netlist)
         in
@@ -269,6 +272,46 @@ let run ?(fold = true) ?(check_invariants = false) ?(layout = false) flow_kind
           Backend.Timing.analyze netlist,
           by_module,
           Analyzer.report design ))
+  in
+  (* Dynamic power, under the deterministic seeded stimulus convention
+     (see Power_dyn.measure): the techmap-aware library when the layout
+     passes ran, the generic one otherwise.  Per-module averages join
+     the area/timing breakdown rows like any other analysis column. *)
+  let power_report =
+    match power_cycles with
+    | None -> None
+    | Some cycles ->
+        Some
+          (run_pass tr "power"
+             ~metrics:(fun (p : Power_dyn.report) ->
+               [
+                 ("after_energy_pj", p.Power_dyn.p_total_energy_pj);
+                 ("after_avg_mw", p.Power_dyn.p_avg_mw);
+                 ("after_peak_mw", p.Power_dyn.p_peak_mw);
+               ])
+             (fun () ->
+               let lib =
+                 if layout then Power_dyn.lut4_lib else Power_dyn.default_lib
+               in
+               Power_dyn.measure ~lib ~cycles netlist))
+  in
+  let by_module =
+    match power_report with
+    | None -> by_module
+    | Some p ->
+        List.map
+          (fun bm ->
+            {
+              bm with
+              bm_power_mw =
+                Option.map
+                  (fun (m : Power_dyn.module_row) -> m.Power_dyn.pm_avg_mw)
+                  (List.find_opt
+                     (fun (m : Power_dyn.module_row) ->
+                       m.Power_dyn.pm_path = bm.bm_path)
+                     p.Power_dyn.p_by_module);
+            })
+          by_module
   in
   {
     flow_kind;
@@ -283,6 +326,7 @@ let run ?(fold = true) ?(check_invariants = false) ?(layout = false) flow_kind
     structure;
     passes = List.rev tr.t_passes;
     layout = layout_report;
+    power = power_report;
   }
 
 let pass_table r =
@@ -369,17 +413,24 @@ let result_json r =
           (List.map
              (fun bm ->
                Obj
-                 [
-                   ( "path",
-                     String (if bm.bm_path = "" then "<top>" else bm.bm_path) );
-                   ("cells", Int bm.bm_cells);
-                   ("ffs", Int bm.bm_ffs);
-                   ("area_ge", Float bm.bm_area);
-                   ("worst_ns", Float bm.bm_worst_ns);
-                 ])
+                 ([
+                    ( "path",
+                      String (if bm.bm_path = "" then "<top>" else bm.bm_path)
+                    );
+                    ("cells", Int bm.bm_cells);
+                    ("ffs", Int bm.bm_ffs);
+                    ("area_ge", Float bm.bm_area);
+                    ("worst_ns", Float bm.bm_worst_ns);
+                  ]
+                 @
+                 match bm.bm_power_mw with
+                 | Some mw -> [ ("dynamic_mw", Float mw) ]
+                 | None -> []))
              r.by_module) );
       ("passes", List (List.map pass_json r.passes));
       ("layout", layout);
+      ( "power",
+        match r.power with Some p -> Power_dyn.to_json p | None -> Null );
     ]
 
 let summary r =
@@ -398,15 +449,23 @@ let summary r =
   (match r.by_module with
   | [] | [ _ ] -> ()
   | rows ->
+      let with_power = r.power <> None in
       p "  per-module:\n";
-      p "    %-24s %6s %5s %9s %9s\n" "instance" "cells" "ffs" "area GE"
-        "worst ns";
+      p "    %-24s %6s %5s %9s %9s%s\n" "instance" "cells" "ffs" "area GE"
+        "worst ns"
+        (if with_power then "    dyn mW" else "");
       List.iter
         (fun bm ->
-          p "    %-24s %6d %5d %9.1f %9.2f\n"
+          p "    %-24s %6d %5d %9.1f %9.2f%s\n"
             (if bm.bm_path = "" then "<top>" else bm.bm_path)
-            bm.bm_cells bm.bm_ffs bm.bm_area bm.bm_worst_ns)
+            bm.bm_cells bm.bm_ffs bm.bm_area bm.bm_worst_ns
+            (match bm.bm_power_mw with
+            | Some mw -> Printf.sprintf " %9.4f" mw
+            | None -> if with_power then Printf.sprintf " %9s" "-" else ""))
         rows);
+  (match r.power with
+  | Some pr -> p "  %s" (Power_dyn.summary pr)
+  | None -> ());
   (match r.layout with
   | Some l ->
       let w, h = l.grid in

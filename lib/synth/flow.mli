@@ -55,6 +55,9 @@ type module_breakdown = {
   bm_ffs : int;
   bm_area : float;  (** gate equivalents *)
   bm_worst_ns : float;  (** worst arrival among the module's cells *)
+  bm_power_mw : float option;
+      (** average dynamic power, joined from the power pass when
+          [~power_cycles] was given *)
 }
 
 type result = {
@@ -78,18 +81,25 @@ type result = {
   structure : string;  (** analyzer report *)
   passes : pass list;  (** the full pass trace, in execution order *)
   layout : layout option;  (** populated by [~layout:true] *)
+  power : Power_dyn.report option;  (** populated by [~power_cycles] *)
 }
 
 val run :
   ?fold:bool ->
   ?check_invariants:bool ->
   ?layout:bool ->
+  ?power_cycles:int ->
   kind ->
   Ir.module_def ->
   result
 (** [check_invariants] (default [false]) runs CEC around every
     netlist-rewriting pass; [layout] (default [false]) extends the
-    pipeline through technology mapping and place & route. *)
+    pipeline through technology mapping and place & route;
+    [power_cycles] adds a dynamic-power pass that simulates the
+    optimized netlist for that many cycles of deterministic seeded
+    stimulus ({!Power_dyn.measure}; the techmap-aware library when
+    [layout] also ran) and joins per-module averages into
+    [by_module]. *)
 
 val pass_table : result -> string
 (** One line per pass: name, time, cell/area/timing deltas, invariant

@@ -1,4 +1,6 @@
-type id = { vid : string; vwidth : int }
+type vkind = Wire | Real
+
+type id = { vid : string; vwidth : int; vkind : vkind }
 
 type var = {
   var_id : id;
@@ -32,7 +34,7 @@ let create ?(date = "osss simulation") ?(version = "osss-ocaml vcd writer")
   }
 
 (* Short printable identifiers drawn from the printable ASCII range. *)
-let fresh_id t width =
+let fresh_id t width kind =
   let n = t.next_id in
   t.next_id <- n + 1;
   let base = 94 and first = 33 in
@@ -41,18 +43,31 @@ let fresh_id t width =
     let acc = String.make 1 c ^ acc in
     if n < base then acc else build ((n / base) - 1) acc
   in
-  { vid = build n ""; vwidth = width }
+  { vid = build n ""; vwidth = width; vkind = kind }
 
-let register t ?scope ?initial ~name ~width () =
-  let id = fresh_id t width in
+let add_var t ?scope ?initial ~name id =
   t.vars <-
     { var_id = id; var_name = name; var_scope = scope; var_initial = initial }
     :: t.vars;
   id
 
+let register t ?scope ?initial ~name ~width () =
+  add_var t ?scope ?initial ~name (fresh_id t width Wire)
+
+(* %.16g round-trips every double; readers (GTKWave, Surfer) parse the
+   full "r<float>" change syntax of IEEE 1364. *)
+let real_string v = Printf.sprintf "%.16g" v
+
+let register_real t ?scope ?initial ~name () =
+  let initial = Option.map real_string initial in
+  add_var t ?scope ?initial ~name (fresh_id t 64 Real)
+
 let emit_value buf id value =
-  if id.vwidth = 1 then Buffer.add_string buf (value ^ id.vid ^ "\n")
-  else Buffer.add_string buf (Printf.sprintf "b%s %s\n" value id.vid)
+  match id.vkind with
+  | Real -> Buffer.add_string buf (Printf.sprintf "r%s %s\n" value id.vid)
+  | Wire ->
+      if id.vwidth = 1 then Buffer.add_string buf (value ^ id.vid ^ "\n")
+      else Buffer.add_string buf (Printf.sprintf "b%s %s\n" value id.vid)
 
 exception Non_monotonic_time of { last : int; got : int }
 
@@ -66,22 +81,35 @@ let () =
              got last)
     | _ -> None)
 
-let change t ~time id value =
-  if time < t.last_time then raise (Non_monotonic_time { last = t.last_time; got = time });
+let stamp t ~time =
+  if time < t.last_time then
+    raise (Non_monotonic_time { last = t.last_time; got = time });
   if time <> t.last_time then begin
     Buffer.add_string t.changes (Printf.sprintf "#%d\n" time);
     t.last_time <- time
-  end;
+  end
+
+let change t ~time id value =
+  if id.vkind = Real then
+    invalid_arg "Vcd_writer.change: real-valued signal (use change_real)";
+  stamp t ~time;
   emit_value t.changes id value
 
 let change_bv t ~time id bv = change t ~time id (Bitvec.to_binary_string bv)
 
+let change_real t ~time id v =
+  if id.vkind <> Real then
+    invalid_arg "Vcd_writer.change_real: bit-vector signal (use change)";
+  stamp t ~time;
+  emit_value t.changes id (real_string v)
+
 let signal_count t = List.length t.vars
 
 let declare buf v =
+  let kind = match v.var_id.vkind with Wire -> "wire" | Real -> "real" in
   Buffer.add_string buf
-    (Printf.sprintf "$var wire %d %s %s $end\n" v.var_id.vwidth v.var_id.vid
-       v.var_name)
+    (Printf.sprintf "$var %s %d %s %s $end\n" kind v.var_id.vwidth
+       v.var_id.vid v.var_name)
 
 let contents t =
   let b = Buffer.create (Buffer.length t.changes + 1024) in

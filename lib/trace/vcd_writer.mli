@@ -32,11 +32,22 @@ val register : t -> ?scope:string -> ?initial:string -> name:string ->
     is a binary value emitted in a [$dumpvars] section (the section is
     present iff at least one signal registered an initial value). *)
 
+val register_real : t -> ?scope:string -> ?initial:float -> name:string ->
+  unit -> id
+(** Declare a real-valued (analog) signal — [$var real 64] in the
+    header, [r<float>] value changes — e.g. a power waveform next to
+    the digital nets.  [scope] nests exactly like {!register}. *)
+
 val change : t -> time:int -> id -> string -> unit
 (** Record a value change (binary string, no ["b"] prefix) at [time].
-    Raises {!Non_monotonic_time} if [time] decreases across calls. *)
+    Raises {!Non_monotonic_time} if [time] decreases across calls, and
+    [Invalid_argument] on a signal registered with {!register_real}. *)
 
 val change_bv : t -> time:int -> id -> Bitvec.t -> unit
+
+val change_real : t -> time:int -> id -> float -> unit
+(** Record a real value change at [time]; same monotonic-time rule as
+    {!change}.  Raises [Invalid_argument] on a bit-vector signal. *)
 
 val signal_count : t -> int
 

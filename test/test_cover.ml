@@ -273,6 +273,170 @@ let test_nl_sim_modes_agree () =
   Alcotest.(check bool) "netlist covered something" true
     (Cover.Toggle.covered ev > 0)
 
+(* ------------------------------------------------------------------ *)
+(* Activity: windowed switching-activity sampling for power            *)
+
+let test_activity_windows () =
+  let a = Cover.Activity.create ~window:4 ~slots:3 () in
+  Alcotest.(check int) "window size" 4 (Cover.Activity.window_size a);
+  Alcotest.(check int) "slots" 3 (Cover.Activity.slots a);
+  (* 6 cycles: slot 0 toggles every cycle, slot 2 only in cycle 5 *)
+  for c = 0 to 5 do
+    Cover.Activity.record a 0;
+    if c = 5 then Cover.Activity.record a 2;
+    Cover.Activity.end_cycle a
+  done;
+  Alcotest.(check int) "one full window closed" 1
+    (Cover.Activity.window_count a);
+  Alcotest.(check int) "totals include the open window" 7
+    (Cover.Activity.total_toggles a);
+  Alcotest.(check int) "cycles include the open window" 6
+    (Cover.Activity.cycles a);
+  Cover.Activity.flush a;
+  Cover.Activity.flush a (* idempotent *);
+  (match Cover.Activity.windows a with
+  | [ w0; w1 ] ->
+      Alcotest.(check int) "w0 index" 0 w0.Cover.Activity.w_index;
+      Alcotest.(check int) "w0 start" 0 w0.Cover.Activity.w_start;
+      Alcotest.(check int) "w0 cycles" 4 w0.Cover.Activity.w_cycles;
+      Alcotest.(check (list (pair int int))) "w0 sparse counts" [ (0, 4) ]
+        w0.Cover.Activity.w_counts;
+      Alcotest.(check int) "w1 start" 4 w1.Cover.Activity.w_start;
+      Alcotest.(check int) "w1 partial cycles" 2 w1.Cover.Activity.w_cycles;
+      Alcotest.(check (list (pair int int)))
+        "w1 counts ascending by slot"
+        [ (0, 2); (2, 1) ]
+        w1.Cover.Activity.w_counts;
+      Alcotest.(check int) "window_toggles" 3
+        (Cover.Activity.window_toggles w1)
+  | ws -> Alcotest.failf "expected 2 windows after flush, got %d"
+            (List.length ws));
+  (match Cover.Activity.peak a with
+  | Some w -> Alcotest.(check int) "peak is the full window" 0
+                w.Cover.Activity.w_index
+  | None -> Alcotest.fail "no peak window");
+  (* flushing with no pending cycles must not add an empty window *)
+  Alcotest.(check int) "flush is idempotent" 2 (Cover.Activity.window_count a)
+
+let test_activity_rejects_bad_geometry () =
+  let raises f =
+    match f () with
+    | _ -> false
+    | exception Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "zero-length window" true
+    (raises (fun () -> Cover.Activity.create ~window:0 ~slots:4 ()));
+  Alcotest.(check bool) "negative window" true
+    (raises (fun () -> Cover.Activity.create ~window:(-3) ~slots:4 ()));
+  Alcotest.(check bool) "negative slots" true
+    (raises (fun () -> Cover.Activity.create ~slots:(-1) ()));
+  (* zero slots is a legal degenerate sampler *)
+  let a = Cover.Activity.create ~slots:0 () in
+  Cover.Activity.end_cycle a;
+  Alcotest.(check int) "zero-slot sampler counts cycles" 1
+    (Cover.Activity.cycles a)
+
+(* A sampler window that straddles a coverage epoch boundary: toggle
+   coverage (per-epoch pre/post comparison) and the activity sampler
+   ride the same change detection, so neither loses or double-counts
+   toggles when their periods are coprime. *)
+let test_activity_straddles_epoch () =
+  let nl = Backend.Lower.lower (small_design ()) in
+  let sim = Backend.Nl_sim.create ~mode:Backend.Nl_sim.Event_driven nl in
+  Backend.Nl_sim.enable_toggle_cover sim;
+  Backend.Nl_sim.enable_events sim (* epoch emission on *);
+  Backend.Nl_sim.enable_power_sampler ~window:5 sim;
+  Backend.Nl_sim.set_input_int sim "a" 0;
+  for c = 1 to 13 do
+    Backend.Nl_sim.set_input_int sim "a" (c land 3);
+    Backend.Nl_sim.step sim
+  done;
+  let act =
+    match Backend.Nl_sim.power_activity sim with
+    | Some a -> a
+    | None -> Alcotest.fail "no sampler after enable"
+  in
+  Alcotest.(check int) "sampler saw every cycle"
+    (Backend.Nl_sim.cycles sim)
+    (Cover.Activity.cycles act);
+  Alcotest.(check int) "sampler toggles = simulator toggles"
+    (Backend.Nl_sim.toggle_total sim)
+    (Cover.Activity.total_toggles act);
+  Cover.Activity.flush act;
+  (* windows tile the run contiguously: starts 0,5,10 with 5,5,3 cycles *)
+  let ws = Cover.Activity.windows act in
+  Alcotest.(check (list (pair int int)))
+    "window tiling"
+    [ (0, 5); (5, 5); (10, 3) ]
+    (List.map
+       (fun w -> (w.Cover.Activity.w_start, w.Cover.Activity.w_cycles))
+       ws)
+
+(* Event-driven and full-eval scheduling must report identical windowed
+   activity, not merely identical toggle totals. *)
+let test_activity_modes_agree () =
+  let nl = Backend.Lower.lower (small_design ()) in
+  let run mode =
+    let sim = Backend.Nl_sim.create ~mode nl in
+    Backend.Nl_sim.enable_power_sampler ~window:3 sim;
+    Backend.Nl_sim.set_input_int sim "a" 0;
+    drive_int
+      (Backend.Nl_sim.set_input_int sim)
+      (fun () -> Backend.Nl_sim.step sim);
+    match Backend.Nl_sim.power_activity sim with
+    | Some a ->
+        Cover.Activity.flush a;
+        a
+    | None -> Alcotest.fail "no sampler after enable"
+  in
+  let ev = run Backend.Nl_sim.Event_driven in
+  let fl = run Backend.Nl_sim.Full_eval in
+  let shape a =
+    List.map
+      (fun w ->
+        ( w.Cover.Activity.w_index,
+          w.Cover.Activity.w_start,
+          w.Cover.Activity.w_cycles,
+          w.Cover.Activity.w_counts ))
+      (Cover.Activity.windows a)
+  in
+  Alcotest.(check bool) "some activity recorded" true
+    (Cover.Activity.total_toggles ev > 0);
+  Alcotest.(check bool) "event/full windows identical" true
+    (shape ev = shape fl)
+
+let test_engine_power_threading () =
+  let design = small_design () in
+  let nl = Backend.Lower.lower design in
+  let exercise expect_support eng =
+    Alcotest.(check bool)
+      (Engine.label eng ^ " sampler off by default")
+      true
+      (Engine.power_activity eng = None);
+    Engine.enable_power_sampler eng;
+    Engine.set_input_int eng "a" 3;
+    Engine.step eng;
+    Engine.set_input_int eng "a" 0;
+    Engine.step eng;
+    match (Engine.power_activity eng, expect_support) with
+    | Some act, true ->
+        Alcotest.(check bool)
+          (Engine.label eng ^ " recorded activity")
+          true
+          (Cover.Activity.total_toggles act > 0)
+    | None, false -> ()
+    | Some _, false ->
+        Alcotest.failf "%s unexpectedly supports power" (Engine.label eng)
+    | None, true ->
+        Alcotest.failf "%s lost its sampler" (Engine.label eng)
+  in
+  exercise true (Backend.Nl_engine.create ~label:"nl" nl);
+  exercise true (Backend.Nl_engine.create_word ~label:"word" ~lanes:4 nl);
+  exercise false (Rtl_engine.create ~label:"rtl" design);
+  (* the Faulty wrapper must delegate both operations *)
+  exercise true
+    (Engine.inject_fault ~port:"y" (Backend.Nl_engine.create ~label:"fnl" nl))
+
 let test_engine_cover_threading () =
   let design = small_design () in
   let exercise eng =
@@ -312,6 +476,15 @@ let suite =
     Alcotest.test_case "nl_sim modes agree" `Quick test_nl_sim_modes_agree;
     Alcotest.test_case "engine cover threading" `Quick
       test_engine_cover_threading;
+    Alcotest.test_case "activity windows" `Quick test_activity_windows;
+    Alcotest.test_case "activity rejects bad geometry" `Quick
+      test_activity_rejects_bad_geometry;
+    Alcotest.test_case "activity straddles epoch" `Quick
+      test_activity_straddles_epoch;
+    Alcotest.test_case "activity modes agree" `Quick
+      test_activity_modes_agree;
+    Alcotest.test_case "engine power threading" `Quick
+      test_engine_power_threading;
   ]
 
 let () = Alcotest.run "cover" [ ("cover", suite) ]

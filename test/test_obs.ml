@@ -338,6 +338,39 @@ let test_report_v2_coverage () =
     (rejected
        (patched (Obs.Json.Obj [ ("schema", Obs.Json.String "osss.run-report/v2") ])))
 
+(* A report as PR-8-era tooling wrote it (schema v2, coverage but no
+   power section), frozen as text: old artifacts must keep validating. *)
+let v2_fixture =
+  {|{
+  "schema": "osss.run-report/v2",
+  "run": "pr8-era",
+  "counters": {"nl_sim.steps": 12},
+  "histograms": {},
+  "gauges": {},
+  "spans": [],
+  "profiles": {},
+  "coverage": {"schema": "osss.coverage-db/v1", "run": "pr8-era",
+               "toggles": [], "fsms": [], "groups": [], "monitors": []}
+}|}
+
+let append_section fixture key value =
+  match Obs.Json.of_string fixture with
+  | Obs.Json.Obj kvs -> Obs.Json.Obj (kvs @ [ (key, value) ])
+  | _ -> Alcotest.fail "fixture is not an object"
+
+let test_report_v2_regression () =
+  (match Obs.Report.validate_string v2_fixture with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "v2 report rejected: %s" e);
+  (* ...but neither a v1 nor a v2 stamp can carry the v3 power section *)
+  let rejected doc =
+    match Obs.Report.validate doc with Ok () -> false | Error _ -> true
+  in
+  Alcotest.(check bool) "v2 with power rejected" true
+    (rejected (append_section v2_fixture "power" (Obs.Json.Obj [])));
+  Alcotest.(check bool) "v1 with power rejected" true
+    (rejected (append_section v1_fixture "power" (Obs.Json.Obj [])))
+
 (* ------------------------------------------------------------------ *)
 (* Span coverage of the instrumented layers                            *)
 
@@ -349,6 +382,56 @@ let small_design () =
   let y = Builder.output b "y" 4 in
   Builder.sync b "acc" [ y <-- (v a +: v x) ];
   Builder.finish b
+
+let test_report_v3_power () =
+  let nl = Backend.Opt.optimize (Backend.Lower.lower (small_design ())) in
+  let pow = Synth.Power_dyn.measure ~cycles:32 nl in
+  let report =
+    Obs.Report.make ~power:(Synth.Power_dyn.to_json pow) ~run:"test" ()
+  in
+  (match Obs.Report.validate report with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "v3 report with power invalid: %s" e);
+  (* full serialize/parse/validate round trip, as CI does it *)
+  (match Obs.Report.validate_string (Obs.Json.to_string ~pretty:true report) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "round-tripped v3 report invalid: %s" e);
+  let patched value =
+    match report with
+    | Obs.Json.Obj kvs ->
+        Obs.Json.Obj
+          (List.map (fun (k, v) -> if k = "power" then (k, value) else (k, v)) kvs)
+    | _ -> Alcotest.fail "report is not an object"
+  in
+  let rejected doc =
+    match Obs.Report.validate doc with Ok () -> false | Error _ -> true
+  in
+  Alcotest.(check bool) "power must be an object" true
+    (rejected (patched (Obs.Json.String "hot")));
+  let drop key =
+    match Obs.Json.member "power" report with
+    | Some (Obs.Json.Obj kvs) ->
+        patched (Obs.Json.Obj (List.filter (fun (k, _) -> k <> key) kvs))
+    | _ -> Alcotest.fail "power section is not an object"
+  in
+  Alcotest.(check bool) "power needs total_energy_pj" true
+    (rejected (drop "total_energy_pj"));
+  Alcotest.(check bool) "power needs avg_mw" true (rejected (drop "avg_mw"));
+  Alcotest.(check bool) "power needs samples" true (rejected (drop "samples"));
+  let replace key value =
+    match Obs.Json.member "power" report with
+    | Some (Obs.Json.Obj kvs) ->
+        patched
+          (Obs.Json.Obj
+             (List.map (fun (k, v) -> if k = key then (k, value) else (k, v)) kvs))
+    | _ -> Alcotest.fail "power section is not an object"
+  in
+  Alcotest.(check bool) "samples must be a list" true
+    (rejected (replace "samples" (Obs.Json.Int 3)));
+  Alcotest.(check bool) "by_module must be a list" true
+    (rejected (replace "by_module" (Obs.Json.String "u_top")));
+  Alcotest.(check bool) "peak_mw must be a number" true
+    (rejected (replace "peak_mw" (Obs.Json.String "1.5")))
 
 let test_flow_span_coverage () =
   Obs.Span.enable ();
@@ -447,6 +530,10 @@ let suite =
       (pristine test_report_rejects_corrupt);
     Alcotest.test_case "report v1 regression" `Quick
       (pristine test_report_v1_regression);
+    Alcotest.test_case "report v2 regression" `Quick
+      (pristine test_report_v2_regression);
+    Alcotest.test_case "report v3 power" `Quick
+      (pristine test_report_v3_power);
     Alcotest.test_case "report v2 coverage" `Quick
       (pristine test_report_v2_coverage);
     Alcotest.test_case "flow span coverage" `Quick

@@ -199,12 +199,74 @@ let test_vcd_non_monotonic_time () =
   Alcotest.(check bool) "later change accepted" true
     (contains "#10" (Vcd_writer.contents w))
 
+(* Real-valued variables ($var real): declaration syntax, r-prefixed
+   change records, and the kind split between change and change_real. *)
+let test_vcd_real_var () =
+  let w = Vcd_writer.create ~timescale:"1ns" () in
+  let p = Vcd_writer.register_real w ~initial:0.0 ~name:"power_mw" () in
+  let wire = Vcd_writer.register w ~name:"clk" ~width:1 () in
+  Vcd_writer.change_real w ~time:0 p 1.25;
+  Vcd_writer.change w ~time:0 wire "1";
+  Vcd_writer.change_real w ~time:64 p 0.0625;
+  let doc = Vcd_writer.contents w in
+  Alcotest.(check bool) "real declaration" true
+    (contains "$var real 64" doc);
+  Alcotest.(check bool) "wire declaration intact" true
+    (contains "$var wire 1" doc);
+  Alcotest.(check bool) "r-prefixed change" true (contains "r1.25 " doc);
+  Alcotest.(check bool) "second sample" true (contains "r0.0625 " doc);
+  (* dumpvars carries the initial real value *)
+  Alcotest.(check bool) "initial in dumpvars" true (contains "r0 " doc)
+
+let test_vcd_real_kind_mismatch () =
+  let w = Vcd_writer.create () in
+  let p = Vcd_writer.register_real w ~name:"p" () in
+  let s = Vcd_writer.register w ~name:"s" ~width:4 () in
+  Alcotest.check_raises "change on a real id"
+    (Invalid_argument "Vcd_writer.change: real-valued signal (use change_real)")
+    (fun () -> Vcd_writer.change w ~time:0 p "1010");
+  Alcotest.check_raises "change_real on a wire id"
+    (Invalid_argument "Vcd_writer.change_real: bit-vector signal (use change)")
+    (fun () -> Vcd_writer.change_real w ~time:0 s 1.0)
+
+let test_vcd_real_non_monotonic () =
+  (* Real changes share the timestamp discipline with wire changes. *)
+  let w = Vcd_writer.create () in
+  let p = Vcd_writer.register_real w ~name:"p" () in
+  Vcd_writer.change_real w ~time:7 p 0.5;
+  (match Vcd_writer.change_real w ~time:2 p 0.25 with
+  | () -> Alcotest.fail "rewinding time must raise"
+  | exception Vcd_writer.Non_monotonic_time { last; got } ->
+      Alcotest.(check int) "last emitted" 7 last;
+      Alcotest.(check int) "offending time" 2 got);
+  Vcd_writer.change_real w ~time:7 p 0.75 (* same time stays legal *)
+
+let test_vcd_real_nested_scope () =
+  let w = Vcd_writer.create ~top:"power" () in
+  let a = Vcd_writer.register_real w ~scope:"u_top.u_hist" ~name:"mw" () in
+  Vcd_writer.change_real w ~time:1 a 3.5;
+  let doc = Vcd_writer.contents w in
+  (* dotted scope paths become nested $scope blocks *)
+  Alcotest.(check bool) "outer scope" true
+    (contains "$scope module u_top $end" doc);
+  Alcotest.(check bool) "inner scope" true
+    (contains "$scope module u_hist $end" doc);
+  Alcotest.(check bool) "real var in scope" true
+    (contains "$var real 64" doc)
+
 let suite =
   [
     Alcotest.test_case "rtl trace vcd" `Quick test_rtl_trace_vcd;
     Alcotest.test_case "vcd id allocation past 94" `Quick test_vcd_many_signals;
     Alcotest.test_case "vcd non-monotonic time" `Quick
       test_vcd_non_monotonic_time;
+    Alcotest.test_case "vcd real var" `Quick test_vcd_real_var;
+    Alcotest.test_case "vcd real kind mismatch" `Quick
+      test_vcd_real_kind_mismatch;
+    Alcotest.test_case "vcd real non-monotonic time" `Quick
+      test_vcd_real_non_monotonic;
+    Alcotest.test_case "vcd real nested scope" `Quick
+      test_vcd_real_nested_scope;
     Alcotest.test_case "object tracing" `Quick test_object_tracing;
     Alcotest.test_case "operator<< show" `Quick test_show;
     Alcotest.test_case "peek field" `Quick test_peek_field;
