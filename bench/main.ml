@@ -752,9 +752,12 @@ let xcheck () =
    [bind] resolves a port name to its drive closure once, up front, so
    backends with prebound port handles (Nl_sim.in_port) pay no name
    lookup in the stimulus loop; all simulators share the exact same
-   drive sequence. *)
-let drive_frame ~bind ~step ~get ~pixels () =
-  let frame = Array.init pixels (fun i -> i * 53 mod 256) in
+   drive sequence.  [seed] offsets the pixel stream (seed 0 is the
+   historical stream, and matches lane [seed] of the word-parallel
+   frame's per-lane offsets), giving the multi-seed coverage runs
+   distinct but deterministic stimulus. *)
+let drive_frame ?(seed = 0) ~bind ~step ~get ~pixels () =
+  let frame = Array.init pixels (fun i -> ((i * 53) + (seed * 17)) mod 256) in
   let ext_reset = bind "ext_reset"
   and target_bin = bind "target_bin"
   and sda_in = bind "sda_in"
@@ -1023,13 +1026,16 @@ let measure_power =
 (* Coverage-instrumented smoke frame: the RTL interpreter carries the
    full model (toggle bits + FSMs + covergroups + protocol monitor),
    and the event-driven netlist contributes its per-net toggle bits
-   under the "nl:" prefix, so one DB spans both abstraction levels. *)
-let smoke_cover_db ~pixels () =
+   under the "nl:" prefix, so one DB spans both abstraction levels.
+   Safe to run as a [Par] shard: all simulators and collectors are
+   created here, inside the shard, and only the finished immutable DB
+   escapes. *)
+let smoke_cover_db ?(seed = 0) ~pixels () =
   let sim = Rtl_sim.create (Expocu.Expocu_top.rtl_top ()) in
   Rtl_sim.enable_toggle_cover sim;
   let cp = Expocu.Coverpoints.attach sim in
   let mon = Expocu.Monitors.expocu_monitor sim in
-  drive_frame
+  drive_frame ~seed
     ~bind:(fun name -> Rtl_sim.set_input_int sim name)
     ~step:(fun () -> Rtl_sim.step sim)
     ~get:(Rtl_sim.get_int sim)
@@ -1047,7 +1053,7 @@ let smoke_cover_db ~pixels () =
       (Lazy.force gate_netlist)
   in
   Backend.Nl_sim.enable_toggle_cover nl;
-  drive_frame ~bind:(nl_bind nl)
+  drive_frame ~seed ~bind:(nl_bind nl)
     ~step:(fun () -> Backend.Nl_sim.step nl)
     ~get:(Backend.Nl_sim.get_output_int nl)
     ~pixels ();
@@ -1060,7 +1066,22 @@ let smoke_cover_db ~pixels () =
     ~fsms:(Expocu.Coverpoints.fsms cp)
     ~groups:(Expocu.Coverpoints.groups cp)
     ~monitors:(Assert_mon.db_monitors mon)
-    ~run:"bench-smoke" ()
+    ~run:(if seed = 0 then "bench-smoke" else Printf.sprintf "bench-smoke:seed%d" seed)
+    ()
+
+(* Multi-seed coverage closure, sharded one seed per domain: each shard
+   builds its own simulators and per-seed [Cover.Db], and the per-seed
+   databases merge in seed order with the monotone [Cover.Db.merge] —
+   so the merged DB is byte-identical for every [jobs]. *)
+let multi_seed_cover_db ?jobs ~seeds ~pixels () =
+  ignore (Lazy.force gate_netlist) (* force outside the shards *);
+  Par.map_list ?jobs
+    ~label:(Printf.sprintf "cover-seed-%d")
+    (fun seed -> smoke_cover_db ~seed ~pixels ())
+    seeds
+  |> function
+  | [] -> failwith "multi_seed_cover_db: no seeds"
+  | first :: rest -> List.fold_left Cover.Db.merge first rest
 
 (* Coverage gate: the freshly collected DB must not regress against the
    checked-in baseline — every item the baseline covered must still be
@@ -1084,6 +1105,127 @@ let cover_gate ~baseline db =
             (fun (kind, item) -> Obs.Log.errorf "  %-9s %s" kind item)
             lost;
           exit 1)
+
+(* Parallel campaign measurement for the [Par] domain pool: the same
+   fault list and seed set run at jobs=1 and jobs=4, and the results
+   must be bit-identical (the determinism contract) while the
+   wall-clock ratio gives the speedup figure the CI parallel gate
+   watches.  The fault count is tuned to the word packing: 62 faults
+   per 4-way shard keep each shard's 63 lanes (golden + faults) inside
+   one machine word, while the serial run packs all 249 lanes into
+   four words — equal total gate work either way, so the ratio
+   isolates pool overhead and the host's core count rather than a
+   packing artefact. *)
+let parallel_jobs = 4
+let parallel_faults = 248
+let parallel_cover_seeds = [ 0; 1; 2; 3 ]
+
+let measure_parallel () =
+  let jobs = parallel_jobs in
+  let nl = Lazy.force gate_netlist in
+  let rng = Random.State.make [| 0x9A8 |] in
+  let n_nets = Backend.Netlist.net_count nl in
+  let faults =
+    List.init parallel_faults (fun _ ->
+        {
+          Backend.Equiv.fault_net = Random.State.int rng n_nets;
+          stuck_at = Random.State.bool rng;
+        })
+  in
+  let drive _ (name, r) = if name = "ext_reset" then Bitvec.zero 1 else r in
+  let run_campaign jobs =
+    timed (fun () ->
+        Backend.Equiv.fault_campaign ~cycles:120 ~drive ~shrink:false ~jobs nl
+          faults)
+  in
+  let serial, serial_s = run_campaign 1 in
+  let par, par_s = run_campaign jobs in
+  (* Determinism contract: per-fault detection results and the cycle
+     figure are identical for every [jobs]; only the gate-eval total
+     legitimately varies with the sharding. *)
+  if
+    serial.Backend.Equiv.fault_results <> par.Backend.Equiv.fault_results
+    || serial.Backend.Equiv.faults_detected
+       <> par.Backend.Equiv.faults_detected
+    || serial.Backend.Equiv.campaign_cycles
+       <> par.Backend.Equiv.campaign_cycles
+  then failwith "parallel: sharded fault campaign diverged from jobs=1";
+  let db_string db = Obs.Json.to_string (Cover.Db.to_json db) in
+  let cov_serial, cov_serial_s =
+    timed (fun () ->
+        multi_seed_cover_db ~jobs:1 ~seeds:parallel_cover_seeds
+          ~pixels:perf_gate_pixels ())
+  in
+  let cov_par, cov_par_s =
+    timed (fun () ->
+        multi_seed_cover_db ~jobs ~seeds:parallel_cover_seeds
+          ~pixels:perf_gate_pixels ())
+  in
+  if db_string cov_serial <> db_string cov_par then
+    failwith "parallel: sharded multi-seed coverage DB diverged from jobs=1";
+  (* N-way differential sweep across stimulus seeds, one shard per
+     seed: every seed must hold RTL and gate level in lockstep. *)
+  let sweep_seeds = [ 42; 43; 44; 45 ] in
+  let sweep =
+    Backend.Equiv.differential_sweep ~cycles:100 ~shrink:false ~jobs
+      ~seeds:sweep_seeds
+      [
+        (fun () ->
+          Rtl_engine.create ~label:"rtl:expocu" (Expocu.Expocu_top.rtl_top ()));
+        (fun () ->
+          Backend.Nl_engine.create ~label:"gates:event"
+            ~mode:Backend.Nl_sim.Event_driven nl);
+      ]
+  in
+  List.iter
+    (fun (seed, r) ->
+      match r with
+      | Ok _ -> ()
+      | Error _ ->
+          failwith
+            (Printf.sprintf "parallel: differential sweep diverged at seed %d"
+               seed))
+    sweep;
+  let speedup num den = if den > 0.0 then num /. den else 0.0 in
+  let detail =
+    let open Obs.Json in
+    let shard_h = Obs.Hist.histogram "par.shard_ms" in
+    Obj
+      [
+        ("jobs", Int jobs);
+        ("recommended_domains", Int (Domain.recommended_domain_count ()));
+        ("identical", Bool true);
+        ( "fault_campaign",
+          Obj
+            [
+              ("faults", Int parallel_faults);
+              ("cycles", Int serial.Backend.Equiv.campaign_cycles);
+              ("detected", Int serial.Backend.Equiv.faults_detected);
+              ("serial_ms", Float (serial_s *. 1000.0));
+              ("parallel_ms", Float (par_s *. 1000.0));
+              ("speedup", Float (speedup serial_s par_s));
+            ] );
+        ( "multi_seed_cover",
+          Obj
+            [
+              ("seeds", List (List.map (fun s -> Int s) parallel_cover_seeds));
+              ("pixels", Int perf_gate_pixels);
+              ("serial_ms", Float (cov_serial_s *. 1000.0));
+              ("parallel_ms", Float (cov_par_s *. 1000.0));
+              ("speedup", Float (speedup cov_serial_s cov_par_s));
+            ] );
+        ( "differential_sweep",
+          Obj
+            [
+              ("seeds", List (List.map (fun (s, _) -> Int s) sweep));
+              ("all_ok", Bool true);
+            ] );
+        ( "shard_ms",
+          if Obs.Hist.count shard_h > 0 then Obs.Hist.to_json shard_h else Null
+        );
+      ]
+  in
+  (serial_s, par_s, detail)
 
 (* Emit BENCH_sim.json: cycles/sec and evals/cycle for the ExpoCU frame
    workload — netlist simulator in both modes, plus the RTL
@@ -1137,6 +1279,7 @@ let bench_json ~profile ~lanes () =
   let _, _, perf_gate_detail = measure_perf_gate () in
   let _, _, _, hierarchy_detail = measure_hierarchy () in
   let _, _, power_detail = Lazy.force measure_power in
+  let _, _, parallel_detail = measure_parallel () in
   let open Obs.Json in
   let mode_obj sim seconds extras =
     Obj
@@ -1180,6 +1323,7 @@ let bench_json ~profile ~lanes () =
         ("perf_gate", perf_gate_detail);
         ("hierarchy", hierarchy_detail);
         ("power", power_detail);
+        ("parallel", parallel_detail);
         ( "rtl",
           Obj
             [
@@ -1347,6 +1491,7 @@ let bench_smoke ~profile () =
     measure_hierarchy ()
   in
   let power_osss, _, power_detail = Lazy.force measure_power in
+  let par_serial_s, par_par_s, parallel_detail = measure_parallel () in
   let rtl = rtl_frame ~pixels () in
   if Rtl_sim.comb_skips rtl = 0 then
     failwith "bench-smoke: rtl scheduler never skipped a process";
@@ -1360,6 +1505,15 @@ let bench_smoke ~profile () =
     (Backend.Nl_sim.gate_evals ev)
     (Backend.Nl_sim.gate_evals fl)
     speedup ratio (Rtl_sim.comb_runs rtl) (Rtl_sim.comb_skips rtl);
+  Obs.Log.infof
+    "bench-smoke parallel: %d-fault campaign + %d-seed coverage + sweep \
+     identical at jobs 1 and %d (campaign %.0f ms serial, %.0f ms at %d \
+     jobs on %d recommended domains)"
+    parallel_faults
+    (List.length parallel_cover_seeds)
+    parallel_jobs (par_serial_s *. 1000.0) (par_par_s *. 1000.0)
+    parallel_jobs
+    (Domain.recommended_domain_count ());
   let rtl_activity = Rtl_sim.process_activity rtl in
   let extra =
     let open Obs.Json in
@@ -1392,6 +1546,7 @@ let bench_smoke ~profile () =
          ?power slot; this extra carries the OSSS-vs-conventional
          comparison the energy gate reads. *)
       ("power_compare", power_detail);
+      ("parallel", parallel_detail);
       ( "multi_seed_cover",
         Obj
           [
@@ -1414,7 +1569,8 @@ let bench_smoke ~profile () =
     profiles,
     (ratio, speedup),
     (hier_cold_s, hier_warm_s, hier_warm_hits),
-    power_osss )
+    power_osss,
+    (par_serial_s, par_par_s) )
 
 (* When the smoke run is being traced, pull the remaining instrumented
    layers (the sc_method kernel and the synthesis flow) into the same
@@ -1547,6 +1703,7 @@ type opts = {
   mutable history_check : string option;
   mutable power_out : string option;
   mutable power_summary : bool;
+  mutable jobs : int option;
   mutable ids : string list;  (* reverse order *)
 }
 
@@ -1556,7 +1713,7 @@ let usage () =
      FILE] [--stats-json FILE] [--check-report FILE] [--cover-out FILE] \
      [--cover-summary] [--cover-merge A B] [--cover-gate BASELINE] \
      [--perf-gate BASELINE] [--append-history DATE] [--history-check FILE] \
-     [--power-out FILE] [--power-summary] [experiment ids...]";
+     [--power-out FILE] [--power-summary] [--jobs N] [experiment ids...]";
   exit 2
 
 (* CI perf gate: compare the fresh smoke-workload measurements against
@@ -1569,7 +1726,7 @@ let usage () =
    for a hot, always-toggling structure trips this gate. *)
 let perf_gate_check ~baseline (ratio, speedup)
     (hier_cold_s, hier_warm_s, hier_warm_hits)
-    (power_osss : Synth.Power_dyn.report) =
+    (power_osss : Synth.Power_dyn.report) (par_serial_s, par_par_s) =
   let doc =
     try
       let ic = open_in_bin baseline in
@@ -1654,6 +1811,40 @@ let perf_gate_check ~baseline (ratio, speedup)
                 "perf-gate: baseline %s has no power section; energy gate \
                  skipped"
                 baseline);
+          (* Parallel gate: the 4-job campaign must finish in at most
+             0.6x the serial wall-clock.  Wall-clock scaling needs real
+             cores, so hosts with fewer than 4 recommended domains skip
+             with a warning — as do baselines predating the parallel
+             section. *)
+          (match
+             Option.bind (Obs.Json.member "parallel" doc) (fun p ->
+                 Obs.Json.member "jobs" p)
+           with
+          | None ->
+              Obs.Log.infof
+                "perf-gate: baseline %s has no parallel section; parallel \
+                 gate skipped"
+                baseline
+          | Some _ ->
+              if Domain.recommended_domain_count () < 4 then
+                Obs.Log.infof
+                  "perf-gate: host recommends %d domains (< 4); parallel \
+                   gate skipped (campaign %.0f ms serial, %.0f ms at 4 jobs)"
+                  (Domain.recommended_domain_count ())
+                  (par_serial_s *. 1000.0) (par_par_s *. 1000.0)
+              else if par_par_s > par_serial_s *. 0.6 then
+                failures :=
+                  Printf.sprintf
+                    "4-job fault campaign took %.0f ms against %.0f ms \
+                     serial (over the 0.6x ceiling)"
+                    (par_par_s *. 1000.0) (par_serial_s *. 1000.0)
+                  :: !failures
+              else
+                Obs.Log.infof
+                  "perf-gate: parallel ok — campaign %.0f ms at 4 jobs vs \
+                   %.0f ms serial (%.1fx)"
+                  (par_par_s *. 1000.0) (par_serial_s *. 1000.0)
+                  (par_serial_s /. par_par_s));
           (match !failures with
           | [] ->
               Obs.Log.infof
@@ -1738,6 +1929,40 @@ let append_history ~date ~baseline ~history =
                   ]
                  @ power_fields))
           in
+          (* Refuse a duplicate ledger entry: re-running the CI step on
+             the same day must not stack identical lines.  Only the
+             LAST entry for this workload is consulted — an older
+             same-date line (a backfill) is someone's explicit edit. *)
+          let last_date_for_workload =
+            try
+              let ic = open_in history in
+              let last = ref None in
+              (try
+                 while true do
+                   let l = input_line ic in
+                   if String.trim l <> "" then
+                     match Obs.Json.of_string l with
+                     | exception Obs.Json.Parse_error _ -> ()
+                     | j ->
+                         let str k =
+                           Option.bind (Obs.Json.member k j)
+                             Obs.Json.string_value
+                         in
+                         if str "workload" = Some workload then
+                           last := str "date"
+                 done
+               with End_of_file -> ());
+              close_in ic;
+              !last
+            with Sys_error _ -> None
+          in
+          if last_date_for_workload = Some date then begin
+            Obs.Log.errorf
+              "append-history: %s already ends with a %s entry for %s — \
+               refusing the duplicate"
+              history date workload;
+            exit 1
+          end;
           let oc =
             open_out_gen [ Open_append; Open_creat ] 0o644 history
           in
@@ -1844,6 +2069,7 @@ let () =
       history_check = None;
       power_out = None;
       power_summary = false;
+      jobs = None;
       ids = [];
     }
   in
@@ -1881,6 +2107,14 @@ let () =
     | "--power-summary" :: rest ->
         o.power_summary <- true;
         parse rest
+    | "--jobs" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n when n >= 1 ->
+            o.jobs <- Some n;
+            parse rest
+        | Some _ | None ->
+            Obs.Log.errorf "--jobs expects a positive integer, got %s" n;
+            usage ())
     | "--trace-out" :: file :: rest ->
         o.trace_out <- Some file;
         parse rest
@@ -1910,6 +2144,9 @@ let () =
         parse rest
   in
   parse (List.tl (Array.to_list Sys.argv));
+  (* Campaign parallelism: every ?jobs default in the process follows
+     this ([Par.default_jobs]); jobs=1 runs the serial code paths. *)
+  (match o.jobs with Some j -> Par.set_default_jobs j | None -> ());
   (* --append-history summarizes a checked-in baseline and exits; the
      baseline defaults to BENCH_sim.json but follows --perf-gate. *)
   (match o.append_history with
@@ -2013,14 +2250,14 @@ let () =
   let collected = ref None in
   let power_report = ref None in
   if o.smoke then begin
-    let extra, profiles, gate_vals, hier_vals, power_osss =
+    let extra, profiles, gate_vals, hier_vals, power_osss, par_vals =
       bench_smoke ~profile:(o.profile || o.json) ()
     in
     power_report := Some power_osss;
     if powering then export_power power_osss;
     (match o.perf_gate with
     | Some baseline ->
-        perf_gate_check ~baseline gate_vals hier_vals power_osss
+        perf_gate_check ~baseline gate_vals hier_vals power_osss par_vals
     | None -> ());
     if covering then begin
       let db = smoke_cover_db ~pixels:32 () in

@@ -166,6 +166,103 @@ let run_rtl style frames illumination target seed vcd_path obs =
       ];
   if !mon_ok then 0 else 1
 
+(* One quiet closed-loop coverage run at [seed]: builds its own design,
+   camera, simulator and collectors — everything a shard needs lives on
+   the shard's domain ([Par] thread-affinity contract) — and returns
+   only the finished per-seed coverage database. *)
+let cover_run ~style ~frames ~illumination ~target ~seed () =
+  let design =
+    match style with
+    | "osss" -> Expocu.Expocu_top.osss_top ()
+    | _ -> Expocu.Expocu_top.rtl_top ()
+  in
+  let camera =
+    Expocu.Camera.create ~width:64 ~height:4 ~illumination ~seed ()
+  in
+  let sim = Rtl_sim.create design in
+  Rtl_sim.enable_toggle_cover sim;
+  let cp = Expocu.Coverpoints.attach sim in
+  let mon = Expocu.Monitors.expocu_monitor sim in
+  let set_input = Rtl_sim.set_input_int sim in
+  set_input "ext_reset" 0;
+  set_input "target_bin" target;
+  set_input "sda_in" 0;
+  Rtl_sim.run sim 15;
+  for _frame = 1 to frames do
+    let gain =
+      float_of_int (Rtl_sim.get_int sim "exposure")
+      /. float_of_int Expocu.Param_calc.gain_unity
+    in
+    let data = Expocu.Camera.frame camera ~exposure:gain in
+    set_input "frame_sync" 1;
+    Rtl_sim.run sim 4;
+    set_input "line_valid" 1;
+    Array.iter
+      (fun px ->
+        set_input "pixel" px;
+        Rtl_sim.step sim)
+      data;
+    set_input "line_valid" 0;
+    set_input "frame_sync" 0;
+    let guard = ref 0 in
+    while Rtl_sim.get_int sim "frame_done" = 0 && !guard < 4000 do
+      Rtl_sim.step sim;
+      incr guard
+    done;
+    Expocu.Coverpoints.sample_frame cp sim
+  done;
+  Assert_mon.finish mon;
+  if not (Assert_mon.ok mon) then
+    failwith (Printf.sprintf "seed %d: protocol monitor violated" seed);
+  let tg =
+    match Rtl_sim.toggle_cover sim with
+    | Some tg -> tg
+    | None -> assert false
+  in
+  Cover.Db.make
+    ~toggles:(Cover.Db.toggle_entries tg)
+    ~fsms:(Expocu.Coverpoints.fsms cp)
+    ~groups:(Expocu.Coverpoints.groups cp)
+    ~monitors:(Assert_mon.db_monitors mon)
+    ~run:(Printf.sprintf "expocu_sim:%s:seed%d" style seed)
+    ()
+
+(* Multi-seed coverage sweep: one shard per seed on the [Par] domain
+   pool, per-seed databases merged in seed order — so the merged DB is
+   identical for every --jobs value. *)
+let run_seeds style frames illumination target base_seed nseeds obs =
+  if not (Obs_cli.covering obs) then begin
+    Obs.Log.error
+      "--seeds is a coverage sweep; add --cover-out or --cover-summary";
+    1
+  end
+  else begin
+    let seeds = List.init nseeds (fun i -> base_seed + i) in
+    let dbs =
+      Par.map_list
+        ~label:(fun i -> Printf.sprintf "cover-seed-%d" (base_seed + i))
+        (fun seed -> cover_run ~style ~frames ~illumination ~target ~seed ())
+        seeds
+    in
+    let merged =
+      match dbs with
+      | [] -> assert false
+      | d :: rest -> List.fold_left Cover.Db.merge d rest
+    in
+    List.iter2
+      (fun seed db ->
+        let t = Cover.Db.totals db in
+        Printf.printf "seed %5d: %d/%d toggle bits covered\n" seed
+          t.Cover.Db.toggle_covered t.Cover.Db.toggle_bits)
+      seeds dbs;
+    let t = Cover.Db.totals merged in
+    Printf.printf "merged %d seeds (jobs %d): %d/%d toggle bits covered\n"
+      nseeds (Par.default_jobs ()) t.Cover.Db.toggle_covered
+      t.Cover.Db.toggle_bits;
+    Obs_cli.finish obs ~run:"expocu_sim" ~cover:merged;
+    0
+  end
+
 let run_behavioural frames illumination target =
   let r =
     Expocu.Behave_model.run ~frames ~illumination ~target_bin:target ()
@@ -178,13 +275,22 @@ let run_behavioural frames illumination target =
     r.Expocu.Behave_model.sim_cycles r.Expocu.Behave_model.kernel_runs;
   0
 
-let main level style frames illumination target seed vcd obs =
+let main level style frames illumination target seed seeds vcd obs =
   match Obs_cli.merge_requested obs with
   | Some pair -> Obs_cli.run_merge obs pair
   | None -> (
       Obs_cli.setup obs;
       match level with
-      | "rtl" -> run_rtl style frames illumination target seed vcd obs
+      | "rtl" -> (
+          match seeds with
+          | Some n when n >= 1 ->
+              run_seeds style frames illumination target
+                (Option.value seed ~default:0)
+                n obs
+          | Some n ->
+              Printf.eprintf "--seeds expects a positive count, got %d\n" n;
+              1
+          | None -> run_rtl style frames illumination target seed vcd obs)
       | "behavioural" | "behavioral" ->
           if Obs_cli.covering obs then
             Obs.Log.infof
@@ -223,6 +329,15 @@ let seed_arg =
   in
   Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"N" ~doc)
 
+let seeds_arg =
+  let doc =
+    "Coverage sweep over $(docv) consecutive camera seeds starting at \
+     --seed: one quiet closed-loop run per seed, sharded across the \
+     --jobs domain pool, per-seed coverage databases merged in seed \
+     order.  Needs a coverage flag (--cover-out or --cover-summary)."
+  in
+  Arg.(value & opt (some int) None & info [ "seeds" ] ~docv:"N" ~doc)
+
 let vcd_arg =
   let doc = "Dump a VCD waveform of the bus-level signals (RTL level only)." in
   Arg.(value & opt (some string) None & info [ "vcd" ] ~docv:"FILE" ~doc)
@@ -233,6 +348,6 @@ let cmd =
     (Cmd.info "expocu_sim" ~doc)
     Term.(
       const main $ level_arg $ style_arg $ frames_arg $ illum_arg $ target_arg
-      $ seed_arg $ vcd_arg $ Obs_cli.term)
+      $ seed_arg $ seeds_arg $ vcd_arg $ Obs_cli.term)
 
 let () = exit (Cmd.eval' cmd)

@@ -16,6 +16,7 @@ type t = {
   cover_merge : (string * string) option;
   power_out : string option;
   power_summary : bool;
+  jobs : int option;
 }
 
 let trace_arg =
@@ -86,9 +87,18 @@ let power_summary_arg =
   in
   Arg.(value & flag & info [ "power-summary" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Run sharded campaigns (fault lists, multi-seed sweeps) on $(docv) \
+     domains.  Defaults to the machine's recommended domain count (or the \
+     OSSS_JOBS environment variable); 1 runs the serial code paths. \
+     Results are bit-identical for every value."
+  in
+  Arg.(value & opt (some int) None & info [ "jobs" ] ~docv:"N" ~doc)
+
 let term =
   let make trace_out stats_json flame_out profile cover_out cover_summary
-      cover_merge power_out power_summary =
+      cover_merge power_out power_summary jobs =
     {
       trace_out;
       stats_json;
@@ -99,12 +109,13 @@ let term =
       cover_merge;
       power_out;
       power_summary;
+      jobs;
     }
   in
   Term.(
     const make $ trace_arg $ stats_arg $ flame_arg $ profile_arg
     $ cover_out_arg $ cover_summary_arg $ cover_merge_arg $ power_out_arg
-    $ power_summary_arg)
+    $ power_summary_arg $ jobs_arg)
 
 let profiling t = t.profile
 
@@ -133,6 +144,10 @@ let run_merge t (a, b) =
       1
 
 let setup t =
+  (match t.jobs with
+  | Some j when j >= 1 -> Par.set_default_jobs j
+  | Some j -> invalid_arg (Printf.sprintf "--jobs %d: expected >= 1" j)
+  | None -> ());
   if t.trace_out <> None || t.stats_json <> None || t.flame_out <> None
   then begin
     Obs.Span.enable ();

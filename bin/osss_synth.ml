@@ -3,8 +3,47 @@
 
 open Cmdliner
 
+(* --sweep N: differential sweep between the RTL interpretation of the
+   flattened design and the event-driven simulation of the synthesized
+   netlist, one full lockstep run per stimulus seed, sharded across the
+   --jobs domain pool.  Exits non-zero on any divergence. *)
+let sweep_check (result : Synth.Flow.result) nseeds =
+  let design = result.Synth.Flow.flat in
+  let nl = result.Synth.Flow.netlist in
+  let seeds = List.init nseeds (fun i -> i) in
+  let outcomes =
+    Backend.Equiv.differential_sweep ~cycles:300 ~seeds
+      [
+        (fun () -> Rtl_engine.create ~label:"rtl" design);
+        (fun () ->
+          Backend.Nl_engine.create ~label:"gates"
+            ~mode:Backend.Nl_sim.Event_driven nl);
+      ]
+  in
+  Printf.printf "differential sweep: rtl vs gates, %d seeds, jobs %d\n"
+    nseeds (Par.default_jobs ());
+  let divergent =
+    List.fold_left
+      (fun acc (seed, r) ->
+        match r with
+        | Ok cycles ->
+            Printf.printf "  seed %4d: ok (%d cycles in lockstep)\n" seed
+              cycles;
+            acc
+        | Error d ->
+            Format.printf "  seed %4d: DIVERGED %a@." seed
+              Backend.Equiv.pp_mismatch d.Backend.Equiv.first;
+            acc + 1)
+      0 outcomes
+  in
+  if divergent > 0 then begin
+    Obs.Log.errorf "sweep: %d of %d seeds diverged" divergent nseeds;
+    1
+  end
+  else 0
+
 let synthesize name flow_name out_dir emit_artifacts no_fold layout cec json
-    obs =
+    sweep obs =
   match Designs.find name with
   | None ->
       Printf.eprintf "unknown design %s; available:\n%s\n" name
@@ -48,8 +87,16 @@ let synthesize name flow_name out_dir emit_artifacts no_fold layout cec json
             Obs.Log.infof "wrote %s (%d bytes)" path (String.length text))
           result.Synth.Flow.intermediate
       end;
+      let rc =
+        match sweep with
+        | Some n when n >= 1 -> sweep_check result n
+        | Some n ->
+            Printf.eprintf "--sweep expects a positive seed count, got %d\n" n;
+            1
+        | None -> 0
+      in
       Obs_cli.finish obs ~run:"osss_synth" ?power:result.Synth.Flow.power;
-      0
+      rc
 
 let design_arg =
   let doc = "Design to synthesize (run with --list to enumerate)." in
@@ -93,12 +140,21 @@ let json_arg =
   in
   Arg.(value & flag & info [ "json" ] ~doc)
 
-let main design flow out emit no_fold layout cec list json obs =
+let sweep_arg =
+  let doc =
+    "After the flow, run an N-way differential sweep — RTL interpretation \
+     vs the synthesized netlist in lockstep — across $(docv) stimulus \
+     seeds, sharded across the --jobs domain pool.  Non-zero exit on any \
+     divergence."
+  in
+  Arg.(value & opt (some int) None & info [ "sweep" ] ~docv:"SEEDS" ~doc)
+
+let main design flow out emit no_fold layout cec list json sweep obs =
   if list then begin
     List.iter print_endline (Designs.list_lines ());
     0
   end
-  else synthesize design flow out emit no_fold layout cec json obs
+  else synthesize design flow out emit no_fold layout cec json sweep obs
 
 let cmd =
   let doc = "synthesize OSSS/RTL designs down to a gate netlist" in
@@ -106,6 +162,6 @@ let cmd =
     (Cmd.info "osss_synth" ~doc)
     Term.(
       const main $ design_arg $ flow_arg $ out_arg $ emit_arg $ nofold_arg
-      $ layout_arg $ cec_arg $ list_arg $ json_arg $ Obs_cli.term)
+      $ layout_arg $ cec_arg $ list_arg $ json_arg $ sweep_arg $ Obs_cli.term)
 
 let () = exit (Cmd.eval' cmd)

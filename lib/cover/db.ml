@@ -113,8 +113,20 @@ let merge_by key combine xs ys =
   merged @ List.filter (fun y -> Hashtbl.mem tbl (key y)) ys
 
 let merge a b =
+  (* Run provenance dedups across the whole concatenation, keeping
+     first-occurrence order: merging databases that already share a
+     run label — or one whose [runs] carries a duplicate from an older
+     file — must not grow the list on every merge. *)
   let runs =
-    a.runs @ List.filter (fun r -> not (List.mem r a.runs)) b.runs
+    let seen = Hashtbl.create 8 in
+    List.filter
+      (fun r ->
+        if Hashtbl.mem seen r then false
+        else begin
+          Hashtbl.replace seen r ();
+          true
+        end)
+      (a.runs @ b.runs)
   in
   let toggles =
     merge_by

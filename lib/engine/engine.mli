@@ -8,7 +8,22 @@
     N-way lockstep differential harness ([Backend.Equiv]), the traces
     and the benchmarks all consume this interface, so a new simulation
     backend only has to provide an {!S} implementation to plug into
-    equivalence checking, waveforms and the performance reports. *)
+    equivalence checking, waveforms and the performance reports.
+
+    {b Thread affinity.}  Engines are {e not} domain-safe: every
+    backend keeps plain mutable simulation state (net values, pending
+    queues, schedulers) with no internal locking.  The contract for
+    parallel campaigns (the [Par] domain pool) is {e one engine per
+    domain, never shared}: create an engine {e inside} the shard that
+    steps it — the engine factories of [Backend.Equiv] exist exactly
+    for this — and let it die with the shard.  Read-only inputs
+    ([Netlist.t], [Ir.module_def]) may be shared across shards; live
+    engines, checkpoints and collectors obtained from an engine
+    ([cover], [power_activity]) must stay on the domain that created
+    them.  The process-global observability substrate ([Perf],
+    [Obs.Span], [Obs.Hist], [Obs.Log]) is domain-safe, but the causal
+    event ring ([Obs.Event]) is a single per-process buffer — engines
+    with {!S.enable_events} on must not step concurrently. *)
 
 module type S = sig
   type t

@@ -1,12 +1,13 @@
 type var = { id : int; var_name : string; width : int; depth : int }
 
-let var_counter = ref 0
+(* Atomic: designs are elaborated inside parallel campaign shards
+   (Par pool domains), and a torn gensym would alias distinct vars. *)
+let var_counter = Atomic.make 0
 
 let fresh_var ?(depth = 1) ~name ~width () =
   if width < 1 then invalid_arg "Ir.fresh_var: width must be >= 1";
   if depth < 1 then invalid_arg "Ir.fresh_var: depth must be >= 1";
-  incr var_counter;
-  { id = !var_counter; var_name = name; width; depth }
+  { id = Atomic.fetch_and_add var_counter 1 + 1; var_name = name; width; depth }
 
 let clone_var ~prefix v =
   fresh_var ~depth:v.depth ~name:(prefix ^ v.var_name) ~width:v.width ()

@@ -1,23 +1,35 @@
-type t = { cname : string; mutable count : int }
+type t = { cname : string; count : int Atomic.t }
 
+(* Counters are bumped from campaign shards running on pool domains
+   (Par), so the counts are atomics and the name→counter registry is
+   mutex-protected.  [counter] is called once per site (toplevel
+   handles) or per flow pass — never on a simulation hot path — so the
+   lock is uncontended where it matters. *)
+let lock = Mutex.create ()
 let registry : (string, t) Hashtbl.t = Hashtbl.create 16
 
 let counter name =
-  match Hashtbl.find_opt registry name with
-  | Some c -> c
-  | None ->
-      let c = { cname = name; count = 0 } in
-      Hashtbl.replace registry name c;
-      c
+  Mutex.protect lock (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some c -> c
+      | None ->
+          let c = { cname = name; count = Atomic.make 0 } in
+          Hashtbl.replace registry name c;
+          c)
 
-let incr ?(by = 1) c = c.count <- c.count + by
-let value c = c.count
+let incr ?(by = 1) c = ignore (Atomic.fetch_and_add c.count by)
+let value c = Atomic.get c.count
 let name c = c.cname
-let reset c = c.count <- 0
-let reset_all () = Hashtbl.iter (fun _ c -> c.count <- 0) registry
+let reset c = Atomic.set c.count 0
+
+let reset_all () =
+  Mutex.protect lock (fun () ->
+      Hashtbl.iter (fun _ c -> Atomic.set c.count 0) registry)
 
 let all () =
-  Hashtbl.fold (fun name c acc -> (name, c.count) :: acc) registry []
+  Mutex.protect lock (fun () ->
+      Hashtbl.fold (fun name c acc -> (name, Atomic.get c.count) :: acc)
+        registry [])
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 (* Scoped observation: counters are process-global, so concurrent

@@ -5,7 +5,13 @@
     activity-based process skipping, dirty-set gate evaluation — are
     observable from tests and benchmarks without threading a context
     through every call site.  Counters are registered by name on first
-    use; looking the same name up twice returns the same counter. *)
+    use; looking the same name up twice returns the same counter.
+
+    Counters are {b domain-safe}: counts are atomics and the registry
+    is mutex-protected, so parallel campaign shards (the [Par] domain
+    pool) increment shared counters without loss.  [incr] from many
+    domains sums exactly; [snapshot]/[diff] taken while shards run see
+    some consistent intermediate value per counter. *)
 
 type t
 

@@ -86,6 +86,12 @@ let drive_and_compare engines outs cycle assignment =
   in
   scan (List.tl engines)
 
+(* Serializes the events-on window replays of [differential]: the
+   causal event ring ([Obs.Event]) is one per process, so two shards
+   shrinking concurrently on pool domains must not both record into
+   it. *)
+let event_replay_lock = Mutex.create ()
+
 (* Phase span carrying the Perf counter deltas the phase caused, so a
    trace shows which phase spent which gate evaluations. *)
 let with_phase_span name attrs f =
@@ -176,21 +182,30 @@ let differential ?(cycles = 500) ?(seed = 42) ?(drive = fun _ (_, r) -> r)
           (* Record cheap, replay rich: the shrunk window is re-run with
              causal events on, which both confirms the reproducer and
              yields the chain of events behind the first mismatching
-             output.  The global log's prior state is preserved. *)
-          let was_on = Obs.Event.enabled () in
-          if not was_on then Obs.Event.enable ();
-          let replay = replay_window ~events:true factories outs window in
-          let causality =
-            match replay with
-            | None -> []
-            | Some m -> (
-                match
-                  Obs.Causal.why ~subject:m.port ~cycle:(m.at_cycle + 1) ()
-                with
-                | Some node -> Obs.Causal.chain node
-                | None -> [])
+             output.  The global log's prior state is preserved.  The
+             event ring is process-global, so the events-on replay is
+             serialized: concurrent shard shrinks (parallel fault
+             campaigns, differential sweeps) take turns instead of
+             interleaving their chains into one ring. *)
+          let replay, causality =
+            Mutex.protect event_replay_lock (fun () ->
+                let was_on = Obs.Event.enabled () in
+                if not was_on then Obs.Event.enable ();
+                let replay = replay_window ~events:true factories outs window in
+                let causality =
+                  match replay with
+                  | None -> []
+                  | Some m -> (
+                      match
+                        Obs.Causal.why ~subject:m.port ~cycle:(m.at_cycle + 1)
+                          ()
+                      with
+                      | Some node -> Obs.Causal.chain node
+                      | None -> [])
+                in
+                if not was_on then Obs.Event.disable ();
+                (replay, causality))
           in
-          if not was_on then Obs.Event.disable ();
           let provenance =
             {
               seed;
@@ -267,9 +282,15 @@ let pp_fault_result fmt r =
   | Some c, Some p -> Format.fprintf fmt "detected at cycle %d on %s" c p
   | _ -> Format.fprintf fmt "undetected"
 
-let fault_campaign ?(cycles = 500) ?(seed = 42) ?(drive = fun _ (_, r) -> r)
-    ?(mode = Nl_wsim.Event_driven) ?(shrink = true) nl faults =
-  Perf.incr ctr_campaigns;
+(* One campaign shard: the full word-parallel detect-then-shrink body
+   over its slice of the fault list, on its own [Nl_wsim] instance.
+   Runs on a pool domain when the campaign is sharded; lanes in the
+   returned results are shard-local (the merge re-indexes them).  The
+   stimulus is broadcast — identical for every lane and every shard —
+   and faults are lane-isolated, so a fault's detection cycle and port
+   do not depend on which other faults share its simulation: sharding
+   cannot change the per-fault results. *)
+let campaign_shard ~cycles ~seed ~drive ~mode ~shrink nl faults =
   let nfaults = List.length faults in
   let lanes = nfaults + 1 in
   let wsim = Nl_wsim.create ~mode ~lanes nl in
@@ -282,13 +303,6 @@ let fault_campaign ?(cycles = 500) ?(seed = 42) ?(drive = fun _ (_, r) -> r)
     List.map (fun (n, nets) -> (n, Array.length nets)) (Netlist.inputs nl)
   in
   let outs = List.map fst (Netlist.outputs nl) in
-  with_phase_span "equiv.fault_campaign"
-    [
-      ("faults", string_of_int nfaults);
-      ("cycles", string_of_int cycles);
-      ("seed", string_of_int seed);
-    ]
-  @@ fun () ->
   (* Same stimulus protocol as [differential] (one [random_bv] per input
      port, declaration order, every cycle) so a detection cycle here is
      the divergence cycle of the scalar-vs-faulty replay below. *)
@@ -361,7 +375,6 @@ let fault_campaign ?(cycles = 500) ?(seed = 42) ?(drive = fun _ (_, r) -> r)
       faults
   in
   let faults_detected = nfaults - !remaining in
-  Obs.Span.add_attr_int "detected" faults_detected;
   {
     faults_total = nfaults;
     faults_detected;
@@ -369,6 +382,102 @@ let fault_campaign ?(cycles = 500) ?(seed = 42) ?(drive = fun _ (_, r) -> r)
     campaign_gate_evals = Nl_wsim.gate_evals wsim;
     fault_results;
   }
+
+let fault_campaign ?(cycles = 500) ?(seed = 42) ?(drive = fun _ (_, r) -> r)
+    ?(mode = Nl_wsim.Event_driven) ?(shrink = true) ?jobs nl faults =
+  Perf.incr ctr_campaigns;
+  let jobs = max 1 (match jobs with Some j -> j | None -> Par.default_jobs ()) in
+  let nfaults = List.length faults in
+  with_phase_span "equiv.fault_campaign"
+    [
+      ("faults", string_of_int nfaults);
+      ("cycles", string_of_int cycles);
+      ("seed", string_of_int seed);
+      ("jobs", string_of_int jobs);
+    ]
+  @@ fun () ->
+  let shards = Par.chunks ~shards:jobs faults in
+  let parts =
+    if Array.length shards = 1 then
+      (* Serial path: no pool, one shard carrying the whole fault list
+         — the exact pre-sharding code. *)
+      [| campaign_shard ~cycles ~seed ~drive ~mode ~shrink nl shards.(0) |]
+    else
+      Par.map ~jobs
+        ~label:(fun i -> Printf.sprintf "fault-shard-%d" i)
+        (fun i -> campaign_shard ~cycles ~seed ~drive ~mode ~shrink nl shards.(i))
+        (Array.length shards)
+  in
+  (* Merge in shard order.  Lanes re-index to the fault's position in
+     the campaign's full fault list (1-based, as before), so the merged
+     results are identical for every [jobs]; cycles merge by max (every
+     shard sees the same broadcast stimulus, a shard merely stops early
+     once its own faults are all detected) and gate evaluations by sum
+     (the work actually spent). *)
+  let base = ref 0 in
+  let fault_results =
+    List.concat_map
+      (fun (c : campaign) ->
+        let here =
+          List.map (fun r -> { r with lane = !base + r.lane }) c.fault_results
+        in
+        base := !base + c.faults_total;
+        here)
+      (Array.to_list parts)
+  in
+  let faults_detected =
+    Array.fold_left (fun acc c -> acc + c.faults_detected) 0 parts
+  in
+  Obs.Span.add_attr_int "detected" faults_detected;
+  {
+    faults_total = nfaults;
+    faults_detected;
+    campaign_cycles =
+      Array.fold_left (fun acc c -> max acc c.campaign_cycles) 0 parts;
+    campaign_gate_evals =
+      Array.fold_left (fun acc c -> acc + c.campaign_gate_evals) 0 parts;
+    fault_results;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Multi-seed differential sweeps.                                     *)
+
+let ctr_sweeps = Perf.counter "equiv.sweeps"
+
+let differential_sweep ?(cycles = 500) ?(drive = fun _ (_, r) -> r)
+    ?(shrink = true) ?(dump_vcd = false) ?jobs ~seeds factories =
+  if List.length factories < 2 then
+    invalid_arg "Equiv.differential_sweep: need at least two engines";
+  Perf.incr ctr_sweeps;
+  let jobs = max 1 (match jobs with Some j -> j | None -> Par.default_jobs ()) in
+  let seed_arr = Array.of_list seeds in
+  with_phase_span "equiv.sweep"
+    [
+      ("seeds", string_of_int (Array.length seed_arr));
+      ("cycles", string_of_int cycles);
+      ("jobs", string_of_int jobs);
+    ]
+  @@ fun () ->
+  (* One shard per seed: each runs a full lockstep differential with
+     its own fresh engines (factories are invoked on the shard's
+     domain, honouring the one-engine-per-domain contract), and the
+     work-stealing pool balances uneven seeds — one that diverges pays
+     for shrink and replay, the rest are straight runs. *)
+  let results =
+    Par.map ~jobs
+      ~label:(fun i -> Printf.sprintf "sweep-seed-%d" seed_arr.(i))
+      (fun i ->
+        let seed = seed_arr.(i) in
+        (seed, differential ~cycles ~seed ~drive ~shrink ~dump_vcd factories))
+      (Array.length seed_arr)
+  in
+  let divergent =
+    Array.fold_left
+      (fun acc (_, r) -> match r with Error _ -> acc + 1 | Ok _ -> acc)
+      0 results
+  in
+  Obs.Span.add_attr_int "divergent" divergent;
+  Array.to_list results
 
 let ir_vs_netlist ?cycles ?seed ?drive design nl =
   differential ?cycles ?seed ?drive

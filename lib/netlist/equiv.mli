@@ -94,7 +94,13 @@ type fault_result = {
   site : string;
       (** hierarchical description of the faulted net
           ({!Netlist.describe_net}, e.g. ["u_hist.count[3]"]) *)
-  lane : int;  (** lane that carried the fault (1-based; 0 is golden) *)
+  lane : int;
+      (** the fault's 1-based position in the campaign's fault list
+          (lane 0 of each shard simulation is golden).  With one shard
+          this is exactly the physical lane that carried the fault; a
+          sharded campaign re-indexes shard-local lanes to this stable
+          campaign-wide numbering, so results are identical for every
+          [jobs]. *)
   detected_at : int option;
       (** first cycle an output diverged from lane 0, if any *)
   detect_port : string option;
@@ -119,17 +125,47 @@ val fault_campaign :
   ?drive:(int -> string * Bitvec.t -> Bitvec.t) ->
   ?mode:Nl_wsim.mode ->
   ?shrink:bool ->
+  ?jobs:int ->
   Netlist.t ->
   lane_fault list ->
   campaign
-(** [fault_campaign nl faults] runs one [1 + length faults]-lane
+(** [fault_campaign nl faults] runs a [1 + faults-per-shard]-lane
     simulation under broadcast random stimulus (same protocol, default
     [seed] and [drive] override semantics as {!differential} — use
     [drive] e.g. to hold a reset released so faults propagate) for up to
     [cycles] (default [500]) cycles, stopping early once every fault has
     been observed at an output.  [shrink] (default [true]) replays each
     detected fault through {!differential} under the same [drive] for a
-    shrunk stimulus window. *)
+    shrunk stimulus window.
+
+    [jobs] (default [Par.default_jobs ()]) splits the fault list into
+    up to [jobs] contiguous shards, each simulated on its own domain
+    with its own [Nl_wsim] instance, and merges the shard results in
+    fault order.  The stimulus is broadcast and faults are
+    lane-isolated, so the merged [fault_results] — detection cycle,
+    port, site, shrunk reproducer — are {e identical for every [jobs]}
+    ([jobs = 1] runs the pre-sharding serial code inline).  Of the
+    aggregates, [campaign_cycles] is the max over shards (equal to the
+    serial figure) while [campaign_gate_evals] sums the work actually
+    spent, which legitimately varies with the sharding. *)
+
+val differential_sweep :
+  ?cycles:int ->
+  ?drive:(int -> string * Bitvec.t -> Bitvec.t) ->
+  ?shrink:bool ->
+  ?dump_vcd:bool ->
+  ?jobs:int ->
+  seeds:int list ->
+  (unit -> Engine.t) list ->
+  (int * (int, divergence) result) list
+(** [differential_sweep ~seeds factories] runs one full
+    {!differential} per stimulus seed — fresh engines each, created on
+    the shard's own domain — and returns the per-seed results in seed
+    order, [jobs] (default [Par.default_jobs ()]) sweeps at a time.
+    One shard per seed: the work-stealing pool absorbs the cost skew
+    of a diverging seed (shrink + events-on replay) against the
+    straight-through ones.  Raises [Invalid_argument] with fewer than
+    two factories. *)
 
 val ir_vs_netlist :
   ?cycles:int ->

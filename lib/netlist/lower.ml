@@ -514,10 +514,14 @@ let topo_sort_combs combs =
    the same segment instead of re-lowering it.  [Synth.Flow] reports
    the hit/miss movement of a run as [flow.lower.cache_hits]. *)
 let cache : (string, Netlist.t) Hashtbl.t = Hashtbl.create 32
-let cache_hits = ref 0
-let cache_misses = ref 0
-let cache_stats () = (!cache_hits, !cache_misses)
-let clear_cache () = Hashtbl.reset cache
+let cache_lock = Mutex.create ()  (* flows may lower from pool domains *)
+let cache_hits = ref 0  (* under [cache_lock] *)
+let cache_misses = ref 0  (* under [cache_lock] *)
+
+let cache_stats () =
+  Mutex.protect cache_lock (fun () -> (!cache_hits, !cache_misses))
+
+let clear_cache () = Mutex.protect cache_lock (fun () -> Hashtbl.reset cache)
 
 (* ---------------- instance splicing ---------------- *)
 
@@ -666,14 +670,25 @@ let resolve_placeholders ctx pending_inputs =
 
 let rec lower ?(fold = true) (m : Ir.module_def) : Netlist.t =
   let key = Ir.structural_hash m ^ if fold then ":f" else ":r" in
-  match Hashtbl.find_opt cache key with
-  | Some nl ->
-      incr cache_hits;
-      nl
+  let cached =
+    Mutex.protect cache_lock (fun () ->
+        match Hashtbl.find_opt cache key with
+        | Some nl ->
+            incr cache_hits;
+            Some nl
+        | None ->
+            incr cache_misses;
+            None)
+  in
+  match cached with
+  | Some nl -> nl
   | None ->
-      incr cache_misses;
+      (* Lowering happens outside the lock (it recurses back into
+         [lower] for child segments); two domains racing on the same
+         key both lower and the second replace wins — segments are
+         read-only, so either is valid. *)
       let nl = lower_module ~fold m in
-      Hashtbl.replace cache key nl;
+      Mutex.protect cache_lock (fun () -> Hashtbl.replace cache key nl);
       nl
 
 and lower_module ~fold (m0 : Ir.module_def) =

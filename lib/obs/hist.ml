@@ -3,41 +3,65 @@
    count the simulators produce. *)
 let n_buckets = 32
 
-type t = {
-  hname : string;
-  mutable count : int;
-  mutable sum : float;
-  mutable vmin : float;
-  mutable vmax : float;
-  buckets : int array;
+(* A histogram name is a handle; the data lives in per-domain shadow
+   accumulators.  [observe] only ever touches the calling domain's own
+   shadow — no locks, no contention on the simulation hot paths — and
+   the read side merges every domain's shadow into one aggregate under
+   the registry lock.  Shadow creation (first observation of a name on
+   a domain, first observation of a domain at all) takes the lock; the
+   steady state is lock-free for writers.  Readers may race in-flight
+   observations and see a slightly stale aggregate — fine for
+   monitoring — but the CLIs only export between [Par] batches, when
+   the worker domains are quiescent. *)
+type t = { hname : string }
+
+type shadow = {
+  mutable s_count : int;
+  mutable s_sum : float;
+  mutable s_vmin : float;
+  mutable s_vmax : float;
+  s_buckets : int array;
 }
 
-let registry : (string, t) Hashtbl.t = Hashtbl.create 16
+let fresh_shadow () =
+  {
+    s_count = 0;
+    s_sum = 0.0;
+    s_vmin = infinity;
+    s_vmax = neg_infinity;
+    s_buckets = Array.make n_buckets 0;
+  }
+
+let lock = Mutex.create ()
+let handles : (string, t) Hashtbl.t = Hashtbl.create 16  (* under [lock] *)
+let handle_order : string list ref = ref []  (* under [lock] *)
+
+(* Every domain's local name→shadow table, registered on first use. *)
+let tables : (string, shadow) Hashtbl.t list ref = ref []  (* under [lock] *)
+
+let table_key : (string, shadow) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let tbl = Hashtbl.create 16 in
+      Mutex.protect lock (fun () -> tables := tbl :: !tables);
+      tbl)
 
 (* Like Span, recording is off by default so that instrumented hot
    paths cost one branch per observation in unobserved runs. *)
-let flag = ref false
+let flag = Atomic.make false
 
-let enable () = flag := true
-let disable () = flag := false
-let enabled () = !flag
+let enable () = Atomic.set flag true
+let disable () = Atomic.set flag false
+let enabled () = Atomic.get flag
 
 let histogram name =
-  match Hashtbl.find_opt registry name with
-  | Some h -> h
-  | None ->
-      let h =
-        {
-          hname = name;
-          count = 0;
-          sum = 0.0;
-          vmin = infinity;
-          vmax = neg_infinity;
-          buckets = Array.make n_buckets 0;
-        }
-      in
-      Hashtbl.replace registry name h;
-      h
+  Mutex.protect lock (fun () ->
+      match Hashtbl.find_opt handles name with
+      | Some h -> h
+      | None ->
+          let h = { hname = name } in
+          Hashtbl.replace handles name h;
+          handle_order := name :: !handle_order;
+          h)
 
 let bucket_index v =
   if v < 1.0 then 0
@@ -48,65 +72,114 @@ let bucket_upper i = if i >= n_buckets - 1 then infinity else Float.pow 2.0 (flo
 let bucket_lower i =
   if i = 0 then neg_infinity else Float.pow 2.0 (float_of_int (i - 1))
 
+let observe h v =
+  if Atomic.get flag then begin
+    let tbl = Domain.DLS.get table_key in
+    let s =
+      match Hashtbl.find_opt tbl h.hname with
+      | Some s -> s
+      | None ->
+          let s = fresh_shadow () in
+          (* Under the lock so a concurrent reader never walks this
+             table mid-resize. *)
+          Mutex.protect lock (fun () -> Hashtbl.replace tbl h.hname s);
+          s
+    in
+    s.s_count <- s.s_count + 1;
+    s.s_sum <- s.s_sum +. v;
+    if v < s.s_vmin then s.s_vmin <- v;
+    if v > s.s_vmax then s.s_vmax <- v;
+    let i = bucket_index v in
+    s.s_buckets.(i) <- s.s_buckets.(i) + 1
+  end
+
+let observe_int h v = observe h (float_of_int v)
+
+(* The aggregate across every domain's shadow of [h]. *)
+let snapshot h =
+  Mutex.protect lock (fun () ->
+      let acc = fresh_shadow () in
+      List.iter
+        (fun tbl ->
+          match Hashtbl.find_opt tbl h.hname with
+          | None -> ()
+          | Some s ->
+              acc.s_count <- acc.s_count + s.s_count;
+              acc.s_sum <- acc.s_sum +. s.s_sum;
+              if s.s_vmin < acc.s_vmin then acc.s_vmin <- s.s_vmin;
+              if s.s_vmax > acc.s_vmax then acc.s_vmax <- s.s_vmax;
+              Array.iteri
+                (fun i c -> acc.s_buckets.(i) <- acc.s_buckets.(i) + c)
+                s.s_buckets)
+        !tables;
+      acc)
+
+let name h = h.hname
+let count h = (snapshot h).s_count
+let sum h = (snapshot h).s_sum
+
+let mean_of s = if s.s_count = 0 then 0.0 else s.s_sum /. float_of_int s.s_count
+let mean h = mean_of (snapshot h)
+let min_value h = let s = snapshot h in if s.s_count = 0 then 0.0 else s.s_vmin
+let max_value h = let s = snapshot h in if s.s_count = 0 then 0.0 else s.s_vmax
+
 (* Bucket-interpolated percentile: walk buckets to the one holding the
    q-th observation, then interpolate linearly inside its bounds
    (clamped to the observed min/max, which makes single-valued
    histograms exact). *)
 let percentile h q =
-  if h.count = 0 then 0.0
+  let s = snapshot h in
+  if s.s_count = 0 then 0.0
   else begin
     let q = Float.min 100.0 (Float.max 0.0 q) in
-    let target = q /. 100.0 *. float_of_int h.count in
+    let target = q /. 100.0 *. float_of_int s.s_count in
     let rec go i cum =
-      if i >= n_buckets then h.vmax
+      if i >= n_buckets then s.s_vmax
       else
-        let c = h.buckets.(i) in
+        let c = s.s_buckets.(i) in
         if c = 0 || float_of_int (cum + c) < target then go (i + 1) (cum + c)
         else begin
-          let lo = Float.max (bucket_lower i) h.vmin in
-          let hi = Float.min (bucket_upper i) h.vmax in
+          let lo = Float.max (bucket_lower i) s.s_vmin in
+          let hi = Float.min (bucket_upper i) s.s_vmax in
           let frac = (target -. float_of_int cum) /. float_of_int c in
           lo +. ((hi -. lo) *. frac)
         end
     in
-    Float.max h.vmin (Float.min h.vmax (go 0 0))
+    Float.max s.s_vmin (Float.min s.s_vmax (go 0 0))
   end
 
-let observe h v =
-  if !flag then begin
-    h.count <- h.count + 1;
-    h.sum <- h.sum +. v;
-    if v < h.vmin then h.vmin <- v;
-    if v > h.vmax then h.vmax <- v;
-    let i = bucket_index v in
-    h.buckets.(i) <- h.buckets.(i) + 1
-  end
+let zero_shadow s =
+  s.s_count <- 0;
+  s.s_sum <- 0.0;
+  s.s_vmin <- infinity;
+  s.s_vmax <- neg_infinity;
+  Array.fill s.s_buckets 0 n_buckets 0
 
-let observe_int h v = observe h (float_of_int v)
-
-let name h = h.hname
-let count h = h.count
-let sum h = h.sum
-let mean h = if h.count = 0 then 0.0 else h.sum /. float_of_int h.count
-let min_value h = if h.count = 0 then 0.0 else h.vmin
-let max_value h = if h.count = 0 then 0.0 else h.vmax
-
+(* Resets expect quiescent workers (between [Par] batches), like the
+   exporters. *)
 let reset h =
-  h.count <- 0;
-  h.sum <- 0.0;
-  h.vmin <- infinity;
-  h.vmax <- neg_infinity;
-  Array.fill h.buckets 0 n_buckets 0
+  Mutex.protect lock (fun () ->
+      List.iter
+        (fun tbl ->
+          match Hashtbl.find_opt tbl h.hname with
+          | Some s -> zero_shadow s
+          | None -> ())
+        !tables)
 
-let reset_all () = Hashtbl.iter (fun _ h -> reset h) registry
+let reset_all () =
+  Mutex.protect lock (fun () ->
+      List.iter (fun tbl -> Hashtbl.iter (fun _ s -> zero_shadow s) tbl)
+        !tables)
 
 let all () =
-  Hashtbl.fold (fun _ h acc -> h :: acc) registry []
+  Mutex.protect lock (fun () ->
+      List.rev_map (fun n -> Hashtbl.find handles n) !handle_order)
   |> List.sort (fun a b -> compare a.hname b.hname)
 
 let to_json h =
+  let s = snapshot h in
   let buckets =
-    Array.to_list h.buckets
+    Array.to_list s.s_buckets
     |> List.mapi (fun i c -> (i, c))
     |> List.filter (fun (_, c) -> c > 0)
     |> List.map (fun (i, c) ->
@@ -120,11 +193,11 @@ let to_json h =
   in
   Json.Obj
     [
-      ("count", Json.Int h.count);
-      ("sum", Json.Float h.sum);
-      ("mean", Json.Float (mean h));
-      ("min", Json.Float (min_value h));
-      ("max", Json.Float (max_value h));
+      ("count", Json.Int s.s_count);
+      ("sum", Json.Float s.s_sum);
+      ("mean", Json.Float (mean_of s));
+      ("min", Json.Float (if s.s_count = 0 then 0.0 else s.s_vmin));
+      ("max", Json.Float (if s.s_count = 0 then 0.0 else s.s_vmax));
       ("buckets", Json.List buckets);
     ]
 

@@ -5,7 +5,15 @@
     settle iterations per step, dirty-set sizes, queue depths, per-pass
     deltas.  Histograms register by name on first use, like Perf
     counters.  Recording is disabled by default ({!enable} switches it
-    on); an [observe] while disabled is one branch. *)
+    on); an [observe] while disabled is one branch.
+
+    Histograms are {b domain-safe}: each domain accumulates into its
+    own shadow of a histogram (domain-local storage), so [observe]
+    stays lock-free on the hot path even from parallel campaign
+    shards, and every read-side accessor ({!count}, {!percentile},
+    {!to_json}, …) merges the per-domain shadows into one aggregate.
+    {!reset}/{!reset_all} and exact reads expect the worker domains to
+    be quiescent (between [Par] batches). *)
 
 type t
 

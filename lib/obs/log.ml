@@ -8,9 +8,13 @@ let level_name = function
   | Error -> "error"
 
 (* Narrative output goes to stderr so that machine-readable stdout
-   (--json modes) stays clean; tests can redirect it. *)
+   (--json modes) stays clean; tests can redirect it.  Emission is
+   line-atomic behind a mutex: campaign shards on pool domains log
+   concurrently, and interleaving within a line would garble the
+   narrative (channel buffers are not domain-safe on their own). *)
 let out = ref stderr
 let threshold = ref Info
+let lock = Mutex.create ()
 
 let set_out oc = out := oc
 let set_level l = threshold := l
@@ -19,8 +23,10 @@ let enabled l = level_rank l >= level_rank !threshold
 
 let log l msg =
   if enabled l then begin
-    output_string !out (Printf.sprintf "[%s] %s\n" (level_name l) msg);
-    flush !out
+    let line = Printf.sprintf "[%s] %s\n" (level_name l) msg in
+    Mutex.protect lock (fun () ->
+        output_string !out line;
+        flush !out)
   end
 
 let debug msg = log Debug msg

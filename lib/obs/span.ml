@@ -1,57 +1,75 @@
 type span = {
   sp_name : string;
   sp_start : float;  (* seconds since the trace epoch *)
+  sp_tid : int;  (* domain the span was opened on *)
   mutable sp_stop : float;  (* negative while still open *)
   mutable sp_attrs : (string * string) list;  (* reverse insertion order *)
   mutable sp_children : span list;  (* reverse order *)
 }
 
-(* Single-threaded global tracer state.  Disabled by default: the hot
+(* Domain-safe global tracer state.  Disabled by default: the hot
    paths guard their instrumentation on [enabled ()], so a simulation
-   run without --trace-out pays one branch per candidate span. *)
-let flag = ref false
-let epoch = ref 0.0
-let roots : span list ref = ref []  (* reverse order *)
-let stack : span list ref = ref []  (* innermost open span first *)
-let total = ref 0
+   run without --trace-out pays one branch (an atomic load) per
+   candidate span.
+
+   Each domain keeps its own open-span stack in domain-local storage —
+   spans nest under the enclosing span *of the same domain*, so a
+   campaign shard running on a pool domain produces its own root
+   subtree (exported under its domain's tid) instead of splicing into
+   whatever the main domain had open.  The root list and epoch are
+   shared, behind a mutex.  Exporters and [reset] assume the worker
+   domains are quiescent (between [Par] batches), which is when the
+   CLIs call them. *)
+let flag = Atomic.make false
+let lock = Mutex.create ()
+let epoch = ref 0.0  (* under [lock] *)
+let roots : span list ref = ref []  (* reverse order, under [lock] *)
+let total = Atomic.make 0
+
+let stack_key : span list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
 
 let now () = Unix.gettimeofday ()
 
-let enabled () = !flag
+let enabled () = Atomic.get flag
 
 let reset () =
-  roots := [];
-  stack := [];
-  total := 0;
-  epoch := now ()
+  Mutex.protect lock (fun () ->
+      roots := [];
+      epoch := now ());
+  Domain.DLS.get stack_key := [];
+  Atomic.set total 0
 
 let enable () =
-  flag := true;
-  if !epoch = 0.0 then epoch := now ()
+  Atomic.set flag true;
+  Mutex.protect lock (fun () -> if !epoch = 0.0 then epoch := now ())
 
-let disable () = flag := false
+let disable () = Atomic.set flag false
 
-let span_count () = !total
+let span_count () = Atomic.get total
 
 let open_span name attrs =
   let sp =
     {
       sp_name = name;
       sp_start = now () -. !epoch;
+      sp_tid = (Domain.self () :> int);
       sp_stop = -1.0;
       sp_attrs = List.rev attrs;
       sp_children = [];
     }
   in
+  let stack = Domain.DLS.get stack_key in
   (match !stack with
   | parent :: _ -> parent.sp_children <- sp :: parent.sp_children
-  | [] -> roots := sp :: !roots);
+  | [] -> Mutex.protect lock (fun () -> roots := sp :: !roots));
   stack := sp :: !stack;
-  incr total;
+  ignore (Atomic.fetch_and_add total 1);
   sp
 
 let close_span sp =
   sp.sp_stop <- now () -. !epoch;
+  let stack = Domain.DLS.get stack_key in
   match !stack with
   | top :: rest when top == sp -> stack := rest
   | _ ->
@@ -70,7 +88,7 @@ let close_span sp =
 let add_attr_to sp key value = sp.sp_attrs <- (key, value) :: sp.sp_attrs
 
 let with_ ?(attrs = []) ~name f =
-  if not !flag then f ()
+  if not (Atomic.get flag) then f ()
   else begin
     let sp = open_span name attrs in
     match f () with
@@ -84,14 +102,14 @@ let with_ ?(attrs = []) ~name f =
   end
 
 let add_attr key value =
-  if !flag then
-    match !stack with
+  if Atomic.get flag then
+    match !(Domain.DLS.get stack_key) with
     | sp :: _ -> add_attr_to sp key value
     | [] -> ()
 
 let add_attr_int key value = add_attr key (string_of_int value)
 
-let root_spans () = List.rev !roots
+let root_spans () = Mutex.protect lock (fun () -> List.rev !roots)
 
 let name sp = sp.sp_name
 let children sp = List.rev sp.sp_children
@@ -116,8 +134,9 @@ let find_root ~name =
 let us seconds = Float.round (seconds *. 1e6)
 
 (* Chrome trace-event format: one complete ("ph":"X") event per span.
-   Nesting is implied by timestamp containment within a single thread,
-   which holds by construction for a stack-shaped span tree. *)
+   Nesting is implied by timestamp containment within a single thread;
+   each span carries the domain it ran on as its tid, so parallel
+   campaign shards render as separate tracks. *)
 let to_chrome_events () =
   let events = ref [] in
   let rec emit sp =
@@ -130,7 +149,7 @@ let to_chrome_events () =
           ("ts", Json.Float (us sp.sp_start));
           ("dur", Json.Float (us (stop -. sp.sp_start)));
           ("pid", Json.Int 1);
-          ("tid", Json.Int 1);
+          ("tid", Json.Int sp.sp_tid);
           ( "args",
             Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) (attrs sp)) );
         ]

@@ -6,7 +6,16 @@
     disabled by default: hot paths guard instrumentation on
     {!enabled}, so tracing costs one branch per candidate span when
     off.  Timing uses [Unix.gettimeofday] relative to the trace epoch
-    (set at {!enable}/{!reset}). *)
+    (set at {!enable}/{!reset}).
+
+    The tracer is {b domain-safe}: each domain nests spans on its own
+    open-span stack (domain-local storage), so a campaign shard on a
+    [Par] pool domain grows its own root subtree — tagged with that
+    domain's id, which the Chrome exporter emits as the event [tid] so
+    parallel shards render as separate tracks.  The shared root list
+    is mutex-protected.  {!reset} and the exporters expect the worker
+    domains to be quiescent (between [Par] batches): {!reset} clears
+    the shared roots and the calling domain's stack only. *)
 
 type span
 
